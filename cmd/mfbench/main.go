@@ -1,0 +1,76 @@
+// Command mfbench regenerates the paper's evaluation: Table I, Fig. 8 and
+// Fig. 9, comparing the proposed DCSA-aware synthesis against the
+// baseline BA on the seven published benchmarks.
+//
+// Usage:
+//
+//	mfbench              # everything: table + both figures
+//	mfbench -table1      # only Table I
+//	mfbench -fig8        # only Fig. 8 (total channel cache time)
+//	mfbench -fig9        # only Fig. 9 (total channel wash time)
+//	mfbench -csv         # machine-readable CSV of all metrics
+//	mfbench -bench CPA   # restrict to one benchmark
+//	mfbench -imax 150    # SA iterations per temperature (default 150,
+//	                     # the paper's setting)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print only Table I")
+		fig8   = flag.Bool("fig8", false, "print only Fig. 8 (channel cache time)")
+		fig9   = flag.Bool("fig9", false, "print only Fig. 9 (channel wash time)")
+		csv    = flag.Bool("csv", false, "print all metrics as CSV")
+		md     = flag.Bool("markdown", false, "print the comparison as a markdown table")
+		bench  = flag.String("bench", "", "restrict to one benchmark (PCR, IVD, CPA, Synthetic1..4)")
+		imax   = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
+		seed   = flag.Uint64("seed", 1, "placement seed")
+	)
+	flag.Parse()
+
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = *imax
+	opts.Place.Seed = *seed
+
+	benches := repro.Benchmarks()
+	if *bench != "" {
+		bm, err := repro.BenchmarkByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		benches = []repro.Benchmark{bm}
+	}
+
+	rows, err := repro.RunComparison(benches, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	all := !*table1 && !*fig8 && !*fig9 && !*csv && !*md
+	if *csv {
+		fmt.Print(repro.ComparisonCSV(rows))
+		return
+	}
+	if *md {
+		fmt.Print(repro.ComparisonMarkdown(rows))
+		return
+	}
+	if all || *table1 {
+		fmt.Println(repro.TableI(rows))
+	}
+	if all || *fig8 {
+		fmt.Println(repro.Fig8(rows))
+	}
+	if all || *fig9 {
+		fmt.Println(repro.Fig9(rows))
+	}
+}

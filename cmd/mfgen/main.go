@@ -1,0 +1,66 @@
+// Command mfgen emits bioassay JSON files: either one of the built-in
+// Table I benchmarks, or a fresh synthetic assay with a chosen size and
+// seed. The output is consumed by mfsyn -assay.
+//
+// Usage:
+//
+//	mfgen -bench CPA > cpa.json
+//	mfgen -ops 30 -alloc "(5,2,2,2)" -seed 7 > synth.json
+//	mfgen -bench PCR -dot > pcr.dot       # Graphviz instead of JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/assay"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "emit a built-in benchmark (PCR, IVD, CPA, Synthetic1..4)")
+		ops       = flag.Int("ops", 0, "generate a synthetic assay with this many operations")
+		allocStr  = flag.String("alloc", "(3,1,1,1)", "allocation guiding the synthetic type mix")
+		seed      = flag.Uint64("seed", 1, "synthetic generator seed")
+		name      = flag.String("name", "synthetic", "synthetic assay name")
+		dot       = flag.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mfgen:", err)
+		os.Exit(1)
+	}
+
+	var g *repro.Assay
+	switch {
+	case *benchName != "":
+		bm, err := repro.BenchmarkByName(*benchName)
+		if err != nil {
+			fail(err)
+		}
+		g = bm.Graph
+	case *ops > 0:
+		alloc, err := repro.ParseAllocation(*allocStr)
+		if err != nil {
+			fail(err)
+		}
+		g = repro.GenerateSyntheticAssay(*name, *ops, alloc, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "mfgen: need -bench NAME or -ops N")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *dot {
+		if err := assay.WriteDOT(os.Stdout, g); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := repro.EncodeAssay(os.Stdout, g); err != nil {
+		fail(err)
+	}
+}

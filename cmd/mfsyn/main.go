@@ -1,0 +1,186 @@
+// Command mfsyn synthesizes one bioassay onto a DCSA-based biochip and
+// prints the resulting schedule, layout and metrics.
+//
+// Usage:
+//
+//	mfsyn -assay assay.json -alloc "(3,0,0,2)"       # proposed algorithm
+//	mfsyn -bench CPA                                 # built-in benchmark
+//	mfsyn -bench CPA -baseline                       # baseline BA
+//	mfsyn -bench IVD -gantt -layout                  # extra diagrams
+//	mfsyn -bench PCR -events                         # replay event log
+//	mfsyn -bench CPA -failures -congestion           # what-if + heatmap
+//	mfsyn -bench CPA -save cpa_solution.json         # full solution dump
+//
+// Besides the Table I metrics, every run reports the control-layer cost
+// (valves, switching, pin sharing), the wash plan's on-time fraction and
+// the timing-closure audit of the constant-t_c assumption.
+//
+// The assay JSON format is the one produced by mfgen (see cmd/mfgen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/solio"
+)
+
+func main() {
+	var (
+		assayPath = flag.String("assay", "", "path to an assay JSON file")
+		allocStr  = flag.String("alloc", "", `component allocation, e.g. "(3,0,0,2)" (default: minimal)`)
+		benchName = flag.String("bench", "", "use a built-in benchmark instead of -assay")
+		baseline  = flag.Bool("baseline", false, "run the baseline algorithm BA instead of the proposed one")
+		gantt     = flag.Bool("gantt", false, "print the schedule Gantt chart")
+		layout    = flag.Bool("layout", false, "print the chip layout")
+		events    = flag.Bool("events", false, "print the verified replay event log")
+		imax      = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
+		save      = flag.String("save", "", "write the full solution as JSON to this file")
+		failures  = flag.Bool("failures", false, "print the single-component-failure analysis")
+		congest   = flag.Bool("congestion", false, "print the channel congestion heatmap")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mfsyn:", err)
+		os.Exit(1)
+	}
+
+	var g *repro.Assay
+	var alloc repro.Allocation
+	switch {
+	case *benchName != "":
+		bm, err := repro.BenchmarkByName(*benchName)
+		if err != nil {
+			fail(err)
+		}
+		g, alloc = bm.Graph, bm.Alloc
+	case *assayPath != "":
+		f, err := os.Open(*assayPath)
+		if err != nil {
+			fail(err)
+		}
+		g, err = repro.DecodeAssay(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		alloc = repro.MinimalAllocation(g)
+	default:
+		fmt.Fprintln(os.Stderr, "mfsyn: need -assay FILE or -bench NAME")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *allocStr != "" {
+		a, err := repro.ParseAllocation(*allocStr)
+		if err != nil {
+			fail(err)
+		}
+		alloc = a
+	}
+
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = *imax
+
+	var sol *repro.Solution
+	var err error
+	if *baseline {
+		sol, err = repro.SynthesizeBaseline(g, alloc, opts)
+	} else {
+		sol, err = repro.Synthesize(g, alloc, opts)
+	}
+	if err != nil {
+		fail(err)
+	}
+	rep, err := repro.Verify(sol)
+	if err != nil {
+		fail(fmt.Errorf("solution failed verification: %w", err))
+	}
+
+	algo := "proposed DCSA-aware synthesis"
+	if *baseline {
+		algo = "baseline BA"
+	}
+	m := sol.Metrics()
+	fmt.Printf("assay %q: %d operations, allocation %v — %s\n", g.Name(), g.NumOps(), alloc, algo)
+	fmt.Printf("  execution time       %v\n", m.ExecutionTime)
+	fmt.Printf("  resource utilization %.1f%%\n", 100*m.Utilization)
+	fmt.Printf("  total channel length %v\n", m.ChannelLength)
+	fmt.Printf("  channel cache time   %v\n", m.CacheTime)
+	fmt.Printf("  channel wash time    %v\n", m.ChannelWashTime)
+	fmt.Printf("  component wash time  %v\n", m.ComponentWashTime)
+	fmt.Printf("  transports           %d\n", m.Transports)
+	fmt.Printf("  CPU time             %v\n", m.CPU)
+	cl := repro.ControlLayer(sol)
+	fmt.Printf("  control layer        %d valves, %d switches (%d after reordering)\n",
+		cl.NumValves, cl.Switches, cl.OptimizedSwitches)
+	if wp, err := repro.PlanWashes(sol); err == nil && len(wp.Flushes) > 0 {
+		fmt.Printf("  wash plan            %d flushes, %.0f%% on time, max lateness %v\n",
+			len(wp.Flushes), 100*wp.OnTimeFraction(), wp.MaxLateness)
+	}
+	if tr, err := repro.AnalyzeTiming(sol, 0); err == nil && tr.Tasks > 0 {
+		fmt.Printf("  timing closure       flow speeds %.1f-%.1f mm/s (cap %.0f), closed=%v\n",
+			tr.Min, tr.Max, tr.Cap, tr.Closed())
+	}
+	pp := repro.PlanControlPins(sol)
+	if pp.Valves > 0 {
+		fmt.Printf("  control pins         %d valves on %d pins (%.2fx sharing)\n",
+			pp.Valves, pp.Pins, pp.Sharing)
+	}
+	if bd, err := repro.ScheduleBounds(g, alloc, opts); err == nil {
+		fmt.Printf("  optimality           lower bound %v, gap %.1f%%\n",
+			bd.Best, bd.GapPct(m.ExecutionTime))
+	}
+	if wr, err := repro.RouteWashes(sol); err == nil && len(wr.Flushes) > 0 {
+		fmt.Printf("  wash infrastructure  %d flush cells, %d beyond assay channels\n",
+			wr.TotalFlushCells, wr.ExtraCells)
+	}
+
+	if *gantt {
+		fmt.Println()
+		fmt.Print(repro.Gantt(sol))
+	}
+	if *layout {
+		fmt.Println()
+		fmt.Print(repro.Layout(sol))
+	}
+	if *events {
+		fmt.Println()
+		for _, e := range rep.Events {
+			fmt.Printf("%10v  %-17s %s\n", e.Time, e.Kind, e.Note)
+		}
+	}
+	if *failures {
+		fa, err := repro.AnalyzeFailures(g, alloc, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("\nsingle-component-failure analysis:")
+		for _, imp := range fa.Impacts {
+			if !imp.Feasible {
+				fmt.Printf("  lose one %-8v -> assay infeasible (single point of failure)\n", imp.Type)
+				continue
+			}
+			fmt.Printf("  lose one %-8v -> completion %v (%+.1f%%)\n", imp.Type, imp.Makespan, imp.DeltaPct)
+		}
+	}
+	if *congest {
+		fmt.Println()
+		fmt.Print(repro.CongestionMap(sol))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fail(err)
+		}
+		if err := solio.Encode(f, sol); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("solution written to %s\n", *save)
+	}
+}

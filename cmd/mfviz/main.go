@@ -1,0 +1,108 @@
+// Command mfviz synthesizes an assay and writes SVG diagrams of the
+// result: the chip layout with placed components and routed flow
+// channels, and the schedule Gantt chart with operations, washes and
+// channel-cache episodes.
+//
+// Usage:
+//
+//	mfviz -bench CPA -out cpa            # writes cpa_layout.svg + cpa_gantt.svg
+//	mfviz -assay my.json -alloc "(3,0,0,2)" -out my
+//	mfviz -bench IVD -baseline -out ivd_ba
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/svg"
+)
+
+func main() {
+	var (
+		assayPath = flag.String("assay", "", "path to an assay JSON file")
+		allocStr  = flag.String("alloc", "", `component allocation, e.g. "(3,0,0,2)"`)
+		benchName = flag.String("bench", "", "use a built-in benchmark")
+		baseline  = flag.Bool("baseline", false, "run the baseline algorithm BA")
+		out       = flag.String("out", "chip", "output file prefix")
+		imax      = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mfviz:", err)
+		os.Exit(1)
+	}
+
+	var g *repro.Assay
+	var alloc repro.Allocation
+	switch {
+	case *benchName != "":
+		bm, err := repro.BenchmarkByName(*benchName)
+		if err != nil {
+			fail(err)
+		}
+		g, alloc = bm.Graph, bm.Alloc
+	case *assayPath != "":
+		f, err := os.Open(*assayPath)
+		if err != nil {
+			fail(err)
+		}
+		g, err = repro.DecodeAssay(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		alloc = repro.MinimalAllocation(g)
+	default:
+		fmt.Fprintln(os.Stderr, "mfviz: need -assay FILE or -bench NAME")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *allocStr != "" {
+		a, err := repro.ParseAllocation(*allocStr)
+		if err != nil {
+			fail(err)
+		}
+		alloc = a
+	}
+
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = *imax
+	var sol *repro.Solution
+	var err error
+	if *baseline {
+		sol, err = repro.SynthesizeBaseline(g, alloc, opts)
+	} else {
+		sol, err = repro.Synthesize(g, alloc, opts)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	layoutPath := *out + "_layout.svg"
+	ganttPath := *out + "_gantt.svg"
+	lf, err := os.Create(layoutPath)
+	if err != nil {
+		fail(err)
+	}
+	if err := svg.Layout(lf, sol); err != nil {
+		fail(err)
+	}
+	if err := lf.Close(); err != nil {
+		fail(err)
+	}
+	gf, err := os.Create(ganttPath)
+	if err != nil {
+		fail(err)
+	}
+	if err := svg.Gantt(gf, repro.ScheduleOf(sol)); err != nil {
+		fail(err)
+	}
+	if err := gf.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s and %s (completion %v, U_r %.1f%%)\n",
+		layoutPath, ganttPath, sol.Metrics().ExecutionTime, 100*sol.Metrics().Utilization)
+}

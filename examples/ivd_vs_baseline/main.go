@@ -1,0 +1,55 @@
+// ivd_vs_baseline: run the in-vitro diagnostics assay through both the
+// proposed DCSA-aware synthesis and the baseline BA, and compare every
+// metric of the paper's evaluation side by side — the per-benchmark view
+// behind Table I and Figs. 8-9.
+//
+//	go run ./examples/ivd_vs_baseline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	bm, err := repro.BenchmarkByName("IVD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := repro.DefaultOptions()
+
+	ours, err := repro.Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ba, err := repro.SynthesizeBaseline(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range []*repro.Solution{ours, ba} {
+		if _, err := repro.Verify(s); err != nil {
+			log.Fatalf("verification: %v", err)
+		}
+	}
+
+	om, bmx := ours.Metrics(), ba.Metrics()
+	fmt.Printf("IVD (%d operations on %v):\n\n", bm.Graph.NumOps(), bm.Alloc)
+	fmt.Printf("%-24s %14s %14s\n", "metric", "proposed", "baseline BA")
+	row := func(name, a, b string) { fmt.Printf("%-24s %14s %14s\n", name, a, b) }
+	row("execution time", om.ExecutionTime.String(), bmx.ExecutionTime.String())
+	row("resource utilization", fmt.Sprintf("%.1f%%", 100*om.Utilization), fmt.Sprintf("%.1f%%", 100*bmx.Utilization))
+	row("total channel length", om.ChannelLength.String(), bmx.ChannelLength.String())
+	row("channel cache time", om.CacheTime.String(), bmx.CacheTime.String())
+	row("channel wash time", om.ChannelWashTime.String(), bmx.ChannelWashTime.String())
+	row("component wash time", om.ComponentWashTime.String(), bmx.ComponentWashTime.String())
+	row("transports", fmt.Sprint(om.Transports), fmt.Sprint(bmx.Transports))
+
+	fmt.Println("\n=== proposed schedule ===")
+	fmt.Print(repro.Gantt(ours))
+	fmt.Println("\n=== baseline schedule ===")
+	fmt.Print(repro.Gantt(ba))
+	fmt.Println("\n=== proposed chip layout ===")
+	fmt.Print(repro.Layout(ours))
+}

@@ -1,0 +1,77 @@
+// parameter_sweep: study how the synthesis result reacts to the two most
+// influential knobs — the transportation constant t_c assumed by the
+// scheduler, and the SA effort Imax — on the Synthetic2 benchmark. It
+// also sweeps assay size with the synthetic generator to show how the
+// DCSA advantage grows with scale (the trend behind Table I's rows).
+//
+//	go run ./examples/parameter_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	bm, err := repro.BenchmarkByName("Synthetic2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== sweep: transportation constant t_c (Synthetic2) ==")
+	fmt.Printf("%6s %12s %8s %12s\n", "t_c", "completion", "U_r", "cache time")
+	for _, tc := range []float64{1, 2, 3, 4, 6} {
+		opts := repro.DefaultOptions()
+		opts.Schedule.TC = repro.Seconds(tc)
+		opts.Place.Imax = 60
+		sol, err := repro.Synthesize(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := sol.Metrics()
+		fmt.Printf("%5.1fs %12v %7.1f%% %12v\n", tc, m.ExecutionTime, 100*m.Utilization, m.CacheTime)
+	}
+
+	fmt.Println("\n== sweep: SA effort Imax (Synthetic2, channel length) ==")
+	fmt.Printf("%6s %14s %14s\n", "Imax", "length", "SA CPU")
+	for _, imax := range []int{10, 50, 150, 300} {
+		opts := repro.DefaultOptions()
+		opts.Place.Imax = imax
+		sol, err := repro.Synthesize(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := sol.Metrics()
+		fmt.Printf("%6d %14v %14v\n", imax, m.ChannelLength, m.CPU.Round(1000000))
+	}
+
+	fmt.Println("\n== sweep: assay size (synthetic, ours vs baseline completion, mean of 5 seeds) ==")
+	fmt.Printf("%6s %12s %12s %8s\n", "ops", "ours", "baseline", "gain")
+	alloc := repro.Allocation{5, 2, 2, 2}
+	for _, n := range []int{10, 20, 30, 40, 60} {
+		var oursSum, baSum float64
+		const seeds = 5
+		for seed := uint64(0); seed < seeds; seed++ {
+			g := repro.GenerateSyntheticAssay(fmt.Sprintf("sweep%d_%d", n, seed), n, alloc, 4242+seed)
+			opts := repro.DefaultOptions()
+			opts.Place.Imax = 40
+			ours, err := repro.Synthesize(g, alloc, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ba, err := repro.SynthesizeBaseline(g, alloc, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			oursSum += ours.Metrics().ExecutionTime.Sec()
+			baSum += ba.Metrics().ExecutionTime.Sec()
+		}
+		gain := 0.0
+		if baSum > 0 {
+			gain = 100 * (baSum - oursSum) / baSum
+		}
+		fmt.Printf("%6d %11.1fs %11.1fs %7.1f%%\n", n, oursSum/seeds, baSum/seeds, gain)
+	}
+}

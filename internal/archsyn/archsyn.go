@@ -1,0 +1,181 @@
+// Package archsyn explores component allocations for a bioassay — the
+// architectural-synthesis step upstream of the paper's physical design
+// flow (cf. Minhass et al., CASES'12, the paper's ref. [6]). The paper
+// takes Table I's allocations as given; this package answers where such
+// tuples come from: it enumerates candidate allocations, schedules each
+// with the DCSA-aware Algorithm 1, and reports the area/completion-time
+// trade-off including the Pareto frontier.
+package archsyn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// Candidate is one evaluated allocation.
+type Candidate struct {
+	Alloc chip.Allocation
+	// Makespan is the assay completion time under the DCSA scheduler.
+	Makespan unit.Time
+	// Utilization is U_r of Eq. 1.
+	Utilization float64
+	// Area is the summed component footprint area in grid cells.
+	Area int
+	// CacheTime is the total channel-storage time of the schedule.
+	CacheTime unit.Time
+}
+
+// Area returns the footprint area of an allocation in grid cells.
+func Area(a chip.Allocation) int {
+	area := 0
+	for t := 0; t < assay.NumOpTypes; t++ {
+		k := chip.KindFor(assay.OpType(t))
+		area += a[t] * k.W * k.H
+	}
+	return area
+}
+
+// Explore schedules every allocation that covers g with per-type counts
+// between the minimum (1 where the type occurs) and maxPerType (clipped
+// to the number of operations of that type — more components than
+// operations can never help). Results are sorted by makespan, then area,
+// then allocation order.
+func Explore(g *assay.Graph, opts schedule.Options, maxPerType int) ([]Candidate, error) {
+	if g == nil {
+		return nil, fmt.Errorf("archsyn: nil assay")
+	}
+	if maxPerType < 1 {
+		return nil, fmt.Errorf("archsyn: maxPerType must be at least 1")
+	}
+	need := g.CountByType()
+	lo, hi := [assay.NumOpTypes]int{}, [assay.NumOpTypes]int{}
+	for t := 0; t < assay.NumOpTypes; t++ {
+		if need[t] == 0 {
+			continue
+		}
+		lo[t] = 1
+		hi[t] = maxPerType
+		if hi[t] > need[t] {
+			hi[t] = need[t]
+		}
+	}
+
+	var out []Candidate
+	var alloc chip.Allocation
+	var rec func(t int) error
+	rec = func(t int) error {
+		if t == assay.NumOpTypes {
+			comps := alloc.Instantiate()
+			res, err := schedule.Schedule(g, comps, opts)
+			if err != nil {
+				return err
+			}
+			out = append(out, Candidate{
+				Alloc:       alloc,
+				Makespan:    res.Makespan,
+				Utilization: res.Utilization(),
+				Area:        Area(alloc),
+				CacheTime:   res.TotalChannelCacheTime(),
+			})
+			return nil
+		}
+		if lo[t] == 0 {
+			alloc[t] = 0
+			return rec(t + 1)
+		}
+		for n := lo[t]; n <= hi[t]; n++ {
+			alloc[t] = n
+			if err := rec(t + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Makespan != out[j].Makespan {
+			return out[i].Makespan < out[j].Makespan
+		}
+		if out[i].Area != out[j].Area {
+			return out[i].Area < out[j].Area
+		}
+		return less(out[i].Alloc, out[j].Alloc)
+	})
+	return out, nil
+}
+
+// Pareto filters candidates to the area/makespan Pareto frontier: no
+// other candidate is at least as good on both axes and strictly better on
+// one. The frontier is returned in increasing-area order.
+func Pareto(cands []Candidate) []Candidate {
+	var out []Candidate
+	for _, c := range cands {
+		dominated := false
+		for _, d := range cands {
+			if d.Alloc == c.Alloc {
+				continue
+			}
+			if d.Area <= c.Area && d.Makespan <= c.Makespan &&
+				(d.Area < c.Area || d.Makespan < c.Makespan) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Area != out[j].Area {
+			return out[i].Area < out[j].Area
+		}
+		if out[i].Makespan != out[j].Makespan {
+			return out[i].Makespan < out[j].Makespan
+		}
+		return less(out[i].Alloc, out[j].Alloc)
+	})
+	return dedupe(out)
+}
+
+// Recommend returns the fastest allocation whose footprint area does not
+// exceed maxArea (0 means unbounded).
+func Recommend(g *assay.Graph, opts schedule.Options, maxPerType, maxArea int) (chip.Allocation, error) {
+	cands, err := Explore(g, opts, maxPerType)
+	if err != nil {
+		return chip.Allocation{}, err
+	}
+	for _, c := range cands {
+		if maxArea == 0 || c.Area <= maxArea {
+			return c.Alloc, nil
+		}
+	}
+	return chip.Allocation{}, fmt.Errorf("archsyn: no allocation fits area budget %d", maxArea)
+}
+
+func less(a, b chip.Allocation) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func dedupe(cs []Candidate) []Candidate {
+	out := cs[:0]
+	seen := map[chip.Allocation]bool{}
+	for _, c := range cs {
+		if !seen[c.Alloc] {
+			seen[c.Alloc] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

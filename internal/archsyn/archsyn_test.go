@@ -1,0 +1,158 @@
+package archsyn
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/schedule"
+)
+
+func TestAreaComputation(t *testing.T) {
+	// Mixer 4x3=12, Heater 3x2=6, Filter 3x2=6, Detector 2x2=4.
+	a := chip.Allocation{2, 1, 0, 3}
+	if got, want := Area(a), 2*12+6+3*4; got != want {
+		t.Errorf("Area = %d, want %d", got, want)
+	}
+	if Area(chip.Allocation{}) != 0 {
+		t.Error("empty allocation must have zero area")
+	}
+}
+
+func TestExploreCoversAndSorts(t *testing.T) {
+	bm := benchdata.IVD() // 6 mixes + 6 detects
+	cands, err := Explore(bm.Graph, schedule.DefaultOptions(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mixers 1..3 × detectors 1..3 = 9 candidates.
+	if len(cands) != 9 {
+		t.Fatalf("candidates = %d, want 9", len(cands))
+	}
+	for i, c := range cands {
+		if err := c.Alloc.Covers(bm.Graph); err != nil {
+			t.Errorf("candidate %v does not cover: %v", c.Alloc, err)
+		}
+		if c.Alloc[assay.Heat] != 0 || c.Alloc[assay.Filter] != 0 {
+			t.Errorf("candidate %v allocates unused types", c.Alloc)
+		}
+		if i > 0 && c.Makespan < cands[i-1].Makespan {
+			t.Error("candidates not sorted by makespan")
+		}
+	}
+	// More hardware can never hurt the best makespan.
+	best := cands[0]
+	single := findAlloc(t, cands, chip.Allocation{1, 0, 0, 1})
+	if best.Makespan > single.Makespan {
+		t.Errorf("best %v slower than minimal %v", best.Makespan, single.Makespan)
+	}
+}
+
+func findAlloc(t *testing.T, cands []Candidate, a chip.Allocation) Candidate {
+	t.Helper()
+	for _, c := range cands {
+		if c.Alloc == a {
+			return c
+		}
+	}
+	t.Fatalf("allocation %v not explored", a)
+	return Candidate{}
+}
+
+func TestExploreCapsAtOpCount(t *testing.T) {
+	// PCR has 7 mixes: maxPerType 10 must still cap at 7 mixers.
+	bm := benchdata.PCR()
+	cands, err := Explore(bm.Graph, schedule.DefaultOptions(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 7 {
+		t.Fatalf("candidates = %d, want 7 (1..7 mixers)", len(cands))
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	bm := benchdata.IVD()
+	cands, err := Explore(bm.Graph, schedule.DefaultOptions(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := Pareto(cands)
+	if len(front) == 0 || len(front) > len(cands) {
+		t.Fatalf("frontier size %d of %d", len(front), len(cands))
+	}
+	// No frontier member dominates another.
+	for _, a := range front {
+		for _, b := range front {
+			if a.Alloc == b.Alloc {
+				continue
+			}
+			if a.Area <= b.Area && a.Makespan <= b.Makespan &&
+				(a.Area < b.Area || a.Makespan < b.Makespan) {
+				t.Errorf("frontier member %v dominates %v", a.Alloc, b.Alloc)
+			}
+		}
+	}
+	// Frontier is area-sorted.
+	for i := 1; i < len(front); i++ {
+		if front[i].Area < front[i-1].Area {
+			t.Error("frontier not area-sorted")
+		}
+	}
+	// Every non-frontier candidate is dominated by some frontier member.
+	inFront := map[chip.Allocation]bool{}
+	for _, f := range front {
+		inFront[f.Alloc] = true
+	}
+	for _, c := range cands {
+		if inFront[c.Alloc] {
+			continue
+		}
+		dominated := false
+		for _, f := range front {
+			if f.Area <= c.Area && f.Makespan <= c.Makespan &&
+				(f.Area < c.Area || f.Makespan < c.Makespan) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("non-frontier candidate %v is undominated", c.Alloc)
+		}
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	bm := benchdata.IVD()
+	// Unbounded: the globally fastest.
+	a, err := Recommend(bm.Graph, schedule.DefaultOptions(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Covers(bm.Graph); err != nil {
+		t.Error(err)
+	}
+	// Tight budget: minimal allocation area is 12+4=16.
+	tight, err := Recommend(bm.Graph, schedule.DefaultOptions(), 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Area(tight) > 16 {
+		t.Errorf("recommended %v exceeds budget", tight)
+	}
+	// Impossible budget.
+	if _, err := Recommend(bm.Graph, schedule.DefaultOptions(), 3, 5); err == nil {
+		t.Error("impossible area budget not rejected")
+	}
+}
+
+func TestExploreRejectsBadInputs(t *testing.T) {
+	if _, err := Explore(nil, schedule.DefaultOptions(), 2); err == nil {
+		t.Error("nil assay not rejected")
+	}
+	bm := benchdata.PCR()
+	if _, err := Explore(bm.Graph, schedule.DefaultOptions(), 0); err == nil {
+		t.Error("maxPerType 0 not rejected")
+	}
+}

@@ -1,0 +1,25 @@
+package assay
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the sequencing graph in Graphviz DOT format, one node
+// per operation labelled with its name, type and duration, mirroring the
+// style of Fig. 2(a) in the paper.
+func WriteDOT(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for _, op := range g.Operations() {
+		fmt.Fprintf(&b, "  o%d [label=\"%s\\n%s %v\"];\n", op.ID, op.Name, op.Type, op.Duration)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  o%d -> o%d;\n", e.From, e.To)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

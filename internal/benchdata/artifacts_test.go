@@ -1,0 +1,53 @@
+package benchdata
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/assay"
+)
+
+// TestCheckedInArtifactsMatchGenerators verifies that the JSON files under
+// assays/ (checked-in, user-inspectable copies of the benchmark suite)
+// are exactly what the generators produce — they can never drift apart.
+func TestCheckedInArtifactsMatchGenerators(t *testing.T) {
+	root := filepath.Join("..", "..", "assays")
+	if _, err := os.Stat(root); err != nil {
+		t.Skipf("assays directory not present: %v", err)
+	}
+	for _, bm := range All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			path := filepath.Join(root, strings.ToLower(bm.Name)+".json")
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("missing artifact: %v", err)
+			}
+			defer f.Close()
+			got, err := assay.Decode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bm.Graph
+			if got.Name() != want.Name() || got.NumOps() != want.NumOps() || got.NumEdges() != want.NumEdges() {
+				t.Fatalf("artifact shape differs: %s %d/%d vs %s %d/%d",
+					got.Name(), got.NumOps(), got.NumEdges(),
+					want.Name(), want.NumOps(), want.NumEdges())
+			}
+			for i := 0; i < want.NumOps(); i++ {
+				a, b := got.Op(assay.OpID(i)), want.Op(assay.OpID(i))
+				if a.Name != b.Name || a.Type != b.Type || a.Duration != b.Duration || a.Output.D != b.Output.D {
+					t.Fatalf("operation %d differs: %+v vs %+v", i, a, b)
+				}
+			}
+			ge, we := got.Edges(), want.Edges()
+			for i := range we {
+				if ge[i] != we[i] {
+					t.Fatalf("edge %d differs", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,297 @@
+// Package benchdata provides the seven benchmarks evaluated in Table I of
+// the paper — three real-life biochemical applications (PCR, IVD, CPA) and
+// four synthetic bioassays — plus the motivating example of Fig. 2(a).
+//
+// The original benchmark netlists (taken by the paper from Liu et al.,
+// DAC'17) are not publicly distributed, so this package reconstructs them
+// from their published characteristics: the exact operation counts and
+// component allocations of Table I, the operation-type mixes implied by
+// the allocations, and the dependency shapes these assays are known to
+// have in the literature (mixing trees for PCR, parallel mix→detect
+// chains for IVD, a serial-dilution backbone with detection branches for
+// CPA, and layered random DAGs for the synthetic set). All generators are
+// deterministic; the synthetic set uses fixed seeds.
+package benchdata
+
+import (
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/rng"
+	"repro/internal/unit"
+)
+
+// Benchmark couples an assay with the component allocation used for it in
+// Table I.
+type Benchmark struct {
+	Name  string
+	Graph *assay.Graph
+	Alloc chip.Allocation
+}
+
+// All returns the seven benchmarks in Table I order.
+func All() []Benchmark {
+	return []Benchmark{
+		PCR(),
+		IVD(),
+		CPA(),
+		Synthetic(1),
+		Synthetic(2),
+		Synthetic(3),
+		Synthetic(4),
+	}
+}
+
+// ByName returns the named benchmark ("PCR", "IVD", "CPA", "Synthetic1"…).
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("benchdata: unknown benchmark %q", name)
+}
+
+// PCR is the polymerase-chain-reaction sample-preparation assay: a binary
+// mixing tree of 7 mix operations, run on 3 mixers (Table I row 1).
+func PCR() Benchmark {
+	b := assay.NewBuilder("PCR")
+	dur := unit.Seconds(6)
+	var leaves [4]assay.OpID
+	for i := range leaves {
+		leaves[i] = b.AddOp(fmt.Sprintf("mix%d", i+1), assay.Mix, dur, pick(i))
+	}
+	m5 := b.AddOp("mix5", assay.Mix, dur, pick(4))
+	m6 := b.AddOp("mix6", assay.Mix, dur, pick(5))
+	m7 := b.AddOp("mix7", assay.Mix, dur, pick(6))
+	b.AddDep(leaves[0], m5)
+	b.AddDep(leaves[1], m5)
+	b.AddDep(leaves[2], m6)
+	b.AddDep(leaves[3], m6)
+	b.AddDep(m5, m7)
+	b.AddDep(m6, m7)
+	return Benchmark{Name: "PCR", Graph: b.MustBuild(), Alloc: chip.Allocation{3, 0, 0, 0}}
+}
+
+// IVD is the in-vitro diagnostics assay: six independent sample/reagent
+// pairs, each mixed and then optically detected — 12 operations on
+// 3 mixers and 2 detectors (Table I row 2).
+func IVD() Benchmark {
+	b := assay.NewBuilder("IVD")
+	for i := 0; i < 6; i++ {
+		m := b.AddOp(fmt.Sprintf("mixS%dR%d", i/2+1, i%2+1), assay.Mix, unit.Seconds(5), pick(i))
+		d := b.AddOp(fmt.Sprintf("det%d", i+1), assay.Detect, unit.Seconds(4), pick(i+3))
+		b.AddDep(m, d)
+	}
+	return Benchmark{Name: "IVD", Graph: b.MustBuild(), Alloc: chip.Allocation{3, 0, 0, 2}}
+}
+
+// CPA is the colorimetric protein assay: a serial-dilution backbone whose
+// stages branch into further dilution mixes that end in colorimetric
+// detections — 55 operations on 8 mixers and 2 detectors (Table I row 3).
+// All detections read the same chromogenic dye, which is a fast-washing
+// small molecule.
+func CPA() Benchmark {
+	b := assay.NewBuilder("CPA")
+	mix := func(name string, i int) assay.OpID {
+		return b.AddOp(name, assay.Mix, unit.Seconds(5), pick(i))
+	}
+	dye, _ := fluid.ByName("reagent-dye")
+	det := func(name string) assay.OpID {
+		return b.AddOp(name, assay.Detect, unit.Seconds(4), fluid.Fluid{Name: dye.Name, D: dye.D})
+	}
+	n := 0
+	next := func() int { n++; return n }
+
+	// Serial dilution backbone: dil1 -> dil2 -> ... -> dil8.
+	const backboneLen = 8
+	backbone := make([]assay.OpID, backboneLen)
+	for i := range backbone {
+		backbone[i] = mix(fmt.Sprintf("dil%d", i+1), next())
+		if i > 0 {
+			b.AddDep(backbone[i-1], backbone[i])
+		}
+	}
+	// Stages 1-7 feed a five-mix dilution branch ending in a detection
+	// (6 ops each); the final stage feeds a four-mix calibration chain
+	// with its own detection (5 ops): 8 + 7*6 + 5 = 55 operations.
+	for i := 0; i < 7; i++ {
+		m1 := mix(fmt.Sprintf("b%d_buf", i+1), next())
+		m2 := mix(fmt.Sprintf("b%d_rgt", i+1), next())
+		m3 := mix(fmt.Sprintf("b%d_dl1", i+1), next())
+		m4 := mix(fmt.Sprintf("b%d_dl2", i+1), next())
+		m5 := mix(fmt.Sprintf("b%d_dl3", i+1), next())
+		d := det(fmt.Sprintf("b%d_det", i+1))
+		b.AddDep(backbone[i], m1)
+		b.AddDep(m1, m2)
+		b.AddDep(m2, m3)
+		b.AddDep(m3, m4)
+		b.AddDep(m4, m5)
+		b.AddDep(m5, d)
+	}
+	c1 := mix("cal_buf", next())
+	c2 := mix("cal_rgt", next())
+	c3 := mix("cal_dl1", next())
+	c4 := mix("cal_dl2", next())
+	cd := det("cal_det")
+	b.AddDep(backbone[backboneLen-1], c1)
+	b.AddDep(c1, c2)
+	b.AddDep(c2, c3)
+	b.AddDep(c3, c4)
+	b.AddDep(c4, cd)
+	return Benchmark{Name: "CPA", Graph: b.MustBuild(), Alloc: chip.Allocation{8, 0, 0, 2}}
+}
+
+// syntheticSpec mirrors Table I rows 4-7.
+var syntheticSpec = []struct {
+	ops   int
+	alloc chip.Allocation
+	seed  uint64
+}{
+	{20, chip.Allocation{3, 3, 2, 1}, 1001},
+	{30, chip.Allocation{5, 2, 2, 2}, 1002},
+	{40, chip.Allocation{6, 4, 4, 2}, 1003},
+	{50, chip.Allocation{7, 4, 4, 3}, 1004},
+}
+
+// Synthetic returns synthetic benchmark i in 1..4, matching the operation
+// counts and allocations of Table I rows 4-7.
+func Synthetic(i int) Benchmark {
+	if i < 1 || i > len(syntheticSpec) {
+		panic(fmt.Sprintf("benchdata: synthetic benchmark index %d out of range", i))
+	}
+	spec := syntheticSpec[i-1]
+	name := fmt.Sprintf("Synthetic%d", i)
+	g := GenerateSynthetic(name, spec.ops, spec.alloc, spec.seed)
+	return Benchmark{Name: name, Graph: g, Alloc: spec.alloc}
+}
+
+// GenerateSynthetic builds a random layered bioassay with exactly ops
+// operations whose type mix is proportional to the allocation tuple, using
+// the given seed. It is exported so cmd/mfgen and the parameter-sweep
+// example can produce additional workloads.
+func GenerateSynthetic(name string, ops int, alloc chip.Allocation, seed uint64) *assay.Graph {
+	if ops < 1 {
+		panic("benchdata: synthetic assay needs at least one operation")
+	}
+	r := rng.New(seed)
+	b := assay.NewBuilder(name)
+
+	// Choose operation types proportionally to the allocation so every
+	// allocated component kind has work, keeping a mix majority as in the
+	// paper's real-life assays.
+	types := make([]assay.OpType, 0, ops)
+	total := alloc.Total()
+	if total == 0 {
+		total = 1
+	}
+	for t := 0; t < assay.NumOpTypes; t++ {
+		n := alloc[t] * ops / total
+		if alloc[t] > 0 && n == 0 {
+			n = 1
+		}
+		for k := 0; k < n && len(types) < ops; k++ {
+			types = append(types, assay.OpType(t))
+		}
+	}
+	for len(types) < ops {
+		types = append(types, assay.Mix)
+	}
+	// Shuffle types deterministically, but keep detectors out of the
+	// first layer: detections observe products of earlier operations.
+	perm := r.Perm(len(types))
+	shuffled := make([]assay.OpType, len(types))
+	for i, p := range perm {
+		shuffled[i] = types[p]
+	}
+
+	// Layered DAG: ~4 ops per layer.
+	const layerWidth = 4
+	ids := make([]assay.OpID, 0, ops)
+	layerOf := make(map[assay.OpID]int)
+	for i := 0; i < ops; i++ {
+		layer := i / layerWidth
+		ty := shuffled[i]
+		if layer == 0 && ty == assay.Detect {
+			ty = assay.Mix
+		}
+		dur := unit.Seconds(float64(3 + r.Intn(4))) // 3..6 s
+		id := b.AddOp(fmt.Sprintf("%s%d", ty, i+1), ty, dur, pick(r.Intn(1000)))
+		ids = append(ids, id)
+		layerOf[id] = layer
+	}
+	// Dependencies: each non-first-layer op draws 1-2 parents from
+	// earlier layers, preferring the immediately preceding one.
+	for _, id := range ids {
+		layer := layerOf[id]
+		if layer == 0 {
+			continue
+		}
+		nPar := 1 + r.Intn(2)
+		seen := map[assay.OpID]bool{}
+		for k := 0; k < nPar; k++ {
+			var cand []assay.OpID
+			for _, p := range ids {
+				pl := layerOf[p]
+				if pl < layer && (pl == layer-1 || r.Intn(3) == 0) {
+					cand = append(cand, p)
+				}
+			}
+			if len(cand) == 0 {
+				for _, p := range ids {
+					if layerOf[p] < layer {
+						cand = append(cand, p)
+					}
+				}
+			}
+			p := cand[r.Intn(len(cand))]
+			if !seen[p] {
+				seen[p] = true
+				b.AddDep(p, id)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Fig2a reconstructs the 10-operation motivating example of Fig. 2(a):
+// the longest path o1→o5→o7→o10 has priority 21 s at t_c = 2 s, exactly
+// as worked through under Algorithm 1 in the paper.
+func Fig2a() *assay.Graph {
+	b := assay.NewBuilder("fig2a")
+	// Diffusion coefficients follow Fig. 2(b)'s spirit: o1 produces the
+	// hardest-to-wash fluid of the assay.
+	o1 := b.AddOp("o1", assay.Mix, unit.Seconds(3), fluid.Fluid{Name: "o1-out", D: 5e-8})
+	o2 := b.AddOp("o2", assay.Mix, unit.Seconds(4), fluid.Fluid{Name: "o2-out", D: 1e-5})
+	o3 := b.AddOp("o3", assay.Mix, unit.Seconds(5), fluid.Fluid{Name: "o3-out", D: 1e-6})
+	o4 := b.AddOp("o4", assay.Mix, unit.Seconds(4), fluid.Fluid{Name: "o4-out", D: 2e-7})
+	o5 := b.AddOp("o5", assay.Heat, unit.Seconds(4), fluid.Fluid{Name: "o5-out", D: 1e-6})
+	o6 := b.AddOp("o6", assay.Mix, unit.Seconds(5), fluid.Fluid{Name: "o6-out", D: 3e-6})
+	o7 := b.AddOp("o7", assay.Mix, unit.Seconds(3), fluid.Fluid{Name: "o7-out", D: 1e-5})
+	o8 := b.AddOp("o8", assay.Mix, unit.Seconds(4), fluid.Fluid{Name: "o8-out", D: 6e-7})
+	o9 := b.AddOp("o9", assay.Heat, unit.Seconds(3), fluid.Fluid{Name: "o9-out", D: 1e-6})
+	o10 := b.AddOp("o10", assay.Mix, unit.Seconds(5), fluid.Fluid{Name: "o10-out", D: 1e-6})
+	b.AddDep(o1, o5)
+	b.AddDep(o2, o7)
+	b.AddDep(o5, o7)
+	b.AddDep(o3, o6)
+	b.AddDep(o4, o6)
+	b.AddDep(o6, o8)
+	b.AddDep(o8, o9)
+	b.AddDep(o7, o10)
+	b.AddDep(o9, o10)
+	return b.MustBuild()
+}
+
+// Fig2aAlloc is a component allocation suited to the motivating example:
+// three mixers and one heater, as in Fig. 3's five-component discussion
+// minus the dedicated storage that DCSA removes.
+func Fig2aAlloc() chip.Allocation { return chip.Allocation{3, 1, 0, 0} }
+
+// pick returns a deterministic fluid from the species palette.
+func pick(i int) fluid.Fluid {
+	s := fluid.Pick(i)
+	return fluid.Fluid{Name: s.Name, D: s.D}
+}

@@ -1,0 +1,191 @@
+package benchdata
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/unit"
+)
+
+// TestTableIShapes pins every benchmark to the operation count and
+// allocation published in Table I.
+func TestTableIShapes(t *testing.T) {
+	want := []struct {
+		name  string
+		ops   int
+		alloc chip.Allocation
+	}{
+		{"PCR", 7, chip.Allocation{3, 0, 0, 0}},
+		{"IVD", 12, chip.Allocation{3, 0, 0, 2}},
+		{"CPA", 55, chip.Allocation{8, 0, 0, 2}},
+		{"Synthetic1", 20, chip.Allocation{3, 3, 2, 1}},
+		{"Synthetic2", 30, chip.Allocation{5, 2, 2, 2}},
+		{"Synthetic3", 40, chip.Allocation{6, 4, 4, 2}},
+		{"Synthetic4", 50, chip.Allocation{7, 4, 4, 3}},
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d benchmarks, want %d", len(all), len(want))
+	}
+	for i, w := range want {
+		b := all[i]
+		if b.Name != w.name {
+			t.Errorf("benchmark %d name = %q, want %q", i, b.Name, w.name)
+		}
+		if got := b.Graph.NumOps(); got != w.ops {
+			t.Errorf("%s has %d ops, want %d", b.Name, got, w.ops)
+		}
+		if b.Alloc != w.alloc {
+			t.Errorf("%s allocation = %v, want %v", b.Name, b.Alloc, w.alloc)
+		}
+		if err := b.Graph.Validate(); err != nil {
+			t.Errorf("%s graph invalid: %v", b.Name, err)
+		}
+		if err := b.Alloc.Covers(b.Graph); err != nil {
+			t.Errorf("%s allocation does not cover assay: %v", b.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("CPA")
+	if err != nil || b.Name != "CPA" {
+		t.Errorf("ByName(CPA) = %v, %v", b.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName must reject unknown benchmarks")
+	}
+}
+
+func TestPCRIsBinaryTree(t *testing.T) {
+	g := PCR().Graph
+	if len(g.Sinks()) != 1 {
+		t.Errorf("PCR sinks = %v, want single root", g.Sinks())
+	}
+	if len(g.Sources()) != 4 {
+		t.Errorf("PCR sources = %v, want 4 leaves", g.Sources())
+	}
+	for _, op := range g.Operations() {
+		if op.Type != assay.Mix {
+			t.Errorf("PCR op %q is %v, want mix", op.Name, op.Type)
+		}
+		if n := len(g.Parents(op.ID)); n != 0 && n != 2 {
+			t.Errorf("PCR op %q has %d parents, want 0 or 2", op.Name, n)
+		}
+	}
+}
+
+func TestIVDStructure(t *testing.T) {
+	g := IVD().Graph
+	n := g.CountByType()
+	if n[assay.Mix] != 6 || n[assay.Detect] != 6 {
+		t.Errorf("IVD type counts = %v, want 6 mixes and 6 detects", n)
+	}
+	// Every detect has exactly one mix parent.
+	for _, op := range g.Operations() {
+		if op.Type == assay.Detect {
+			ps := g.Parents(op.ID)
+			if len(ps) != 1 || g.Op(ps[0]).Type != assay.Mix {
+				t.Errorf("IVD detect %q parents = %v", op.Name, ps)
+			}
+		}
+	}
+}
+
+func TestCPAStructure(t *testing.T) {
+	g := CPA().Graph
+	n := g.CountByType()
+	if n[assay.Detect] != 8 {
+		t.Errorf("CPA detects = %d, want 8", n[assay.Detect])
+	}
+	if n[assay.Mix] != 47 {
+		t.Errorf("CPA mixes = %d, want 47", n[assay.Mix])
+	}
+	// Detects are all sinks.
+	for _, s := range g.Sinks() {
+		if g.Op(s).Type != assay.Detect {
+			t.Errorf("CPA sink %q is %v", g.Op(s).Name, g.Op(s).Type)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(2).Graph
+	b := Synthetic(2).Graph
+	if a.NumOps() != b.NumOps() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("Synthetic(2) not deterministic in shape")
+	}
+	for i := 0; i < a.NumOps(); i++ {
+		x, y := a.Op(assay.OpID(i)), b.Op(assay.OpID(i))
+		if x.Name != y.Name || x.Type != y.Type || x.Duration != y.Duration || x.Output.D != y.Output.D {
+			t.Fatalf("Synthetic(2) op %d differs between runs", i)
+		}
+	}
+}
+
+func TestSyntheticTypeCoverage(t *testing.T) {
+	// Every allocated component type must have at least one operation;
+	// otherwise Table I's allocations would be wasteful.
+	for i := 1; i <= 4; i++ {
+		b := Synthetic(i)
+		n := b.Graph.CountByType()
+		for ty := 0; ty < assay.NumOpTypes; ty++ {
+			if b.Alloc[ty] > 0 && n[ty] == 0 {
+				t.Errorf("Synthetic%d allocates %v but has no such op", i, assay.OpType(ty))
+			}
+			if b.Alloc[ty] == 0 && n[ty] > 0 {
+				t.Errorf("Synthetic%d has %v ops but no component", i, assay.OpType(ty))
+			}
+		}
+	}
+}
+
+func TestSyntheticPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Synthetic(5) must panic")
+		}
+	}()
+	Synthetic(5)
+}
+
+func TestGenerateSyntheticCustom(t *testing.T) {
+	g := GenerateSynthetic("custom", 25, chip.Allocation{2, 1, 0, 1}, 99)
+	if g.NumOps() != 25 {
+		t.Errorf("custom synthetic ops = %d", g.NumOps())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Different seeds give different graphs.
+	h := GenerateSynthetic("custom", 25, chip.Allocation{2, 1, 0, 1}, 100)
+	if g.NumEdges() == h.NumEdges() {
+		same := true
+		ge, he := g.Edges(), h.Edges()
+		for i := range ge {
+			if ge[i] != he[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical edge sets")
+		}
+	}
+}
+
+func TestFig2aMatchesPaper(t *testing.T) {
+	g := Fig2a()
+	if g.NumOps() != 10 {
+		t.Fatalf("fig2a ops = %d, want 10", g.NumOps())
+	}
+	pr := g.Priorities(unit.Seconds(2))
+	// The paper: priority(o1) = 21 s along o1→o5→o7→o10.
+	if pr[0] != unit.Seconds(21) {
+		t.Errorf("priority(o1) = %v, want 21s", pr[0])
+	}
+	if err := Fig2aAlloc().Covers(g); err != nil {
+		t.Error(err)
+	}
+}

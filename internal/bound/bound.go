@@ -1,0 +1,80 @@
+// Package bound computes lower bounds on a bioassay's completion time.
+// They make heuristic quality measurable without an exact solver: a
+// schedule whose makespan equals a bound is provably optimal, and the
+// ratio makespan/bound upper-bounds the optimality gap everywhere else.
+//
+// Two classic bounds apply:
+//
+//   - the critical path: the longest chain of operations plus one
+//     transport constant per dependency edge (no resource limits);
+//   - the resource bound: for each component type, the total execution
+//     time of its operations divided by the number of allocated
+//     components (no dependencies).
+package bound
+
+import (
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/unit"
+)
+
+// Bounds holds the individual lower bounds of an instance.
+type Bounds struct {
+	// CriticalPath is the dependency bound.
+	CriticalPath unit.Time
+	// Resource[t] is the load bound of component type t (0 when no such
+	// operations exist).
+	Resource [assay.NumOpTypes]unit.Time
+	// Best is the largest of all bounds: every feasible schedule takes at
+	// least this long.
+	Best unit.Time
+}
+
+// Compute returns the lower bounds for assay g under allocation alloc
+// with transport constant tc.
+func Compute(g *assay.Graph, alloc chip.Allocation, tc unit.Time) (Bounds, error) {
+	var b Bounds
+	if g == nil {
+		return b, fmt.Errorf("bound: nil assay")
+	}
+	if err := alloc.Covers(g); err != nil {
+		return b, err
+	}
+	// In-place consumption can eliminate the transport on every edge, so
+	// the dependency bound charges only execution times along the longest
+	// chain — a true lower bound for any binding. (Charging tc per edge
+	// would overestimate when chains collapse onto one component.)
+	b.CriticalPath = g.CriticalPathLength(0)
+	_ = tc
+
+	var load [assay.NumOpTypes]unit.Time
+	for _, op := range g.Operations() {
+		load[op.Type] += op.Duration
+	}
+	for t := 0; t < assay.NumOpTypes; t++ {
+		if load[t] == 0 {
+			continue
+		}
+		n := unit.Time(alloc[t])
+		// ceil(load/n)
+		b.Resource[t] = (load[t] + n - 1) / n
+		if b.Resource[t] > b.Best {
+			b.Best = b.Resource[t]
+		}
+	}
+	if b.CriticalPath > b.Best {
+		b.Best = b.CriticalPath
+	}
+	return b, nil
+}
+
+// GapPct returns how far a makespan is above the best lower bound, in
+// percent (0 means provably optimal).
+func (b Bounds) GapPct(makespan unit.Time) float64 {
+	if b.Best <= 0 {
+		return 0
+	}
+	return 100 * float64(makespan-b.Best) / float64(b.Best)
+}

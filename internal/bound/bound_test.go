@@ -1,0 +1,113 @@
+package bound
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+func TestComputeChain(t *testing.T) {
+	b := assay.NewBuilder("chain")
+	prev := assay.NoOp
+	for i := 0; i < 4; i++ {
+		id := b.AddOp(string(rune('a'+i)), assay.Mix, unit.Seconds(2), fluid.Fluid{D: 1e-6})
+		if prev != assay.NoOp {
+			b.AddDep(prev, id)
+		}
+		prev = id
+	}
+	g := b.MustBuild()
+	bd, err := Compute(g, chip.Allocation{1, 0, 0, 0}, unit.Seconds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain of four 2 s mixes: both bounds are 8 s.
+	if bd.CriticalPath != unit.Seconds(8) {
+		t.Errorf("critical path = %v", bd.CriticalPath)
+	}
+	if bd.Resource[assay.Mix] != unit.Seconds(8) {
+		t.Errorf("resource bound = %v", bd.Resource[assay.Mix])
+	}
+	if bd.Best != unit.Seconds(8) {
+		t.Errorf("best = %v", bd.Best)
+	}
+	// The in-place chain schedule achieves the bound exactly.
+	res, err := schedule.Schedule(g, chip.Allocation{1, 0, 0, 0}.Instantiate(), schedule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != bd.Best {
+		t.Errorf("chain schedule %v != bound %v (should be provably optimal)", res.Makespan, bd.Best)
+	}
+	if bd.GapPct(res.Makespan) != 0 {
+		t.Errorf("gap = %v", bd.GapPct(res.Makespan))
+	}
+}
+
+func TestResourceBoundDominatesWhenParallel(t *testing.T) {
+	// Ten independent 3 s mixes on 2 mixers: resource bound 15 s, chain
+	// bound 3 s.
+	b := assay.NewBuilder("par")
+	for i := 0; i < 10; i++ {
+		b.AddOp(string(rune('a'+i)), assay.Mix, unit.Seconds(3), fluid.Fluid{D: 1e-6})
+	}
+	g := b.MustBuild()
+	bd, err := Compute(g, chip.Allocation{2, 0, 0, 0}, unit.Seconds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Resource[assay.Mix] != unit.Seconds(15) {
+		t.Errorf("resource bound = %v, want 15s", bd.Resource[assay.Mix])
+	}
+	if bd.Best != unit.Seconds(15) {
+		t.Errorf("best = %v", bd.Best)
+	}
+}
+
+// TestBoundsHoldOnAllBenchmarks is the soundness property: no scheduler
+// may ever beat a lower bound.
+func TestBoundsHoldOnAllBenchmarks(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		bd, err := Compute(bm.Graph, bm.Alloc, schedule.DefaultOptions().TC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range []struct {
+			name string
+			fn   func() (*schedule.Result, error)
+		}{
+			{"ours", func() (*schedule.Result, error) {
+				return schedule.Schedule(bm.Graph, bm.Alloc.Instantiate(), schedule.DefaultOptions())
+			}},
+			{"BA", func() (*schedule.Result, error) {
+				return schedule.ScheduleBaseline(bm.Graph, bm.Alloc.Instantiate(), schedule.DefaultOptions())
+			}},
+		} {
+			res, err := run.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan < bd.Best {
+				t.Errorf("%s/%s: makespan %v beats lower bound %v — bound or scheduler broken",
+					bm.Name, run.name, res.Makespan, bd.Best)
+			}
+		}
+		ours, _ := schedule.Schedule(bm.Graph, bm.Alloc.Instantiate(), schedule.DefaultOptions())
+		t.Logf("%s: bound %v, ours %v (gap %.1f%%)", bm.Name, bd.Best, ours.Makespan, bd.GapPct(ours.Makespan))
+	}
+}
+
+func TestComputeRejectsBadInputs(t *testing.T) {
+	if _, err := Compute(nil, chip.Allocation{1, 0, 0, 0}, unit.Seconds(2)); err == nil {
+		t.Error("nil assay accepted")
+	}
+	bm := benchdata.PCR()
+	if _, err := Compute(bm.Graph, chip.Allocation{0, 0, 0, 1}, unit.Seconds(2)); err == nil {
+		t.Error("non-covering allocation accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package chip models the on-chip resources of a flow-based microfluidic
+// biochip: the component library (mixers, heaters, filters, detectors),
+// component instances allocated to an assay, and the allocation tuples
+// used in Table I of the paper, written as (Mixers, Heaters, Filters,
+// Detectors).
+package chip
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/assay"
+)
+
+// CompID identifies an allocated component instance. IDs are dense
+// integers in allocation order.
+type CompID int
+
+// NoComp is the invalid component ID.
+const NoComp CompID = -1
+
+// Footprint is a component's bounding box on the placement grid, in cells.
+type Footprint struct {
+	W int // width in grid cells
+	H int // height in grid cells
+}
+
+// Kind is a component type in the library. It corresponds one-to-one with
+// assay.OpType: an operation may only be bound to a component of its type.
+type Kind struct {
+	Type assay.OpType
+	Name string
+	Footprint
+}
+
+// DefaultLibrary returns the built-in component library. Footprints follow
+// the usual flow-layer conventions: rotary mixers are the largest
+// components, detectors the smallest.
+func DefaultLibrary() []Kind {
+	return []Kind{
+		{Type: assay.Mix, Name: "Mixer", Footprint: Footprint{W: 4, H: 3}},
+		{Type: assay.Heat, Name: "Heater", Footprint: Footprint{W: 3, H: 2}},
+		{Type: assay.Filter, Name: "Filter", Footprint: Footprint{W: 3, H: 2}},
+		{Type: assay.Detect, Name: "Detector", Footprint: Footprint{W: 2, H: 2}},
+	}
+}
+
+// KindFor returns the library entry for the given operation type.
+func KindFor(t assay.OpType) Kind {
+	for _, k := range DefaultLibrary() {
+		if k.Type == t {
+			return k
+		}
+	}
+	// assay.OpType.Valid() gates every call site; reaching here is a bug.
+	panic(fmt.Sprintf("chip: no library entry for operation type %v", t))
+}
+
+// Component is one allocated instance, e.g. "Mixer2".
+type Component struct {
+	ID   CompID
+	Kind Kind
+	// Index is the 1-based index among components of the same type, used
+	// for display names like the paper's Mixer1..Mixer3.
+	Index int
+}
+
+// Name returns the display name, e.g. "Mixer2".
+func (c Component) Name() string {
+	return fmt.Sprintf("%s%d", c.Kind.Name, c.Index)
+}
+
+// Allocation is the number of allocated components per type, in the order
+// used by Table I column 3: (Mixers, Heaters, Filters, Detectors).
+type Allocation [assay.NumOpTypes]int
+
+// Total returns |C|, the total number of allocated components.
+func (a Allocation) Total() int {
+	n := 0
+	for _, v := range a {
+		n += v
+	}
+	return n
+}
+
+// String formats the allocation as the paper prints it, e.g. "(3,0,0,2)".
+func (a Allocation) String() string {
+	parts := make([]string, len(a))
+	for i, v := range a {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// ParseAllocation parses "(3,0,0,2)" (parentheses optional).
+func ParseAllocation(s string) (Allocation, error) {
+	var a Allocation
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	parts := strings.Split(s, ",")
+	if len(parts) != len(a) {
+		return a, fmt.Errorf("chip: allocation %q needs %d comma-separated counts", s, len(a))
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return a, fmt.Errorf("chip: allocation %q: %w", s, err)
+		}
+		if v < 0 {
+			return a, fmt.Errorf("chip: allocation %q: negative count", s)
+		}
+		a[i] = v
+	}
+	return a, nil
+}
+
+// Covers reports whether the allocation provides at least one component
+// for every operation type present in g.
+func (a Allocation) Covers(g *assay.Graph) error {
+	need := g.CountByType()
+	for t := 0; t < assay.NumOpTypes; t++ {
+		if need[t] > 0 && a[t] == 0 {
+			return fmt.Errorf("chip: assay %q needs %s components but allocation %v provides none",
+				g.Name(), assay.OpType(t), a)
+		}
+	}
+	return nil
+}
+
+// Instantiate expands the allocation into concrete component instances,
+// ordered by type then index, with dense IDs.
+func (a Allocation) Instantiate() []Component {
+	comps := make([]Component, 0, a.Total())
+	for t := 0; t < assay.NumOpTypes; t++ {
+		kind := KindFor(assay.OpType(t))
+		for i := 0; i < a[t]; i++ {
+			comps = append(comps, Component{
+				ID:    CompID(len(comps)),
+				Kind:  kind,
+				Index: i + 1,
+			})
+		}
+	}
+	return comps
+}
+
+// MinimalAllocation returns the smallest allocation covering g: one
+// component per operation type that occurs.
+func MinimalAllocation(g *assay.Graph) Allocation {
+	var a Allocation
+	need := g.CountByType()
+	for t := range need {
+		if need[t] > 0 {
+			a[t] = 1
+		}
+	}
+	return a
+}

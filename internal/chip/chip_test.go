@@ -1,0 +1,145 @@
+package chip
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/fluid"
+	"repro/internal/unit"
+)
+
+func TestAllocationString(t *testing.T) {
+	a := Allocation{3, 0, 0, 2}
+	if got := a.String(); got != "(3,0,0,2)" {
+		t.Errorf("String = %q", got)
+	}
+	if a.Total() != 5 {
+		t.Errorf("Total = %d", a.Total())
+	}
+}
+
+func TestParseAllocation(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Allocation
+		wantErr bool
+	}{
+		{"(3,0,0,2)", Allocation{3, 0, 0, 2}, false},
+		{"3,0,0,2", Allocation{3, 0, 0, 2}, false},
+		{" ( 7, 4, 4, 3 ) ", Allocation{7, 4, 4, 3}, false},
+		{"(1,2,3)", Allocation{}, true},
+		{"(1,2,3,x)", Allocation{}, true},
+		{"(1,2,3,-1)", Allocation{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseAllocation(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseAllocation(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseAllocation(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAllocationRoundTrip(t *testing.T) {
+	for _, a := range []Allocation{{3, 0, 0, 0}, {3, 0, 0, 2}, {8, 0, 0, 2}, {7, 4, 4, 3}} {
+		got, err := ParseAllocation(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip of %v failed: %v %v", a, got, err)
+		}
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	a := Allocation{2, 1, 0, 1}
+	comps := a.Instantiate()
+	if len(comps) != 4 {
+		t.Fatalf("len = %d", len(comps))
+	}
+	wantNames := []string{"Mixer1", "Mixer2", "Heater1", "Detector1"}
+	for i, w := range wantNames {
+		if comps[i].Name() != w {
+			t.Errorf("comps[%d].Name = %q, want %q", i, comps[i].Name(), w)
+		}
+		if comps[i].ID != CompID(i) {
+			t.Errorf("comps[%d].ID = %d", i, comps[i].ID)
+		}
+	}
+	if comps[0].Kind.Type != assay.Mix || comps[2].Kind.Type != assay.Heat {
+		t.Error("kinds wrong")
+	}
+}
+
+func TestFootprintsPositive(t *testing.T) {
+	for _, k := range DefaultLibrary() {
+		if k.W <= 0 || k.H <= 0 {
+			t.Errorf("%s footprint %dx%d not positive", k.Name, k.W, k.H)
+		}
+	}
+}
+
+func TestKindForAllTypes(t *testing.T) {
+	for ty := 0; ty < assay.NumOpTypes; ty++ {
+		k := KindFor(assay.OpType(ty))
+		if k.Type != assay.OpType(ty) {
+			t.Errorf("KindFor(%v) returned %v", assay.OpType(ty), k.Type)
+		}
+	}
+}
+
+func buildAssay(t *testing.T, types ...assay.OpType) *assay.Graph {
+	t.Helper()
+	b := assay.NewBuilder("t")
+	for i, ty := range types {
+		b.AddOp("o"+string(rune('1'+i)), ty, unit.Seconds(2), fluid.Fluid{D: 1e-6})
+	}
+	return b.MustBuild()
+}
+
+func TestCovers(t *testing.T) {
+	g := buildAssay(t, assay.Mix, assay.Detect)
+	if err := (Allocation{1, 0, 0, 1}).Covers(g); err != nil {
+		t.Errorf("sufficient allocation rejected: %v", err)
+	}
+	if err := (Allocation{1, 0, 0, 0}).Covers(g); err == nil {
+		t.Error("missing detector not reported")
+	}
+	if err := (Allocation{0, 5, 5, 5}).Covers(g); err == nil {
+		t.Error("missing mixer not reported")
+	}
+}
+
+func TestMinimalAllocation(t *testing.T) {
+	g := buildAssay(t, assay.Mix, assay.Mix, assay.Heat)
+	a := MinimalAllocation(g)
+	if a != (Allocation{1, 1, 0, 0}) {
+		t.Errorf("MinimalAllocation = %v", a)
+	}
+	if err := a.Covers(g); err != nil {
+		t.Errorf("minimal allocation does not cover: %v", err)
+	}
+}
+
+func FuzzParseAllocation(f *testing.F) {
+	for _, seed := range []string{"(3,0,0,2)", "1,2,3,4", "(1,2,3)", "(-1,0,0,0)", "", "(a,b,c,d)"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAllocation(s)
+		if err != nil {
+			return
+		}
+		for _, v := range a {
+			if v < 0 {
+				t.Fatalf("ParseAllocation(%q) produced negative count %v", s, a)
+			}
+		}
+		// Round trip.
+		b, err := ParseAllocation(a.String())
+		if err != nil || b != a {
+			t.Fatalf("round trip of %v failed: %v %v", a, b, err)
+		}
+	})
+}

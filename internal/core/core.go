@@ -1,0 +1,198 @@
+// Package core implements the paper's primary contribution end to end:
+// the top-down flow-layer physical synthesis of DCSA-based biochips.
+//
+// Given a bioassay (sequencing graph), a component allocation and the
+// algorithm parameters, Synthesize runs the three stages of Section IV —
+// DCSA-aware resource binding and scheduling (Algorithm 1), simulated-
+// annealing placement driven by connection priorities (Algorithm 2,
+// lines 1-8) and transportation-conflict-aware weighted A* routing
+// (Algorithm 2, lines 9-18) — and returns a complete Solution carrying
+// the metrics reported in Table I and Figs. 8-9. SynthesizeBaseline runs
+// the comparison algorithm BA of Section V on the same inputs.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// Options bundles the parameters of every stage. The zero value is not
+// usable; start from DefaultOptions (the paper's published settings).
+type Options struct {
+	Schedule schedule.Options
+	Place    place.Params
+	Route    route.Params
+}
+
+// DefaultOptions returns the experimental parameters of Section V:
+// t_c = 2 s, α = 0.9, β = 0.6, γ = 0.4, T0 = 10000, Imax = 150,
+// Tmin = 1.0, w_e = 10.
+func DefaultOptions() Options {
+	return Options{
+		Schedule: schedule.DefaultOptions(),
+		Place:    place.DefaultParams(),
+		Route:    route.DefaultParams(),
+	}
+}
+
+// Solution is a complete physical synthesis result.
+type Solution struct {
+	Assay     *assay.Graph
+	Comps     []chip.Component
+	Opts      Options
+	Schedule  *schedule.Result
+	Placement *place.Placement
+	Nets      []place.Net
+	Routing   *route.Result
+	// Baseline records which algorithm produced the solution.
+	Baseline bool
+	// CPU is the wall-clock synthesis time (the Table I "CPU time"
+	// column).
+	CPU time.Duration
+}
+
+// Metrics are the quantities the paper evaluates.
+type Metrics struct {
+	// ExecutionTime is the bioassay completion time (Table I).
+	ExecutionTime unit.Time
+	// Utilization is U_r of Eq. 1 in [0,1] (Table I).
+	Utilization float64
+	// ChannelLength is the total fabricated flow-channel length (Table I).
+	ChannelLength unit.Length
+	// CacheTime is the total channel-storage time (Fig. 8).
+	CacheTime unit.Time
+	// ChannelWashTime is the total flow-channel wash time (Fig. 9).
+	ChannelWashTime unit.Time
+	// ComponentWashTime is the total component wash time.
+	ComponentWashTime unit.Time
+	// Transports is the number of inter-component transportation tasks.
+	Transports int
+	// CPU is the synthesis wall-clock time (Table I).
+	CPU time.Duration
+}
+
+// Metrics extracts the evaluation quantities from the solution.
+func (s *Solution) Metrics() Metrics {
+	return Metrics{
+		ExecutionTime:     s.Schedule.Makespan,
+		Utilization:       s.Schedule.Utilization(),
+		ChannelLength:     s.Routing.TotalLength(),
+		CacheTime:         s.Schedule.TotalChannelCacheTime(),
+		ChannelWashTime:   s.Routing.ChannelWash,
+		ComponentWashTime: s.Schedule.TotalComponentWashTime(),
+		Transports:        len(s.Schedule.Transports),
+		CPU:               s.CPU,
+	}
+}
+
+// Validate re-checks every stage of the solution independently.
+func (s *Solution) Validate() error {
+	if err := schedule.Validate(s.Schedule); err != nil {
+		return fmt.Errorf("core: schedule invalid: %w", err)
+	}
+	if err := s.Placement.Legal(0); err != nil {
+		// Spacing was enforced at placement time; here only structural
+		// legality (bounds, overlap) matters because dilation may have
+		// rescaled coordinates.
+		return fmt.Errorf("core: placement invalid: %w", err)
+	}
+	if err := route.Validate(s.Routing, s.Schedule, s.Comps, s.Placement, s.Opts.Route); err != nil {
+		return fmt.Errorf("core: routing invalid: %w", err)
+	}
+	return nil
+}
+
+// Synthesize runs the proposed DCSA-aware top-down synthesis flow.
+func Synthesize(g *assay.Graph, alloc chip.Allocation, opts Options) (*Solution, error) {
+	return synthesize(g, alloc, opts, false)
+}
+
+// SynthesizeBaseline runs the baseline algorithm BA: earliest-ready
+// binding, construction-by-correction placement and routing.
+func SynthesizeBaseline(g *assay.Graph, alloc chip.Allocation, opts Options) (*Solution, error) {
+	return synthesize(g, alloc, opts, true)
+}
+
+func synthesize(g *assay.Graph, alloc chip.Allocation, opts Options, baseline bool) (*Solution, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil assay")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := alloc.Covers(g); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	comps := alloc.Instantiate()
+
+	var sched *schedule.Result
+	var err error
+	if baseline {
+		sched, err = schedule.ScheduleBaseline(g, comps, opts.Schedule)
+	} else {
+		sched, err = schedule.Schedule(g, comps, opts.Schedule)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling %q: %w", g.Name(), err)
+	}
+
+	nets := place.BuildNets(sched, opts.Place.Beta, opts.Place.Gamma)
+
+	// Placement and routing with congestion recovery: the router first
+	// dilates the placement (route.Solve); if the conflict pattern is
+	// anchored at component boundaries and survives dilation, synthesis
+	// retries from a different annealing seed — the standard
+	// iterate-until-routable loop of physical design flows. Everything
+	// stays deterministic: the seed ladder is fixed.
+	var routing *route.Result
+	var used *place.Placement
+	popts := opts.Place
+	for attempt := 0; ; attempt++ {
+		var pl *place.Placement
+		if baseline {
+			pl, err = place.Construct(comps, nets, popts)
+		} else {
+			pl, err = place.Anneal(comps, nets, popts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: placing %q: %w", g.Name(), err)
+		}
+		routing, used, err = route.Solve(sched, comps, pl, opts.Route, baseline)
+		if err == nil {
+			break
+		}
+		if attempt >= 4 {
+			return nil, fmt.Errorf("core: routing %q: %w", g.Name(), err)
+		}
+		popts.Seed++
+		// The baseline placer is deterministic in the seed; give it more
+		// room instead.
+		if baseline {
+			if popts.PlaneW == 0 || popts.PlaneH == 0 {
+				popts.PlaneW, popts.PlaneH = place.AutoPlane(comps, popts.Spacing)
+			}
+			popts.PlaneW += popts.PlaneW / 4
+			popts.PlaneH += popts.PlaneH / 4
+		}
+	}
+
+	return &Solution{
+		Assay:     g,
+		Comps:     comps,
+		Opts:      opts,
+		Schedule:  sched,
+		Placement: used,
+		Nets:      nets,
+		Routing:   routing,
+		Baseline:  baseline,
+		CPU:       time.Since(start),
+	}, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/unit"
+)
+
+// fastOpts shortens the SA schedule so the whole benchmark suite runs in
+// seconds while keeping every published parameter that affects quality
+// comparisons between ours and the baseline.
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.Place.Imax = 40
+	return o
+}
+
+func TestSynthesizeEndToEndAllBenchmarks(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			sol, err := Synthesize(bm.Graph, bm.Alloc, fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sol.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			m := sol.Metrics()
+			if m.ExecutionTime <= 0 {
+				t.Error("non-positive execution time")
+			}
+			if m.Utilization <= 0 || m.Utilization > 1 {
+				t.Errorf("utilization %v out of range", m.Utilization)
+			}
+			if m.Transports > 0 && m.ChannelLength <= 0 {
+				t.Error("transports exist but channel length is zero")
+			}
+		})
+	}
+}
+
+func TestBaselineEndToEndAllBenchmarks(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			sol, err := SynthesizeBaseline(bm.Graph, bm.Alloc, fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sol.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !sol.Baseline {
+				t.Error("baseline flag not set")
+			}
+		})
+	}
+}
+
+// TestTableIShape asserts the qualitative claims of Table I: the proposed
+// algorithm is never worse than BA on execution time or resource
+// utilization on any benchmark.
+func TestTableIShape(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			ours, err := Synthesize(bm.Graph, bm.Alloc, fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ba, err := SynthesizeBaseline(bm.Graph, bm.Alloc, fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			om, bm2 := ours.Metrics(), ba.Metrics()
+			if om.ExecutionTime > bm2.ExecutionTime {
+				t.Errorf("execution time: ours %v > BA %v", om.ExecutionTime, bm2.ExecutionTime)
+			}
+			if om.Utilization < bm2.Utilization-1e-9 {
+				t.Errorf("utilization: ours %.3f < BA %.3f", om.Utilization, bm2.Utilization)
+			}
+			t.Logf("%s: exec %v vs %v | U %.1f%% vs %.1f%% | len %v vs %v | cache %v vs %v | wash %v vs %v",
+				bm.Name, om.ExecutionTime, bm2.ExecutionTime,
+				100*om.Utilization, 100*bm2.Utilization,
+				om.ChannelLength, bm2.ChannelLength,
+				om.CacheTime, bm2.CacheTime,
+				om.ChannelWashTime, bm2.ChannelWashTime)
+		})
+	}
+}
+
+func TestSynthesizeRejectsBadInputs(t *testing.T) {
+	if _, err := Synthesize(nil, chip.Allocation{1, 0, 0, 0}, fastOpts()); err == nil {
+		t.Error("nil assay not rejected")
+	}
+	bm := benchdata.PCR()
+	if _, err := Synthesize(bm.Graph, chip.Allocation{0, 0, 0, 1}, fastOpts()); err == nil {
+		t.Error("non-covering allocation not rejected")
+	}
+}
+
+func TestSolutionDeterminism(t *testing.T) {
+	bm := benchdata.Synthetic(1)
+	a, err := Synthesize(bm.Graph, bm.Alloc, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(bm.Graph, bm.Alloc, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm2 := a.Metrics(), b.Metrics()
+	if am.ExecutionTime != bm2.ExecutionTime || am.ChannelLength != bm2.ChannelLength ||
+		am.CacheTime != bm2.CacheTime || am.ChannelWashTime != bm2.ChannelWashTime {
+		t.Errorf("synthesis not deterministic: %+v vs %+v", am, bm2)
+	}
+}
+
+func TestSingleOpAssay(t *testing.T) {
+	b := assay.NewBuilder("single")
+	b.AddOp("only", assay.Mix, unit.Seconds(5), fluid.Fluid{D: 1e-6})
+	g := b.MustBuild()
+	sol, err := Synthesize(g, chip.Allocation{1, 0, 0, 0}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := sol.Metrics()
+	if m.ExecutionTime != unit.Seconds(5) {
+		t.Errorf("execution time %v, want 5s", m.ExecutionTime)
+	}
+	if m.Transports != 0 || m.ChannelLength != 0 {
+		t.Errorf("single op should need no channels: %+v", m)
+	}
+	if m.Utilization != 1 {
+		t.Errorf("utilization %v, want 1", m.Utilization)
+	}
+}

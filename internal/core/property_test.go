@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/rng"
+)
+
+// TestPropertyFullPipelineOnRandomAssays pushes random assays through the
+// complete synthesis flow (both algorithms) and validates every stage.
+func TestPropertyFullPipelineOnRandomAssays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline property test in short mode")
+	}
+	o := DefaultOptions()
+	o.Place.Imax = 25
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := rng.New(seed * 13)
+		ops := 5 + r.Intn(30)
+		alloc := chip.Allocation{1 + r.Intn(3), r.Intn(3), r.Intn(2), r.Intn(2)}
+		g := benchdata.GenerateSynthetic(fmt.Sprintf("pipe%d", seed), ops, alloc, seed)
+		for _, baseline := range []bool{false, true} {
+			var sol *Solution
+			var err error
+			if baseline {
+				sol, err = SynthesizeBaseline(g, alloc, o)
+			} else {
+				sol, err = Synthesize(g, alloc, o)
+			}
+			if err != nil {
+				t.Fatalf("seed %d baseline=%v: %v", seed, baseline, err)
+			}
+			if err := sol.Validate(); err != nil {
+				t.Fatalf("seed %d baseline=%v: %v", seed, baseline, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package exact
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+func opts() schedule.Options { return schedule.DefaultOptions() }
+
+func TestOptimalOnChain(t *testing.T) {
+	// A chain on one mixer has exactly one binding; optimal = greedy.
+	b := assay.NewBuilder("chain")
+	prev := assay.NoOp
+	for i := 0; i < 4; i++ {
+		id := b.AddOp(fmt.Sprintf("o%d", i+1), assay.Mix, unit.Seconds(2), fluid1())
+		if prev != assay.NoOp {
+			b.AddDep(prev, id)
+		}
+		prev = id
+	}
+	g := b.MustBuild()
+	comps := chip.Allocation{1, 0, 0, 0}.Instantiate()
+	best, st, err := Optimal(g, comps, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates != 1 {
+		t.Errorf("candidates = %d, want 1", st.Candidates)
+	}
+	if best.Makespan != unit.Seconds(8) {
+		t.Errorf("optimal makespan = %v, want 8s", best.Makespan)
+	}
+	if err := schedule.Validate(best); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetryBreakingReducesCandidates(t *testing.T) {
+	// 4 independent mixes on 3 identical mixers: raw space is 3^4 = 81;
+	// with first-use canonicalisation it is the number of partitions of
+	// 4 labelled ops into ≤3 unlabelled groups = S(4,1)+S(4,2)+S(4,3) =
+	// 1 + 7 + 6 = 14.
+	b := assay.NewBuilder("par")
+	for i := 0; i < 4; i++ {
+		b.AddOp(fmt.Sprintf("o%d", i+1), assay.Mix, unit.Seconds(2), fluid1())
+	}
+	g := b.MustBuild()
+	comps := chip.Allocation{3, 0, 0, 0}.Instantiate()
+	_, st, err := Optimal(g, comps, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates != 14 {
+		t.Errorf("candidates = %d, want 14 (set partitions into ≤3 blocks)", st.Candidates)
+	}
+}
+
+func TestOptimalNeverWorseThanHeuristics(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		r := rng.New(seed)
+		ops := 4 + r.Intn(5) // 4..8 ops keeps the space tiny
+		alloc := chip.Allocation{1 + r.Intn(2), r.Intn(2), 0, r.Intn(2)}
+		g := benchdata.GenerateSynthetic(fmt.Sprintf("x%d", seed), ops, alloc, seed*3)
+		comps := alloc.Instantiate()
+
+		best, _, err := Optimal(g, comps, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := schedule.Validate(best); err != nil {
+			t.Fatalf("seed %d: optimal schedule invalid: %v", seed, err)
+		}
+		ours, err := schedule.Schedule(g, comps, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := schedule.ScheduleBaseline(g, comps, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Makespan > ours.Makespan {
+			t.Errorf("seed %d: exact %v worse than greedy DCSA %v", seed, best.Makespan, ours.Makespan)
+		}
+		if best.Makespan > ba.Makespan {
+			t.Errorf("seed %d: exact %v worse than BA %v", seed, best.Makespan, ba.Makespan)
+		}
+	}
+}
+
+// TestGreedyGapStatistics reports how close the paper's greedy algorithm
+// gets to the binding-optimal schedule on random small assays — the
+// quality argument behind using a heuristic at all.
+func TestGreedyGapStatistics(t *testing.T) {
+	var exactSum, greedySum unit.Time
+	worst := 0.0
+	for seed := uint64(30); seed < 60; seed++ {
+		r := rng.New(seed)
+		ops := 5 + r.Intn(4)
+		alloc := chip.Allocation{2, 1, 0, 0}
+		g := benchdata.GenerateSynthetic(fmt.Sprintf("gap%d", seed), ops, alloc, seed)
+		comps := alloc.Instantiate()
+		best, _, err := Optimal(g, comps, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ours, err := schedule.Schedule(g, comps, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactSum += best.Makespan
+		greedySum += ours.Makespan
+		if gap := float64(ours.Makespan-best.Makespan) / float64(best.Makespan); gap > worst {
+			worst = gap
+		}
+	}
+	meanGap := float64(greedySum-exactSum) / float64(exactSum)
+	t.Logf("greedy vs binding-optimal over 30 instances: mean gap %.1f%%, worst %.1f%%",
+		100*meanGap, 100*worst)
+	if meanGap > 0.25 {
+		t.Errorf("greedy mean gap %.1f%% is implausibly large", 100*meanGap)
+	}
+}
+
+func TestOptimalRejectsHugeSpace(t *testing.T) {
+	bm := benchdata.CPA() // 55 ops on 8 mixers: astronomically large
+	_, _, err := Optimal(bm.Graph, bm.Alloc.Instantiate(), opts())
+	if err == nil {
+		t.Fatal("oversized search space not rejected")
+	}
+}
+
+func TestOptimalRejectsMissingComponent(t *testing.T) {
+	b := assay.NewBuilder("m")
+	b.AddOp("h", assay.Heat, unit.Seconds(2), fluid1())
+	g := b.MustBuild()
+	_, _, err := Optimal(g, chip.Allocation{1, 0, 0, 0}.Instantiate(), opts())
+	if err == nil {
+		t.Fatal("missing heater not rejected")
+	}
+}
+
+func fluid1() fluid.Fluid {
+	return fluid.Fluid{Name: "f", D: 1e-6}
+}

@@ -1,0 +1,131 @@
+package fluid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/unit"
+)
+
+func TestWashTimeCalibrationPoints(t *testing.T) {
+	m := DefaultWashModel()
+	if got := m.WashTime(unit.DiffusionSmallMolecule); got != unit.Seconds(0.2) {
+		t.Errorf("fast point wash = %v, want 0.2s", got)
+	}
+	if got := m.WashTime(unit.DiffusionLargeVirus); got != unit.Seconds(6) {
+		t.Errorf("slow point wash = %v, want 6s", got)
+	}
+}
+
+func TestWashTimeClamping(t *testing.T) {
+	m := DefaultWashModel()
+	if got := m.WashTime(1e-3); got != m.FastWash {
+		t.Errorf("very fast diffuser wash = %v, want clamp to %v", got, m.FastWash)
+	}
+	if got := m.WashTime(1e-10); got != m.SlowWash {
+		t.Errorf("very slow diffuser wash = %v, want clamp to %v", got, m.SlowWash)
+	}
+}
+
+func TestWashTimeMonotone(t *testing.T) {
+	m := DefaultWashModel()
+	// Lower diffusion coefficient must never wash faster.
+	f := func(a, b float64) bool {
+		// Map arbitrary floats into the plausible coefficient range.
+		da := unit.Diffusion(1e-9 + mod1(a)*1e-4)
+		db := unit.Diffusion(1e-9 + mod1(b)*1e-4)
+		if da > db {
+			da, db = db, da
+		}
+		return m.WashTime(da) >= m.WashTime(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod1(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x >= 1 {
+		x /= 10
+	}
+	return x
+}
+
+func TestWashTimeInvalidWorstCase(t *testing.T) {
+	m := DefaultWashModel()
+	if got := m.WashTime(0); got != m.SlowWash {
+		t.Errorf("invalid D wash = %v, want worst case %v", got, m.SlowWash)
+	}
+	if got := m.WashTime(-1); got != m.SlowWash {
+		t.Errorf("negative D wash = %v, want worst case %v", got, m.SlowWash)
+	}
+}
+
+func TestWashTimeMidpointReasonable(t *testing.T) {
+	m := DefaultWashModel()
+	// A mid-range protein should wash strictly between the endpoints.
+	got := m.WashTime(6e-7)
+	if got <= m.FastWash || got >= m.SlowWash {
+		t.Errorf("mid-range wash = %v, want strictly inside (%v,%v)", got, m.FastWash, m.SlowWash)
+	}
+}
+
+func TestLibraryOrderingAndValidity(t *testing.T) {
+	lib := Library()
+	if len(lib) < 8 {
+		t.Fatalf("palette too small: %d", len(lib))
+	}
+	for i, s := range lib {
+		if !s.D.Valid() {
+			t.Errorf("species %q has invalid D", s.Name)
+		}
+		if i > 0 && lib[i-1].D < s.D {
+			t.Errorf("palette not ordered fast→slow at %d (%q)", i, s.Name)
+		}
+	}
+	if lib[0].D != unit.DiffusionSmallMolecule {
+		t.Error("palette must start at the paper's fast calibration point")
+	}
+	if lib[len(lib)-1].D != unit.DiffusionLargeVirus {
+		t.Error("palette must end at the paper's slow calibration point")
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("protein-bsa")
+	if err != nil || s.Name != "protein-bsa" {
+		t.Errorf("ByName failed: %v %v", s, err)
+	}
+	if _, err := ByName("unobtainium"); err == nil {
+		t.Error("ByName must fail for unknown species")
+	}
+}
+
+func TestPickWrapsAndIsTotal(t *testing.T) {
+	n := len(Library())
+	if Pick(0) != Pick(n) {
+		t.Error("Pick must wrap modulo palette size")
+	}
+	if Pick(-1) != Pick(n-1) {
+		t.Error("Pick must handle negative indices")
+	}
+}
+
+func TestSortByDiffusion(t *testing.T) {
+	fs := []Fluid{
+		{Name: "b", D: 1e-6},
+		{Name: "a", D: 1e-8},
+		{Name: "c", D: 1e-6},
+		{Name: "d", D: 1e-5},
+	}
+	SortByDiffusion(fs)
+	wantNames := []string{"a", "b", "c", "d"}
+	for i, w := range wantNames {
+		if fs[i].Name != w {
+			t.Fatalf("order[%d] = %q, want %q (%v)", i, fs[i].Name, w, fs)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package interval implements half-open time intervals [Start, End) and
+// ordered interval sets. They are the substrate for the two occupancy
+// calendars in the synthesis flow: the busy timeline of each on-chip
+// component and the time-slot set T_i that every routing-grid cell carries
+// (Section IV-B of the paper, Eq. 5).
+package interval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/unit"
+)
+
+// Interval is a half-open span of time [Start, End). An interval with
+// End <= Start is empty.
+type Interval struct {
+	Start unit.Time
+	End   unit.Time
+}
+
+// Make returns the interval [start, end).
+func Make(start, end unit.Time) Interval { return Interval{Start: start, End: end} }
+
+// Empty reports whether iv contains no instants.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Len returns the duration of the interval (zero if empty).
+func (iv Interval) Len() unit.Time {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.End - iv.Start
+}
+
+// Contains reports whether instant t lies inside the interval.
+func (iv Interval) Contains(t unit.Time) bool {
+	return t >= iv.Start && t < iv.End
+}
+
+// Overlaps reports whether the two half-open intervals share any instant.
+// Touching intervals ([0,2) and [2,4)) do not overlap; this matches the
+// paper's conflict condition (st, et) ∩ (st', et') = ∅ for cells shared by
+// back-to-back transportation tasks.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.Empty() || other.Empty() {
+		return false
+	}
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the common part of two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{
+		Start: unit.MaxTime(iv.Start, other.Start),
+		End:   unit.MinTime(iv.End, other.End),
+	}
+}
+
+// Union returns the smallest interval covering both (only meaningful when
+// they overlap or touch).
+func (iv Interval) Union(other Interval) Interval {
+	if iv.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return iv
+	}
+	return Interval{
+		Start: unit.MinTime(iv.Start, other.Start),
+		End:   unit.MaxTime(iv.End, other.End),
+	}
+}
+
+// String formats the interval as "[2s,4s)".
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%v,%v)", iv.Start, iv.End)
+}
+
+// Set is an ordered collection of pairwise-disjoint, non-touching,
+// non-empty intervals. The zero value is an empty set ready to use.
+type Set struct {
+	ivs []Interval // sorted by Start, pairwise disjoint, merged
+}
+
+// Len returns the number of maximal disjoint intervals in the set.
+func (s *Set) Len() int { return len(s.ivs) }
+
+// Intervals returns a copy of the maximal disjoint intervals in order.
+func (s *Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// Total returns the summed duration of all intervals in the set.
+func (s *Set) Total() unit.Time {
+	var t unit.Time
+	for _, iv := range s.ivs {
+		t += iv.Len()
+	}
+	return t
+}
+
+// Add inserts iv into the set, merging with any overlapping or touching
+// intervals. Empty intervals are ignored.
+func (s *Set) Add(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Position of the first existing interval whose End >= iv.Start
+	// (candidates for merging; touching merges too).
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].End >= iv.Start })
+	j := i
+	merged := iv
+	for j < len(s.ivs) && s.ivs[j].Start <= iv.End {
+		merged = merged.Union(s.ivs[j])
+		j++
+	}
+	out := make([]Interval, 0, len(s.ivs)-(j-i)+1)
+	out = append(out, s.ivs[:i]...)
+	out = append(out, merged)
+	out = append(out, s.ivs[j:]...)
+	s.ivs = out
+}
+
+// Overlaps reports whether iv intersects any interval already in the set.
+func (s *Set) Overlaps(iv Interval) bool {
+	if iv.Empty() || len(s.ivs) == 0 {
+		return false
+	}
+	// First interval with End > iv.Start could overlap.
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].End > iv.Start })
+	return i < len(s.ivs) && s.ivs[i].Start < iv.End
+}
+
+// Contains reports whether instant t is covered by the set.
+func (s *Set) Contains(t unit.Time) bool {
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].End > t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// NextFree returns the earliest instant at or after t that is not covered
+// by the set.
+func (s *Set) NextFree(t unit.Time) unit.Time {
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].End > t })
+	if i < len(s.ivs) && s.ivs[i].Contains(t) {
+		return s.ivs[i].End
+	}
+	return t
+}
+
+// FirstFit returns the start of the earliest gap of at least dur that
+// begins at or after t. A set never ends: time after the last interval is
+// always free.
+func (s *Set) FirstFit(t unit.Time, dur unit.Time) unit.Time {
+	if dur < 0 {
+		dur = 0
+	}
+	cur := s.NextFree(t)
+	for {
+		i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Start >= cur })
+		if i == len(s.ivs) || s.ivs[i].Start >= cur+dur {
+			return cur
+		}
+		cur = s.ivs[i].End
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{ivs: make([]Interval, len(s.ivs))}
+	copy(c.ivs, s.ivs)
+	return c
+}
+
+// String formats the set as "{[0s,2s) [4s,6s)}".
+func (s *Set) String() string {
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Invariant checks the internal ordering/disjointness invariants and
+// returns a descriptive error when violated. It is used by property tests.
+func (s *Set) Invariant() error {
+	for i, iv := range s.ivs {
+		if iv.Empty() {
+			return fmt.Errorf("interval %d %v is empty", i, iv)
+		}
+		if i > 0 && s.ivs[i-1].End >= iv.Start {
+			return fmt.Errorf("intervals %d and %d not disjoint/merged: %v %v",
+				i-1, i, s.ivs[i-1], iv)
+		}
+	}
+	return nil
+}

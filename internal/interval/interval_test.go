@@ -1,0 +1,293 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/unit"
+)
+
+func iv(a, b unit.Time) Interval { return Make(a, b) }
+
+func TestIntervalBasics(t *testing.T) {
+	x := iv(2, 5)
+	if x.Empty() {
+		t.Error("non-empty interval reported empty")
+	}
+	if x.Len() != 3 {
+		t.Errorf("Len = %d, want 3", x.Len())
+	}
+	if !x.Contains(2) || x.Contains(5) || !x.Contains(4) || x.Contains(1) {
+		t.Error("Contains half-open semantics wrong")
+	}
+	if !iv(5, 5).Empty() || !iv(6, 5).Empty() {
+		t.Error("degenerate intervals must be empty")
+	}
+	if iv(5, 5).Len() != 0 {
+		t.Error("empty interval must have zero length")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{iv(0, 2), iv(2, 4), false}, // touching: no conflict
+		{iv(0, 2), iv(1, 4), true},
+		{iv(1, 4), iv(0, 2), true},
+		{iv(0, 10), iv(3, 4), true},
+		{iv(3, 4), iv(0, 10), true},
+		{iv(0, 2), iv(3, 4), false},
+		{iv(0, 0), iv(0, 10), false}, // empty never overlaps
+		{iv(0, 10), iv(5, 5), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v %v", c.a, c.b)
+		}
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a, b := iv(0, 5), iv(3, 8)
+	if got := a.Intersect(b); got != iv(3, 5) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); got != iv(0, 8) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(iv(6, 7)); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+	if got := iv(5, 5).Union(a); got != a {
+		t.Errorf("Union with empty = %v, want %v", got, a)
+	}
+	if got := a.Union(iv(9, 9)); got != a {
+		t.Errorf("Union with empty rhs = %v, want %v", got, a)
+	}
+}
+
+func TestSetAddMerges(t *testing.T) {
+	var s Set
+	s.Add(iv(0, 2))
+	s.Add(iv(4, 6))
+	s.Add(iv(8, 10))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	// Bridge the first two (touching merges).
+	s.Add(iv(2, 4))
+	if s.Len() != 2 {
+		t.Fatalf("after bridging Len = %d, want 2: %v", s.Len(), s.String())
+	}
+	got := s.Intervals()
+	if got[0] != iv(0, 6) || got[1] != iv(8, 10) {
+		t.Errorf("intervals = %v", got)
+	}
+	// Swallow everything.
+	s.Add(iv(-5, 20))
+	if s.Len() != 1 || s.Intervals()[0] != iv(-5, 20) {
+		t.Errorf("swallow failed: %v", s.String())
+	}
+}
+
+func TestSetAddEmptyIgnored(t *testing.T) {
+	var s Set
+	s.Add(iv(3, 3))
+	s.Add(iv(5, 1))
+	if s.Len() != 0 {
+		t.Errorf("empty adds must be ignored, got %v", s.String())
+	}
+}
+
+func TestSetOverlaps(t *testing.T) {
+	var s Set
+	s.Add(iv(0, 2))
+	s.Add(iv(5, 7))
+	cases := []struct {
+		q    Interval
+		want bool
+	}{
+		{iv(2, 5), false}, // exactly the gap
+		{iv(1, 3), true},
+		{iv(4, 6), true},
+		{iv(7, 9), false},
+		{iv(-3, 0), false},
+		{iv(-3, 1), true},
+		{iv(3, 3), false},
+	}
+	for _, c := range cases {
+		if got := s.Overlaps(c.q); got != c.want {
+			t.Errorf("Overlaps(%v) = %v, want %v (set %v)", c.q, got, c.want, s.String())
+		}
+	}
+}
+
+func TestSetContainsNextFree(t *testing.T) {
+	var s Set
+	s.Add(iv(0, 2))
+	s.Add(iv(5, 7))
+	if !s.Contains(0) || s.Contains(2) || !s.Contains(6) || s.Contains(10) {
+		t.Error("Contains wrong")
+	}
+	if got := s.NextFree(0); got != 2 {
+		t.Errorf("NextFree(0) = %v, want 2", got)
+	}
+	if got := s.NextFree(3); got != 3 {
+		t.Errorf("NextFree(3) = %v, want 3", got)
+	}
+	if got := s.NextFree(6); got != 7 {
+		t.Errorf("NextFree(6) = %v, want 7", got)
+	}
+	if got := s.NextFree(100); got != 100 {
+		t.Errorf("NextFree(100) = %v, want 100", got)
+	}
+}
+
+func TestSetFirstFit(t *testing.T) {
+	var s Set
+	s.Add(iv(0, 2))
+	s.Add(iv(5, 7))
+	s.Add(iv(8, 9))
+	cases := []struct {
+		t    unit.Time
+		dur  unit.Time
+		want unit.Time
+	}{
+		{0, 3, 2}, // gap [2,5) fits 3
+		{0, 4, 9}, // gap [2,5) too small, [7,8) too small, after 9 open
+		{6, 1, 7}, // inside busy, next gap [7,8)
+		{6, 2, 9}, // [7,8) too small
+		{10, 5, 10},
+		{0, 0, 2},
+		{3, -4, 3}, // negative durations treated as zero
+	}
+	for _, c := range cases {
+		if got := s.FirstFit(c.t, c.dur); got != c.want {
+			t.Errorf("FirstFit(%v,%v) = %v, want %v", c.t, c.dur, got, c.want)
+		}
+	}
+}
+
+func TestSetTotal(t *testing.T) {
+	var s Set
+	s.Add(iv(0, 2))
+	s.Add(iv(5, 8))
+	if got := s.Total(); got != 5 {
+		t.Errorf("Total = %v, want 5", got)
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	var s Set
+	s.Add(iv(0, 2))
+	c := s.Clone()
+	c.Add(iv(10, 12))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone must be independent")
+	}
+}
+
+// Property: after any sequence of Adds, the set invariant holds, every
+// added instant is contained, and Overlaps agrees with a brute-force check.
+func TestSetProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s Set
+		var added []Interval
+		for i := 0; i < 40; i++ {
+			a := unit.Time(r.Intn(200))
+			b := a + unit.Time(r.Intn(20))
+			x := iv(a, b)
+			s.Add(x)
+			if !x.Empty() {
+				added = append(added, x)
+			}
+			if err := s.Invariant(); err != nil {
+				t.Logf("invariant violated after adding %v: %v", x, err)
+				return false
+			}
+		}
+		// Every added instant must be contained.
+		for _, x := range added {
+			for q := x.Start; q < x.End; q++ {
+				if !s.Contains(q) {
+					t.Logf("lost instant %v from %v", q, x)
+					return false
+				}
+			}
+		}
+		// Overlap queries agree with brute force against merged intervals.
+		for i := 0; i < 50; i++ {
+			a := unit.Time(r.Intn(220) - 10)
+			b := a + unit.Time(r.Intn(25))
+			q := iv(a, b)
+			brute := false
+			for _, m := range s.Intervals() {
+				if m.Overlaps(q) {
+					brute = true
+					break
+				}
+			}
+			if s.Overlaps(q) != brute {
+				t.Logf("Overlaps(%v) disagrees with brute force", q)
+				return false
+			}
+		}
+		// Total equals the covered instant count.
+		var count unit.Time
+		for q := unit.Time(-10); q < 260; q++ {
+			if s.Contains(q) {
+				count++
+			}
+		}
+		if count != s.Total() {
+			t.Logf("Total %v != counted %v", s.Total(), count)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FirstFit always returns a gap that truly fits.
+func TestFirstFitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s Set
+		for i := 0; i < 30; i++ {
+			a := unit.Time(r.Intn(300))
+			s.Add(iv(a, a+unit.Time(r.Intn(15))))
+		}
+		for i := 0; i < 30; i++ {
+			from := unit.Time(r.Intn(320))
+			dur := unit.Time(r.Intn(40))
+			at := s.FirstFit(from, dur)
+			if at < from {
+				return false
+			}
+			if s.Overlaps(iv(at, at+dur)) {
+				t.Logf("FirstFit(%v,%v)=%v overlaps %v", from, dur, at, s.String())
+				return false
+			}
+			// Minimality: no earlier feasible start.
+			for cand := from; cand < at; cand++ {
+				if !s.Overlaps(iv(cand, cand+dur)) && dur > 0 {
+					t.Logf("FirstFit(%v,%v)=%v but %v fits", from, dur, at, cand)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chip"
+	"repro/internal/rng"
+)
+
+// Anneal runs the simulated-annealing placer of Algorithm 2 (lines 1-8):
+// starting from a random placement, it applies transformation operations
+// (translate, rotate, swap) for Imax iterations per temperature step,
+// accepting uphill moves with probability exp(-Δ/T), and cools T
+// geometrically by Alpha until Tmin. It returns the best placement seen.
+func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
+	w, h := pr.PlaneW, pr.PlaneH
+	if w == 0 || h == 0 {
+		w, h = AutoPlane(comps, pr.Spacing)
+	}
+	if pr.Alpha <= 0 || pr.Alpha >= 1 {
+		return nil, fmt.Errorf("place: cooling factor alpha %v outside (0,1)", pr.Alpha)
+	}
+	if pr.T0 <= pr.Tmin || pr.Tmin <= 0 {
+		return nil, fmt.Errorf("place: invalid temperature range T0=%v Tmin=%v", pr.T0, pr.Tmin)
+	}
+	r := rng.New(pr.Seed)
+	p, err := randomPlacement(comps, w, h, pr.Spacing, r)
+	if err != nil {
+		return nil, err
+	}
+	cur := Energy(p, nets)
+	best := p.Clone()
+	bestE := cur
+
+	for t := pr.T0; t > pr.Tmin; t *= pr.Alpha {
+		for i := 0; i < pr.Imax; i++ {
+			undo, ok := transform(p, pr.Spacing, r)
+			if !ok {
+				continue
+			}
+			next := Energy(p, nets)
+			delta := next - cur
+			if delta < 0 || r.Float64() < math.Exp(-delta/t) {
+				cur = next
+				if cur < bestE {
+					bestE = cur
+					best = p.Clone()
+				}
+			} else {
+				undo()
+			}
+		}
+	}
+	// Final quench: greedy single-component relocation until the weighted
+	// energy reaches a local optimum. This is the standard low-temperature
+	// tail of SA floorplanners, made explicit and deterministic.
+	quench(best, nets, pr.Spacing)
+	if err := best.Legal(pr.Spacing); err != nil {
+		return nil, fmt.Errorf("place: annealer produced illegal placement: %w", err)
+	}
+	return best, nil
+}
+
+// quench exhaustively relocates single components (including rotation)
+// while any move strictly reduces Energy(p, nets).
+func quench(p *Placement, nets []Net, spacing int) {
+	for improved := true; improved; {
+		improved = false
+		for i := range p.Rects {
+			old := p.Rects[i]
+			bestRect, bestE := old, Energy(p, nets)
+			for rot := 0; rot < 2; rot++ {
+				cand := old
+				if rot == 1 {
+					cand.W, cand.H = cand.H, cand.W
+				}
+				for yy := spacing; yy+cand.H <= p.H-spacing; yy++ {
+					for xx := spacing; xx+cand.W <= p.W-spacing; xx++ {
+						cand.X, cand.Y = xx, yy
+						if !fitsAt(p, i, cand, spacing) {
+							continue
+						}
+						p.Rects[i] = cand
+						if e := Energy(p, nets); e < bestE {
+							bestE = e
+							bestRect = cand
+						}
+						p.Rects[i] = old
+					}
+				}
+			}
+			if bestRect != old {
+				p.Rects[i] = bestRect
+				improved = true
+			}
+		}
+	}
+}
+
+// transform applies one random legal transformation operation to p and
+// returns an undo closure. ok is false when the sampled move was illegal
+// and p is unchanged.
+func transform(p *Placement, spacing int, r *rng.Source) (undo func(), ok bool) {
+	n := len(p.Rects)
+	switch r.Intn(3) {
+	case 0: // translate one component
+		i := r.Intn(n)
+		old := p.Rects[i]
+		cand := old
+		cand.X = spacing + r.Intn(maxInt(1, p.W-2*spacing-cand.W+1))
+		cand.Y = spacing + r.Intn(maxInt(1, p.H-2*spacing-cand.H+1))
+		if !fitsAt(p, i, cand, spacing) {
+			return nil, false
+		}
+		p.Rects[i] = cand
+		return func() { p.Rects[i] = old }, true
+	case 1: // rotate one component 90°
+		i := r.Intn(n)
+		old := p.Rects[i]
+		cand := Rect{X: old.X, Y: old.Y, W: old.H, H: old.W}
+		if !fitsAt(p, i, cand, spacing) {
+			return nil, false
+		}
+		p.Rects[i] = cand
+		return func() { p.Rects[i] = old }, true
+	default: // swap the positions of two components
+		if n < 2 {
+			return nil, false
+		}
+		i := r.Intn(n)
+		j := r.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		oi, oj := p.Rects[i], p.Rects[j]
+		ci := Rect{X: oj.X, Y: oj.Y, W: oi.W, H: oi.H}
+		cj := Rect{X: oi.X, Y: oi.Y, W: oj.W, H: oj.H}
+		// Temporarily clear both to test pairwise fits.
+		p.Rects[i] = Rect{}
+		p.Rects[j] = Rect{}
+		okI := fitsAt(p, i, ci, spacing)
+		p.Rects[i] = ci
+		okJ := okI && fitsAt(p, j, cj, spacing)
+		if !okI || !okJ {
+			p.Rects[i] = oi
+			p.Rects[j] = oj
+			return nil, false
+		}
+		p.Rects[j] = cj
+		return func() { p.Rects[i], p.Rects[j] = oi, oj }, true
+	}
+}
+
+// Construct is the baseline construction-by-correction placer the paper
+// compares against: components are first packed greedily in ID order
+// (construction), then a bounded number of sequential correction passes
+// relocate each component to the position minimising plain unweighted
+// wirelength to its neighbours. It is deliberately blind to connection
+// priorities (concurrency and wash time).
+func Construct(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
+	w, h := pr.PlaneW, pr.PlaneH
+	if w == 0 || h == 0 {
+		w, h = AutoPlane(comps, pr.Spacing)
+	}
+	p := &Placement{W: w, H: h, Rects: make([]Rect, len(comps))}
+	// Construction: row-major packing in ID order.
+	x, y, rowH := pr.Spacing, pr.Spacing, 0
+	for i, c := range comps {
+		fw, fh := c.Kind.W, c.Kind.H
+		if x+fw > w-pr.Spacing {
+			x = pr.Spacing
+			y += rowH + pr.Spacing
+			rowH = 0
+		}
+		if y+fh > h-pr.Spacing {
+			return nil, fmt.Errorf("place: plane %dx%d too small for row packing", w, h)
+		}
+		p.Rects[i] = Rect{X: x, Y: y, W: fw, H: fh}
+		x += fw + pr.Spacing
+		if fh > rowH {
+			rowH = fh
+		}
+	}
+	// Unweighted nets: the baseline sees connectivity, not priorities.
+	flat := make([]Net, len(nets))
+	for i, n := range nets {
+		flat[i] = Net{A: n.A, B: n.B, CP: 1}
+	}
+	// Correction: sequential single-component relocation passes.
+	const passes = 3
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for i := range p.Rects {
+			cur := Energy(p, flat)
+			old := p.Rects[i]
+			bestRect, bestE := old, cur
+			cand := old
+			for yy := pr.Spacing; yy+cand.H <= h-pr.Spacing; yy++ {
+				for xx := pr.Spacing; xx+cand.W <= w-pr.Spacing; xx++ {
+					cand.X, cand.Y = xx, yy
+					if !fitsAt(p, i, cand, pr.Spacing) {
+						continue
+					}
+					p.Rects[i] = cand
+					if e := Energy(p, flat); e < bestE {
+						bestE = e
+						bestRect = cand
+					}
+					p.Rects[i] = old
+				}
+			}
+			if bestRect != old {
+				p.Rects[i] = bestRect
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	if err := p.Legal(pr.Spacing); err != nil {
+		return nil, fmt.Errorf("place: baseline produced illegal placement: %w", err)
+	}
+	return p, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+// Package protocol provides reusable constructors for the bioassay
+// patterns that dominate the flow-based microfluidics literature: binary
+// mixing trees (sample preparation, e.g. PCR), serial dilution chains
+// (concentration gradients, e.g. CPA), and multiplexed sample×reagent
+// panels (diagnostics, e.g. IVD). Downstream users compose them instead
+// of hand-writing sequencing graphs operation by operation.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/fluid"
+	"repro/internal/unit"
+)
+
+// MixSpec parameterises the mixing operations a builder emits.
+type MixSpec struct {
+	// Duration of one mixing operation.
+	Duration unit.Time
+	// Fluid produced; when the Name is empty each operation gets a
+	// distinct deterministic species from the library palette.
+	Fluid fluid.Fluid
+}
+
+// value returns the fluid for the i-th emitted operation.
+func (m MixSpec) value(i int) fluid.Fluid {
+	if m.Fluid.Name != "" || m.Fluid.D.Valid() {
+		return m.Fluid
+	}
+	s := fluid.Pick(i)
+	return fluid.Fluid{Name: s.Name, D: s.D}
+}
+
+// MixingTree appends a balanced binary mixing tree over `leaves` input
+// mixes to the builder and returns the root operation. leaves must be a
+// power of two and at least 2. The classic PCR sample-preparation assay
+// is MixingTree(b, 4, spec).
+func MixingTree(b *assay.Builder, leaves int, spec MixSpec) (assay.OpID, error) {
+	if leaves < 2 || leaves&(leaves-1) != 0 {
+		return assay.NoOp, fmt.Errorf("protocol: mixing tree needs a power-of-two leaf count >= 2, got %d", leaves)
+	}
+	if spec.Duration <= 0 {
+		return assay.NoOp, fmt.Errorf("protocol: non-positive mix duration")
+	}
+	n := 0
+	level := make([]assay.OpID, leaves)
+	for i := range level {
+		level[i] = b.AddOp(fmt.Sprintf("tmix_l0_%d", i+1), assay.Mix, spec.Duration, spec.value(n))
+		n++
+	}
+	depth := 1
+	for len(level) > 1 {
+		next := make([]assay.OpID, len(level)/2)
+		for i := range next {
+			next[i] = b.AddOp(fmt.Sprintf("tmix_l%d_%d", depth, i+1), assay.Mix, spec.Duration, spec.value(n))
+			n++
+			b.AddDep(level[2*i], next[i])
+			b.AddDep(level[2*i+1], next[i])
+		}
+		level = next
+		depth++
+	}
+	return level[0], nil
+}
+
+// SerialDilution appends a chain of `stages` dilution mixes starting from
+// the given source operation (or from a fresh source mix when source is
+// assay.NoOp) and returns the stage operations in order. Each stage
+// optionally branches into a detection.
+func SerialDilution(b *assay.Builder, source assay.OpID, stages int, spec MixSpec, detectEach bool, detDur unit.Time) ([]assay.OpID, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("protocol: serial dilution needs at least one stage")
+	}
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("protocol: non-positive mix duration")
+	}
+	if detectEach && detDur <= 0 {
+		return nil, fmt.Errorf("protocol: non-positive detection duration")
+	}
+	prev := source
+	if prev == assay.NoOp {
+		prev = b.AddOp("dil_src", assay.Mix, spec.Duration, spec.value(0))
+	}
+	out := make([]assay.OpID, 0, stages)
+	dye, _ := fluid.ByName("reagent-dye")
+	for i := 1; i <= stages; i++ {
+		st := b.AddOp(fmt.Sprintf("dil_%d", i), assay.Mix, spec.Duration, spec.value(i))
+		b.AddDep(prev, st)
+		out = append(out, st)
+		if detectEach {
+			d := b.AddOp(fmt.Sprintf("dil_det_%d", i), assay.Detect, detDur,
+				fluid.Fluid{Name: dye.Name, D: dye.D})
+			b.AddDep(st, d)
+		}
+		prev = st
+	}
+	return out, nil
+}
+
+// Multiplex appends a samples×reagents diagnostic panel: one mix per
+// (sample, reagent) pair followed by a detection of its readout. It
+// returns the detection operations. The IVD benchmark is
+// Multiplex(b, 3, 2, ...).
+func Multiplex(b *assay.Builder, samples, reagents int, mixDur, detDur unit.Time) ([]assay.OpID, error) {
+	if samples < 1 || reagents < 1 {
+		return nil, fmt.Errorf("protocol: multiplex needs at least one sample and one reagent")
+	}
+	if mixDur <= 0 || detDur <= 0 {
+		return nil, fmt.Errorf("protocol: non-positive durations")
+	}
+	dye, _ := fluid.ByName("reagent-dye")
+	var dets []assay.OpID
+	n := 0
+	for s := 1; s <= samples; s++ {
+		for r := 1; r <= reagents; r++ {
+			sp := fluid.Pick(n)
+			m := b.AddOp(fmt.Sprintf("mixS%dR%d", s, r), assay.Mix, mixDur,
+				fluid.Fluid{Name: sp.Name, D: sp.D})
+			d := b.AddOp(fmt.Sprintf("detS%dR%d", s, r), assay.Detect, detDur,
+				fluid.Fluid{Name: dye.Name, D: dye.D})
+			b.AddDep(m, d)
+			dets = append(dets, d)
+			n++
+		}
+	}
+	return dets, nil
+}
+
+// HeatCycle appends `cycles` alternating heat/mix pairs after the source
+// operation (thermocycling, e.g. amplification) and returns the final
+// operation.
+func HeatCycle(b *assay.Builder, source assay.OpID, cycles int, heatDur, mixDur unit.Time) (assay.OpID, error) {
+	if cycles < 1 {
+		return assay.NoOp, fmt.Errorf("protocol: heat cycle needs at least one cycle")
+	}
+	if heatDur <= 0 || mixDur <= 0 {
+		return assay.NoOp, fmt.Errorf("protocol: non-positive durations")
+	}
+	if source == assay.NoOp {
+		return assay.NoOp, fmt.Errorf("protocol: heat cycle needs a source operation")
+	}
+	prev := source
+	for i := 1; i <= cycles; i++ {
+		h := b.AddOp(fmt.Sprintf("cycle_heat_%d", i), assay.Heat, heatDur,
+			fluid.Fluid{Name: "amplicon", D: 1e-7})
+		b.AddDep(prev, h)
+		m := b.AddOp(fmt.Sprintf("cycle_mix_%d", i), assay.Mix, mixDur,
+			fluid.Fluid{Name: "amplicon", D: 1e-7})
+		b.AddDep(h, m)
+		prev = m
+	}
+	return prev, nil
+}

@@ -1,0 +1,203 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/unit"
+)
+
+func spec() MixSpec { return MixSpec{Duration: unit.Seconds(5)} }
+
+func TestMixingTreeShape(t *testing.T) {
+	b := assay.NewBuilder("tree")
+	root, err := MixingTree(b, 4, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 7 { // 4 + 2 + 1
+		t.Errorf("ops = %d, want 7", g.NumOps())
+	}
+	if len(g.Sinks()) != 1 || g.Sinks()[0] != root {
+		t.Errorf("root mismatch: sinks %v, root %d", g.Sinks(), root)
+	}
+	if len(g.Sources()) != 4 {
+		t.Errorf("leaves = %d, want 4", len(g.Sources()))
+	}
+	// Internal nodes have exactly two parents.
+	for _, op := range g.Operations() {
+		if n := len(g.Parents(op.ID)); n != 0 && n != 2 {
+			t.Errorf("op %q has %d parents", op.Name, n)
+		}
+	}
+}
+
+func TestMixingTreeRejectsBadLeafCounts(t *testing.T) {
+	for _, leaves := range []int{0, 1, 3, 6} {
+		b := assay.NewBuilder("bad")
+		if _, err := MixingTree(b, leaves, spec()); err == nil {
+			t.Errorf("leaves=%d accepted", leaves)
+		}
+	}
+	b := assay.NewBuilder("bad")
+	if _, err := MixingTree(b, 4, MixSpec{}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestSerialDilutionShape(t *testing.T) {
+	b := assay.NewBuilder("dil")
+	stages, err := SerialDilution(b, assay.NoOp, 5, spec(), true, unit.Seconds(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 source + 5 stages + 5 detects.
+	if g.NumOps() != 11 {
+		t.Errorf("ops = %d, want 11", g.NumOps())
+	}
+	if len(stages) != 5 {
+		t.Errorf("stages = %d", len(stages))
+	}
+	// The chain is connected: each stage depends on the previous.
+	for i := 1; i < len(stages); i++ {
+		found := false
+		for _, p := range g.Parents(stages[i]) {
+			if p == stages[i-1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stage %d not chained", i)
+		}
+	}
+	n := g.CountByType()
+	if n[assay.Detect] != 5 {
+		t.Errorf("detects = %d", n[assay.Detect])
+	}
+}
+
+func TestSerialDilutionFromExistingSource(t *testing.T) {
+	b := assay.NewBuilder("dil2")
+	src, err := MixingTree(b, 2, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SerialDilution(b, src, 3, spec(), false, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 3+3 {
+		t.Errorf("ops = %d, want 6", g.NumOps())
+	}
+	if len(g.Sinks()) != 1 {
+		t.Errorf("sinks = %v", g.Sinks())
+	}
+}
+
+func TestMultiplexShape(t *testing.T) {
+	b := assay.NewBuilder("ivd")
+	dets, err := Multiplex(b, 3, 2, unit.Seconds(5), unit.Seconds(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equivalent in shape to the IVD benchmark: 6 mixes + 6 detects.
+	if g.NumOps() != 12 || len(dets) != 6 {
+		t.Errorf("ops = %d dets = %d", g.NumOps(), len(dets))
+	}
+	n := g.CountByType()
+	if n[assay.Mix] != 6 || n[assay.Detect] != 6 {
+		t.Errorf("type counts %v", n)
+	}
+}
+
+func TestHeatCycleShape(t *testing.T) {
+	b := assay.NewBuilder("cycle")
+	src, err := MixingTree(b, 2, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := HeatCycle(b, src, 3, unit.Seconds(6), unit.Seconds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != 3+6 {
+		t.Errorf("ops = %d, want 9", g.NumOps())
+	}
+	if len(g.Sinks()) != 1 || g.Sinks()[0] != last {
+		t.Errorf("last op mismatch")
+	}
+	n := g.CountByType()
+	if n[assay.Heat] != 3 {
+		t.Errorf("heats = %d", n[assay.Heat])
+	}
+}
+
+func TestRejectionPaths(t *testing.T) {
+	b := assay.NewBuilder("bad")
+	if _, err := SerialDilution(b, assay.NoOp, 0, spec(), false, 0); err == nil {
+		t.Error("0 stages accepted")
+	}
+	if _, err := SerialDilution(b, assay.NoOp, 2, spec(), true, 0); err == nil {
+		t.Error("detect without duration accepted")
+	}
+	if _, err := Multiplex(b, 0, 2, unit.Seconds(1), unit.Seconds(1)); err == nil {
+		t.Error("0 samples accepted")
+	}
+	if _, err := HeatCycle(b, assay.NoOp, 2, unit.Seconds(1), unit.Seconds(1)); err == nil {
+		t.Error("missing source accepted")
+	}
+	if _, err := HeatCycle(b, assay.OpID(0), 0, unit.Seconds(1), unit.Seconds(1)); err == nil {
+		t.Error("0 cycles accepted")
+	}
+}
+
+// TestComposedProtocolSynthesizes builds a realistic composite protocol
+// from the building blocks and runs it through the full synthesis flow.
+func TestComposedProtocolSynthesizes(t *testing.T) {
+	b := assay.NewBuilder("composite")
+	root, err := MixingTree(b, 4, spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	amplified, err := HeatCycle(b, root, 2, unit.Seconds(8), unit.Seconds(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SerialDilution(b, amplified, 4, spec(), true, unit.Seconds(4)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Place.Imax = 30
+	sol, err := core.Synthesize(g, chip.Allocation{3, 1, 0, 2}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

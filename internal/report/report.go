@@ -1,0 +1,182 @@
+// Package report runs the paper's evaluation (Section V) and renders its
+// artifacts: Table I (execution time, resource utilization, total channel
+// length, CPU time — proposed algorithm vs. baseline BA), Fig. 8 (total
+// channel cache time) and Fig. 9 (total channel wash time), as text tables,
+// ASCII bar charts and CSV.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+)
+
+// Row holds both algorithms' metrics for one benchmark.
+type Row struct {
+	Benchmark string
+	Ops       int
+	Alloc     string
+	Ours      core.Metrics
+	BA        core.Metrics
+}
+
+// Run synthesizes every given benchmark with the proposed algorithm and
+// the baseline and collects the comparison rows.
+func Run(benches []benchdata.Benchmark, opts core.Options) ([]Row, error) {
+	rows := make([]Row, 0, len(benches))
+	for _, bm := range benches {
+		ours, err := core.Synthesize(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s (ours): %w", bm.Name, err)
+		}
+		ba, err := core.SynthesizeBaseline(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s (BA): %w", bm.Name, err)
+		}
+		rows = append(rows, Row{
+			Benchmark: bm.Name,
+			Ops:       bm.Graph.NumOps(),
+			Alloc:     bm.Alloc.String(),
+			Ours:      ours.Metrics(),
+			BA:        ba.Metrics(),
+		})
+	}
+	return rows, nil
+}
+
+// Imp returns the relative improvement of ours over ba in percent:
+// positive when ours is smaller (for cost metrics).
+func Imp(ours, ba float64) float64 {
+	if ba == 0 {
+		return 0
+	}
+	return 100 * (ba - ours) / ba
+}
+
+// ImpGain returns the relative improvement for metrics where larger is
+// better (utilization): positive when ours is larger.
+func ImpGain(ours, ba float64) float64 {
+	if ba == 0 {
+		return 0
+	}
+	return 100 * (ours - ba) / ba
+}
+
+// TableI renders the comparison in the layout of the paper's Table I.
+func TableI(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("TABLE I: Comparisons on the execution time, resource utilization, total channel length, and CPU time\n")
+	fmt.Fprintf(&b, "%-11s %4s %-10s | %8s %8s %7s | %6s %6s %7s | %8s %8s %7s | %7s %7s\n",
+		"Benchmark", "Ops", "Alloc",
+		"Exec(s)", "BA(s)", "Imp(%)",
+		"Ur(%)", "BA(%)", "Imp(%)",
+		"Len(mm)", "BA(mm)", "Imp(%)",
+		"CPU(s)", "BA(s)")
+	b.WriteString(strings.Repeat("-", 132) + "\n")
+	var impExec, impUr, impLen float64
+	for _, r := range rows {
+		ie := Imp(r.Ours.ExecutionTime.Sec(), r.BA.ExecutionTime.Sec())
+		iu := ImpGain(r.Ours.Utilization, r.BA.Utilization)
+		il := Imp(r.Ours.ChannelLength.MM(), r.BA.ChannelLength.MM())
+		impExec += ie
+		impUr += iu
+		impLen += il
+		fmt.Fprintf(&b, "%-11s %4d %-10s | %8.1f %8.1f %7.1f | %6.1f %6.1f %7.1f | %8.0f %8.0f %7.1f | %7.2f %7.2f\n",
+			r.Benchmark, r.Ops, r.Alloc,
+			r.Ours.ExecutionTime.Sec(), r.BA.ExecutionTime.Sec(), ie,
+			100*r.Ours.Utilization, 100*r.BA.Utilization, iu,
+			r.Ours.ChannelLength.MM(), r.BA.ChannelLength.MM(), il,
+			r.Ours.CPU.Seconds(), r.BA.CPU.Seconds())
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		b.WriteString(strings.Repeat("-", 132) + "\n")
+		fmt.Fprintf(&b, "%-27s | %17s %7.1f | %13s %7.1f | %17s %7.1f |\n",
+			"Average", "", impExec/n, "", impUr/n, "", impLen/n)
+	}
+	return b.String()
+}
+
+// FigKind selects which figure Fig renders.
+type FigKind int
+
+// The two bar-chart figures of the evaluation.
+const (
+	Fig8CacheTime FigKind = iota
+	Fig9WashTime
+)
+
+// Fig renders Fig. 8 (total cache time in flow channels) or Fig. 9 (total
+// wash time of flow channels) as a horizontal ASCII bar chart.
+func Fig(rows []Row, kind FigKind) string {
+	title := "Fig. 8: Total cache time in flow channels (s)"
+	pick := func(m core.Metrics) float64 { return m.CacheTime.Sec() }
+	if kind == Fig9WashTime {
+		title = "Fig. 9: Total wash time of flow channels (s)"
+		pick = func(m core.Metrics) float64 { return m.ChannelWashTime.Sec() }
+	}
+	maxV := 0.0
+	for _, r := range rows {
+		if v := pick(r.Ours); v > maxV {
+			maxV = v
+		}
+		if v := pick(r.BA); v > maxV {
+			maxV = v
+		}
+	}
+	const width = 50
+	scale := func(v float64) int {
+		if maxV == 0 {
+			return 0
+		}
+		return int(v / maxV * width)
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s ours %8.1f |%s\n", r.Benchmark, pick(r.Ours), strings.Repeat("#", scale(pick(r.Ours))))
+		fmt.Fprintf(&b, "%-11s BA   %8.1f |%s\n", "", pick(r.BA), strings.Repeat("=", scale(pick(r.BA))))
+	}
+	return b.String()
+}
+
+// CSV renders the full comparison as comma-separated values with a header
+// row, for downstream plotting.
+func CSV(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("benchmark,ops,alloc,exec_ours_s,exec_ba_s,ur_ours,ur_ba,len_ours_mm,len_ba_mm,cache_ours_s,cache_ba_s,chanwash_ours_s,chanwash_ba_s,cpu_ours_s,cpu_ba_s\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%s,%.3f,%.3f,%.4f,%.4f,%.0f,%.0f,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f\n",
+			r.Benchmark, r.Ops, strings.ReplaceAll(r.Alloc, ",", ";"),
+			r.Ours.ExecutionTime.Sec(), r.BA.ExecutionTime.Sec(),
+			r.Ours.Utilization, r.BA.Utilization,
+			r.Ours.ChannelLength.MM(), r.BA.ChannelLength.MM(),
+			r.Ours.CacheTime.Sec(), r.BA.CacheTime.Sec(),
+			r.Ours.ChannelWashTime.Sec(), r.BA.ChannelWashTime.Sec(),
+			r.Ours.CPU.Seconds(), r.BA.CPU.Seconds())
+	}
+	return b.String()
+}
+
+// Markdown renders the comparison as a GitHub-flavoured markdown table —
+// the source of the measured tables in EXPERIMENTS.md.
+func Markdown(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("| Benchmark | Exec (Ours/BA/Imp%) | U_r (Ours/BA/Imp%) | Length mm (Ours/BA/Imp%) | Cache s (Ours/BA) | Wash s (Ours/BA) |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %.1f / %.1f / %.1f | %.1f / %.1f / %.1f | %.0f / %.0f / %.1f | %.1f / %.1f | %.1f / %.1f |\n",
+			r.Benchmark,
+			r.Ours.ExecutionTime.Sec(), r.BA.ExecutionTime.Sec(),
+			Imp(r.Ours.ExecutionTime.Sec(), r.BA.ExecutionTime.Sec()),
+			100*r.Ours.Utilization, 100*r.BA.Utilization,
+			ImpGain(r.Ours.Utilization, r.BA.Utilization),
+			r.Ours.ChannelLength.MM(), r.BA.ChannelLength.MM(),
+			Imp(r.Ours.ChannelLength.MM(), r.BA.ChannelLength.MM()),
+			r.Ours.CacheTime.Sec(), r.BA.CacheTime.Sec(),
+			r.Ours.ChannelWashTime.Sec(), r.BA.ChannelWashTime.Sec())
+	}
+	return b.String()
+}

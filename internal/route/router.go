@@ -1,0 +1,347 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chip"
+	"repro/internal/place"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// RoutedTask is the committed path of one transportation task.
+type RoutedTask struct {
+	Task Task
+	Path []Cell
+}
+
+// Len returns the path length in grid edges.
+func (r RoutedTask) Len() int {
+	if len(r.Path) == 0 {
+		return 0
+	}
+	return len(r.Path) - 1
+}
+
+// Result is a complete routing solution.
+type Result struct {
+	GridW, GridH int
+	Pitch        unit.Length
+	Routes       []RoutedTask
+	// ChannelWash is the total wash time spent cleaning flow-channel
+	// cells between uses by different fluids (the quantity of Fig. 9).
+	ChannelWash unit.Time
+	// UnionCells is the number of distinct grid cells carrying a flow
+	// channel; TotalLength() reports it physically.
+	UnionCells int
+	// CorrectionRounds counts rip-up-and-reroute rounds (baseline only).
+	CorrectionRounds int
+}
+
+// TotalLength returns the physical total flow-channel length: every grid
+// cell carrying a channel contributes one pitch. Segments shared by
+// several tasks count once, exactly as fabricated channels would.
+func (r *Result) TotalLength() unit.Length {
+	return unit.Length(int64(r.UnionCells)) * r.Pitch
+}
+
+// Route runs the proposed transportation-conflict-aware router: tasks are
+// sorted by start time and routed sequentially with the weighted A* of
+// Eq. 5; after each task the wash-time weights and occupancy slots of the
+// cells on its path are updated (Algorithm 2 lines 9-18).
+func Route(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) (*Result, error) {
+	return routeAll(r, comps, pl, pr, true)
+}
+
+// RouteUnweighted is the proposed router with the wash-weight guidance of
+// Eq. 5 disabled (pure shortest feasible paths). It exists for the
+// ablation study: comparing it against Route isolates the contribution of
+// the weight mechanism to channel sharing and wash time.
+func RouteUnweighted(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) (*Result, error) {
+	return routeAll(r, comps, pl, pr, false)
+}
+
+// RouteBaseline runs the construction-by-correction baseline: every task
+// first gets an unweighted shortest path with conflicts ignored; then
+// conflicting tasks are ripped up and rerouted (in start-time order) with
+// conflict checks enabled but still no wash-weight guidance, until the
+// solution is conflict-free.
+func RouteBaseline(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) (*Result, error) {
+	g, err := NewGrid(comps, pl, pr)
+	if err != nil {
+		return nil, err
+	}
+	tasks := TasksFrom(r)
+	res := &Result{GridW: g.W, GridH: g.H, Pitch: pr.Pitch, Routes: make([]RoutedTask, len(tasks))}
+	paths := make(map[int][]Cell, len(tasks))
+
+	// Construction: conflict-blind shortest paths on an empty grid view.
+	empty, err := NewGrid(comps, pl, pr)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tasks {
+		p := empty.routeTask(t, false)
+		if p == nil {
+			return nil, fmt.Errorf("route: baseline construction failed for task %d", t.ID)
+		}
+		paths[t.ID] = p
+		g.commit(t.ID, p, t.Window, t.Hold, t.Fluid.Name, t.Wash)
+	}
+
+	// Correction: repeatedly rip up every conflicting (or yet-unrouted)
+	// task and reroute the set sequentially with feasibility checks on.
+	// Tasks that failed in the previous round get first pick of the
+	// channel capacity in the next one.
+	byID := make(map[int]Task, len(tasks))
+	for _, t := range tasks {
+		byID[t.ID] = t
+	}
+	failedLast := map[int]bool{}
+	unrouted := map[int]bool{}
+	blockers := map[int]bool{}
+	failCount := map[int]int{}
+	const maxRounds = 96
+	for round := 0; ; round++ {
+		badSet := map[int]bool{}
+		for _, id := range g.conflictsOf() {
+			badSet[id] = true
+		}
+		for id := range unrouted {
+			badSet[id] = true
+		}
+		for id := range blockers {
+			if _, routed := paths[id]; routed {
+				badSet[id] = true
+			}
+		}
+		bad := make([]int, 0, len(badSet))
+		for id := range badSet {
+			bad = append(bad, id)
+		}
+		if len(bad) == 0 {
+			break
+		}
+		if round >= maxRounds {
+			return nil, fmt.Errorf("route: baseline correction did not converge (%d conflicting tasks left)", len(bad))
+		}
+		res.CorrectionRounds++
+		// Repeated failures escalate in priority (negotiated congestion):
+		// the most-starved task gets first pick of the channel capacity.
+		sort.Slice(bad, func(i, j int) bool {
+			if failCount[bad[i]] != failCount[bad[j]] {
+				return failCount[bad[i]] > failCount[bad[j]]
+			}
+			wi, wj := byID[bad[i]].HoldWindow(), byID[bad[j]].HoldWindow()
+			if wi.Start != wj.Start {
+				return wi.Start < wj.Start
+			}
+			return bad[i] < bad[j]
+		})
+		for _, id := range bad {
+			g.clear(id)
+		}
+		nextFailed := map[int]bool{}
+		nextUnrouted := map[int]bool{}
+		blockers = map[int]bool{}
+		for _, id := range bad {
+			t := byID[id]
+			p := g.routeTask(t, false)
+			if p == nil {
+				nextFailed[id] = true
+				nextUnrouted[id] = true
+				failCount[id]++
+				delete(paths, id)
+				// The tasks crowding this window around the failed
+				// task's terminals must move next round.
+				lo, hi := g.terminalBox(t, 3)
+				for _, other := range tasks {
+					if other.ID == id || !other.HoldWindow().Overlaps(t.HoldWindow()) {
+						continue
+					}
+					for _, c := range paths[other.ID] {
+						if c.X >= lo.X && c.X <= hi.X && c.Y >= lo.Y && c.Y <= hi.Y {
+							blockers[other.ID] = true
+							break
+						}
+					}
+				}
+				continue
+			}
+			paths[id] = p
+			g.commit(id, p, t.Window, t.Hold, t.Fluid.Name, t.Wash)
+		}
+		// No progress two rounds in a row with the same failures means
+		// the capacity is genuinely insufficient: give up so the caller
+		// can dilate the placement.
+		if len(nextUnrouted) > 0 && sameIntSet(nextUnrouted, unrouted) && sameIntSet(nextFailed, failedLast) {
+			var ids []int
+			for id := range nextUnrouted {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			return nil, fmt.Errorf("route: baseline correction failed for task %d", ids[0])
+		}
+		failedLast = nextFailed
+		unrouted = nextUnrouted
+	}
+
+	for i, t := range tasks {
+		res.Routes[i] = RoutedTask{Task: t, Path: paths[t.ID]}
+	}
+	finishMetrics(res, g)
+	return res, nil
+}
+
+// Solve routes a schedule with automatic congestion recovery: if no
+// conflict-free routing exists on the given placement, the placement is
+// dilated (same relative layout, wider corridors) and routing is retried.
+// It returns the routing result together with the placement actually used.
+func Solve(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params, baseline bool) (*Result, *place.Placement, error) {
+	f := 1.0
+	var lastErr error
+	for try := 0; try < 4; try++ {
+		cur := place.Dilate(pl, f)
+		var res *Result
+		var err error
+		if baseline {
+			res, err = RouteBaseline(r, comps, cur, pr)
+		} else {
+			res, err = Route(r, comps, cur, pr)
+		}
+		if err == nil {
+			return res, cur, nil
+		}
+		lastErr = err
+		f *= 1.5
+	}
+	return nil, nil, fmt.Errorf("route: congestion not resolved by dilation: %w", lastErr)
+}
+
+// routeAll is the shared driver for the proposed router.
+func routeAll(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params, weighted bool) (*Result, error) {
+	g, err := NewGrid(comps, pl, pr)
+	if err != nil {
+		return nil, err
+	}
+	tasks := TasksFrom(r)
+	res := &Result{GridW: g.W, GridH: g.H, Pitch: pr.Pitch, Routes: make([]RoutedTask, 0, len(tasks))}
+	for _, t := range tasks {
+		p := g.routeTask(t, weighted)
+		if p == nil {
+			return nil, fmt.Errorf("route: no conflict-free path for task %d (%d→%d, window %v)",
+				t.ID, t.From, t.To, t.Window)
+		}
+		g.commit(t.ID, p, t.Window, t.Hold, t.Fluid.Name, t.Wash)
+		res.Routes = append(res.Routes, RoutedTask{Task: t, Path: p})
+	}
+	finishMetrics(res, g)
+	return res, nil
+}
+
+// finishMetrics computes the union channel length and the total channel
+// wash time. Every channel cell must be washed after carrying a fluid
+// (Section II-B: channels are cleaned by flushing a buffer), except when
+// the next fluid through the cell is the same sample — its own residue
+// does not contaminate it, so consecutive same-fluid uses share a single
+// wash. Shorter routes and same-fluid channel sharing therefore reduce
+// the total wash time, which is exactly the behaviour the cell-weight
+// mechanism of Eq. 5 promotes.
+// RecomputeMetrics refreshes the derived quantities (union channel
+// length, channel wash time) of a routing result whose Routes were
+// reconstructed externally, e.g. after decoding a serialized solution.
+// The routes are replayed onto a fresh grid built from the placement.
+func RecomputeMetrics(res *Result, sched *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) {
+	g, err := NewGrid(comps, pl, pr)
+	if err != nil {
+		return
+	}
+	for _, rt := range res.Routes {
+		t := rt.Task
+		g.commit(t.ID, rt.Path, t.Window, t.Hold, t.Fluid.Name, t.Wash)
+	}
+	finishMetrics(res, g)
+}
+
+// sameIntSet reports whether two sets hold identical members.
+func sameIntSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func finishMetrics(res *Result, g *Grid) {
+	cells := map[Cell]bool{}
+	for _, rt := range res.Routes {
+		for _, c := range rt.Path {
+			cells[c] = true
+		}
+	}
+	res.UnionCells = len(cells)
+
+	var wash unit.Time
+	for i := range g.slots {
+		ss := append([]slot(nil), g.slots[i]...)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].iv.Start < ss[b].iv.Start })
+		for k := 0; k < len(ss); k++ {
+			if k+1 < len(ss) && ss[k+1].fluid == ss[k].fluid {
+				continue // same sample follows: one wash covers both
+			}
+			wash += ss[k].wash
+		}
+	}
+	res.ChannelWash = wash
+}
+
+// Validate re-checks a routing result against its schedule independently:
+// every transport routed, endpoints at the right ports, paths connected,
+// and no pairwise cell conflicts (overlap or missing wash gap).
+func Validate(res *Result, sched *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) error {
+	g, err := NewGrid(comps, pl, pr)
+	if err != nil {
+		return err
+	}
+	if len(res.Routes) != len(sched.Transports) {
+		return fmt.Errorf("route: %d routes for %d transports", len(res.Routes), len(sched.Transports))
+	}
+	seen := map[int]bool{}
+	for _, rt := range res.Routes {
+		t := rt.Task
+		if seen[t.ID] {
+			return fmt.Errorf("route: task %d routed twice", t.ID)
+		}
+		seen[t.ID] = true
+		if len(rt.Path) == 0 {
+			return fmt.Errorf("route: task %d has empty path", t.ID)
+		}
+		if !g.onRing(t.From, rt.Path[0]) {
+			return fmt.Errorf("route: task %d starts at %v, not a port of component %d", t.ID, rt.Path[0], t.From)
+		}
+		if !g.onRing(t.To, rt.Path[len(rt.Path)-1]) {
+			return fmt.Errorf("route: task %d ends at %v, not a port of component %d", t.ID, rt.Path[len(rt.Path)-1], t.To)
+		}
+		for i, c := range rt.Path {
+			if !g.In(c) || g.Blocked(c) {
+				return fmt.Errorf("route: task %d path cell %v blocked or outside", t.ID, c)
+			}
+			if i > 0 {
+				dx, dy := c.X-rt.Path[i-1].X, c.Y-rt.Path[i-1].Y
+				if dx*dx+dy*dy != 1 {
+					return fmt.Errorf("route: task %d path not 4-connected at %v", t.ID, c)
+				}
+			}
+		}
+		g.commit(t.ID, rt.Path, t.Window, t.Hold, t.Fluid.Name, t.Wash)
+	}
+	if bad := g.conflictsOf(); len(bad) > 0 {
+		return fmt.Errorf("route: transportation conflicts among tasks %v", bad)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/interval"
+	"repro/internal/place"
+)
+
+// WashRoute is the physical flush path for one transportation task's
+// residue: from the chip's wash inlet, along the task's contaminated
+// channel segment, to the waste outlet.
+type WashRoute struct {
+	Task int
+	Path []Cell
+}
+
+// WashRouting is the wash infrastructure of a routed solution: per-flush
+// buffer paths plus the extra channel fabric they require beyond the
+// assay's own channels. It complements internal/washplan (which decides
+// *when* flushes happen) with the *where* — the concern of wash-capable
+// physical design à la Hu et al. (the paper's ref. [9]).
+type WashRouting struct {
+	Inlet  Cell
+	Outlet Cell
+	// Flushes holds one buffer path per transportation task, in task-ID
+	// order.
+	Flushes []WashRoute
+	// ExtraCells counts cells used by flush paths that are not already
+	// part of the assay's channel network — the fabrication overhead of
+	// washing.
+	ExtraCells int
+	// TotalFlushCells counts the distinct cells of all flush paths.
+	TotalFlushCells int
+}
+
+// RouteWash plans buffer flush paths for every routed task. Flushes are
+// spatial only: internal/washplan establishes that they fit temporally
+// between channel uses, so the grid here carries no time slots.
+func RouteWash(res *Result, comps []chip.Component, pl *place.Placement, pr Params) (*WashRouting, error) {
+	if res == nil {
+		return nil, fmt.Errorf("route: nil routing result")
+	}
+	g, err := NewGrid(comps, pl, pr)
+	if err != nil {
+		return nil, err
+	}
+	inlet, ok := firstFree(g, false)
+	if !ok {
+		return nil, fmt.Errorf("route: no free cell for wash inlet")
+	}
+	outlet, ok := firstFree(g, true)
+	if !ok {
+		return nil, fmt.Errorf("route: no free cell for waste outlet")
+	}
+	w := &WashRouting{Inlet: inlet, Outlet: outlet}
+
+	// The buffer flow has no occupancy constraints on this grid (no
+	// committed slots), so any free-cell path works.
+	buffer := Task{
+		Fluid:  fluid.Fluid{Name: "wash-buffer"},
+		Window: interval.Make(0, 1),
+	}
+	assayCells := map[Cell]bool{}
+	for _, rt := range res.Routes {
+		for _, c := range rt.Path {
+			assayCells[c] = true
+		}
+	}
+	flushCells := map[Cell]bool{}
+	for _, rt := range res.Routes {
+		if len(rt.Path) == 0 {
+			continue
+		}
+		head := g.astar(buffer, inlet, rt.Path[0], false)
+		if head == nil {
+			return nil, fmt.Errorf("route: wash inlet cannot reach task %d", rt.Task.ID)
+		}
+		tail := g.astar(buffer, rt.Path[len(rt.Path)-1], outlet, false)
+		if tail == nil {
+			return nil, fmt.Errorf("route: task %d cannot reach waste outlet", rt.Task.ID)
+		}
+		full := make([]Cell, 0, len(head)+len(rt.Path)+len(tail)-2)
+		full = append(full, head...)
+		full = append(full, rt.Path[1:]...)
+		full = append(full, tail[1:]...)
+		w.Flushes = append(w.Flushes, WashRoute{Task: rt.Task.ID, Path: full})
+		for _, c := range full {
+			flushCells[c] = true
+		}
+	}
+	w.TotalFlushCells = len(flushCells)
+	for c := range flushCells {
+		if !assayCells[c] {
+			w.ExtraCells++
+		}
+	}
+	return w, nil
+}
+
+// firstFree scans the grid row-major (or reverse) for the first
+// unblocked cell.
+func firstFree(g *Grid, reverse bool) (Cell, bool) {
+	for i := 0; i < g.W*g.H; i++ {
+		k := i
+		if reverse {
+			k = g.W*g.H - 1 - i
+		}
+		c := Cell{X: k % g.W, Y: k / g.W}
+		if !g.Blocked(c) {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}

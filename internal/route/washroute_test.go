@@ -1,0 +1,83 @@
+package route
+
+import (
+	"testing"
+)
+
+func TestRouteWashBasics(t *testing.T) {
+	sr, comps, pl0 := pipeline(t, "CPA", false)
+	pr := DefaultParams()
+	res, pl, err := Solve(sr, comps, pl0, pr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := RouteWash(res, comps, pl, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flushes) != len(res.Routes) {
+		t.Fatalf("flushes = %d, want one per route %d", len(w.Flushes), len(res.Routes))
+	}
+	g, err := NewGrid(comps, pl, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range w.Flushes {
+		if len(f.Path) == 0 {
+			t.Fatalf("flush %d empty", f.Task)
+		}
+		if f.Path[0] != w.Inlet {
+			t.Errorf("flush %d does not start at the inlet", f.Task)
+		}
+		if f.Path[len(f.Path)-1] != w.Outlet {
+			t.Errorf("flush %d does not end at the outlet", f.Task)
+		}
+		for i, c := range f.Path {
+			if !g.In(c) || g.Blocked(c) {
+				t.Fatalf("flush %d passes blocked cell %v", f.Task, c)
+			}
+			if i > 0 {
+				dx, dy := c.X-f.Path[i-1].X, c.Y-f.Path[i-1].Y
+				if dx*dx+dy*dy != 1 {
+					t.Fatalf("flush %d not 4-connected at %v", f.Task, c)
+				}
+			}
+		}
+	}
+	if w.TotalFlushCells <= 0 {
+		t.Error("no flush cells")
+	}
+	if w.ExtraCells > w.TotalFlushCells {
+		t.Errorf("extra %d > total %d", w.ExtraCells, w.TotalFlushCells)
+	}
+	// Every contaminated assay cell is covered by its task's flush.
+	for _, rt := range res.Routes {
+		fl := flushOf(w, rt.Task.ID)
+		cells := map[Cell]bool{}
+		for _, c := range fl.Path {
+			cells[c] = true
+		}
+		for _, c := range rt.Path {
+			if !cells[c] {
+				t.Fatalf("task %d cell %v not flushed", rt.Task.ID, c)
+			}
+		}
+	}
+	t.Logf("CPA wash infrastructure: %d flush cells, %d beyond assay channels (inlet %v, outlet %v)",
+		w.TotalFlushCells, w.ExtraCells, w.Inlet, w.Outlet)
+}
+
+func flushOf(w *WashRouting, task int) WashRoute {
+	for _, f := range w.Flushes {
+		if f.Task == task {
+			return f
+		}
+	}
+	return WashRoute{}
+}
+
+func TestRouteWashNil(t *testing.T) {
+	if _, err := RouteWash(nil, nil, nil, DefaultParams()); err == nil {
+		t.Error("nil result accepted")
+	}
+}

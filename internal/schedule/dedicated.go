@@ -1,0 +1,267 @@
+package schedule
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/interval"
+	"repro/internal/unit"
+)
+
+// DedicatedOptions extends Options with the parameters of a conventional
+// dedicated storage unit (Fig. 1(a) of the paper): a reservoir of Capacity
+// cells reached through multiplexer-like control valves, whose port
+// admits only one fluid entering or leaving at a time — the bandwidth
+// bottleneck DCSA removes.
+type DedicatedOptions struct {
+	Options
+	// Capacity is the number of storage cells (fluids held at once).
+	Capacity int
+}
+
+// DefaultDedicatedOptions mirrors the conventional architectures the
+// paper argues against: an 8-cell storage unit.
+func DefaultDedicatedOptions() DedicatedOptions {
+	return DedicatedOptions{Options: DefaultOptions(), Capacity: 8}
+}
+
+// storageState models the dedicated unit during scheduling.
+type storageState struct {
+	capacity int
+	// port is the occupancy calendar of the single multiplexed port:
+	// every entering or leaving transfer holds it for t_c.
+	port interval.Set
+	// occupancy tracks how many cells are filled over time as a set of
+	// (time, delta) events; feasibility is checked by replay.
+	events []storageEvent
+}
+
+type storageEvent struct {
+	at    unit.Time
+	delta int
+}
+
+// occupancyAt returns how many storage cells are filled at instant t:
+// the sum of all entry/exit deltas at or before t, counting an entry at
+// exactly t as present and an exit at exactly t as already gone.
+func (s *storageState) occupancyAt(t unit.Time) int {
+	n := 0
+	for _, e := range s.events {
+		if e.at <= t {
+			n += e.delta
+		}
+	}
+	return n
+}
+
+// nextChangeAfter returns the earliest event instant strictly after t, or
+// unit.Forever when none exists.
+func (s *storageState) nextChangeAfter(t unit.Time) unit.Time {
+	best := unit.Forever
+	for _, e := range s.events {
+		if e.at > t && e.at < best {
+			best = e.at
+		}
+	}
+	return best
+}
+
+// ScheduleDedicated schedules g on a conventional chip with a dedicated
+// storage unit instead of distributed channel storage: a fluid that must
+// leave its component before its consumer is ready is transferred into
+// the storage unit (holding the single port for t_c), parked there, and
+// transferred out again (holding the port for another t_c) — waiting for
+// a free port slot and a free cell whenever the unit is contended. It is
+// the architecture the paper's introduction argues DCSA outperforms.
+//
+// The binding strategy is the same DCSA-aware Algorithm 1, so measured
+// differences isolate the storage architecture rather than the binder.
+func ScheduleDedicated(g *assay.Graph, comps []chip.Component, opts DedicatedOptions) (*Result, error) {
+	if opts.Capacity < 1 {
+		return nil, fmt.Errorf("schedule: dedicated storage needs capacity >= 1")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("schedule: nil assay")
+	}
+	if opts.TC <= 0 {
+		return nil, fmt.Errorf("schedule: transportation constant t_c must be positive")
+	}
+	need := g.CountByType()
+	have := make([]int, assay.NumOpTypes)
+	for _, c := range comps {
+		have[c.Kind.Type]++
+	}
+	for t := 0; t < assay.NumOpTypes; t++ {
+		if need[t] > 0 && have[t] == 0 {
+			return nil, fmt.Errorf("schedule: assay %q needs %v components but none allocated",
+				g.Name(), assay.OpType(t))
+		}
+	}
+
+	e := &engine{
+		g:      g,
+		opts:   opts.Options,
+		comps:  make([]compState, len(comps)),
+		tokens: make([]*token, g.NumOps()),
+		res: &Result{
+			Assay: g,
+			Comps: append([]chip.Component(nil), comps...),
+			Opts:  opts.Options,
+			Ops:   make([]BoundOp, g.NumOps()),
+		},
+	}
+	for i, c := range comps {
+		e.comps[i] = compState{comp: c}
+	}
+	st := &storageState{capacity: opts.Capacity}
+
+	pr := g.Priorities(opts.TC)
+	q := &opQueue{pr: pr}
+	pending := make([]int, g.NumOps())
+	for id := 0; id < g.NumOps(); id++ {
+		pending[id] = len(g.Parents(assay.OpID(id)))
+		if pending[id] == 0 {
+			heap.Push(q, assay.OpID(id))
+		}
+	}
+
+	for q.Len() > 0 {
+		op := g.Op(heap.Pop(q).(assay.OpID))
+		c := dcsaBinder{}.choose(e, op)
+		e.commitDedicated(op, c, st)
+		for _, child := range g.Children(op.ID) {
+			pending[child]--
+			if pending[child] == 0 {
+				heap.Push(q, child)
+			}
+		}
+	}
+	for _, bo := range e.res.Ops {
+		if bo.End > e.res.Makespan {
+			e.res.Makespan = bo.End
+		}
+	}
+	return e.res, nil
+}
+
+// commitDedicated is commit() with dedicated-storage semantics: fluids
+// that cannot stay in (or move directly between) components make a round
+// trip through the storage unit, serialising on its single port. Port
+// transfers are reserved sequentially and immediately, so reservations
+// never collide; an operation's start time only ever grows while its
+// earlier reservations stay valid (the fluid simply waits longer).
+func (e *engine) commitDedicated(op assay.Operation, c chip.CompID, st *storageState) {
+	cs := &e.comps[c]
+	start, inPlaceParent := e.startTime(c, op)
+
+	// Evict an unrelated (or aliquot-pending) resident fluid into the
+	// storage unit: the inbound transfer needs the port for t_c and a
+	// free storage cell.
+	if cs.resident != nil && inPlaceParent == assay.NoOp {
+		tk := cs.resident
+		d := tk.washDur
+		if e.isParent(tk.producer, op.ID) {
+			d = unit.MaxTime(tk.washDur, e.opts.TC)
+		}
+		at := start - d
+		if at < cs.lastEnd {
+			at = cs.lastEnd
+		}
+		in := st.port.FirstFit(at, e.opts.TC)
+		// Wait for both a free port slot and a free storage cell at the
+		// arrival instant.
+		for st.occupancyAt(in+e.opts.TC) >= st.capacity {
+			next := st.nextChangeAfter(in + e.opts.TC)
+			if next == unit.Forever {
+				break // cells never free again: schedule will be poor but defined
+			}
+			in = st.port.FirstFit(unit.MaxTime(in+1, next-e.opts.TC), e.opts.TC)
+		}
+		st.port.Add(interval.Make(in, in+e.opts.TC))
+		st.events = append(st.events, storageEvent{in + e.opts.TC, +1})
+		tk.state = tokenInChannel
+		tk.evict = in
+		cs.resident = nil
+		e.addWash(cs.comp.ID, tk.producer, in, in+tk.washDur)
+		cs.washReady = in + tk.washDur
+		if in+tk.washDur > start {
+			start = in + tk.washDur
+		}
+		tk.cacheIdx = len(e.res.Caches)
+		e.res.Caches = append(e.res.Caches, ChannelCache{
+			Producer: tk.producer,
+			From:     cs.comp.ID,
+			Start:    in,
+			End:      in, // extended when the fluid leaves storage
+			Fluid:    e.g.Op(tk.producer).Output,
+		})
+	}
+
+	// Outbound transfers: each in-storage input leaves through the port
+	// as early as possible and waits at the consumer; the operation can
+	// only start once the last of them has fully left.
+	outs := make(map[assay.OpID]unit.Time)
+	for _, p := range e.g.Parents(op.ID) {
+		tk := e.tokens[p]
+		if p == inPlaceParent || tk.state != tokenInChannel {
+			continue
+		}
+		entry := tk.evict + e.opts.TC // fully inside the unit
+		out := st.port.FirstFit(entry, e.opts.TC)
+		st.port.Add(interval.Make(out, out+e.opts.TC))
+		if tk.remaining == 1 {
+			// The storage cell frees only once the last aliquot leaves.
+			st.events = append(st.events, storageEvent{out, -1})
+		}
+		outs[p] = out
+		if out+e.opts.TC > start {
+			start = out + e.opts.TC
+		}
+	}
+	end := start + op.Duration
+
+	// Serve inputs.
+	for _, p := range e.g.Parents(op.ID) {
+		tk := e.tokens[p]
+		if p == inPlaceParent {
+			tk.remaining--
+			tk.state = tokenGone
+			cs.resident = nil
+			continue
+		}
+		if out, ok := outs[p]; ok && tk.cacheIdx >= 0 {
+			if out > e.res.Caches[tk.cacheIdx].End {
+				e.res.Caches[tk.cacheIdx].End = out
+			}
+			// The storage residency ends at the outbound transfer; stop
+			// transport() from extending the episode to the final hop.
+			saved := tk.cacheIdx
+			tk.cacheIdx = -1
+			e.transport(tk, c, op.ID, start)
+			tk.cacheIdx = saved
+			continue
+		}
+		e.transport(tk, c, op.ID, start)
+	}
+
+	e.res.Ops[op.ID] = BoundOp{
+		Op: op.ID, Comp: c, Start: start, End: end,
+		InPlace: inPlaceParent != assay.NoOp, InPlaceParent: inPlaceParent,
+	}
+	cs.lastEnd = end
+
+	washDur := e.opts.Wash.WashTime(op.Output.D)
+	nConsumers := len(e.g.Children(op.ID))
+	if nConsumers == 0 {
+		e.addWash(c, op.ID, end, end+washDur)
+		cs.washReady = end + washDur
+		cs.resident = nil
+		e.tokens[op.ID] = &token{producer: op.ID, comp: c, state: tokenGone, washDur: washDur, cacheIdx: -1}
+		return
+	}
+	tk := &token{producer: op.ID, comp: c, state: tokenInComp, remaining: nConsumers, washDur: washDur, cacheIdx: -1}
+	e.tokens[op.ID] = tk
+	cs.resident = tk
+}

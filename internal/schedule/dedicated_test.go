@@ -1,0 +1,132 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/unit"
+)
+
+func dedOpts(capacity int) DedicatedOptions {
+	o := DefaultDedicatedOptions()
+	o.Capacity = capacity
+	return o
+}
+
+func TestDedicatedValidOnAllBenchmarks(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			res, err := ScheduleDedicated(bm.Graph, bm.Alloc.Instantiate(), dedOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(res); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDCSANeverSlowerThanDedicated verifies the paper's architectural
+// motivation (Section I): with the same binder, distributed channel
+// storage is never slower than a dedicated storage unit, whose
+// multiplexed port serialises every cached fluid's round trip.
+func TestDCSANeverSlowerThanDedicated(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			comps := bm.Alloc.Instantiate()
+			dcsa, err := Schedule(bm.Graph, comps, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ded, err := ScheduleDedicated(bm.Graph, comps, dedOpts(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dcsa.Makespan > ded.Makespan {
+				t.Errorf("DCSA %v slower than dedicated storage %v", dcsa.Makespan, ded.Makespan)
+			}
+			t.Logf("%s: DCSA %v vs dedicated %v", bm.Name, dcsa.Makespan, ded.Makespan)
+		})
+	}
+}
+
+// TestCapacitySweepStaysValid sweeps the storage capacity. Greedy
+// scheduling is not strictly monotone in capacity (a delayed eviction can
+// accidentally improve a later decision), so the test asserts validity at
+// every capacity and only requires that a single-cell unit is not faster
+// than an effectively unconstrained one.
+func TestCapacitySweepStaysValid(t *testing.T) {
+	bm := benchdata.Synthetic(3)
+	comps := bm.Alloc.Instantiate()
+	makespan := map[int]unit.Time{}
+	for _, capacity := range []int{16, 4, 2, 1} {
+		res, err := ScheduleDedicated(bm.Graph, comps, dedOpts(capacity))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(res); err != nil {
+			t.Fatalf("capacity %d: %v", capacity, err)
+		}
+		makespan[capacity] = res.Makespan
+	}
+	if makespan[1] < makespan[16] {
+		t.Errorf("single-cell storage %v faster than 16-cell %v", makespan[1], makespan[16])
+	}
+	t.Logf("capacity sweep: 16→%v 4→%v 2→%v 1→%v",
+		makespan[16], makespan[4], makespan[2], makespan[1])
+}
+
+func TestDedicatedPortSerialization(t *testing.T) {
+	// Force two concurrent evictions into storage: two producer mixes on
+	// two mixers, both of whose outputs must vacate for later unrelated
+	// mixes, with consumers blocked behind one slow heater.
+	b := assay.NewBuilder("port")
+	p1 := b.AddOp("p1", assay.Mix, unit.Seconds(3), fluid.Fluid{D: 1e-5})
+	p2 := b.AddOp("p2", assay.Mix, unit.Seconds(3), fluid.Fluid{D: 1e-5})
+	u1 := b.AddOp("u1", assay.Mix, unit.Seconds(5), fluid.Fluid{D: 1e-5})
+	u2 := b.AddOp("u2", assay.Mix, unit.Seconds(5), fluid.Fluid{D: 1e-5})
+	blocker := b.AddOp("blocker", assay.Heat, unit.Seconds(40), fluid.Fluid{D: 1e-6})
+	c1 := b.AddOp("c1", assay.Heat, unit.Seconds(3), fluid.Fluid{D: 1e-6})
+	c2 := b.AddOp("c2", assay.Heat, unit.Seconds(3), fluid.Fluid{D: 1e-6})
+	b.AddDep(u1, blocker) // keeps heater busy; u1/u2 need the mixers
+	b.AddDep(p1, c1)
+	b.AddDep(p2, c2)
+	_ = u2
+	g := b.MustBuild()
+	res, err := ScheduleDedicated(g, chip.Allocation{2, 1, 0, 0}.Instantiate(), dedOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the exact timing, the schedule must remain causally valid
+	// and record storage round trips as cache episodes.
+	if len(res.Caches) == 0 {
+		t.Log("no storage round trips on this instance (acceptable but unexpected)")
+	}
+}
+
+func TestDedicatedRejectsBadInputs(t *testing.T) {
+	bm := benchdata.PCR()
+	if _, err := ScheduleDedicated(bm.Graph, bm.Alloc.Instantiate(), dedOpts(0)); err == nil {
+		t.Error("capacity 0 not rejected")
+	}
+	if _, err := ScheduleDedicated(nil, bm.Alloc.Instantiate(), dedOpts(4)); err == nil {
+		t.Error("nil assay not rejected")
+	}
+	o := dedOpts(4)
+	o.TC = 0
+	if _, err := ScheduleDedicated(bm.Graph, bm.Alloc.Instantiate(), o); err == nil {
+		t.Error("zero t_c not rejected")
+	}
+	if _, err := ScheduleDedicated(bm.Graph, chip.Allocation{0, 1, 0, 0}.Instantiate(), dedOpts(4)); err == nil {
+		t.Error("missing mixers not rejected")
+	}
+}

@@ -1,0 +1,381 @@
+package schedule
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/unit"
+)
+
+// tokenState tracks where a produced fluid currently lives.
+type tokenState int
+
+const (
+	tokenInComp    tokenState = iota // inside the component that produced it
+	tokenInChannel                   // evicted, parked in distributed channel storage
+	tokenGone                        // fully consumed (or collected off chip)
+)
+
+// token is the lifecycle record of one operation's output fluid.
+type token struct {
+	producer  assay.OpID
+	comp      chip.CompID // component the fluid was produced on
+	state     tokenState
+	evict     unit.Time // eviction instant (valid in tokenInChannel)
+	remaining int       // consumers not yet served
+	washDur   unit.Time // wash time of this fluid's residue
+	cacheIdx  int       // index into Result.Caches, -1 when never cached
+	maxDepart unit.Time // latest departure committed so far
+	trIdxs    []int     // indices of committed transports of this fluid
+}
+
+// compState is the evolving timeline of one allocated component.
+type compState struct {
+	comp      chip.Component
+	lastEnd   unit.Time // end of the most recent operation
+	washReady unit.Time // instant all pending washes finish (resident == nil)
+	resident  *token    // fluid currently inside, or nil
+}
+
+// binder selects the component for the next dequeued operation. It is the
+// only difference between the proposed algorithm and the baseline.
+type binder interface {
+	// choose returns the component to bind op to. The engine derives
+	// in-place consumption from the chosen component's state.
+	choose(e *engine, op assay.Operation) chip.CompID
+}
+
+// engine executes the shared list-scheduling loop of Algorithm 1.
+type engine struct {
+	g      *assay.Graph
+	opts   Options
+	comps  []compState
+	tokens []*token // indexed by producer OpID; nil until produced
+	res    *Result
+}
+
+// run schedules g on comps using the given binding strategy.
+func run(g *assay.Graph, comps []chip.Component, opts Options, b binder) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("schedule: nil assay")
+	}
+	if opts.TC <= 0 {
+		return nil, fmt.Errorf("schedule: transportation constant t_c must be positive, got %v", opts.TC)
+	}
+	need := g.CountByType()
+	have := make([]int, assay.NumOpTypes)
+	for _, c := range comps {
+		have[c.Kind.Type]++
+	}
+	for t := 0; t < assay.NumOpTypes; t++ {
+		if need[t] > 0 && have[t] == 0 {
+			return nil, fmt.Errorf("schedule: assay %q needs %v components but none allocated",
+				g.Name(), assay.OpType(t))
+		}
+	}
+
+	e := &engine{
+		g:      g,
+		opts:   opts,
+		comps:  make([]compState, len(comps)),
+		tokens: make([]*token, g.NumOps()),
+		res: &Result{
+			Assay: g,
+			Comps: append([]chip.Component(nil), comps...),
+			Opts:  opts,
+			Ops:   make([]BoundOp, g.NumOps()),
+		},
+	}
+	for i, c := range comps {
+		if c.ID != chip.CompID(i) {
+			return nil, fmt.Errorf("schedule: component %d has non-dense ID %d", i, c.ID)
+		}
+		e.comps[i] = compState{comp: c}
+	}
+
+	// Priority queue of ready operations (Algorithm 1, lines 1-3).
+	pr := g.Priorities(opts.TC)
+	q := &opQueue{pr: pr}
+	pending := make([]int, g.NumOps())
+	for id := 0; id < g.NumOps(); id++ {
+		pending[id] = len(g.Parents(assay.OpID(id)))
+		if pending[id] == 0 {
+			heap.Push(q, assay.OpID(id))
+		}
+	}
+
+	scheduled := 0
+	for q.Len() > 0 {
+		op := g.Op(heap.Pop(q).(assay.OpID))
+		c := b.choose(e, op)
+		if c == chip.NoComp || int(c) >= len(e.comps) {
+			return nil, fmt.Errorf("schedule: binder returned invalid component for %q", op.Name)
+		}
+		if e.comps[c].comp.Kind.Type != op.Type {
+			return nil, fmt.Errorf("schedule: binder bound %v operation %q to %s",
+				op.Type, op.Name, e.comps[c].comp.Name())
+		}
+		e.commit(op, c)
+		scheduled++
+		for _, child := range g.Children(op.ID) {
+			pending[child]--
+			if pending[child] == 0 {
+				heap.Push(q, child)
+			}
+		}
+	}
+	if scheduled != g.NumOps() {
+		return nil, fmt.Errorf("schedule: only %d of %d operations scheduled", scheduled, g.NumOps())
+	}
+
+	for _, bo := range e.res.Ops {
+		if bo.End > e.res.Makespan {
+			e.res.Makespan = bo.End
+		}
+	}
+	return e.res, nil
+}
+
+// readyTime returns the earliest instant a new operation op could start on
+// component c, and the parent whose resident output would be consumed in
+// place (NoOp when none). This implements Eq. 2: a component becomes ready
+// once the previous residue has been removed and washed — except that a
+// resident parent output can be consumed directly, skipping both.
+func (e *engine) readyTime(c chip.CompID, op assay.Operation) (unit.Time, assay.OpID) {
+	cs := &e.comps[c]
+	if cs.resident == nil {
+		return unit.MaxTime(cs.lastEnd, cs.washReady), assay.NoOp
+	}
+	tk := cs.resident
+	if e.isParent(tk.producer, op.ID) {
+		if tk.remaining == 1 {
+			// Case-I consumption: the operation runs where its input
+			// already sits; no transport, no wash.
+			return unit.MaxTime(cs.lastEnd, cs.washReady), tk.producer
+		}
+		// The resident fluid is an input but other consumers still need
+		// aliquots of it: the whole fluid is evicted to channel storage,
+		// the component washed, and this operation's share arrives back
+		// from the channel. Both the wash and the channel hop must fit
+		// between eviction and start.
+		d := unit.MaxTime(tk.washDur, e.opts.TC)
+		return cs.lastEnd + d, assay.NoOp
+	}
+	// Unrelated resident fluid: evict to channel storage, then wash.
+	return cs.lastEnd + tk.washDur, assay.NoOp
+}
+
+// isParent reports whether p is a father operation of o.
+func (e *engine) isParent(p, o assay.OpID) bool {
+	for _, q := range e.g.Parents(o) {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// startTime returns the earliest feasible start of op on component c —
+// component readiness combined with the arrival constraints of every input
+// fluid (Algorithm 1, lines 12-13) — together with the in-place parent
+// (assay.NoOp when none).
+func (e *engine) startTime(c chip.CompID, op assay.Operation) (unit.Time, assay.OpID) {
+	start, inPlaceParent := e.readyTime(c, op)
+	for _, p := range e.g.Parents(op.ID) {
+		tk := e.tokens[p]
+		switch {
+		case p == inPlaceParent:
+			// Already inside c; covered by readyTime.
+		case tk.state == tokenInComp && tk.comp == c:
+			// Aliquot case: eviction + channel hop folded into readyTime.
+		case tk.state == tokenInComp:
+			start = unit.MaxTime(start, e.res.Ops[p].End+e.opts.TC)
+		case tk.state == tokenInChannel:
+			start = unit.MaxTime(start, tk.evict+e.opts.TC)
+		default:
+			panic(fmt.Sprintf("schedule: output of %d consumed twice", p))
+		}
+	}
+	return start, inPlaceParent
+}
+
+// commit binds op to component c, derives its start time from component
+// readiness and input-fluid arrivals, and records transports, caches and
+// washes.
+func (e *engine) commit(op assay.Operation, c chip.CompID) {
+	cs := &e.comps[c]
+	start, inPlaceParent := e.startTime(c, op)
+	end := start + op.Duration
+
+	// Evict an unrelated or aliquot-pending resident fluid.
+	if cs.resident != nil && (inPlaceParent == assay.NoOp) {
+		tk := cs.resident
+		d := tk.washDur
+		if e.isParent(tk.producer, op.ID) {
+			d = unit.MaxTime(tk.washDur, e.opts.TC)
+		}
+		e.evict(cs, tk, start-d)
+	}
+
+	// Serve each input fluid.
+	for _, p := range e.g.Parents(op.ID) {
+		tk := e.tokens[p]
+		if p == inPlaceParent {
+			tk.remaining--
+			tk.state = tokenGone
+			cs.resident = nil
+			continue
+		}
+		e.transport(tk, c, op.ID, start)
+	}
+
+	// Record the operation.
+	e.res.Ops[op.ID] = BoundOp{
+		Op:            op.ID,
+		Comp:          c,
+		Start:         start,
+		End:           end,
+		InPlace:       inPlaceParent != assay.NoOp,
+		InPlaceParent: inPlaceParent,
+	}
+	cs.lastEnd = end
+
+	// Produce the output token.
+	washDur := e.opts.Wash.WashTime(op.Output.D)
+	nConsumers := len(e.g.Children(op.ID))
+	if nConsumers == 0 {
+		// Final product: collected at the output port immediately; the
+		// component is washed right after.
+		e.addWash(c, op.ID, end, end+washDur)
+		cs.washReady = end + washDur
+		cs.resident = nil
+		e.tokens[op.ID] = &token{
+			producer: op.ID, comp: c, state: tokenGone,
+			washDur: washDur, cacheIdx: -1,
+		}
+		return
+	}
+	tk := &token{
+		producer:  op.ID,
+		comp:      c,
+		state:     tokenInComp,
+		remaining: nConsumers,
+		washDur:   washDur,
+		cacheIdx:  -1,
+	}
+	e.tokens[op.ID] = tk
+	cs.resident = tk
+}
+
+// evict moves the resident fluid of cs into channel storage at instant at,
+// starts the component wash, and opens a channel-cache episode.
+func (e *engine) evict(cs *compState, tk *token, at unit.Time) {
+	if at < cs.lastEnd {
+		at = cs.lastEnd
+	}
+	tk.state = tokenInChannel
+	tk.evict = at
+	cs.resident = nil
+	e.addWash(cs.comp.ID, tk.producer, at, at+tk.washDur)
+	cs.washReady = at + tk.washDur
+	tk.cacheIdx = len(e.res.Caches)
+	cacheEnd := at
+	// Aliquots already committed to depart after the eviction instant now
+	// leave from channel storage instead of from the component; patch
+	// their records so routing and the Fig. 8 accounting stay consistent.
+	for _, idx := range tk.trIdxs {
+		tr := &e.res.Transports[idx]
+		if tr.Depart > at {
+			tr.FromChannel = true
+			tr.CacheStart = at
+			if tr.Depart > cacheEnd {
+				cacheEnd = tr.Depart
+			}
+		}
+	}
+	e.res.Caches = append(e.res.Caches, ChannelCache{
+		Producer: tk.producer,
+		From:     cs.comp.ID,
+		Start:    at,
+		End:      cacheEnd, // extended as further consumers depart
+		Fluid:    e.g.Op(tk.producer).Output,
+	})
+}
+
+// transport moves one aliquot of tk's fluid to component dst so that it
+// arrives exactly at the consumer's start time.
+func (e *engine) transport(tk *token, dst chip.CompID, consumer assay.OpID, start unit.Time) {
+	depart := start - e.opts.TC
+	fl := e.g.Op(tk.producer).Output
+	tr := Transport{
+		ID:       len(e.res.Transports),
+		Producer: tk.producer,
+		Consumer: consumer,
+		From:     tk.comp,
+		To:       dst,
+		Depart:   depart,
+		Arrive:   start,
+		Fluid:    fl,
+		WashTime: tk.washDur,
+	}
+	if tk.state == tokenInChannel {
+		tr.FromChannel = true
+		tr.CacheStart = tk.evict
+		if tk.cacheIdx >= 0 && depart > e.res.Caches[tk.cacheIdx].End {
+			e.res.Caches[tk.cacheIdx].End = depart
+		}
+	}
+	tk.trIdxs = append(tk.trIdxs, len(e.res.Transports))
+	e.res.Transports = append(e.res.Transports, tr)
+	if depart > tk.maxDepart {
+		tk.maxDepart = depart
+	}
+
+	tk.remaining--
+	if tk.remaining == 0 {
+		if tk.state == tokenInComp {
+			// Last aliquot left the producing component: wash it. The
+			// wash starts only once the latest-departing aliquot is out
+			// (consumers are scheduled in priority order, not time
+			// order, so this call may not carry the latest departure).
+			src := &e.comps[tk.comp]
+			src.resident = nil
+			e.addWash(tk.comp, tk.producer, tk.maxDepart, tk.maxDepart+tk.washDur)
+			if tk.maxDepart+tk.washDur > src.washReady {
+				src.washReady = tk.maxDepart + tk.washDur
+			}
+		}
+		tk.state = tokenGone
+	}
+}
+
+func (e *engine) addWash(c chip.CompID, residue assay.OpID, start, end unit.Time) {
+	e.res.Washes = append(e.res.Washes, ComponentWash{Comp: c, Residue: residue, Start: start, End: end})
+}
+
+// opQueue orders ready operations by non-increasing priority value, with
+// operation ID as a deterministic tie break (Algorithm 1, lines 3-5).
+type opQueue struct {
+	pr  []unit.Time
+	ids []assay.OpID
+}
+
+func (q *opQueue) Len() int { return len(q.ids) }
+func (q *opQueue) Less(i, j int) bool {
+	a, b := q.ids[i], q.ids[j]
+	if q.pr[a] != q.pr[b] {
+		return q.pr[a] > q.pr[b]
+	}
+	return a < b
+}
+func (q *opQueue) Swap(i, j int)      { q.ids[i], q.ids[j] = q.ids[j], q.ids[i] }
+func (q *opQueue) Push(x interface{}) { q.ids = append(q.ids, x.(assay.OpID)) }
+func (q *opQueue) Pop() interface{} {
+	old := q.ids
+	n := len(old)
+	x := old[n-1]
+	q.ids = old[:n-1]
+	return x
+}

@@ -1,0 +1,160 @@
+package schedule
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/rng"
+	"repro/internal/unit"
+)
+
+// randomCase builds a random assay and a covering allocation.
+func randomCase(seed uint64) (*assay.Graph, chip.Allocation) {
+	r := rng.New(seed)
+	ops := 5 + r.Intn(40)
+	alloc := chip.Allocation{
+		1 + r.Intn(4),
+		r.Intn(3),
+		r.Intn(2),
+		r.Intn(3),
+	}
+	g := benchdata.GenerateSynthetic(fmt.Sprintf("prop%d", seed), ops, alloc, seed*7+1)
+	// The generator only emits types with non-zero allocation, so the
+	// allocation covers by construction.
+	return g, alloc
+}
+
+// TestPropertyBothSchedulersAlwaysValid runs both schedulers over many
+// random assays and validates every invariant each time.
+func TestPropertyBothSchedulersAlwaysValid(t *testing.T) {
+	for seed := uint64(1); seed <= 120; seed++ {
+		g, alloc := randomCase(seed)
+		comps := alloc.Instantiate()
+		for _, algo := range []struct {
+			name string
+			run  func(*assay.Graph, []chip.Component, Options) (*Result, error)
+		}{{"ours", Schedule}, {"BA", ScheduleBaseline}} {
+			res, err := algo.run(g, comps, DefaultOptions())
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, algo.name, err)
+			}
+			if err := Validate(res); err != nil {
+				t.Fatalf("seed %d %s: invalid schedule: %v", seed, algo.name, err)
+			}
+			// Makespan can never beat the critical path.
+			if cp := g.CriticalPathLength(res.Opts.TC); res.Makespan < cp-cpSlack(g, res) {
+				t.Fatalf("seed %d %s: makespan %v below critical path %v",
+					seed, algo.name, res.Makespan, cp)
+			}
+		}
+	}
+}
+
+// cpSlack accounts for edges realised in place: each in-place edge saves
+// exactly one t_c relative to the critical-path bound that charges t_c on
+// every edge.
+func cpSlack(g *assay.Graph, r *Result) unit.Time {
+	var slack unit.Time
+	for _, bo := range r.Ops {
+		if bo.InPlace {
+			slack += r.Opts.TC
+		}
+	}
+	return slack
+}
+
+// TestPropertyOursAtLeastAsGoodOnAverage checks the paper's headline
+// claim statistically: over many random instances the proposed scheduler
+// must not lose to the baseline on average, and must win on a clear
+// majority-or-tie basis.
+func TestPropertyOursAtLeastAsGoodOnAverage(t *testing.T) {
+	var oursTotal, baTotal unit.Time
+	wins, ties, losses := 0, 0, 0
+	for seed := uint64(1); seed <= 120; seed++ {
+		g, alloc := randomCase(seed)
+		comps := alloc.Instantiate()
+		ours, err := Schedule(g, comps, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := ScheduleBaseline(g, comps, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		oursTotal += ours.Makespan
+		baTotal += ba.Makespan
+		switch {
+		case ours.Makespan < ba.Makespan:
+			wins++
+		case ours.Makespan == ba.Makespan:
+			ties++
+		default:
+			losses++
+		}
+	}
+	t.Logf("random instances: %d wins, %d ties, %d losses; mean makespan ours %v vs BA %v",
+		wins, ties, losses, oursTotal/120, baTotal/120)
+	if oursTotal > baTotal {
+		t.Errorf("ours worse on average: %v vs %v", oursTotal, baTotal)
+	}
+	if losses > wins {
+		t.Errorf("ours loses more often than it wins: %d vs %d", losses, wins)
+	}
+}
+
+// TestPropertyCacheEpisodesConsistent cross-checks that every channel
+// cache episode is backed by at least one channel-sourced transport and
+// that total cache time equals the sum over episodes.
+func TestPropertyCacheEpisodesConsistent(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		g, alloc := randomCase(seed)
+		res, err := Schedule(g, alloc.Instantiate(), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromChan := map[assay.OpID]bool{}
+		for _, tr := range res.Transports {
+			if tr.FromChannel {
+				fromChan[tr.Producer] = true
+			}
+		}
+		var total unit.Time
+		for _, ce := range res.Caches {
+			total += ce.Duration()
+			if !fromChan[ce.Producer] {
+				t.Fatalf("seed %d: cache episode of %d has no channel transport", seed, ce.Producer)
+			}
+		}
+		if total != res.TotalChannelCacheTime() {
+			t.Fatalf("seed %d: cache total mismatch", seed)
+		}
+	}
+}
+
+// TestPropertyTransportCountBounded verifies that the number of
+// transports never exceeds the number of edges (each edge is served by at
+// most one transport; in-place edges by none).
+func TestPropertyTransportCountBounded(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		g, alloc := randomCase(seed)
+		for _, run := range []func(*assay.Graph, []chip.Component, Options) (*Result, error){Schedule, ScheduleBaseline} {
+			res, err := run(g, alloc.Instantiate(), DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			inPlace := 0
+			for _, bo := range res.Ops {
+				if bo.InPlace {
+					inPlace++
+				}
+			}
+			if len(res.Transports)+inPlace != g.NumEdges() {
+				t.Fatalf("seed %d: transports %d + in-place %d != edges %d",
+					seed, len(res.Transports), inPlace, g.NumEdges())
+			}
+		}
+	}
+}

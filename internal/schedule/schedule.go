@@ -1,0 +1,194 @@
+// Package schedule implements the resource binding and scheduling stage of
+// the paper's top-down synthesis flow (Section IV-A, Algorithm 1).
+//
+// Operations of the sequencing graph are processed in non-increasing
+// priority order (priority = longest path to the sink). Each dequeued
+// operation is bound to a component by a pluggable strategy:
+//
+//   - the DCSA strategy of the paper: Case I binds to the parent component
+//     whose resident output has the lowest diffusion coefficient
+//     (eliminating one transport and the most expensive wash), Case II
+//     binds to the qualified component with the earliest ready time
+//     t_ready(c) = t_remove(prev) + wash(prev) (Eq. 2);
+//   - the baseline (BA) strategy of Section V: always earliest-ready.
+//
+// The engine then derives start/end times, transportation tasks between
+// components, channel-caching episodes (a fluid evicted from its component
+// because the component is needed, parked in flow channels until its
+// consumer is ready — the defining feature of distributed channel
+// storage), and the component wash episodes required before reuse.
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/unit"
+)
+
+// Options configures a scheduling run.
+type Options struct {
+	// TC is the user-defined transportation constant t_c between any two
+	// components (the paper's experiments use 2 s).
+	TC unit.Time
+	// Wash converts residue diffusion coefficients into wash times.
+	Wash fluid.WashModel
+}
+
+// DefaultOptions returns the paper's experimental parameters.
+func DefaultOptions() Options {
+	return Options{
+		TC:   unit.Seconds(2),
+		Wash: fluid.DefaultWashModel(),
+	}
+}
+
+// BoundOp is the scheduling decision for one operation.
+type BoundOp struct {
+	Op    assay.OpID
+	Comp  chip.CompID
+	Start unit.Time
+	End   unit.Time
+	// InPlace reports that the operation consumed a parent's output
+	// directly inside Comp (Case I binding): no transport, no wash.
+	InPlace bool
+	// InPlaceParent is the parent whose residue was consumed in place
+	// (valid only when InPlace).
+	InPlaceParent assay.OpID
+}
+
+// Transport is one transportation task: out(Producer) moves from the
+// component it was produced on to the consumer's component. If the fluid
+// was first evicted into channel storage, FromChannel is set and the cache
+// interval is [CacheStart, Depart).
+type Transport struct {
+	ID       int
+	Producer assay.OpID
+	Consumer assay.OpID
+	From     chip.CompID
+	To       chip.CompID
+	// Depart/Arrive bound the physical movement; Arrive-Depart == TC.
+	Depart unit.Time
+	Arrive unit.Time
+	// FromChannel marks a fluid that waited in distributed channel
+	// storage; CacheStart is the eviction instant.
+	FromChannel bool
+	CacheStart  unit.Time
+	// Fluid is the transported sample; WashTime is the channel wash time
+	// its residue requires (used by the router's cell weights).
+	Fluid    fluid.Fluid
+	WashTime unit.Time
+}
+
+// CacheDuration returns how long this fluid sat in channel storage before
+// its final hop (zero for direct transports).
+func (t Transport) CacheDuration() unit.Time {
+	if !t.FromChannel {
+		return 0
+	}
+	return t.Depart - t.CacheStart
+}
+
+// ChannelCache is one channel-storage episode: a fluid parked in flow
+// channels from Start until End (its last consumer's departure).
+type ChannelCache struct {
+	Producer assay.OpID
+	From     chip.CompID // component the fluid was evicted from
+	Start    unit.Time
+	End      unit.Time
+	Fluid    fluid.Fluid
+}
+
+// Duration returns the length of the caching episode.
+func (c ChannelCache) Duration() unit.Time { return c.End - c.Start }
+
+// ComponentWash is a wash episode on a component after the residue of
+// Residue departed.
+type ComponentWash struct {
+	Comp    chip.CompID
+	Residue assay.OpID
+	Start   unit.Time
+	End     unit.Time
+}
+
+// Result is a complete binding and scheduling scheme.
+type Result struct {
+	Assay      *assay.Graph
+	Comps      []chip.Component
+	Opts       Options
+	Ops        []BoundOp // indexed by OpID
+	Transports []Transport
+	Caches     []ChannelCache
+	Washes     []ComponentWash
+	Makespan   unit.Time
+}
+
+// Op returns the scheduling decision for the given operation.
+func (r *Result) Op(id assay.OpID) BoundOp { return r.Ops[id] }
+
+// Comp returns the allocated component with the given ID.
+func (r *Result) Comp(id chip.CompID) chip.Component { return r.Comps[id] }
+
+// Utilization computes the on-chip resource utilization U_r of Eq. 1:
+// the average over all |C| allocated components of actual execution time
+// divided by the active window (last end minus first start). Components
+// that execute no operation contribute zero.
+func (r *Result) Utilization() float64 {
+	if len(r.Comps) == 0 {
+		return 0
+	}
+	type win struct {
+		busy        unit.Time
+		first, last unit.Time
+		used        bool
+	}
+	ws := make([]win, len(r.Comps))
+	for _, bo := range r.Ops {
+		w := &ws[bo.Comp]
+		if !w.used || bo.Start < w.first {
+			w.first = bo.Start
+		}
+		if !w.used || bo.End > w.last {
+			w.last = bo.End
+		}
+		w.busy += bo.End - bo.Start
+		w.used = true
+	}
+	var sum float64
+	for _, w := range ws {
+		if w.used && w.last > w.first {
+			sum += float64(w.busy) / float64(w.last-w.first)
+		}
+	}
+	return sum / float64(len(r.Comps))
+}
+
+// TotalChannelCacheTime sums the durations of all channel-storage episodes
+// (the quantity of Fig. 8).
+func (r *Result) TotalChannelCacheTime() unit.Time {
+	var t unit.Time
+	for _, c := range r.Caches {
+		t += c.Duration()
+	}
+	return t
+}
+
+// TotalComponentWashTime sums all component wash episodes.
+func (r *Result) TotalComponentWashTime() unit.Time {
+	var t unit.Time
+	for _, w := range r.Washes {
+		t += w.End - w.Start
+	}
+	return t
+}
+
+// NumTransports returns the number of inter-component transportation tasks.
+func (r *Result) NumTransports() int { return len(r.Transports) }
+
+// String summarises the schedule.
+func (r *Result) String() string {
+	return fmt.Sprintf("schedule{%s: %d ops on %d comps, makespan %v, U_r %.1f%%, %d transports, %d caches}",
+		r.Assay.Name(), len(r.Ops), len(r.Comps), r.Makespan, 100*r.Utilization(), len(r.Transports), len(r.Caches))
+}

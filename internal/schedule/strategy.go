@@ -1,0 +1,142 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/unit"
+)
+
+// dcsaBinder implements the binding strategy of Algorithm 1.
+//
+// Case I (lines 6-8): if at least one father operation of the same type
+// still has its output fluid inside the component it was bound to, bind to
+// the component among those whose resident fluid has the lowest diffusion
+// coefficient — the transport of that input is eliminated and the most
+// expensive pending wash is avoided.
+//
+// Case II (lines 9-11): otherwise bind to the qualified component with the
+// earliest ready time (Eq. 2).
+type dcsaBinder struct{}
+
+func (dcsaBinder) choose(e *engine, op assay.Operation) chip.CompID {
+	best := chip.NoComp
+	bestD := unit.Diffusion(0)
+	var bestParent assay.OpID
+	for _, p := range e.g.Parents(op.ID) {
+		pop := e.g.Op(p)
+		if pop.Type != op.Type {
+			continue
+		}
+		tk := e.tokens[p]
+		// Only fluids that can be consumed in place qualify: with other
+		// consumers still pending, the fluid would have to be evicted,
+		// washed and brought back, so neither Case-I benefit (no
+		// transport, no wash) materialises.
+		if tk == nil || tk.state != tokenInComp || tk.remaining != 1 {
+			continue
+		}
+		if best == chip.NoComp || pop.Output.D < bestD ||
+			(pop.Output.D == bestD && p < bestParent) {
+			best = tk.comp
+			bestD = pop.Output.D
+			bestParent = p
+		}
+	}
+	if best != chip.NoComp {
+		return best
+	}
+	return earliestStart(e, op)
+}
+
+// earliestStart implements the DCSA-aware reading of Case II: among the
+// qualified components it minimises the operation's actual start time
+// (component ready time combined with input-fluid arrivals, which any
+// component must wait for anyway) and breaks ties in favour of components
+// that hold no resident fluid — binding there would evict another
+// operation's output into channel storage and destroy a pending Case-I
+// opportunity for its consumer, for no gain in start time.
+func earliestStart(e *engine, op assay.Operation) chip.CompID {
+	best := chip.NoComp
+	var bestT unit.Time
+	var bestWash unit.Time // wash of the resident we would evict; 0 if none
+	for i := range e.comps {
+		cs := &e.comps[i]
+		if cs.comp.Kind.Type != op.Type {
+			continue
+		}
+		t, _ := e.startTime(cs.comp.ID, op)
+		var evictWash unit.Time
+		if cs.resident != nil {
+			evictWash = cs.resident.washDur
+		}
+		if best == chip.NoComp || t < bestT ||
+			(t == bestT && evictWash < bestWash) {
+			best = cs.comp.ID
+			bestT = t
+			bestWash = evictWash
+		}
+	}
+	return best
+}
+
+// baselineBinder implements the comparison algorithm BA of Section V: it
+// always binds a ready operation to the qualified component with the
+// earliest ready time, with no awareness of resident fluids or wash costs.
+type baselineBinder struct{}
+
+func (baselineBinder) choose(e *engine, op assay.Operation) chip.CompID {
+	return earliestReady(e, op)
+}
+
+// earliestReady returns the component of op's type with the smallest ready
+// time, breaking ties by component ID for determinism.
+func earliestReady(e *engine, op assay.Operation) chip.CompID {
+	best := chip.NoComp
+	var bestT unit.Time
+	for i := range e.comps {
+		cs := &e.comps[i]
+		if cs.comp.Kind.Type != op.Type {
+			continue
+		}
+		t, _ := e.readyTime(cs.comp.ID, op)
+		if best == chip.NoComp || t < bestT {
+			best = cs.comp.ID
+			bestT = t
+		}
+	}
+	return best
+}
+
+// fixedBinder binds every operation to a prescribed component. It is the
+// hook used by the exhaustive optimal search (internal/exact).
+type fixedBinder struct {
+	binding []chip.CompID // indexed by OpID
+}
+
+func (f fixedBinder) choose(e *engine, op assay.Operation) chip.CompID {
+	return f.binding[op.ID]
+}
+
+// ScheduleWithBinding schedules g with the binding function Φ fixed to
+// the given per-operation component assignment; only the timing is
+// derived. It is used to search for optimal bindings on small assays.
+func ScheduleWithBinding(g *assay.Graph, comps []chip.Component, opts Options, binding []chip.CompID) (*Result, error) {
+	if g != nil && len(binding) != g.NumOps() {
+		return nil, fmt.Errorf("schedule: binding covers %d of %d operations", len(binding), g.NumOps())
+	}
+	return run(g, comps, opts, fixedBinder{binding: binding})
+}
+
+// Schedule runs the paper's DCSA-aware binding and scheduling algorithm
+// (Algorithm 1) for assay g on the given allocated components.
+func Schedule(g *assay.Graph, comps []chip.Component, opts Options) (*Result, error) {
+	return run(g, comps, opts, dcsaBinder{})
+}
+
+// ScheduleBaseline runs the baseline algorithm BA used for comparison in
+// Section V of the paper.
+func ScheduleBaseline(g *assay.Graph, comps []chip.Component, opts Options) (*Result, error) {
+	return run(g, comps, opts, baselineBinder{})
+}

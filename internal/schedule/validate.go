@@ -1,0 +1,174 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/assay"
+)
+
+// Validate checks a Result against the physical and causal invariants of
+// Section II-C independently of how it was produced:
+//
+//   - every operation is bound to a component of its own type and runs for
+//     exactly its execution time;
+//   - every fluidic dependency is realised either by in-place consumption
+//     on a shared component or by exactly one transportation task of
+//     duration t_c that departs after the producer finishes and arrives no
+//     later than the consumer starts;
+//   - operations on the same component never overlap, and wash episodes
+//     never overlap operations on their component;
+//   - channel-cache episodes are well formed and consistent with their
+//     transports.
+//
+// It is used by the test suite and by the end-to-end simulator.
+func Validate(r *Result) error {
+	if r == nil || r.Assay == nil {
+		return fmt.Errorf("schedule: nil result")
+	}
+	g := r.Assay
+	if len(r.Ops) != g.NumOps() {
+		return fmt.Errorf("schedule: %d decisions for %d operations", len(r.Ops), g.NumOps())
+	}
+
+	// Per-operation checks.
+	for i, bo := range r.Ops {
+		op := g.Op(assay.OpID(i))
+		if bo.Op != op.ID {
+			return fmt.Errorf("op %d: decision records ID %d", i, bo.Op)
+		}
+		if bo.Comp < 0 || int(bo.Comp) >= len(r.Comps) {
+			return fmt.Errorf("op %q: bound to unknown component %d", op.Name, bo.Comp)
+		}
+		if r.Comps[bo.Comp].Kind.Type != op.Type {
+			return fmt.Errorf("op %q (%v): bound to %s", op.Name, op.Type, r.Comps[bo.Comp].Name())
+		}
+		if bo.Start < 0 {
+			return fmt.Errorf("op %q: negative start %v", op.Name, bo.Start)
+		}
+		if bo.End != bo.Start+op.Duration {
+			return fmt.Errorf("op %q: end %v != start %v + duration %v", op.Name, bo.End, bo.Start, op.Duration)
+		}
+	}
+
+	// Dependency realisation.
+	type edgeKey struct{ p, c assay.OpID }
+	trByEdge := make(map[edgeKey]*Transport)
+	for i := range r.Transports {
+		tr := &r.Transports[i]
+		k := edgeKey{tr.Producer, tr.Consumer}
+		if trByEdge[k] != nil {
+			return fmt.Errorf("duplicate transport for edge %d->%d", tr.Producer, tr.Consumer)
+		}
+		trByEdge[k] = tr
+	}
+	for _, e := range g.Edges() {
+		p, c := r.Ops[e.From], r.Ops[e.To]
+		tr := trByEdge[edgeKey{e.From, e.To}]
+		if c.InPlace && c.InPlaceParent == e.From {
+			if tr != nil {
+				return fmt.Errorf("edge %d->%d consumed in place but also transported", e.From, e.To)
+			}
+			if p.Comp != c.Comp {
+				return fmt.Errorf("edge %d->%d in place across components %d and %d", e.From, e.To, p.Comp, c.Comp)
+			}
+			if c.Start < p.End {
+				return fmt.Errorf("edge %d->%d: in-place consumer starts %v before producer ends %v",
+					e.From, e.To, c.Start, p.End)
+			}
+			continue
+		}
+		if tr == nil {
+			return fmt.Errorf("edge %d->%d has neither transport nor in-place consumption", e.From, e.To)
+		}
+		if tr.Arrive-tr.Depart != r.Opts.TC {
+			return fmt.Errorf("transport %d: duration %v != t_c %v", tr.ID, tr.Arrive-tr.Depart, r.Opts.TC)
+		}
+		if tr.Depart < p.End {
+			return fmt.Errorf("transport %d departs %v before producer %d ends %v", tr.ID, tr.Depart, e.From, p.End)
+		}
+		if tr.Arrive > c.Start {
+			return fmt.Errorf("transport %d arrives %v after consumer %d starts %v", tr.ID, tr.Arrive, e.To, c.Start)
+		}
+		if tr.From != p.Comp {
+			return fmt.Errorf("transport %d departs from %d, producer on %d", tr.ID, tr.From, p.Comp)
+		}
+		if tr.To != c.Comp {
+			return fmt.Errorf("transport %d arrives at %d, consumer on %d", tr.ID, tr.To, c.Comp)
+		}
+		if tr.FromChannel {
+			if tr.CacheStart < p.End || tr.CacheStart > tr.Depart {
+				return fmt.Errorf("transport %d: cache start %v outside [%v,%v]",
+					tr.ID, tr.CacheStart, p.End, tr.Depart)
+			}
+		}
+	}
+	// No transport may exist for a non-edge.
+	edges := make(map[edgeKey]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		edges[edgeKey{e.From, e.To}] = true
+	}
+	for _, tr := range r.Transports {
+		if !edges[edgeKey{tr.Producer, tr.Consumer}] {
+			return fmt.Errorf("transport %d serves non-existent edge %d->%d", tr.ID, tr.Producer, tr.Consumer)
+		}
+	}
+
+	// Component exclusivity and wash placement.
+	byComp := make([][]BoundOp, len(r.Comps))
+	for _, bo := range r.Ops {
+		byComp[bo.Comp] = append(byComp[bo.Comp], bo)
+	}
+	for c, ops := range byComp {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+		for i := 1; i < len(ops); i++ {
+			if ops[i].Start < ops[i-1].End {
+				return fmt.Errorf("component %s: operations %d and %d overlap",
+					r.Comps[c].Name(), ops[i-1].Op, ops[i].Op)
+			}
+		}
+	}
+	for _, w := range r.Washes {
+		if w.Start > w.End {
+			return fmt.Errorf("wash on %d: negative interval [%v,%v)", w.Comp, w.Start, w.End)
+		}
+		if w.Comp < 0 || int(w.Comp) >= len(r.Comps) {
+			return fmt.Errorf("wash on unknown component %d", w.Comp)
+		}
+		for _, bo := range byComp[w.Comp] {
+			if w.Start < bo.End && bo.Start < w.End {
+				return fmt.Errorf("wash [%v,%v) on %s overlaps operation %d [%v,%v)",
+					w.Start, w.End, r.Comps[w.Comp].Name(), bo.Op, bo.Start, bo.End)
+			}
+		}
+	}
+
+	// Cache episodes.
+	for i, ce := range r.Caches {
+		if ce.Start > ce.End {
+			return fmt.Errorf("cache %d: negative interval [%v,%v)", i, ce.Start, ce.End)
+		}
+		if ce.Start < r.Ops[ce.Producer].End {
+			return fmt.Errorf("cache %d starts %v before producer %d ends %v",
+				i, ce.Start, ce.Producer, r.Ops[ce.Producer].End)
+		}
+	}
+
+	// Makespan.
+	var last assay.OpID
+	var maxEnd = r.Ops[0].End
+	for _, bo := range r.Ops {
+		if bo.End > maxEnd {
+			maxEnd = bo.End
+			last = bo.Op
+		}
+	}
+	if r.Makespan != maxEnd {
+		return fmt.Errorf("makespan %v != latest end %v (op %d)", r.Makespan, maxEnd, last)
+	}
+
+	if u := r.Utilization(); u < 0 || u > 1 {
+		return fmt.Errorf("utilization %v outside [0,1]", u)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package sim replays a complete synthesis Solution as a discrete event
+// timeline and re-verifies it against the physical rules of a DCSA-based
+// biochip, independently of how the solution was produced:
+//
+//   - a component executes at most one operation at a time;
+//   - an operation starts only when each of its input fluids is present at
+//     its component — either produced there and consumed in place, or
+//     delivered by a transportation task that has arrived;
+//   - every fluid has a single consistent location over time (inside a
+//     component, parked in channel storage, moving along its routed path,
+//     or consumed);
+//   - transportation tasks never share a grid cell while their occupancy
+//     windows overlap (the transportation conflicts of Section II-C-2).
+//
+// The replay also produces the event log used by the examples and the
+// Gantt renderer.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// EventKind labels a timeline event.
+type EventKind string
+
+// The event kinds emitted by a replay.
+const (
+	OpStart         EventKind = "op-start"
+	OpEnd           EventKind = "op-end"
+	TransportDepart EventKind = "transport-depart"
+	TransportArrive EventKind = "transport-arrive"
+	CacheStart      EventKind = "cache-start"
+	CacheEnd        EventKind = "cache-end"
+	WashStart       EventKind = "wash-start"
+	WashEnd         EventKind = "wash-end"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	Time unit.Time
+	Kind EventKind
+	// Op is the related operation (producer for transports/caches/washes).
+	Op assay.OpID
+	// Comp is the component involved (NoComp for pure channel events).
+	Comp chip.CompID
+	Note string
+}
+
+// Replay is the verified execution trace of a solution.
+type Replay struct {
+	Events   []Event
+	Makespan unit.Time
+	// BusyTime is the per-component total operation time.
+	BusyTime []unit.Time
+	// Moves counts transport events; Caches counts channel-storage
+	// episodes observed.
+	Moves, Caches int
+}
+
+// Run replays and verifies the solution.
+func Run(sol *core.Solution) (*Replay, error) {
+	if sol == nil {
+		return nil, fmt.Errorf("sim: nil solution")
+	}
+	// Stage-level validators first: they check structural properties.
+	if err := schedule.Validate(sol.Schedule); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := route.Validate(sol.Routing, sol.Schedule, sol.Comps, sol.Placement, sol.Opts.Route); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	r := &Replay{BusyTime: make([]unit.Time, len(sol.Comps))}
+	g := sol.Assay
+	sched := sol.Schedule
+
+	// Independent replay of input delivery, tracked per fluidic
+	// dependency: each edge is served either by a dedicated transport or
+	// by in-place consumption on a shared component.
+	type edgeKey struct{ p, c assay.OpID }
+	delivered := make(map[edgeKey]unit.Time)
+	for _, tr := range sched.Transports {
+		delivered[edgeKey{tr.Producer, tr.Consumer}] = tr.Arrive
+	}
+	for _, bo := range sched.Ops {
+		for _, p := range g.Parents(bo.Op) {
+			if bo.InPlace && bo.InPlaceParent == p {
+				// In place: the fluid is already inside bo.Comp; it must
+				// have been produced there and before this op starts.
+				pp := sched.Ops[p]
+				if pp.Comp != bo.Comp {
+					return nil, fmt.Errorf("sim: op %d consumes out(%d) in place but they run on different components",
+						bo.Op, p)
+				}
+				if pp.End > bo.Start {
+					return nil, fmt.Errorf("sim: op %d starts at %v before in-place input out(%d) is ready at %v",
+						bo.Op, bo.Start, p, pp.End)
+				}
+				continue
+			}
+			at, ok := delivered[edgeKey{p, bo.Op}]
+			if !ok {
+				return nil, fmt.Errorf("sim: input out(%d) never delivered to op %d", p, bo.Op)
+			}
+			if at > bo.Start {
+				return nil, fmt.Errorf("sim: op %d starts at %v before input out(%d) arrives at %v",
+					bo.Op, bo.Start, p, at)
+			}
+		}
+	}
+
+	// Component exclusivity via sweep.
+	type span struct {
+		s, e unit.Time
+		op   assay.OpID
+	}
+	perComp := make([][]span, len(sol.Comps))
+	for _, bo := range sched.Ops {
+		perComp[bo.Comp] = append(perComp[bo.Comp], span{bo.Start, bo.End, bo.Op})
+		r.BusyTime[bo.Comp] += bo.End - bo.Start
+	}
+	for c, spans := range perComp {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].s < spans[j].s })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].s < spans[i-1].e {
+				return nil, fmt.Errorf("sim: component %d runs ops %d and %d concurrently",
+					c, spans[i-1].op, spans[i].op)
+			}
+		}
+	}
+
+	// Emit the event log.
+	for _, bo := range sched.Ops {
+		r.Events = append(r.Events,
+			Event{Time: bo.Start, Kind: OpStart, Op: bo.Op, Comp: bo.Comp, Note: g.Op(bo.Op).Name},
+			Event{Time: bo.End, Kind: OpEnd, Op: bo.Op, Comp: bo.Comp, Note: g.Op(bo.Op).Name},
+		)
+	}
+	for _, tr := range sched.Transports {
+		r.Events = append(r.Events,
+			Event{Time: tr.Depart, Kind: TransportDepart, Op: tr.Producer, Comp: tr.From,
+				Note: fmt.Sprintf("out(%s) → %s", g.Op(tr.Producer).Name, sol.Comps[tr.To].Name())},
+			Event{Time: tr.Arrive, Kind: TransportArrive, Op: tr.Producer, Comp: tr.To,
+				Note: fmt.Sprintf("out(%s) delivered", g.Op(tr.Producer).Name)},
+		)
+		r.Moves++
+	}
+	for _, ce := range sched.Caches {
+		r.Events = append(r.Events,
+			Event{Time: ce.Start, Kind: CacheStart, Op: ce.Producer, Comp: ce.From,
+				Note: fmt.Sprintf("out(%s) parked in channel", g.Op(ce.Producer).Name)},
+			Event{Time: ce.End, Kind: CacheEnd, Op: ce.Producer, Comp: ce.From,
+				Note: fmt.Sprintf("out(%s) leaves channel storage", g.Op(ce.Producer).Name)},
+		)
+		r.Caches++
+	}
+	for _, w := range sched.Washes {
+		r.Events = append(r.Events,
+			Event{Time: w.Start, Kind: WashStart, Op: w.Residue, Comp: w.Comp,
+				Note: fmt.Sprintf("washing residue of %s", g.Op(w.Residue).Name)},
+			Event{Time: w.End, Kind: WashEnd, Op: w.Residue, Comp: w.Comp},
+		)
+	}
+	sort.SliceStable(r.Events, func(i, j int) bool {
+		if r.Events[i].Time != r.Events[j].Time {
+			return r.Events[i].Time < r.Events[j].Time
+		}
+		return r.Events[i].Kind < r.Events[j].Kind
+	})
+	r.Makespan = sched.Makespan
+	return r, nil
+}

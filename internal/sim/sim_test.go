@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/unit"
+)
+
+func opts() core.Options {
+	o := core.DefaultOptions()
+	o.Place.Imax = 40
+	return o
+}
+
+func TestReplayAllBenchmarks(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			for _, baseline := range []bool{false, true} {
+				var sol *core.Solution
+				var err error
+				if baseline {
+					sol, err = core.SynthesizeBaseline(bm.Graph, bm.Alloc, opts())
+				} else {
+					sol, err = core.Synthesize(bm.Graph, bm.Alloc, opts())
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := Run(sol)
+				if err != nil {
+					t.Fatalf("baseline=%v: %v", baseline, err)
+				}
+				if rep.Makespan != sol.Schedule.Makespan {
+					t.Errorf("replay makespan %v != schedule %v", rep.Makespan, sol.Schedule.Makespan)
+				}
+				if rep.Moves != len(sol.Schedule.Transports) {
+					t.Errorf("replay moves %d != transports %d", rep.Moves, len(sol.Schedule.Transports))
+				}
+			}
+		})
+	}
+}
+
+func TestReplayEventsOrderedAndPaired(t *testing.T) {
+	bm := benchdata.IVD()
+	sol, err := core.Synthesize(bm.Graph, bm.Alloc, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for i := 1; i < len(rep.Events); i++ {
+		if rep.Events[i].Time < rep.Events[i-1].Time {
+			t.Fatal("events not time ordered")
+		}
+	}
+	// Every op has exactly one start and one end, start before end.
+	starts := map[assay.OpID]unit.Time{}
+	ends := map[assay.OpID]unit.Time{}
+	for _, e := range rep.Events {
+		switch e.Kind {
+		case OpStart:
+			if _, dup := starts[e.Op]; dup {
+				t.Fatalf("op %d started twice", e.Op)
+			}
+			starts[e.Op] = e.Time
+		case OpEnd:
+			if _, dup := ends[e.Op]; dup {
+				t.Fatalf("op %d ended twice", e.Op)
+			}
+			ends[e.Op] = e.Time
+		}
+	}
+	if len(starts) != bm.Graph.NumOps() || len(ends) != bm.Graph.NumOps() {
+		t.Fatalf("starts/ends %d/%d for %d ops", len(starts), len(ends), bm.Graph.NumOps())
+	}
+	for op, s := range starts {
+		if ends[op] < s {
+			t.Errorf("op %d ends before it starts", op)
+		}
+	}
+}
+
+func TestReplayBusyTimeMatchesDurations(t *testing.T) {
+	bm := benchdata.PCR()
+	sol, err := core.Synthesize(bm.Graph, bm.Alloc, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total unit.Time
+	for _, b := range rep.BusyTime {
+		total += b
+	}
+	var want unit.Time
+	for _, op := range bm.Graph.Operations() {
+		want += op.Duration
+	}
+	if total != want {
+		t.Errorf("total busy %v != sum of durations %v", total, want)
+	}
+}
+
+func TestRunRejectsCorruptedSolution(t *testing.T) {
+	bm := benchdata.IVD()
+	sol, err := core.Synthesize(bm.Graph, bm.Alloc, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a start time on a copy of the decisions.
+	bad := *sol
+	ops2 := append(sol.Schedule.Ops[:0:0], sol.Schedule.Ops...)
+	ops2[0].Start += unit.Seconds(1000) // end no longer start+duration
+	sched2 := *sol.Schedule
+	sched2.Ops = ops2
+	bad.Schedule = &sched2
+	if _, err := Run(&bad); err == nil {
+		t.Error("corrupted schedule not rejected")
+	}
+	if _, err := Run(nil); err == nil {
+		t.Error("nil solution not rejected")
+	}
+}

@@ -1,0 +1,323 @@
+// Package solio serializes complete synthesis solutions to JSON and back.
+// The format embeds the assay, the algorithm options, every scheduling
+// decision, the placement and all routed paths, so a decoded solution
+// passes the same validators as a freshly synthesized one and can be fed
+// to the visualizers or external tooling.
+package solio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/fluid"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// FormatVersion identifies the on-disk schema.
+const FormatVersion = 1
+
+type doc struct {
+	Version  int             `json:"version"`
+	Baseline bool            `json:"baseline"`
+	Assay    json.RawMessage `json:"assay"`
+	Options  docOptions      `json:"options"`
+	Comps    []docComp       `json:"components"`
+	Schedule docSchedule     `json:"schedule"`
+	Place    docPlacement    `json:"placement"`
+	Routes   []docRoute      `json:"routes"`
+	CPUMs    float64         `json:"cpu_ms"`
+}
+
+type docOptions struct {
+	TCms    int64   `json:"tc_ms"`
+	T0      float64 `json:"t0"`
+	Tmin    float64 `json:"tmin"`
+	Alpha   float64 `json:"alpha"`
+	Imax    int     `json:"imax"`
+	Beta    float64 `json:"beta"`
+	Gamma   float64 `json:"gamma"`
+	Seed    uint64  `json:"seed"`
+	Spacing int     `json:"spacing"`
+	We      float64 `json:"we"`
+	PitchUm int64   `json:"pitch_um"`
+	FastDms int64   `json:"wash_fast_ms"`
+	SlowDms int64   `json:"wash_slow_ms"`
+	FastD   float64 `json:"wash_fast_d"`
+	SlowD   float64 `json:"wash_slow_d"`
+}
+
+type docComp struct {
+	Type  string `json:"type"`
+	Index int    `json:"index"`
+}
+
+type docSchedule struct {
+	Ops        []docOp        `json:"operations"`
+	Transports []docTransport `json:"transports"`
+	Caches     []docCache     `json:"caches"`
+	Washes     []docWash      `json:"washes"`
+	MakespanMs int64          `json:"makespan_ms"`
+}
+
+type docOp struct {
+	Op            int   `json:"op"`
+	Comp          int   `json:"comp"`
+	StartMs       int64 `json:"start_ms"`
+	EndMs         int64 `json:"end_ms"`
+	InPlace       bool  `json:"in_place,omitempty"`
+	InPlaceParent int   `json:"in_place_parent,omitempty"`
+}
+
+type docTransport struct {
+	ID          int     `json:"id"`
+	Producer    int     `json:"producer"`
+	Consumer    int     `json:"consumer"`
+	From        int     `json:"from"`
+	To          int     `json:"to"`
+	DepartMs    int64   `json:"depart_ms"`
+	ArriveMs    int64   `json:"arrive_ms"`
+	FromChannel bool    `json:"from_channel,omitempty"`
+	CacheMs     int64   `json:"cache_start_ms,omitempty"`
+	Fluid       string  `json:"fluid"`
+	D           float64 `json:"diffusion"`
+	WashMs      int64   `json:"wash_ms"`
+}
+
+type docCache struct {
+	Producer int     `json:"producer"`
+	From     int     `json:"from"`
+	StartMs  int64   `json:"start_ms"`
+	EndMs    int64   `json:"end_ms"`
+	Fluid    string  `json:"fluid"`
+	D        float64 `json:"diffusion"`
+}
+
+type docWash struct {
+	Comp    int   `json:"comp"`
+	Residue int   `json:"residue"`
+	StartMs int64 `json:"start_ms"`
+	EndMs   int64 `json:"end_ms"`
+}
+
+type docPlacement struct {
+	W     int       `json:"w"`
+	H     int       `json:"h"`
+	Rects []docRect `json:"rects"`
+}
+
+type docRect struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+type docRoute struct {
+	Task int      `json:"task"`
+	Path [][2]int `json:"path"`
+}
+
+// Encode writes the solution as indented JSON.
+func Encode(w io.Writer, sol *core.Solution) error {
+	if sol == nil {
+		return fmt.Errorf("solio: nil solution")
+	}
+	assayJSON, err := sol.Assay.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	d := doc{
+		Version:  FormatVersion,
+		Baseline: sol.Baseline,
+		Assay:    assayJSON,
+		Options: docOptions{
+			TCms:    int64(sol.Opts.Schedule.TC),
+			T0:      sol.Opts.Place.T0,
+			Tmin:    sol.Opts.Place.Tmin,
+			Alpha:   sol.Opts.Place.Alpha,
+			Imax:    sol.Opts.Place.Imax,
+			Beta:    sol.Opts.Place.Beta,
+			Gamma:   sol.Opts.Place.Gamma,
+			Seed:    sol.Opts.Place.Seed,
+			Spacing: sol.Opts.Place.Spacing,
+			We:      sol.Opts.Route.We,
+			PitchUm: int64(sol.Opts.Route.Pitch),
+			FastDms: int64(sol.Opts.Schedule.Wash.FastWash),
+			SlowDms: int64(sol.Opts.Schedule.Wash.SlowWash),
+			FastD:   float64(sol.Opts.Schedule.Wash.FastD),
+			SlowD:   float64(sol.Opts.Schedule.Wash.SlowD),
+		},
+		CPUMs: float64(sol.CPU.Microseconds()) / 1000,
+	}
+	for _, c := range sol.Comps {
+		d.Comps = append(d.Comps, docComp{Type: c.Kind.Type.String(), Index: c.Index})
+	}
+	for _, bo := range sol.Schedule.Ops {
+		d.Schedule.Ops = append(d.Schedule.Ops, docOp{
+			Op: int(bo.Op), Comp: int(bo.Comp),
+			StartMs: int64(bo.Start), EndMs: int64(bo.End),
+			InPlace: bo.InPlace, InPlaceParent: int(bo.InPlaceParent),
+		})
+	}
+	for _, tr := range sol.Schedule.Transports {
+		d.Schedule.Transports = append(d.Schedule.Transports, docTransport{
+			ID: tr.ID, Producer: int(tr.Producer), Consumer: int(tr.Consumer),
+			From: int(tr.From), To: int(tr.To),
+			DepartMs: int64(tr.Depart), ArriveMs: int64(tr.Arrive),
+			FromChannel: tr.FromChannel, CacheMs: int64(tr.CacheStart),
+			Fluid: tr.Fluid.Name, D: float64(tr.Fluid.D), WashMs: int64(tr.WashTime),
+		})
+	}
+	for _, ce := range sol.Schedule.Caches {
+		d.Schedule.Caches = append(d.Schedule.Caches, docCache{
+			Producer: int(ce.Producer), From: int(ce.From),
+			StartMs: int64(ce.Start), EndMs: int64(ce.End),
+			Fluid: ce.Fluid.Name, D: float64(ce.Fluid.D),
+		})
+	}
+	for _, ws := range sol.Schedule.Washes {
+		d.Schedule.Washes = append(d.Schedule.Washes, docWash{
+			Comp: int(ws.Comp), Residue: int(ws.Residue),
+			StartMs: int64(ws.Start), EndMs: int64(ws.End),
+		})
+	}
+	d.Schedule.MakespanMs = int64(sol.Schedule.Makespan)
+	d.Place = docPlacement{W: sol.Placement.W, H: sol.Placement.H}
+	for _, r := range sol.Placement.Rects {
+		d.Place.Rects = append(d.Place.Rects, docRect{X: r.X, Y: r.Y, W: r.W, H: r.H})
+	}
+	for _, rt := range sol.Routing.Routes {
+		dr := docRoute{Task: rt.Task.ID}
+		for _, c := range rt.Path {
+			dr.Path = append(dr.Path, [2]int{c.X, c.Y})
+		}
+		d.Routes = append(d.Routes, dr)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Decode reconstructs a solution from its JSON form and re-validates it.
+func Decode(r io.Reader) (*core.Solution, error) {
+	var d doc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("solio: %w", err)
+	}
+	if d.Version != FormatVersion {
+		return nil, fmt.Errorf("solio: unsupported format version %d", d.Version)
+	}
+	g, err := assay.Decode(bytes.NewReader(d.Assay))
+	if err != nil {
+		return nil, err
+	}
+
+	opts := core.Options{
+		Schedule: schedule.Options{
+			TC: unit.Time(d.Options.TCms),
+			Wash: fluid.WashModel{
+				FastD: unit.Diffusion(d.Options.FastD), FastWash: unit.Time(d.Options.FastDms),
+				SlowD: unit.Diffusion(d.Options.SlowD), SlowWash: unit.Time(d.Options.SlowDms),
+			},
+		},
+		Place: place.Params{
+			T0: d.Options.T0, Tmin: d.Options.Tmin, Alpha: d.Options.Alpha,
+			Imax: d.Options.Imax, Beta: d.Options.Beta, Gamma: d.Options.Gamma,
+			Seed: d.Options.Seed, Spacing: d.Options.Spacing,
+		},
+		Route: route.Params{We: d.Options.We, Pitch: unit.Length(d.Options.PitchUm)},
+	}
+
+	comps := make([]chip.Component, len(d.Comps))
+	for i, dc := range d.Comps {
+		t, err := assay.ParseOpType(dc.Type)
+		if err != nil {
+			return nil, fmt.Errorf("solio: component %d: %w", i, err)
+		}
+		comps[i] = chip.Component{ID: chip.CompID(i), Kind: chip.KindFor(t), Index: dc.Index}
+	}
+
+	sched := &schedule.Result{Assay: g, Comps: comps, Opts: opts.Schedule,
+		Makespan: unit.Time(d.Schedule.MakespanMs)}
+	sched.Ops = make([]schedule.BoundOp, len(d.Schedule.Ops))
+	for i, o := range d.Schedule.Ops {
+		if o.Op < 0 || o.Op >= g.NumOps() || o.Op != i {
+			return nil, fmt.Errorf("solio: operation record %d malformed", i)
+		}
+		sched.Ops[i] = schedule.BoundOp{
+			Op: assay.OpID(o.Op), Comp: chip.CompID(o.Comp),
+			Start: unit.Time(o.StartMs), End: unit.Time(o.EndMs),
+			InPlace: o.InPlace, InPlaceParent: assay.OpID(o.InPlaceParent),
+		}
+	}
+	for _, tr := range d.Schedule.Transports {
+		sched.Transports = append(sched.Transports, schedule.Transport{
+			ID: tr.ID, Producer: assay.OpID(tr.Producer), Consumer: assay.OpID(tr.Consumer),
+			From: chip.CompID(tr.From), To: chip.CompID(tr.To),
+			Depart: unit.Time(tr.DepartMs), Arrive: unit.Time(tr.ArriveMs),
+			FromChannel: tr.FromChannel, CacheStart: unit.Time(tr.CacheMs),
+			Fluid:    fluid.Fluid{Name: tr.Fluid, D: unit.Diffusion(tr.D)},
+			WashTime: unit.Time(tr.WashMs),
+		})
+	}
+	for _, ce := range d.Schedule.Caches {
+		sched.Caches = append(sched.Caches, schedule.ChannelCache{
+			Producer: assay.OpID(ce.Producer), From: chip.CompID(ce.From),
+			Start: unit.Time(ce.StartMs), End: unit.Time(ce.EndMs),
+			Fluid: fluid.Fluid{Name: ce.Fluid, D: unit.Diffusion(ce.D)},
+		})
+	}
+	for _, ws := range d.Schedule.Washes {
+		sched.Washes = append(sched.Washes, schedule.ComponentWash{
+			Comp: chip.CompID(ws.Comp), Residue: assay.OpID(ws.Residue),
+			Start: unit.Time(ws.StartMs), End: unit.Time(ws.EndMs),
+		})
+	}
+
+	pl := &place.Placement{W: d.Place.W, H: d.Place.H}
+	for _, r := range d.Place.Rects {
+		pl.Rects = append(pl.Rects, place.Rect{X: r.X, Y: r.Y, W: r.W, H: r.H})
+	}
+
+	// Rebuild routing tasks from the schedule so the paths can be
+	// validated against exactly the same windows.
+	tasks := route.TasksFrom(sched)
+	byID := make(map[int]route.Task, len(tasks))
+	for _, t := range tasks {
+		byID[t.ID] = t
+	}
+	routing := &route.Result{GridW: pl.W, GridH: pl.H, Pitch: opts.Route.Pitch}
+	for _, dr := range d.Routes {
+		t, ok := byID[dr.Task]
+		if !ok {
+			return nil, fmt.Errorf("solio: route for unknown task %d", dr.Task)
+		}
+		rt := route.RoutedTask{Task: t}
+		for _, xy := range dr.Path {
+			rt.Path = append(rt.Path, route.Cell{X: xy[0], Y: xy[1]})
+		}
+		routing.Routes = append(routing.Routes, rt)
+	}
+	route.RecomputeMetrics(routing, sched, comps, pl, opts.Route)
+
+	sol := &core.Solution{
+		Assay: g, Comps: comps, Opts: opts,
+		Schedule: sched, Placement: pl, Routing: routing,
+		Baseline: d.Baseline,
+	}
+	if err := sol.Validate(); err != nil {
+		return nil, fmt.Errorf("solio: decoded solution invalid: %w", err)
+	}
+	return sol, nil
+}

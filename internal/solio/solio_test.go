@@ -1,0 +1,129 @@
+package solio
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/core"
+)
+
+func solve(t *testing.T, name string, baseline bool) *core.Solution {
+	t.Helper()
+	bm, err := benchdata.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Place.Imax = 30
+	var sol *core.Solution
+	if baseline {
+		sol, err = core.SynthesizeBaseline(bm.Graph, bm.Alloc, o)
+	} else {
+		sol, err = core.Synthesize(bm.Graph, bm.Alloc, o)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestRoundTripPreservesEverything(t *testing.T) {
+	for _, name := range []string{"PCR", "IVD", "Synthetic1"} {
+		for _, baseline := range []bool{false, true} {
+			sol := solve(t, name, baseline)
+			var buf bytes.Buffer
+			if err := Encode(&buf, sol); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got, err := Decode(&buf)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if got.Baseline != baseline {
+				t.Errorf("%s: baseline flag lost", name)
+			}
+			a, b := sol.Metrics(), got.Metrics()
+			if a.ExecutionTime != b.ExecutionTime ||
+				a.ChannelLength != b.ChannelLength ||
+				a.CacheTime != b.CacheTime ||
+				a.ChannelWashTime != b.ChannelWashTime ||
+				a.ComponentWashTime != b.ComponentWashTime ||
+				a.Transports != b.Transports {
+				t.Errorf("%s: metrics changed: %+v vs %+v", name, a, b)
+			}
+			if err := got.Validate(); err != nil {
+				t.Errorf("%s: decoded solution invalid: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	sol := solve(t, "IVD", false)
+	var buf bytes.Buffer
+	if err := Encode(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.String()
+
+	// Wrong version.
+	bad := strings.Replace(orig, `"version": 1`, `"version": 99`, 1)
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Unknown field.
+	bad = strings.Replace(orig, `"version": 1`, `"version": 1, "junk": 0`, 1)
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// Truncated document.
+	if _, err := Decode(strings.NewReader(orig[:len(orig)/2])); err == nil {
+		t.Error("truncated document accepted")
+	}
+	// A corrupted start time must fail validation on decode.
+	bad = strings.Replace(orig, `"start_ms": 0`, `"start_ms": 999999`, 1)
+	if bad != orig {
+		if _, err := Decode(strings.NewReader(bad)); err == nil {
+			t.Error("corrupted schedule accepted")
+		}
+	}
+}
+
+func TestEncodeNil(t *testing.T) {
+	if err := Encode(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil solution accepted")
+	}
+}
+
+// TestRoundTripRandomSolutions pushes randomly generated assays through
+// synthesis and the serialization round trip.
+func TestRoundTripRandomSolutions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random round trips in short mode")
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		alloc := chip.Allocation{2, 1, 0, 1}
+		g := benchdata.GenerateSynthetic(fmt.Sprintf("rt%d", seed), 12+int(seed), alloc, seed)
+		o := core.DefaultOptions()
+		o.Place.Imax = 20
+		sol, err := core.Synthesize(g, alloc, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, sol); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.Metrics().ExecutionTime != sol.Metrics().ExecutionTime {
+			t.Fatalf("seed %d: metrics drifted", seed)
+		}
+	}
+}

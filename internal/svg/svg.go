@@ -1,0 +1,166 @@
+// Package svg renders synthesis results as standalone SVG documents: the
+// chip layout (components, flow channels, ports) and the schedule Gantt
+// chart (operations, washes, channel-cache episodes). The output needs no
+// external assets and opens in any browser — the vector counterpart of
+// the text diagrams in internal/viz.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/assay"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// typeColor maps operation/component types to fill colors.
+func typeColor(t assay.OpType) string {
+	switch t {
+	case assay.Mix:
+		return "#4e79a7"
+	case assay.Heat:
+		return "#e15759"
+	case assay.Filter:
+		return "#76b7b2"
+	case assay.Detect:
+		return "#f28e2b"
+	default:
+		return "#bab0ac"
+	}
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Layout writes the placed-and-routed chip as an SVG document.
+func Layout(w io.Writer, sol *core.Solution) error {
+	const cell = 14 // pixels per grid cell
+	gw, gh := sol.Placement.W, sol.Placement.H
+	width, height := gw*cell, gh*cell+30
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#fafafa"/>`+"\n", width, height)
+
+	// Grid lines (light).
+	for x := 0; x <= gw; x++ {
+		fmt.Fprintf(&b, `<line x1="%d" y1="0" x2="%d" y2="%d" stroke="#eee"/>`+"\n", x*cell, x*cell, gh*cell)
+	}
+	for y := 0; y <= gh; y++ {
+		fmt.Fprintf(&b, `<line x1="0" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`+"\n", y*cell, gw*cell, y*cell)
+	}
+
+	// Flow channels: one rounded square per used cell, plus segment lines
+	// along each route.
+	seen := map[[2]int]bool{}
+	for _, rt := range sol.Routing.Routes {
+		for i, c := range rt.Path {
+			k := [2]int{c.X, c.Y}
+			if !seen[k] {
+				seen[k] = true
+				fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="3" fill="#c7d9ec"/>`+"\n",
+					c.X*cell+2, c.Y*cell+2, cell-4, cell-4)
+			}
+			if i > 0 {
+				p := rt.Path[i-1]
+				fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#7da7d9" stroke-width="3" stroke-linecap="round"/>`+"\n",
+					p.X*cell+cell/2, p.Y*cell+cell/2, c.X*cell+cell/2, c.Y*cell+cell/2)
+			}
+		}
+	}
+
+	// Components.
+	for i, r := range sol.Placement.Rects {
+		comp := sol.Comps[i]
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="4" fill="%s" stroke="#333"/>`+"\n",
+			r.X*cell, r.Y*cell, r.W*cell, r.H*cell, typeColor(comp.Kind.Type))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" fill="#fff" text-anchor="middle">%s</text>`+"\n",
+			r.X*cell+r.W*cell/2, r.Y*cell+r.H*cell/2+4, escape(comp.Name()))
+	}
+
+	fmt.Fprintf(&b, `<text x="4" y="%d" font-family="sans-serif" font-size="12" fill="#333">%s — %d×%d cells, pitch %v, channel length %v</text>`+"\n",
+		gh*cell+20, escape(sol.Assay.Name()), gw, gh, sol.Routing.Pitch, sol.Routing.TotalLength())
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Gantt writes the schedule as an SVG timeline: one lane per component,
+// colored blocks for operations, hatched gray for washes, and a bottom
+// lane marking channel-cache episodes.
+func Gantt(w io.Writer, r *schedule.Result) error {
+	const (
+		laneH   = 26
+		leftPad = 90
+		topPad  = 28
+		pxPerMs = 0.02 // horizontal scale
+	)
+	scale := func(t unit.Time) float64 { return leftPad + float64(t)*pxPerMs }
+	lanes := len(r.Comps) + 1 // +1 for channel storage
+	width := int(scale(r.Makespan)) + 40
+	height := topPad + lanes*laneH + 40
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-family="sans-serif" font-size="13" fill="#333">%s — makespan %v, U_r %.1f%%</text>`+"\n",
+		leftPad, escape(r.Assay.Name()), r.Makespan, 100*r.Utilization())
+
+	laneY := func(i int) int { return topPad + i*laneH }
+	// Lane labels and separators.
+	for i, c := range r.Comps {
+		fmt.Fprintf(&b, `<text x="4" y="%d" font-family="sans-serif" font-size="11" fill="#333">%s</text>`+"\n",
+			laneY(i)+laneH/2+4, escape(c.Name()))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`+"\n",
+			leftPad, laneY(i), width-10, laneY(i))
+	}
+	fmt.Fprintf(&b, `<text x="4" y="%d" font-family="sans-serif" font-size="11" fill="#333">channels</text>`+"\n",
+		laneY(len(r.Comps))+laneH/2+4)
+
+	// Washes first (underneath).
+	for _, ws := range r.Washes {
+		x0, x1 := scale(ws.Start), scale(ws.End)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#d0d0d0"/>`+"\n",
+			x0, laneY(int(ws.Comp))+4, x1-x0, laneH-8)
+	}
+	// Operations.
+	for _, bo := range r.Ops {
+		op := r.Assay.Op(bo.Op)
+		x0, x1 := scale(bo.Start), scale(bo.End)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" rx="3" fill="%s"/>`+"\n",
+			x0, laneY(int(bo.Comp))+3, x1-x0, laneH-6, typeColor(op.Type))
+		if x1-x0 > 30 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="9" fill="#fff">%s</text>`+"\n",
+				x0+3, laneY(int(bo.Comp))+laneH/2+3, escape(op.Name))
+		}
+	}
+	// Channel-cache episodes on the bottom lane.
+	for _, ce := range r.Caches {
+		x0, x1 := scale(ce.Start), scale(ce.End)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" rx="3" fill="#9467bd" opacity="0.7"/>`+"\n",
+			x0, laneY(len(r.Comps))+5, x1-x0, laneH-10)
+	}
+
+	// Time axis.
+	axisY := laneY(lanes) + 12
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+		leftPad, axisY, scale(r.Makespan), axisY)
+	step := unit.Seconds(10)
+	for t := unit.Time(0); t <= r.Makespan; t += step {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#333"/>`+"\n",
+			scale(t), axisY-3, scale(t), axisY+3)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="9" fill="#333" text-anchor="middle">%v</text>`+"\n",
+			scale(t), axisY+14, t)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

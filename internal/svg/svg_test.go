@@ -1,0 +1,85 @@
+package svg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/core"
+)
+
+func solve(t *testing.T, name string) *core.Solution {
+	t.Helper()
+	bm, err := benchdata.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Place.Imax = 30
+	sol, err := core.Synthesize(bm.Graph, bm.Alloc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestLayoutSVGWellFormed(t *testing.T) {
+	sol := solve(t, "IVD")
+	var buf bytes.Buffer
+	if err := Layout(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a well-formed SVG document")
+	}
+	for _, want := range []string{"Mixer1", "Detector1", "IVD", "<rect", "<line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("layout SVG missing %q", want)
+		}
+	}
+	// One component rect per component (labels match count).
+	if got := strings.Count(out, `text-anchor="middle"`); got < len(sol.Comps) {
+		t.Errorf("component labels = %d, want >= %d", got, len(sol.Comps))
+	}
+}
+
+func TestGanttSVGWellFormed(t *testing.T) {
+	sol := solve(t, "PCR")
+	var buf bytes.Buffer
+	if err := Gantt(&buf, sol.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg ") {
+		t.Error("not an SVG document")
+	}
+	for _, want := range []string{"makespan", "Mixer1", "channels", "mix1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt SVG missing %q", want)
+		}
+	}
+	// Operation blocks: one rect per op at least.
+	if got := strings.Count(out, "rx=\"3\""); got < sol.Assay.NumOps() {
+		t.Errorf("op blocks = %d, want >= %d", got, sol.Assay.NumOps())
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestTypeColorsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for ty := 0; ty < 4; ty++ {
+		c := typeColor(assay.OpType(ty))
+		if seen[c] {
+			t.Errorf("duplicate color %s", c)
+		}
+		seen[c] = true
+	}
+}

@@ -1,0 +1,92 @@
+// Package timing audits the scheduler's constant-transport-time
+// assumption against the routed geometry. The paper (Section IV-A)
+// schedules with a user-defined constant t_c because channel lengths are
+// unknown before routing; after routing, each task's real traversal
+// implies a mean flow speed of pathLength / t_c. This package reports the
+// distribution of implied speeds and flags tasks whose speed would exceed
+// a plausible pressure-driven cap — the timing-closure check of this
+// flow.
+package timing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/unit"
+)
+
+// DefaultSpeedCap is a generous upper bound on sustainable flow speed in
+// pressure-driven PDMS channels, in mm/s.
+const DefaultSpeedCap = 50.0
+
+// Report summarises the implied flow speeds of a solution.
+type Report struct {
+	// Tasks is the number of routed transportation tasks.
+	Tasks int
+	// Min, Max, Mean and Median implied speeds in mm/s (path length over
+	// the movement window).
+	Min, Max, Mean, Median float64
+	// Cap is the speed limit used; Violations counts tasks above it.
+	Cap        float64
+	Violations []int // task IDs above the cap, sorted
+	// SuggestedTC is the smallest transport constant that would bring
+	// every task under the cap at the routed lengths.
+	SuggestedTC unit.Time
+}
+
+// Closed reports whether every task's implied speed is under the cap —
+// i.e. the schedule's t_c is consistent with the routed geometry.
+func (r Report) Closed() bool { return len(r.Violations) == 0 }
+
+// Analyze computes the timing report of a solution with the given speed
+// cap in mm/s (0 selects DefaultSpeedCap).
+func Analyze(sol *core.Solution, cap float64) (Report, error) {
+	if sol == nil || sol.Routing == nil {
+		return Report{}, fmt.Errorf("timing: nil solution")
+	}
+	if cap <= 0 {
+		cap = DefaultSpeedCap
+	}
+	rep := Report{Cap: cap}
+	tc := sol.Opts.Schedule.TC.Sec()
+	if tc <= 0 {
+		return Report{}, fmt.Errorf("timing: non-positive t_c")
+	}
+	pitch := sol.Routing.Pitch.MM()
+	var speeds []float64
+	var maxLen float64
+	for _, rt := range sol.Routing.Routes {
+		// A path of n cells spans n pitches of channel (cell-count
+		// accounting, consistent with the Table I length metric).
+		length := float64(len(rt.Path)) * pitch
+		if length > maxLen {
+			maxLen = length
+		}
+		v := length / tc
+		speeds = append(speeds, v)
+		if v > cap {
+			rep.Violations = append(rep.Violations, rt.Task.ID)
+		}
+	}
+	rep.Tasks = len(speeds)
+	if len(speeds) == 0 {
+		rep.SuggestedTC = sol.Opts.Schedule.TC
+		return rep, nil
+	}
+	sort.Float64s(speeds)
+	rep.Min = speeds[0]
+	rep.Max = speeds[len(speeds)-1]
+	rep.Median = speeds[len(speeds)/2]
+	var sum float64
+	for _, v := range speeds {
+		sum += v
+	}
+	rep.Mean = sum / float64(len(speeds))
+	sort.Ints(rep.Violations)
+	rep.SuggestedTC = unit.Seconds(maxLen / cap)
+	if rep.SuggestedTC < sol.Opts.Schedule.TC {
+		rep.SuggestedTC = sol.Opts.Schedule.TC
+	}
+	return rep, nil
+}

@@ -1,0 +1,149 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/core"
+)
+
+func solve(t *testing.T, name string) *core.Solution {
+	t.Helper()
+	bm, err := benchdata.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Place.Imax = 40
+	sol, err := core.Synthesize(bm.Graph, bm.Alloc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	sol := solve(t, "CPA")
+	rep, err := Analyze(sol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cap != DefaultSpeedCap {
+		t.Errorf("cap = %v", rep.Cap)
+	}
+	if rep.Tasks != len(sol.Routing.Routes) {
+		t.Errorf("tasks = %d", rep.Tasks)
+	}
+	if rep.Tasks > 0 {
+		if rep.Min > rep.Median || rep.Median > rep.Max {
+			t.Errorf("ordering broken: min %v median %v max %v", rep.Min, rep.Median, rep.Max)
+		}
+		if rep.Mean < rep.Min || rep.Mean > rep.Max {
+			t.Errorf("mean %v outside [min,max]", rep.Mean)
+		}
+	}
+	if rep.SuggestedTC < sol.Opts.Schedule.TC {
+		t.Error("suggested t_c below configured t_c")
+	}
+	t.Logf("CPA speeds: min %.1f median %.1f max %.1f mm/s, closed=%v",
+		rep.Min, rep.Median, rep.Max, rep.Closed())
+}
+
+func TestTinyCapFlagsEverything(t *testing.T) {
+	sol := solve(t, "IVD")
+	rep, err := Analyze(sol, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks > 0 && len(rep.Violations) != rep.Tasks {
+		t.Errorf("violations = %d of %d with absurd cap", len(rep.Violations), rep.Tasks)
+	}
+	if rep.Tasks > 0 && rep.Closed() {
+		t.Error("Closed() true despite violations")
+	}
+	// The suggested t_c must actually close timing: maxLen/suggested <= cap.
+	if rep.SuggestedTC <= 0 {
+		t.Error("no suggested t_c")
+	}
+}
+
+func TestBenchmarksTimingClosed(t *testing.T) {
+	// At the default 10 mm pitch and 2 s t_c, routed paths are tens of
+	// cells at most: all benchmarks must close timing under the default
+	// cap... unless paths exceed 10 cells (100 mm / 2 s = 50 mm/s). Log
+	// the outcome and only require a sane majority.
+	closed := 0
+	for _, bm := range benchdata.All() {
+		sol := solve(t, bm.Name)
+		rep, err := Analyze(sol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Closed() {
+			closed++
+		} else {
+			t.Logf("%s: %d of %d tasks above %v mm/s (max %.1f), suggested t_c %v",
+				bm.Name, len(rep.Violations), rep.Tasks, rep.Cap, rep.Max, rep.SuggestedTC)
+		}
+	}
+	// The three largest synthetics route a handful of long detours whose
+	// implied speeds exceed the cap slightly — exactly the situation the
+	// SuggestedTC output exists for. Require the small benchmarks closed.
+	if closed < 4 {
+		t.Errorf("timing closed on only %d of 7 benchmarks", closed)
+	}
+}
+
+func TestAnalyzeNil(t *testing.T) {
+	if _, err := Analyze(nil, 0); err == nil {
+		t.Error("nil solution accepted")
+	}
+}
+
+func TestAnalyzeNoTransports(t *testing.T) {
+	// Build a single-op assay (no transports) through core.
+	sol := solveSingle(t)
+	rep, err := Analyze(sol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 0 || !rep.Closed() {
+		t.Errorf("empty routing report: %+v", rep)
+	}
+	if rep.SuggestedTC != sol.Opts.Schedule.TC {
+		t.Errorf("suggested t_c changed with no tasks")
+	}
+}
+
+func solveSingle(t *testing.T) *core.Solution {
+	t.Helper()
+	g := benchdata.GenerateSynthetic("single", 1, chipAlloc(), 1)
+	o := core.DefaultOptions()
+	o.Place.Imax = 10
+	sol, err := core.Synthesize(g, chipAlloc(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func chipAlloc() (a chip.Allocation) { a[0] = 1; return }
+
+func TestSuggestedTCClosesTiming(t *testing.T) {
+	sol := solve(t, "Synthetic3")
+	rep, err := Analyze(sol, 5) // harsh cap forces violations
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks == 0 {
+		t.Skip("no tasks")
+	}
+	// maxLen = Max * tc; at the suggested t_c the implied max speed is
+	// maxLen / suggested <= cap (within rounding of Seconds()).
+	tc := sol.Opts.Schedule.TC.Sec()
+	maxLen := rep.Max * tc
+	if got := maxLen / rep.SuggestedTC.Sec(); got > 5.001 {
+		t.Errorf("suggested t_c %v leaves max speed %.3f above cap", rep.SuggestedTC, got)
+	}
+}

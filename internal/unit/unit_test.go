@@ -1,0 +1,180 @@
+package unit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSecondsRoundTrip(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want Time
+	}{
+		{0, 0},
+		{0.2, 200},
+		{2, 2000},
+		{2.5, 2500},
+		{37, 37000},
+		{0.0004, 0}, // rounds to nearest ms
+		{0.0006, 1},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.sec); got != c.want {
+			t.Errorf("Seconds(%v) = %d, want %d", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{200, "0.2s"},
+		{2000, "2s"},
+		{2500, "2.5s"},
+		{-1500, "-1.5s"},
+		{37 * Second, "37s"},
+		{1, "0.001s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Time
+		wantErr bool
+	}{
+		{"2s", 2000, false},
+		{"0.2s", 200, false},
+		{"1500ms", 1500, false},
+		{"2.5", 2500, false},
+		{" 3s ", 3000, false},
+		{"", 0, true},
+		{"xs", 0, true},
+		{"1.5ms", 0, true}, // ms must be integral
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseTime(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseTime(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTimeRoundTripsString(t *testing.T) {
+	f := func(ms int32) bool {
+		tm := Time(ms)
+		got, err := ParseTime(tm.String())
+		return err == nil && got == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMinTime(t *testing.T) {
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Error("MaxTime wrong")
+	}
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Error("MinTime wrong")
+	}
+	if MaxTime(5, 5) != 5 || MinTime(5, 5) != 5 {
+		t.Error("Max/MinTime not idempotent on equal args")
+	}
+}
+
+func TestForeverOrdering(t *testing.T) {
+	if Forever <= 1000*Minute {
+		t.Error("Forever must exceed any practical schedule instant")
+	}
+	// Forever must be safely addable without overflow.
+	if Forever+Forever < Forever {
+		t.Error("Forever+Forever overflows")
+	}
+}
+
+func TestMillimetres(t *testing.T) {
+	if Millimetres(10.5) != 10500 {
+		t.Errorf("Millimetres(10.5) = %d", Millimetres(10.5))
+	}
+	if got := Length(420 * Millimetre).MM(); got != 420 {
+		t.Errorf("MM() = %v", got)
+	}
+}
+
+func TestLengthString(t *testing.T) {
+	cases := []struct {
+		l    Length
+		want string
+	}{
+		{0, "0mm"},
+		{420 * Millimetre, "420mm"},
+		{10500, "10.5mm"},
+		{-1500, "-1.5mm"},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); got != c.want {
+			t.Errorf("Length(%d).String() = %q, want %q", c.l, got, c.want)
+		}
+	}
+}
+
+func TestDiffusionValid(t *testing.T) {
+	if !DiffusionSmallMolecule.Valid() || !DiffusionLargeVirus.Valid() {
+		t.Error("reference coefficients must be valid")
+	}
+	for _, d := range []Diffusion{0, -1e-5, Diffusion(math.NaN()), Diffusion(math.Inf(1))} {
+		if d.Valid() {
+			t.Errorf("Diffusion(%v).Valid() = true, want false", float64(d))
+		}
+	}
+}
+
+func TestDiffusionString(t *testing.T) {
+	if got := DiffusionSmallMolecule.String(); got != "1.0e-05 cm²/s" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSecRoundTrip(t *testing.T) {
+	f := func(ms int32) bool {
+		tm := Time(ms)
+		return Seconds(tm.Sec()) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func FuzzParseTime(f *testing.F) {
+	for _, seed := range []string{"2s", "0.2s", "1500ms", "2.5", "", "xs", "-3.1s", "9999999999999s"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseTime(s)
+		if err != nil {
+			return
+		}
+		// Whatever parses must survive a format/parse round trip.
+		w, err := ParseTime(v.String())
+		if err != nil {
+			t.Fatalf("ParseTime(%q) = %v, but its String %q does not parse: %v", s, v, v.String(), err)
+		}
+		if w != v {
+			t.Fatalf("round trip changed value: %v -> %v", v, w)
+		}
+	})
+}

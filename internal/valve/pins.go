@@ -1,0 +1,95 @@
+package valve
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/route"
+)
+
+// PinPlan is a control-pin assignment for the chip's channel valves.
+// Valves whose actuation sequences are identical across the whole
+// schedule can share a single control pin (their pneumatic lines are
+// tied together) — the basic control-layer multiplexing technique whose
+// switching cost [13] optimizes. Channel sharing in the flow layer
+// directly reduces the number of distinct actuation patterns and hence
+// the pin count.
+type PinPlan struct {
+	// Valves is the number of channel valves (one per used cell).
+	Valves int
+	// Pins is the number of control pins after pattern sharing.
+	Pins int
+	// PinSwitches is the total number of pin transitions over the
+	// actuation sequence (including the final closing).
+	PinSwitches int
+	// Sharing is Valves/Pins (1.0 = no sharing possible).
+	Sharing float64
+}
+
+// PlanPins computes a pattern-sharing control-pin plan for a solution.
+func PlanPins(sol *core.Solution) PinPlan {
+	return planPins(sol.Routing.Routes)
+}
+
+func planPins(routes []route.RoutedTask) PinPlan {
+	if len(routes) == 0 {
+		return PinPlan{Sharing: 1}
+	}
+	// Deterministic step order: window start, then task ID.
+	order := make([]int, len(routes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := routes[order[a]].Task.Window.Start, routes[order[b]].Task.Window.Start
+		if wa != wb {
+			return wa < wb
+		}
+		return routes[order[a]].Task.ID < routes[order[b]].Task.ID
+	})
+	// Actuation pattern per valve: one bit per step.
+	patterns := map[route.Cell][]bool{}
+	for step, oi := range order {
+		for _, c := range routes[oi].Path {
+			if patterns[c] == nil {
+				patterns[c] = make([]bool, len(order))
+			}
+			patterns[c][step] = true
+		}
+		_ = step
+	}
+	// Group valves by identical pattern.
+	groups := map[string]int{}
+	for _, pat := range patterns {
+		key := make([]byte, len(pat))
+		for i, b := range pat {
+			if b {
+				key[i] = '1'
+			} else {
+				key[i] = '0'
+			}
+		}
+		groups[string(key)]++
+	}
+	plan := PinPlan{Valves: len(patterns), Pins: len(groups)}
+	// Pin switching: transitions of each distinct pattern, from the
+	// all-closed initial state and back to closed at the end.
+	for key := range groups {
+		prev := byte('0')
+		for i := 0; i < len(key); i++ {
+			if key[i] != prev {
+				plan.PinSwitches++
+				prev = key[i]
+			}
+		}
+		if prev == '1' {
+			plan.PinSwitches++ // close at the end
+		}
+	}
+	if plan.Pins > 0 {
+		plan.Sharing = float64(plan.Valves) / float64(plan.Pins)
+	} else {
+		plan.Sharing = 1
+	}
+	return plan
+}

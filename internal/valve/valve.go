@@ -1,0 +1,135 @@
+// Package valve analyzes the control-layer complexity implied by a
+// routed flow-layer solution — the optimization direction named in the
+// paper's conclusion (future work, citing Wang et al., ASP-DAC'17, who
+// minimize control-layer multiplexing cost via Hamming distances between
+// valve-state vectors).
+//
+// The model: every grid cell that carries a flow channel is gated by one
+// control valve, and every component contributes two isolation valves
+// (inlet and outlet). Executing a transportation task actuates the valves
+// along its path (open) while all other channel valves stay closed. The
+// control sequencer therefore walks through one valve-state vector per
+// task, in task start order; its cost is the total Hamming distance
+// between consecutive vectors — exactly the quantity [13] minimizes.
+// Tasks that start simultaneously may be issued in any order, so the
+// analysis also reports the switching cost after a greedy nearest-
+// neighbour reordering inside each equal-start group.
+package valve
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/route"
+)
+
+// Analysis summarises the control layer of one solution.
+type Analysis struct {
+	// NumValves is the number of control valves: one per channel cell
+	// plus two isolation valves per component.
+	NumValves int
+	// Steps is the number of actuation steps (one per transportation
+	// task).
+	Steps int
+	// Switches is the total Hamming distance between consecutive
+	// valve-state vectors in schedule order.
+	Switches int
+	// OptimizedSwitches is the same cost after reordering simultaneous
+	// tasks to minimise successive Hamming distance (greedy nearest
+	// neighbour inside each equal-start group).
+	OptimizedSwitches int
+}
+
+// Analyze computes the control-layer metrics of a synthesized solution.
+func Analyze(sol *core.Solution) Analysis {
+	routes := sol.Routing.Routes
+	a := Analysis{
+		NumValves: sol.Routing.UnionCells + 2*len(sol.Comps),
+		Steps:     len(routes),
+	}
+	if len(routes) == 0 {
+		return a
+	}
+	sets := make([]map[route.Cell]bool, len(routes))
+	starts := make([]int64, len(routes))
+	order := make([]int, len(routes))
+	for i, rt := range routes {
+		s := make(map[route.Cell]bool, len(rt.Path))
+		for _, c := range rt.Path {
+			s[c] = true
+		}
+		sets[i] = s
+		starts[i] = int64(rt.Task.Window.Start)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if starts[order[i]] != starts[order[j]] {
+			return starts[order[i]] < starts[order[j]]
+		}
+		return routes[order[i]].Task.ID < routes[order[j]].Task.ID
+	})
+	a.Switches = totalSwitching(sets, order)
+	a.OptimizedSwitches = totalSwitching(sets, optimizeGroups(sets, starts, order))
+	return a
+}
+
+// hamming returns |a Δ b|, the number of valves that change state between
+// two actuation vectors.
+func hamming(a, b map[route.Cell]bool) int {
+	d := 0
+	for c := range a {
+		if !b[c] {
+			d++
+		}
+	}
+	for c := range b {
+		if !a[c] {
+			d++
+		}
+	}
+	return d
+}
+
+// totalSwitching sums Hamming distances along the given order, including
+// the initial all-closed state and the final closing of the last task.
+func totalSwitching(sets []map[route.Cell]bool, order []int) int {
+	total := 0
+	prev := map[route.Cell]bool{}
+	for _, i := range order {
+		total += hamming(prev, sets[i])
+		prev = sets[i]
+	}
+	total += len(prev) // close everything at the end
+	return total
+}
+
+// optimizeGroups reorders tasks inside each equal-start group by greedy
+// nearest-neighbour Hamming distance, preserving inter-group order — a
+// lightweight instance of the Hamming-distance-based control optimization
+// of [13].
+func optimizeGroups(sets []map[route.Cell]bool, starts []int64, order []int) []int {
+	out := make([]int, 0, len(order))
+	prev := map[route.Cell]bool{}
+	for g := 0; g < len(order); {
+		h := g
+		for h < len(order) && starts[order[h]] == starts[order[g]] {
+			h++
+		}
+		group := append([]int(nil), order[g:h]...)
+		for len(group) > 0 {
+			best, bestD := 0, -1
+			for k, idx := range group {
+				if d := hamming(prev, sets[idx]); bestD < 0 || d < bestD ||
+					(d == bestD && idx < group[best]) {
+					best, bestD = k, d
+				}
+			}
+			idx := group[best]
+			group = append(group[:best], group[best+1:]...)
+			out = append(out, idx)
+			prev = sets[idx]
+		}
+		g = h
+	}
+	return out
+}

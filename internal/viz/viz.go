@@ -1,0 +1,162 @@
+// Package viz renders synthesis results as plain-text diagrams: the chip
+// layout with placed components and fabricated flow channels (in the
+// spirit of the paper's Fig. 4), and a per-component Gantt chart of the
+// schedule (in the spirit of Fig. 3).
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// Layout draws the placement and the union of routed flow channels.
+// Component cells show the component's type letter, channel cells '+',
+// free cells '.'.
+func Layout(sol *core.Solution) string {
+	w, h := sol.Placement.W, sol.Placement.H
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", w))
+	}
+	for _, rt := range sol.Routing.Routes {
+		for _, c := range rt.Path {
+			if c.Y >= 0 && c.Y < h && c.X >= 0 && c.X < w {
+				grid[c.Y][c.X] = '+'
+			}
+		}
+	}
+	for i, r := range sol.Placement.Rects {
+		letter := sol.Comps[i].Kind.Name[0]
+		for y := r.Y; y < r.Y+r.H && y < h; y++ {
+			for x := r.X; x < r.X+r.W && x < w; x++ {
+				grid[y][x] = letter
+			}
+		}
+		// Index digit in the top-left corner (single digit only).
+		if sol.Comps[i].Index < 10 && r.Y < h && r.X+1 < w {
+			grid[r.Y][r.X+1] = byte('0' + sol.Comps[i].Index)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip %dx%d cells (pitch %v), %d components, %d channel cells\n",
+		w, h, sol.Routing.Pitch, len(sol.Comps), sol.Routing.UnionCells)
+	for y := 0; y < h; y++ {
+		b.Write(grid[y])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Gantt draws the schedule as one row per component: operation blocks
+// ('#', labelled where space allows), component washes '~', idle '.'.
+func Gantt(r *schedule.Result) string {
+	const width = 86
+	if r.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	col := func(t unit.Time) int {
+		c := int(int64(t) * int64(width) / int64(r.Makespan))
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule of %q: makespan %v, U_r %.1f%%\n",
+		r.Assay.Name(), r.Makespan, 100*r.Utilization())
+	type rowOp struct {
+		start, end unit.Time
+		name       string
+	}
+	rows := make([][]rowOp, len(r.Comps))
+	for _, bo := range r.Ops {
+		rows[bo.Comp] = append(rows[bo.Comp], rowOp{bo.Start, bo.End, r.Assay.Op(bo.Op).Name})
+	}
+	washes := make([][]schedule.ComponentWash, len(r.Comps))
+	for _, w := range r.Washes {
+		washes[w.Comp] = append(washes[w.Comp], w)
+	}
+	for c := range r.Comps {
+		line := []byte(strings.Repeat(".", width))
+		for _, w := range washes[c] {
+			for i := col(w.Start); i < col(w.End) && i < width; i++ {
+				line[i] = '~'
+			}
+		}
+		ops := rows[c]
+		sort.Slice(ops, func(i, j int) bool { return ops[i].start < ops[j].start })
+		for _, op := range ops {
+			s, e := col(op.start), col(op.end)
+			if e <= s {
+				e = s + 1
+			}
+			for i := s; i < e && i < width; i++ {
+				line[i] = '#'
+			}
+			// Inline label when it fits.
+			if e-s > len(op.name)+1 && s+len(op.name) < width {
+				copy(line[s+1:], op.name)
+			}
+		}
+		fmt.Fprintf(&b, "%-10s |%s|\n", r.Comps[c].Name(), line)
+	}
+	fmt.Fprintf(&b, "%-10s  0%s%v\n", "", strings.Repeat(" ", width-len(r.Makespan.String())), r.Makespan)
+	fmt.Fprintf(&b, "legend: # operation  ~ wash  . idle\n")
+	return b.String()
+}
+
+// Congestion renders a per-cell channel-usage heatmap: '.' for untouched
+// cells, digits for 1-9 routed tasks through a cell, '+' beyond, and the
+// component type letter for blocked cells. It highlights where the
+// router concentrates shared channel segments.
+func Congestion(sol *core.Solution) string {
+	w, h := sol.Placement.W, sol.Placement.H
+	counts := make([]int, w*h)
+	for _, rt := range sol.Routing.Routes {
+		for _, c := range rt.Path {
+			if c.X >= 0 && c.X < w && c.Y >= 0 && c.Y < h {
+				counts[c.Y*w+c.X]++
+			}
+		}
+	}
+	grid := make([][]byte, h)
+	maxUses := 0
+	for y := range grid {
+		row := make([]byte, w)
+		for x := range row {
+			n := counts[y*w+x]
+			switch {
+			case n == 0:
+				row[x] = '.'
+			case n <= 9:
+				row[x] = byte('0' + n)
+			default:
+				row[x] = '+'
+			}
+			if n > maxUses {
+				maxUses = n
+			}
+		}
+		grid[y] = row
+	}
+	for i, r := range sol.Placement.Rects {
+		letter := sol.Comps[i].Kind.Name[0]
+		for y := r.Y; y < r.Y+r.H && y < h; y++ {
+			for x := r.X; x < r.X+r.W && x < w; x++ {
+				grid[y][x] = letter
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel congestion (max %d tasks through one cell)\n", maxUses)
+	for y := 0; y < h; y++ {
+		b.Write(grid[y])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/schedule"
+)
+
+func solve(t *testing.T, name string) *core.Solution {
+	t.Helper()
+	bm, err := benchdata.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Place.Imax = 30
+	sol, err := core.Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestLayoutContainsComponentsAndChannels(t *testing.T) {
+	sol := solve(t, "IVD")
+	out := Layout(sol)
+	if !strings.Contains(out, "M") {
+		t.Error("layout missing mixers")
+	}
+	if !strings.Contains(out, "D") {
+		t.Error("layout missing detectors")
+	}
+	if len(sol.Routing.Routes) > 0 && !strings.Contains(out, "+") {
+		t.Error("layout missing channels")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != sol.Placement.H+1 {
+		t.Errorf("layout rows = %d, want header + %d", len(lines), sol.Placement.H)
+	}
+	for i, l := range lines[1:] {
+		if len(l) != sol.Placement.W {
+			t.Errorf("row %d width %d, want %d", i, len(l), sol.Placement.W)
+		}
+	}
+}
+
+func TestLayoutComponentAreaMatches(t *testing.T) {
+	sol := solve(t, "PCR")
+	out := Layout(sol)
+	// Count mixer cells on the body only (the header also has digits):
+	// 3 mixers × 4×3 footprint, one cell of each showing its index digit.
+	body := out[strings.Index(out, "\n")+1:]
+	mCells := strings.Count(body, "M")
+	digits := 0
+	for _, d := range "123" {
+		digits += strings.Count(body, string(d))
+	}
+	if mCells+digits != 3*4*3 {
+		t.Errorf("mixer cells+digits = %d, want 36", mCells+digits)
+	}
+}
+
+func TestGanttShape(t *testing.T) {
+	sol := solve(t, "PCR")
+	out := Gantt(sol.Schedule)
+	for _, want := range []string{"Mixer1", "Mixer2", "Mixer3", "#", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "makespan") {
+		t.Error("gantt missing makespan header")
+	}
+}
+
+func TestGanttEmptySchedule(t *testing.T) {
+	// A schedule value with zero makespan must not panic.
+	out := Gantt(&schedule.Result{})
+	if !strings.Contains(out, "empty") {
+		t.Errorf("empty schedule rendering = %q", out)
+	}
+}
+
+func TestCongestionHeatmap(t *testing.T) {
+	sol := solve(t, "CPA")
+	out := Congestion(sol)
+	if !strings.Contains(out, "congestion") {
+		t.Fatal("missing header")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != sol.Placement.H+1 {
+		t.Errorf("rows = %d, want %d", len(lines), sol.Placement.H+1)
+	}
+	// With transports present there must be at least one used cell.
+	if len(sol.Routing.Routes) > 0 {
+		found := false
+		for _, l := range lines[1:] {
+			if strings.ContainsAny(l, "123456789+") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Error("no used cells in heatmap")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package washplan derives an explicit channel-washing plan from a routed
+// solution and audits the paper's central washing assumption.
+//
+// The synthesis flow treats channel washing the way the paper does: wash
+// time is minimized through the router's cell weights and accounted as a
+// cost (Fig. 9), but not scheduled as hard time windows (the scheduler's
+// constant-t_c abstraction cannot see individual channel segments). This
+// package closes the loop after the fact: for every routed task it plans
+// a buffer flush of the task's path right after its occupancy ends and
+// checks whether the flush completes before any cell of the path is
+// reused by a different fluid. The result quantifies how often the
+// weight-driven washing assumption holds ("on-time" flushes) and how
+// severe the violations are (lateness), per solution.
+package washplan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/unit"
+)
+
+// Flush is one planned buffer flush: cleaning the residue a task left
+// along its path.
+type Flush struct {
+	// Task is the routed transportation task whose residue is removed.
+	Task int
+	// Start is when the flush begins (the task's occupancy end).
+	Start unit.Time
+	// Duration is the residue's wash time.
+	Duration unit.Time
+	// Deadline is the earliest next use of any path cell by a different
+	// fluid (unit.Forever when the path is never reused).
+	Deadline unit.Time
+	// Late reports that the flush cannot finish before the deadline.
+	Late bool
+	// Lateness is max(0, Start+Duration-Deadline).
+	Lateness unit.Time
+}
+
+// Plan is the complete washing plan of a solution.
+type Plan struct {
+	Flushes []Flush
+	// OnTime and Late count flushes meeting/missing their deadline.
+	OnTime, Late int
+	// MaxLateness is the worst deadline miss.
+	MaxLateness unit.Time
+	// TotalWash is the summed flush time (a lower-variance cousin of the
+	// Fig. 9 metric: one flush per task rather than per cell use).
+	TotalWash unit.Time
+}
+
+// OnTimeFraction returns the share of flushes completing before their
+// channel is needed again (1.0 when there are no flushes).
+func (p *Plan) OnTimeFraction() float64 {
+	if len(p.Flushes) == 0 {
+		return 1
+	}
+	return float64(p.OnTime) / float64(len(p.Flushes))
+}
+
+// Build derives the washing plan of a solution.
+func Build(sol *core.Solution) (*Plan, error) {
+	if sol == nil || sol.Routing == nil {
+		return nil, fmt.Errorf("washplan: nil solution")
+	}
+	// Per cell: the uses (start time, fluid) sorted by time.
+	type use struct {
+		start unit.Time
+		end   unit.Time
+		fluid string
+	}
+	cellUses := map[route.Cell][]use{}
+	for _, rt := range sol.Routing.Routes {
+		w := rt.Task.HoldWindow()
+		for _, c := range rt.Path {
+			cellUses[c] = append(cellUses[c], use{start: w.Start, end: w.End, fluid: rt.Task.Fluid.Name})
+		}
+	}
+	for c := range cellUses {
+		us := cellUses[c]
+		sort.Slice(us, func(i, j int) bool { return us[i].start < us[j].start })
+		cellUses[c] = us
+	}
+
+	plan := &Plan{}
+	for _, rt := range sol.Routing.Routes {
+		w := rt.Task.HoldWindow()
+		f := Flush{
+			Task:     rt.Task.ID,
+			Start:    w.End,
+			Duration: rt.Task.Wash,
+			Deadline: unit.Forever,
+		}
+		// Deadline: the earliest next use by a different fluid across the
+		// path's cells.
+		for _, c := range rt.Path {
+			for _, u := range cellUses[c] {
+				if u.start >= w.End && u.fluid != rt.Task.Fluid.Name {
+					if u.start < f.Deadline {
+						f.Deadline = u.start
+					}
+					break
+				}
+			}
+		}
+		if f.Start+f.Duration > f.Deadline {
+			f.Late = true
+			f.Lateness = f.Start + f.Duration - f.Deadline
+			plan.Late++
+			if f.Lateness > plan.MaxLateness {
+				plan.MaxLateness = f.Lateness
+			}
+		} else {
+			plan.OnTime++
+		}
+		plan.TotalWash += f.Duration
+		plan.Flushes = append(plan.Flushes, f)
+	}
+	sort.Slice(plan.Flushes, func(i, j int) bool {
+		if plan.Flushes[i].Start != plan.Flushes[j].Start {
+			return plan.Flushes[i].Start < plan.Flushes[j].Start
+		}
+		return plan.Flushes[i].Task < plan.Flushes[j].Task
+	})
+	return plan, nil
+}

@@ -1,0 +1,114 @@
+package washplan
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/unit"
+)
+
+func solve(t *testing.T, name string, baseline bool) *core.Solution {
+	t.Helper()
+	bm, err := benchdata.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.DefaultOptions()
+	o.Place.Imax = 40
+	var sol *core.Solution
+	if baseline {
+		sol, err = core.SynthesizeBaseline(bm.Graph, bm.Alloc, o)
+	} else {
+		sol, err = core.Synthesize(bm.Graph, bm.Alloc, o)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestBuildBasics(t *testing.T) {
+	sol := solve(t, "CPA", false)
+	plan, err := Build(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Flushes) != len(sol.Routing.Routes) {
+		t.Fatalf("flushes = %d, want one per routed task %d",
+			len(plan.Flushes), len(sol.Routing.Routes))
+	}
+	if plan.OnTime+plan.Late != len(plan.Flushes) {
+		t.Error("on-time + late != total")
+	}
+	var total unit.Time
+	for i, f := range plan.Flushes {
+		total += f.Duration
+		if f.Duration < 0 {
+			t.Errorf("flush %d negative duration", f.Task)
+		}
+		if f.Late && f.Lateness <= 0 {
+			t.Errorf("late flush %d without lateness", f.Task)
+		}
+		if !f.Late && f.Lateness != 0 {
+			t.Errorf("on-time flush %d with lateness", f.Task)
+		}
+		if i > 0 && f.Start < plan.Flushes[i-1].Start {
+			t.Error("flushes not time-sorted")
+		}
+	}
+	if total != plan.TotalWash {
+		t.Errorf("TotalWash %v != sum %v", plan.TotalWash, total)
+	}
+	frac := plan.OnTimeFraction()
+	if frac < 0 || frac > 1 {
+		t.Errorf("OnTimeFraction = %v", frac)
+	}
+	t.Logf("CPA wash plan: %d flushes, %.0f%% on time, max lateness %v",
+		len(plan.Flushes), 100*frac, plan.MaxLateness)
+}
+
+func TestOnTimeFractionReasonableOnBenchmarks(t *testing.T) {
+	// The weight-guided router should keep the washing assumption mostly
+	// honest: across the benchmark suite, a clear majority of flushes
+	// must complete before their channel is reused.
+	var onTime, all int
+	for _, bm := range benchdata.All() {
+		sol := solve(t, bm.Name, false)
+		plan, err := Build(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onTime += plan.OnTime
+		all += len(plan.Flushes)
+	}
+	if all == 0 {
+		t.Skip("no flushes")
+	}
+	frac := float64(onTime) / float64(all)
+	t.Logf("suite-wide on-time wash fraction: %.1f%% (%d of %d)", 100*frac, onTime, all)
+	if frac < 0.5 {
+		t.Errorf("washing assumption violated too often: only %.1f%% on time", 100*frac)
+	}
+}
+
+func TestNeverReusedPathsAreOnTime(t *testing.T) {
+	// PCR has few transports over disjoint windows; flushes whose paths
+	// are never reused must have an infinite deadline and be on time.
+	sol := solve(t, "PCR", false)
+	plan, err := Build(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range plan.Flushes {
+		if f.Deadline == unit.Forever && f.Late {
+			t.Errorf("flush %d late despite no future use", f.Task)
+		}
+	}
+}
+
+func TestBuildNil(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("nil solution accepted")
+	}
+}

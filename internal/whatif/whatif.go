@@ -1,0 +1,91 @@
+// Package whatif performs failure what-if analysis on a synthesized
+// design: PDMS biochips routinely ship with fabrication defects that
+// disable individual components, so a practical flow must know how a
+// bioassay degrades when any single allocated component is lost. For
+// each component the analysis removes one instance of its type from the
+// allocation, re-runs the DCSA synthesis schedule, and reports the new
+// completion time (or infeasibility when the component was the last of a
+// required type).
+package whatif
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// Impact is the effect of losing one component of a given type.
+type Impact struct {
+	// Type is the failed component's type.
+	Type assay.OpType
+	// Feasible reports whether the assay can still run.
+	Feasible bool
+	// Makespan is the degraded completion time (when feasible).
+	Makespan unit.Time
+	// DeltaPct is the relative slowdown versus the healthy chip, in
+	// percent (0 when the loss is absorbed entirely).
+	DeltaPct float64
+}
+
+// Analysis is a complete single-failure study.
+type Analysis struct {
+	// Baseline is the healthy completion time.
+	Baseline unit.Time
+	// Impacts holds one entry per component type present in the
+	// allocation, ordered by type.
+	Impacts []Impact
+	// WorstDeltaPct is the largest feasible slowdown.
+	WorstDeltaPct float64
+	// SinglePoints lists the types whose loss makes the assay
+	// infeasible (single points of failure).
+	SinglePoints []assay.OpType
+}
+
+// SingleFailures analyzes the loss of one component of each allocated
+// type under the DCSA scheduler.
+func SingleFailures(g *assay.Graph, alloc chip.Allocation, opts schedule.Options) (Analysis, error) {
+	var a Analysis
+	if g == nil {
+		return a, fmt.Errorf("whatif: nil assay")
+	}
+	if err := alloc.Covers(g); err != nil {
+		return a, err
+	}
+	healthy, err := schedule.Schedule(g, alloc.Instantiate(), opts)
+	if err != nil {
+		return a, err
+	}
+	a.Baseline = healthy.Makespan
+
+	need := g.CountByType()
+	for t := 0; t < assay.NumOpTypes; t++ {
+		if alloc[t] == 0 {
+			continue
+		}
+		degraded := alloc
+		degraded[t]--
+		imp := Impact{Type: assay.OpType(t)}
+		if need[t] > 0 && degraded[t] == 0 {
+			imp.Feasible = false
+			a.SinglePoints = append(a.SinglePoints, assay.OpType(t))
+		} else {
+			res, err := schedule.Schedule(g, degraded.Instantiate(), opts)
+			if err != nil {
+				return a, fmt.Errorf("whatif: degraded allocation %v: %w", degraded, err)
+			}
+			imp.Feasible = true
+			imp.Makespan = res.Makespan
+			imp.DeltaPct = 100 * float64(res.Makespan-healthy.Makespan) / float64(healthy.Makespan)
+			if imp.DeltaPct > a.WorstDeltaPct {
+				a.WorstDeltaPct = imp.DeltaPct
+			}
+		}
+		a.Impacts = append(a.Impacts, imp)
+	}
+	sort.Slice(a.Impacts, func(i, j int) bool { return a.Impacts[i].Type < a.Impacts[j].Type })
+	return a, nil
+}

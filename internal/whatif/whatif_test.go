@@ -1,0 +1,87 @@
+package whatif
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/schedule"
+)
+
+func TestSingleFailuresOnCPA(t *testing.T) {
+	bm := benchdata.CPA() // (8,0,0,2)
+	a, err := SingleFailures(bm.Graph, bm.Alloc, schedule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Baseline <= 0 {
+		t.Fatal("no baseline")
+	}
+	// Two component types allocated → two impacts.
+	if len(a.Impacts) != 2 {
+		t.Fatalf("impacts = %d, want 2", len(a.Impacts))
+	}
+	for _, imp := range a.Impacts {
+		if !imp.Feasible {
+			t.Errorf("losing one %v should stay feasible on CPA", imp.Type)
+			continue
+		}
+		if imp.Makespan < a.Baseline {
+			t.Errorf("losing a %v sped the assay up: %v < %v", imp.Type, imp.Makespan, a.Baseline)
+		}
+		if imp.DeltaPct < 0 {
+			t.Errorf("negative slowdown %v", imp.DeltaPct)
+		}
+	}
+	if len(a.SinglePoints) != 0 {
+		t.Errorf("CPA has no single points of failure, got %v", a.SinglePoints)
+	}
+	t.Logf("CPA failures: baseline %v, worst slowdown %.1f%%", a.Baseline, a.WorstDeltaPct)
+}
+
+func TestSinglePointOfFailureDetected(t *testing.T) {
+	// IVD on (1,0,0,1): losing either component kills the assay.
+	bm := benchdata.IVD()
+	a, err := SingleFailures(bm.Graph, chip.Allocation{1, 0, 0, 1}, schedule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.SinglePoints) != 2 {
+		t.Errorf("single points = %v, want mix and detect", a.SinglePoints)
+	}
+	for _, imp := range a.Impacts {
+		if imp.Feasible {
+			t.Errorf("losing the only %v reported feasible", imp.Type)
+		}
+	}
+}
+
+func TestUnusedTypeLossIsFree(t *testing.T) {
+	// PCR (all mixes) with a spare heater allocated: losing the heater
+	// changes nothing.
+	bm := benchdata.PCR()
+	alloc := bm.Alloc
+	alloc[assay.Heat] = 1
+	a, err := SingleFailures(bm.Graph, alloc, schedule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, imp := range a.Impacts {
+		if imp.Type == assay.Heat {
+			if !imp.Feasible || imp.DeltaPct != 0 {
+				t.Errorf("losing an unused heater must be free: %+v", imp)
+			}
+		}
+	}
+}
+
+func TestSingleFailuresRejectsBadInputs(t *testing.T) {
+	if _, err := SingleFailures(nil, chip.Allocation{1, 0, 0, 0}, schedule.DefaultOptions()); err == nil {
+		t.Error("nil assay accepted")
+	}
+	bm := benchdata.PCR()
+	if _, err := SingleFailures(bm.Graph, chip.Allocation{0, 1, 0, 0}, schedule.DefaultOptions()); err == nil {
+		t.Error("non-covering allocation accepted")
+	}
+}

@@ -1,0 +1,329 @@
+// Package repro is the public API of this reproduction of "Physical
+// Synthesis of Flow-Based Microfluidic Biochips Considering Distributed
+// Channel Storage" (Chen et al., DATE 2019).
+//
+// It re-exports the building blocks needed by a downstream user:
+//
+//   - describing a bioassay as a sequencing graph (NewAssay, OpType,
+//     Fluid, DecodeAssay/EncodeAssay);
+//   - allocating on-chip components (Allocation, ParseAllocation);
+//   - running the paper's top-down DCSA-aware physical synthesis
+//     (Synthesize) or the baseline it is compared against
+//     (SynthesizeBaseline), both returning a full Solution with schedule,
+//     placement, routing and the Table I / Fig. 8 / Fig. 9 metrics;
+//   - verifying a solution by independent replay (Replay);
+//   - regenerating the paper's evaluation (RunComparison, TableI, Fig8,
+//     Fig9) on the built-in benchmark suite (Benchmarks);
+//   - rendering text diagrams of the result (Layout, Gantt).
+//
+// See examples/ for runnable end-to-end programs.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/archsyn"
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/bound"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/fluid"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/route"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/unit"
+	"repro/internal/valve"
+	"repro/internal/viz"
+	"repro/internal/washplan"
+	"repro/internal/whatif"
+)
+
+// Core synthesis types.
+type (
+	// Options bundles every stage's parameters; start from DefaultOptions.
+	Options = core.Options
+	// Solution is a complete synthesis result (schedule + placement +
+	// routing + metrics).
+	Solution = core.Solution
+	// Metrics are the evaluation quantities of Table I and Figs. 8-9.
+	Metrics = core.Metrics
+)
+
+// Bioassay description types.
+type (
+	// Assay is a validated sequencing graph G(O,E).
+	Assay = assay.Graph
+	// AssayBuilder accumulates operations and dependencies.
+	AssayBuilder = assay.Builder
+	// OpID identifies an operation within an assay.
+	OpID = assay.OpID
+	// OpType is the resource class of an operation.
+	OpType = assay.OpType
+	// Fluid is a sample with its diffusion coefficient.
+	Fluid = fluid.Fluid
+	// Time is a fixed-point duration/instant in milliseconds.
+	Time = unit.Time
+	// Diffusion is a diffusion coefficient in cm²/s.
+	Diffusion = unit.Diffusion
+)
+
+// Chip resource types.
+type (
+	// Allocation counts allocated components per type, in Table I's
+	// (Mixers, Heaters, Filters, Detectors) order.
+	Allocation = chip.Allocation
+	// Component is an allocated component instance.
+	Component = chip.Component
+)
+
+// Benchmark couples an assay with its Table I component allocation.
+type Benchmark = benchdata.Benchmark
+
+// ComparisonRow holds ours-vs-baseline metrics for one benchmark.
+type ComparisonRow = report.Row
+
+// Replay is a verified discrete event trace of a Solution.
+type Replay = sim.Replay
+
+// ControlAnalysis summarises the control-layer cost (valve count and
+// Hamming-distance switching) implied by a routed solution — the paper's
+// future-work direction.
+type ControlAnalysis = valve.Analysis
+
+// The operation types.
+const (
+	Mix    = assay.Mix
+	Heat   = assay.Heat
+	Filter = assay.Filter
+	Detect = assay.Detect
+)
+
+// DefaultOptions returns the paper's published experimental parameters.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewAssay starts building a bioassay with the given name.
+func NewAssay(name string) *AssayBuilder { return assay.NewBuilder(name) }
+
+// DecodeAssay reads an assay from its JSON representation.
+func DecodeAssay(r io.Reader) (*Assay, error) { return assay.Decode(r) }
+
+// EncodeAssay writes an assay as JSON.
+func EncodeAssay(w io.Writer, g *Assay) error { return assay.Encode(w, g) }
+
+// ParseAllocation parses an allocation tuple such as "(3,0,0,2)".
+func ParseAllocation(s string) (Allocation, error) { return chip.ParseAllocation(s) }
+
+// MinimalAllocation returns the smallest allocation covering the assay.
+func MinimalAllocation(g *Assay) Allocation { return chip.MinimalAllocation(g) }
+
+// Seconds converts fractional seconds into the library's Time unit.
+func Seconds(s float64) Time { return unit.Seconds(s) }
+
+// Synthesize runs the proposed DCSA-aware top-down synthesis flow.
+func Synthesize(g *Assay, alloc Allocation, opts Options) (*Solution, error) {
+	return core.Synthesize(g, alloc, opts)
+}
+
+// SynthesizeBaseline runs the baseline algorithm BA of Section V.
+func SynthesizeBaseline(g *Assay, alloc Allocation, opts Options) (*Solution, error) {
+	return core.SynthesizeBaseline(g, alloc, opts)
+}
+
+// ScheduleDedicated schedules an assay on a conventional chip whose
+// intermediate fluids are cached in a dedicated storage unit with the
+// given capacity and a single multiplexed port — the architecture the
+// paper's introduction argues DCSA outperforms. Only the scheduling stage
+// applies (the comparison isolates the storage architecture).
+func ScheduleDedicated(g *Assay, alloc Allocation, opts Options, capacity int) (Time, error) {
+	res, err := schedule.ScheduleDedicated(g, alloc.Instantiate(),
+		schedule.DedicatedOptions{Options: opts.Schedule, Capacity: capacity})
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// Verify replays a solution and re-checks every physical invariant.
+func Verify(sol *Solution) (*Replay, error) { return sim.Run(sol) }
+
+// Benchmarks returns the seven Table I benchmarks.
+func Benchmarks() []Benchmark { return benchdata.All() }
+
+// BenchmarkByName returns one Table I benchmark by name.
+func BenchmarkByName(name string) (Benchmark, error) { return benchdata.ByName(name) }
+
+// GenerateSyntheticAssay builds a random layered bioassay with the given
+// size, allocation-proportional type mix and seed.
+func GenerateSyntheticAssay(name string, ops int, alloc Allocation, seed uint64) *Assay {
+	return benchdata.GenerateSynthetic(name, ops, alloc, seed)
+}
+
+// RunComparison synthesizes each benchmark with both algorithms.
+func RunComparison(benches []Benchmark, opts Options) ([]ComparisonRow, error) {
+	return report.Run(benches, opts)
+}
+
+// TableI renders comparison rows in the layout of the paper's Table I.
+func TableI(rows []ComparisonRow) string { return report.TableI(rows) }
+
+// Fig8 renders the total channel cache time comparison (paper Fig. 8).
+func Fig8(rows []ComparisonRow) string { return report.Fig(rows, report.Fig8CacheTime) }
+
+// Fig9 renders the total channel wash time comparison (paper Fig. 9).
+func Fig9(rows []ComparisonRow) string { return report.Fig(rows, report.Fig9WashTime) }
+
+// ComparisonCSV renders comparison rows as CSV for plotting.
+func ComparisonCSV(rows []ComparisonRow) string { return report.CSV(rows) }
+
+// ComparisonMarkdown renders comparison rows as a markdown table.
+func ComparisonMarkdown(rows []ComparisonRow) string { return report.Markdown(rows) }
+
+// Layout renders the placed-and-routed chip as a text diagram.
+func Layout(sol *Solution) string { return viz.Layout(sol) }
+
+// Gantt renders a solution's schedule as a per-component text timeline.
+func Gantt(sol *Solution) string { return viz.Gantt(sol.Schedule) }
+
+// ScheduleOf exposes the binding-and-scheduling stage result.
+func ScheduleOf(sol *Solution) *schedule.Result { return sol.Schedule }
+
+// ControlLayer analyzes the control-layer complexity of a solution:
+// valves needed and total valve switching, before and after the
+// Hamming-distance-based reordering of simultaneous tasks.
+func ControlLayer(sol *Solution) ControlAnalysis { return valve.Analyze(sol) }
+
+// PinPlan is a pattern-sharing control-pin assignment for channel valves.
+type PinPlan = valve.PinPlan
+
+// PlanControlPins groups valves with identical actuation sequences onto
+// shared control pins and reports pin count and switching.
+func PlanControlPins(sol *Solution) PinPlan { return valve.PlanPins(sol) }
+
+// FailureAnalysis is a single-component-failure what-if study.
+type FailureAnalysis = whatif.Analysis
+
+// AnalyzeFailures reports how the assay's completion time degrades when
+// one component of each allocated type fails, and which types are single
+// points of failure.
+func AnalyzeFailures(g *Assay, alloc Allocation, opts Options) (FailureAnalysis, error) {
+	return whatif.SingleFailures(g, alloc, opts.Schedule)
+}
+
+// CongestionMap renders a per-cell channel-usage heatmap of the routed
+// solution.
+func CongestionMap(sol *Solution) string { return viz.Congestion(sol) }
+
+// WashRouting is the physical wash-buffer infrastructure of a solution.
+type WashRouting = route.WashRouting
+
+// RouteWashes plans a buffer flush path (inlet → contaminated segment →
+// waste outlet) for every transportation task and reports the extra
+// channel fabric washing requires.
+func RouteWashes(sol *Solution) (*WashRouting, error) {
+	return route.RouteWash(sol.Routing, sol.Comps, sol.Placement, sol.Opts.Route)
+}
+
+// ScheduleBounds computes lower bounds on the assay completion time
+// (critical path and per-type resource load) for gap reporting.
+func ScheduleBounds(g *Assay, alloc Allocation, opts Options) (bound.Bounds, error) {
+	return bound.Compute(g, alloc, opts.Schedule.TC)
+}
+
+// Bounds re-exports the lower-bound record type.
+type Bounds = bound.Bounds
+
+// Protocol building blocks: composable constructors for the classic
+// bioassay patterns (see internal/protocol).
+
+// BuildMixingTree appends a balanced binary mixing tree with the given
+// power-of-two leaf count and per-mix duration; it returns the root.
+func BuildMixingTree(b *AssayBuilder, leaves int, mixDur Time) (OpID, error) {
+	return protocol.MixingTree(b, leaves, protocol.MixSpec{Duration: mixDur})
+}
+
+// BuildSerialDilution appends a serial dilution chain of the given length
+// after source (NoOp for a fresh source), optionally detecting each
+// stage; it returns the stage operations.
+func BuildSerialDilution(b *AssayBuilder, source OpID, stages int, mixDur Time, detectEach bool, detDur Time) ([]OpID, error) {
+	return protocol.SerialDilution(b, source, stages, protocol.MixSpec{Duration: mixDur}, detectEach, detDur)
+}
+
+// BuildMultiplex appends a samples×reagents mix-and-detect panel and
+// returns the detection operations.
+func BuildMultiplex(b *AssayBuilder, samples, reagents int, mixDur, detDur Time) ([]OpID, error) {
+	return protocol.Multiplex(b, samples, reagents, mixDur, detDur)
+}
+
+// BuildHeatCycle appends alternating heat/mix thermocycles after source
+// and returns the final operation.
+func BuildHeatCycle(b *AssayBuilder, source OpID, cycles int, heatDur, mixDur Time) (OpID, error) {
+	return protocol.HeatCycle(b, source, cycles, heatDur, mixDur)
+}
+
+// NoOp is the invalid operation ID (e.g. "no source" for builders).
+const NoOp = assay.NoOp
+
+// WashPlan is an explicit channel-washing plan derived from a solution.
+type WashPlan = washplan.Plan
+
+// PlanWashes derives a buffer-flush plan for every routed task and audits
+// whether each flush completes before its channel is reused by a
+// different fluid.
+func PlanWashes(sol *Solution) (*WashPlan, error) { return washplan.Build(sol) }
+
+// TimingReport summarises the flow speeds the routed geometry implies
+// under the scheduler's constant-t_c assumption.
+type TimingReport = timing.Report
+
+// AnalyzeTiming audits the t_c assumption of a solution: the implied
+// per-task flow speeds and the smallest t_c that keeps every task under
+// the speed cap (mm/s; 0 selects the default cap).
+func AnalyzeTiming(sol *Solution, speedCap float64) (TimingReport, error) {
+	return timing.Analyze(sol, speedCap)
+}
+
+// MergeAssays combines several independent bioassays into one sequencing
+// graph (operation names prefixed by their assay), so concurrent
+// applications can be synthesized onto a single chip.
+func MergeAssays(name string, assays ...*Assay) (*Assay, error) {
+	return assay.Merge(name, assays...)
+}
+
+// AllocationCandidate is one evaluated allocation from ExploreAllocations.
+type AllocationCandidate = archsyn.Candidate
+
+// ExploreAllocations schedules every covering allocation with at most
+// maxPerType components per type and returns the area/makespan trade-off
+// sorted by completion time — the architectural-synthesis step upstream
+// of the paper's physical design.
+func ExploreAllocations(g *Assay, opts Options, maxPerType int) ([]AllocationCandidate, error) {
+	return archsyn.Explore(g, opts.Schedule, maxPerType)
+}
+
+// ParetoAllocations filters candidates to the area/makespan frontier.
+func ParetoAllocations(cands []AllocationCandidate) []AllocationCandidate {
+	return archsyn.Pareto(cands)
+}
+
+// RecommendAllocation returns the fastest allocation within an area
+// budget in grid cells (0 = unbounded).
+func RecommendAllocation(g *Assay, opts Options, maxPerType, maxArea int) (Allocation, error) {
+	return archsyn.Recommend(g, opts.Schedule, maxPerType, maxArea)
+}
+
+// OptimalSchedule exhaustively searches all resource bindings of a small
+// assay and returns the binding-optimal schedule's completion time along
+// with the number of candidates examined. It errors on assays whose
+// search space is too large.
+func OptimalSchedule(g *Assay, alloc Allocation, opts Options) (Time, int, error) {
+	res, st, err := exact.Optimal(g, alloc.Instantiate(), opts.Schedule)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Makespan, st.Candidates, nil
+}

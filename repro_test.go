@@ -1,0 +1,337 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// Build a small assay through the public API only.
+	b := repro.NewAssay("facade")
+	m1 := b.AddOp("m1", repro.Mix, repro.Seconds(3), repro.Fluid{Name: "a", D: 1e-6})
+	m2 := b.AddOp("m2", repro.Mix, repro.Seconds(4), repro.Fluid{Name: "b", D: 1e-7})
+	d := b.AddOp("d", repro.Detect, repro.Seconds(2), repro.Fluid{Name: "c", D: 1e-5})
+	b.AddDep(m1, m2)
+	b.AddDep(m2, d)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alloc := repro.MinimalAllocation(g)
+	if alloc != (repro.Allocation{1, 0, 0, 1}) {
+		t.Fatalf("minimal allocation = %v", alloc)
+	}
+
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = 30
+	sol, err := repro.Synthesize(g, alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repro.Verify(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != sol.Metrics().ExecutionTime {
+		t.Error("replay and metrics disagree on completion time")
+	}
+	if out := repro.Gantt(sol); !strings.Contains(out, "Mixer1") {
+		t.Error("Gantt missing component")
+	}
+	if out := repro.Layout(sol); !strings.Contains(out, "M") {
+		t.Error("Layout missing component")
+	}
+}
+
+func TestFacadeJSONRoundTrip(t *testing.T) {
+	bm, err := repro.BenchmarkByName("IVD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.EncodeAssay(&buf, bm.Graph); err != nil {
+		t.Fatal(err)
+	}
+	g, err := repro.DecodeAssay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOps() != bm.Graph.NumOps() {
+		t.Error("round trip changed op count")
+	}
+}
+
+func TestFacadeBenchmarksAndComparison(t *testing.T) {
+	if got := len(repro.Benchmarks()); got != 7 {
+		t.Fatalf("benchmarks = %d, want 7", got)
+	}
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = 25
+	bm, _ := repro.BenchmarkByName("PCR")
+	rows, err := repro.RunComparison([]repro.Benchmark{bm}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := repro.TableI(rows)
+	if !strings.Contains(table, "PCR") {
+		t.Error("TableI missing PCR")
+	}
+	if !strings.Contains(repro.Fig8(rows), "Fig. 8") {
+		t.Error("Fig8 header missing")
+	}
+	if !strings.Contains(repro.Fig9(rows), "Fig. 9") {
+		t.Error("Fig9 header missing")
+	}
+	csv := repro.ComparisonCSV(rows)
+	if !strings.HasPrefix(csv, "benchmark,") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestFacadeParseAllocation(t *testing.T) {
+	a, err := repro.ParseAllocation("(8,0,0,2)")
+	if err != nil || a != (repro.Allocation{8, 0, 0, 2}) {
+		t.Errorf("ParseAllocation = %v, %v", a, err)
+	}
+}
+
+func TestFacadeSyntheticGenerator(t *testing.T) {
+	g := repro.GenerateSyntheticAssay("t", 15, repro.Allocation{2, 1, 1, 1}, 5)
+	if g.NumOps() != 15 {
+		t.Errorf("ops = %d", g.NumOps())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeBaselineNeverBeatsOursOnBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark comparison in short mode")
+	}
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = 40
+	for _, bm := range repro.Benchmarks() {
+		ours, err := repro.Synthesize(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		ba, err := repro.SynthesizeBaseline(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", bm.Name, err)
+		}
+		if ours.Metrics().ExecutionTime > ba.Metrics().ExecutionTime {
+			t.Errorf("%s: ours %v slower than BA %v", bm.Name,
+				ours.Metrics().ExecutionTime, ba.Metrics().ExecutionTime)
+		}
+	}
+}
+
+func TestFacadeProtocolBuilders(t *testing.T) {
+	b := repro.NewAssay("protocol")
+	root, err := repro.BuildMixingTree(b, 4, repro.Seconds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := repro.BuildHeatCycle(b, root, 2, repro.Seconds(6), repro.Seconds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.BuildSerialDilution(b, last, 3, repro.Seconds(5), true, repro.Seconds(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.BuildMultiplex(b, 2, 2, repro.Seconds(5), repro.Seconds(4)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 (tree) + 4 (cycle) + 6 (dilution+detects) + 8 (multiplex) = 25.
+	if g.NumOps() != 25 {
+		t.Errorf("ops = %d, want 25", g.NumOps())
+	}
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = 25
+	sol, err := repro.Synthesize(g, repro.Allocation{3, 1, 0, 2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.Verify(sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAnalyses(t *testing.T) {
+	bm, _ := repro.BenchmarkByName("CPA")
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = 30
+	sol, err := repro.Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := repro.ControlLayer(sol)
+	if cl.NumValves <= 0 || cl.Steps != sol.Metrics().Transports {
+		t.Errorf("control layer %+v inconsistent", cl)
+	}
+	wp, err := repro.PlanWashes(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wp.Flushes) != sol.Metrics().Transports {
+		t.Errorf("flushes %d != transports %d", len(wp.Flushes), sol.Metrics().Transports)
+	}
+}
+
+func TestFacadeAllocationExploration(t *testing.T) {
+	bm, _ := repro.BenchmarkByName("IVD")
+	opts := repro.DefaultOptions()
+	cands, err := repro.ExploreAllocations(bm.Graph, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 4 { // 1..2 mixers × 1..2 detectors
+		t.Fatalf("candidates = %d, want 4", len(cands))
+	}
+	front := repro.ParetoAllocations(cands)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	rec, err := repro.RecommendAllocation(bm.Graph, opts, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != cands[0].Alloc {
+		t.Errorf("recommendation %v != fastest %v", rec, cands[0].Alloc)
+	}
+}
+
+func TestFacadeDedicatedStorage(t *testing.T) {
+	bm, _ := repro.BenchmarkByName("Synthetic4")
+	opts := repro.DefaultOptions()
+	ded, err := repro.ScheduleDedicated(bm.Graph, bm.Alloc, opts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := repro.Synthesize(bm.Graph, bm.Alloc, func() repro.Options {
+		o := opts
+		o.Place.Imax = 25
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Metrics().ExecutionTime > ded {
+		t.Errorf("DCSA %v slower than dedicated %v", sol.Metrics().ExecutionTime, ded)
+	}
+	if _, err := repro.ScheduleDedicated(bm.Graph, bm.Alloc, opts, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestFacadeOptimalSchedule(t *testing.T) {
+	b := repro.NewAssay("tiny")
+	m1 := b.AddOp("m1", repro.Mix, repro.Seconds(3), repro.Fluid{D: 1e-6})
+	m2 := b.AddOp("m2", repro.Mix, repro.Seconds(3), repro.Fluid{D: 1e-6})
+	m3 := b.AddOp("m3", repro.Mix, repro.Seconds(3), repro.Fluid{D: 1e-6})
+	b.AddDep(m1, m3)
+	b.AddDep(m2, m3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, candidates, err := repro.OptimalSchedule(g, repro.Allocation{2, 0, 0, 0}, repro.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if candidates <= 0 || opt <= 0 {
+		t.Errorf("optimal = %v over %d candidates", opt, candidates)
+	}
+	sol, err := repro.Synthesize(g, repro.Allocation{2, 0, 0, 0}, repro.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt > sol.Metrics().ExecutionTime {
+		t.Error("optimal worse than greedy")
+	}
+}
+
+func TestFacadeControlPinsAndFailures(t *testing.T) {
+	bm, _ := repro.BenchmarkByName("CPA")
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = 30
+	sol, err := repro.Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := repro.PlanControlPins(sol)
+	if pp.Pins <= 0 || pp.Pins > pp.Valves {
+		t.Errorf("pin plan %+v", pp)
+	}
+	fa, err := repro.AnalyzeFailures(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Baseline != sol.Metrics().ExecutionTime {
+		t.Errorf("failure baseline %v != solution %v", fa.Baseline, sol.Metrics().ExecutionTime)
+	}
+	if cm := repro.CongestionMap(sol); !strings.Contains(cm, "congestion") {
+		t.Error("congestion map malformed")
+	}
+}
+
+func TestFacadeTimingAndMerge(t *testing.T) {
+	bm, _ := repro.BenchmarkByName("IVD")
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = 30
+	sol, err := repro.Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := repro.AnalyzeTiming(sol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tasks != sol.Metrics().Transports {
+		t.Errorf("timing tasks %d != transports %d", tr.Tasks, sol.Metrics().Transports)
+	}
+	pcr, _ := repro.BenchmarkByName("PCR")
+	m, err := repro.MergeAssays("both", bm.Graph, pcr.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumOps() != bm.Graph.NumOps()+pcr.Graph.NumOps() {
+		t.Error("merge lost operations")
+	}
+}
+
+func TestFacadeWashRoutingAndBounds(t *testing.T) {
+	bm, _ := repro.BenchmarkByName("IVD")
+	opts := repro.DefaultOptions()
+	opts.Place.Imax = 30
+	sol, err := repro.Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := repro.RouteWashes(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Flushes) != sol.Metrics().Transports {
+		t.Errorf("flush routes %d != transports %d", len(wr.Flushes), sol.Metrics().Transports)
+	}
+	bd, err := repro.ScheduleBounds(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Metrics().ExecutionTime < bd.Best {
+		t.Errorf("makespan %v beats lower bound %v", sol.Metrics().ExecutionTime, bd.Best)
+	}
+	if bd.GapPct(sol.Metrics().ExecutionTime) < 0 {
+		t.Error("negative gap")
+	}
+}
