@@ -1,0 +1,40 @@
+# Repro of "Physical Synthesis of Flow-Based Microfluidic Biochips
+# Considering Distributed Channel Storage" (DATE 2019). Stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-smoke table1 clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-merge gate: compile, vet, race-enabled tests, and a
+# short-mode smoke run of the performance-critical benchmarks.
+check: build vet race bench-smoke
+
+# Full benchmark suite with allocation counts (slow).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick sanity pass over the optimized hot paths: one iteration each of
+# the placement, routing and end-to-end synthesis benchmarks.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkSynthesisCPU|BenchmarkAnnealEnergy|BenchmarkAStarSynthetic4' -benchtime 1x .
+
+# Regenerate the paper's Table I.
+table1:
+	$(GO) run ./cmd/mfbench -table1
+
+clean:
+	$(GO) clean ./...

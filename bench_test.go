@@ -6,12 +6,15 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro"
 	"repro/internal/benchdata"
 	"repro/internal/core"
 	"repro/internal/place"
+	"repro/internal/report"
 	"repro/internal/route"
 	"repro/internal/schedule"
 )
@@ -224,6 +227,105 @@ func BenchmarkSynthesisCPU(b *testing.B) {
 		b.Run(bm.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Synthesize(bm.Graph, bm.Alloc, benchOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnnealEnergy isolates the placement stage — the synthesis
+// hot loop whose incremental energy evaluation this repo optimizes — on
+// the largest benchmark.
+func BenchmarkAnnealEnergy(b *testing.B) {
+	bm, err := benchdata.ByName("Synthetic4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	comps := bm.Alloc.Instantiate()
+	sched, err := schedule.Schedule(bm.Graph, comps, opts.Schedule)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := place.BuildNets(sched, opts.Place.Beta, opts.Place.Gamma)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := place.Anneal(comps, nets, opts.Place); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAStarSynthetic4 isolates the routing stage on a fixed
+// schedule and placement; allocations are reported because the A* core
+// is designed to be allocation-free per task.
+func BenchmarkAStarSynthetic4(b *testing.B) {
+	bm, err := benchdata.ByName("Synthetic4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	comps := bm.Alloc.Instantiate()
+	sched, err := schedule.Schedule(bm.Graph, comps, opts.Schedule)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := place.BuildNets(sched, opts.Place.Beta, opts.Place.Gamma)
+	pl, err := place.Anneal(comps, nets, opts.Place)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl = place.Dilate(pl, 1.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.Route(sched, comps, pl, opts.Route); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteParallel runs the full seven-benchmark comparison (both
+// algorithms) through the report worker pool, sequentially and with one
+// worker per CPU — the wall-clock win of the parallel pipeline.
+func BenchmarkSuiteParallel(b *testing.B) {
+	benches := benchdata.All()
+	opts := core.DefaultOptions()
+	opts.Place.Imax = 60
+	workerSet := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerSet = append(workerSet, n)
+	}
+	for _, workers := range workerSet {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := report.RunWorkers(benches, opts, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnnealPortfolio measures the multi-seed SA portfolio: K
+// concurrent anneals whose wall-clock cost should stay well below K
+// sequential ones on a multicore host.
+func BenchmarkAnnealPortfolio(b *testing.B) {
+	bm, err := benchdata.ByName("Synthetic3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 8} {
+		k := k
+		b.Run(map[int]string{1: "K=1", 8: "K=8"}[k], func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Place.Imax = 60
+			opts.Portfolio = k
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Synthesize(bm.Graph, bm.Alloc, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,6 +12,11 @@
 //	mfbench -bench CPA   # restrict to one benchmark
 //	mfbench -imax 150    # SA iterations per temperature (default 150,
 //	                     # the paper's setting)
+//	mfbench -j 4         # benchmark worker-pool size (0 = all CPUs);
+//	                     # output is identical for every -j value
+//	mfbench -portfolio 8 # anneal 8 seeds concurrently per benchmark and
+//	                     # keep the lowest-energy placement (default 1,
+//	                     # which reproduces the single-seed run exactly)
 package main
 
 import (
@@ -32,12 +37,15 @@ func main() {
 		bench  = flag.String("bench", "", "restrict to one benchmark (PCR, IVD, CPA, Synthetic1..4)")
 		imax   = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
 		seed   = flag.Uint64("seed", 1, "placement seed")
+		jobs   = flag.Int("j", 0, "benchmark worker-pool size (0 = all CPUs)")
+		portf  = flag.Int("portfolio", 1, "concurrent annealing seeds per benchmark (1 = single-seed)")
 	)
 	flag.Parse()
 
 	opts := repro.DefaultOptions()
 	opts.Place.Imax = *imax
 	opts.Place.Seed = *seed
+	opts.Portfolio = *portf
 
 	benches := repro.Benchmarks()
 	if *bench != "" {
@@ -49,7 +57,13 @@ func main() {
 		benches = []repro.Benchmark{bm}
 	}
 
-	rows, err := repro.RunComparison(benches, opts)
+	var rows []repro.ComparisonRow
+	var err error
+	if *jobs > 0 {
+		rows, err = repro.RunComparisonWorkers(benches, opts, *jobs)
+	} else {
+		rows, err = repro.RunComparison(benches, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -29,6 +29,13 @@ type Options struct {
 	Schedule schedule.Options
 	Place    place.Params
 	Route    route.Params
+	// Portfolio, when >= 2, anneals that many placements concurrently
+	// (seeds Place.Seed … Place.Seed+Portfolio-1) and keeps the one with
+	// the lowest Eq. 3 energy, ties broken by the smallest seed. 0 or 1
+	// runs the single-seed anneal and reproduces its output exactly. Only
+	// the proposed flow uses it; the baseline placer is deterministic in
+	// the seed and gains nothing from restarts.
+	Portfolio int
 }
 
 // DefaultOptions returns the experimental parameters of Section V:
@@ -160,7 +167,7 @@ func synthesize(g *assay.Graph, alloc chip.Allocation, opts Options, baseline bo
 		if baseline {
 			pl, err = place.Construct(comps, nets, popts)
 		} else {
-			pl, err = place.Anneal(comps, nets, popts)
+			pl, err = annealPortfolio(comps, nets, popts, opts.Portfolio)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: placing %q: %w", g.Name(), err)

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/place"
+	"repro/internal/schedule"
+)
+
+// TestPortfolioDisabledMatchesSingle pins the opt-in contract: Portfolio
+// 0 and 1 must reproduce the plain single-seed synthesis exactly,
+// placement rectangle for placement rectangle.
+func TestPortfolioDisabledMatchesSingle(t *testing.T) {
+	bm := benchdata.Synthetic(1)
+	ref, err := Synthesize(bm.Graph, bm.Alloc, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1} {
+		opts := fastOpts()
+		opts.Portfolio = k
+		sol, err := Synthesize(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Placement.Rects {
+			if sol.Placement.Rects[i] != ref.Placement.Rects[i] {
+				t.Fatalf("Portfolio=%d: rect %d = %+v, single-seed %+v",
+					k, i, sol.Placement.Rects[i], ref.Placement.Rects[i])
+			}
+		}
+	}
+}
+
+// TestPortfolioDeterministic runs the concurrent portfolio twice and
+// demands identical output: the (energy, seed) winner selection must be
+// independent of goroutine scheduling.
+func TestPortfolioDeterministic(t *testing.T) {
+	bm := benchdata.Synthetic(2)
+	opts := fastOpts()
+	opts.Portfolio = 6
+	a, err := Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Placement.Rects) != len(b.Placement.Rects) {
+		t.Fatalf("placement sizes differ")
+	}
+	for i := range a.Placement.Rects {
+		if a.Placement.Rects[i] != b.Placement.Rects[i] {
+			t.Fatalf("rect %d differs between identical portfolio runs: %+v vs %+v",
+				i, a.Placement.Rects[i], b.Placement.Rects[i])
+		}
+	}
+	am, bm2 := a.Metrics(), b.Metrics()
+	if am.ExecutionTime != bm2.ExecutionTime || am.ChannelLength != bm2.ChannelLength {
+		t.Errorf("portfolio metrics differ: %+v vs %+v", am, bm2)
+	}
+}
+
+// TestPortfolioNoWorseThanSingle checks the point of restarts, on the
+// placement stage in isolation (routing may dilate the placement, which
+// would muddy the energy comparison): the portfolio winner's Eq. 3
+// energy is at most the single-seed one, because the base seed is a
+// member of the portfolio.
+func TestPortfolioNoWorseThanSingle(t *testing.T) {
+	for _, name := range []string{"CPA", "Synthetic2"} {
+		bm, err := benchdata.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := fastOpts()
+		comps := bm.Alloc.Instantiate()
+		sched, err := schedule.Schedule(bm.Graph, comps, opts.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets := place.BuildNets(sched, opts.Place.Beta, opts.Place.Gamma)
+		single, err := place.Anneal(comps, nets, opts.Place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		port, err := annealPortfolio(comps, nets, opts.Place, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se := place.Energy(single, nets)
+		pe := place.Energy(port, nets)
+		if pe > se {
+			t.Errorf("%s: portfolio energy %v worse than single-seed %v", name, pe, se)
+		}
+		t.Logf("%s: single-seed energy %.1f, portfolio-of-4 %.1f", name, se, pe)
+	}
+}

@@ -13,6 +13,18 @@ import (
 // (translate, rotate, swap) for Imax iterations per temperature step,
 // accepting uphill moves with probability exp(-Δ/T), and cools T
 // geometrically by Alpha until Tmin. It returns the best placement seen.
+//
+// Accept/reject is evaluated incrementally: each move scores only the
+// nets incident to the component(s) it touches (via NetIndex). The full
+// Energy sum is recomputed only for accepted moves and for near-tie moves
+// (|Δ| < tieEps), which keeps the running total and the best-so-far
+// comparison bit-identical to recomputing Energy every move: the
+// incident-net delta and the full-sum delta agree mathematically but
+// differ by summation-order roundoff (~1e-11 here), and on energy-neutral
+// moves that roundoff decides whether the Metropolis draw is consumed at
+// all — so ties must fall back to the full sum to preserve the RNG
+// stream. TestIncrementalDeltaMatchesFull pins the agreement and
+// TestSolutionFingerprints (repo root) pins the resulting trajectories.
 func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 	w, h := pr.PlaneW, pr.PlaneH
 	if w == 0 || h == 0 {
@@ -29,19 +41,31 @@ func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 	if err != nil {
 		return nil, err
 	}
+	ix := BuildNetIndex(len(comps), nets)
 	cur := Energy(p, nets)
 	best := p.Clone()
 	bestE := cur
 
+	// tieEps separates genuine energy deltas (multiples of half a cell
+	// times a connection priority) from summation-order roundoff noise
+	// (~1e-11 at these energy magnitudes). Below it the move is treated
+	// as a potential tie and scored with the full sum.
+	const tieEps = 1e-6
 	for t := pr.T0; t > pr.Tmin; t *= pr.Alpha {
 		for i := 0; i < pr.Imax; i++ {
-			undo, ok := transform(p, pr.Spacing, r)
+			undo, delta, ok := transform(p, pr.Spacing, r, ix)
 			if !ok {
 				continue
 			}
-			next := Energy(p, nets)
-			delta := next - cur
+			next, haveNext := 0.0, false
+			if delta > -tieEps && delta < tieEps {
+				next, haveNext = Energy(p, nets), true
+				delta = next - cur
+			}
 			if delta < 0 || r.Float64() < math.Exp(-delta/t) {
+				if !haveNext {
+					next = Energy(p, nets)
+				}
 				cur = next
 				if cur < bestE {
 					bestE = cur
@@ -55,7 +79,7 @@ func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 	// Final quench: greedy single-component relocation until the weighted
 	// energy reaches a local optimum. This is the standard low-temperature
 	// tail of SA floorplanners, made explicit and deterministic.
-	quench(best, nets, pr.Spacing)
+	quench(best, nets, ix, pr.Spacing)
 	if err := best.Legal(pr.Spacing); err != nil {
 		return nil, fmt.Errorf("place: annealer produced illegal placement: %w", err)
 	}
@@ -63,13 +87,21 @@ func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 }
 
 // quench exhaustively relocates single components (including rotation)
-// while any move strictly reduces Energy(p, nets).
-func quench(p *Placement, nets []Net, spacing int) {
+// while any move strictly reduces the Eq. 3 energy. Candidates are scored
+// on the nets incident to the moved component only: the rest of the sum
+// is unchanged by the move, so the ordering matches scoring full
+// energies — except within tieEps of the incumbent, where summation-order
+// roundoff on the full sum decides the "strictly less" test. Those
+// near-ties fall back to comparing the full sums bit-for-bit, keeping the
+// descent trajectory identical to the full-recompute implementation (see
+// referenceQuench in the tests).
+func quench(p *Placement, nets []Net, ix *NetIndex, spacing int) {
+	const tieEps = 1e-6
 	for improved := true; improved; {
 		improved = false
 		for i := range p.Rects {
 			old := p.Rects[i]
-			bestRect, bestE := old, Energy(p, nets)
+			bestRect, bestE := old, ix.CompEnergy(p, i)
 			for rot := 0; rot < 2; rot++ {
 				cand := old
 				if rot == 1 {
@@ -78,15 +110,19 @@ func quench(p *Placement, nets []Net, spacing int) {
 				for yy := spacing; yy+cand.H <= p.H-spacing; yy++ {
 					for xx := spacing; xx+cand.W <= p.W-spacing; xx++ {
 						cand.X, cand.Y = xx, yy
-						if !fitsAt(p, i, cand, spacing) {
+						if overlapsAny(p, i, cand, spacing) {
 							continue
 						}
-						p.Rects[i] = cand
-						if e := Energy(p, nets); e < bestE {
-							bestE = e
-							bestRect = cand
+						e := ix.CompEnergyAt(p, i, cand)
+						d := e - bestE
+						if d >= tieEps {
+							continue // certainly worse
 						}
-						p.Rects[i] = old
+						if d > -tieEps && !fullLess(p, nets, i, cand, bestRect) {
+							continue // full-sum tie-break says not better
+						}
+						bestE = e
+						bestRect = cand
 					}
 				}
 			}
@@ -98,35 +134,55 @@ func quench(p *Placement, nets []Net, spacing int) {
 	}
 }
 
+// fullLess reports whether placing component i at cand gives a strictly
+// smaller full Eq. 3 sum than placing it at best, using exactly the bits
+// a full-recompute comparison would see. Energy is a pure function of the
+// rectangle configuration, so recomputing here reproduces the values the
+// full-recompute quench would have cached.
+func fullLess(p *Placement, nets []Net, i int, cand, best Rect) bool {
+	save := p.Rects[i]
+	p.Rects[i] = cand
+	ec := Energy(p, nets)
+	p.Rects[i] = best
+	eb := Energy(p, nets)
+	p.Rects[i] = save
+	return ec < eb
+}
+
 // transform applies one random legal transformation operation to p and
-// returns an undo closure. ok is false when the sampled move was illegal
-// and p is unchanged.
-func transform(p *Placement, spacing int, r *rng.Source) (undo func(), ok bool) {
+// returns an undo closure together with the Eq. 3 energy delta of the
+// move, evaluated over the incident nets only. ok is false when the
+// sampled move was illegal and p is unchanged.
+func transform(p *Placement, spacing int, r *rng.Source, ix *NetIndex) (undo func(), delta float64, ok bool) {
 	n := len(p.Rects)
 	switch r.Intn(3) {
 	case 0: // translate one component
 		i := r.Intn(n)
 		old := p.Rects[i]
 		cand := old
-		cand.X = spacing + r.Intn(maxInt(1, p.W-2*spacing-cand.W+1))
-		cand.Y = spacing + r.Intn(maxInt(1, p.H-2*spacing-cand.H+1))
+		cand.X = spacing + r.Intn(max(1, p.W-2*spacing-cand.W+1))
+		cand.Y = spacing + r.Intn(max(1, p.H-2*spacing-cand.H+1))
 		if !fitsAt(p, i, cand, spacing) {
-			return nil, false
+			return nil, 0, false
 		}
+		before := ix.CompEnergy(p, i)
 		p.Rects[i] = cand
-		return func() { p.Rects[i] = old }, true
+		delta = ix.CompEnergy(p, i) - before
+		return func() { p.Rects[i] = old }, delta, true
 	case 1: // rotate one component 90°
 		i := r.Intn(n)
 		old := p.Rects[i]
 		cand := Rect{X: old.X, Y: old.Y, W: old.H, H: old.W}
 		if !fitsAt(p, i, cand, spacing) {
-			return nil, false
+			return nil, 0, false
 		}
+		before := ix.CompEnergy(p, i)
 		p.Rects[i] = cand
-		return func() { p.Rects[i] = old }, true
+		delta = ix.CompEnergy(p, i) - before
+		return func() { p.Rects[i] = old }, delta, true
 	default: // swap the positions of two components
 		if n < 2 {
-			return nil, false
+			return nil, 0, false
 		}
 		i := r.Intn(n)
 		j := r.Intn(n - 1)
@@ -145,10 +201,13 @@ func transform(p *Placement, spacing int, r *rng.Source) (undo func(), ok bool) 
 		if !okI || !okJ {
 			p.Rects[i] = oi
 			p.Rects[j] = oj
-			return nil, false
+			return nil, 0, false
 		}
-		p.Rects[j] = cj
-		return func() { p.Rects[i], p.Rects[j] = oi, oj }, true
+		p.Rects[i], p.Rects[j] = oi, oj
+		before := ix.PairEnergy(p, i, j)
+		p.Rects[i], p.Rects[j] = ci, cj
+		delta = ix.PairEnergy(p, i, j) - before
+		return func() { p.Rects[i], p.Rects[j] = oi, oj }, delta, true
 	}
 }
 
@@ -187,27 +246,26 @@ func Construct(comps []chip.Component, nets []Net, pr Params) (*Placement, error
 	for i, n := range nets {
 		flat[i] = Net{A: n.A, B: n.B, CP: 1}
 	}
-	// Correction: sequential single-component relocation passes.
+	ix := BuildNetIndex(len(comps), flat)
+	// Correction: sequential single-component relocation passes, scored
+	// incrementally on the moved component's incident nets.
 	const passes = 3
 	for pass := 0; pass < passes; pass++ {
 		improved := false
 		for i := range p.Rects {
-			cur := Energy(p, flat)
 			old := p.Rects[i]
-			bestRect, bestE := old, cur
+			bestRect, bestE := old, ix.CompEnergy(p, i)
 			cand := old
 			for yy := pr.Spacing; yy+cand.H <= h-pr.Spacing; yy++ {
 				for xx := pr.Spacing; xx+cand.W <= w-pr.Spacing; xx++ {
 					cand.X, cand.Y = xx, yy
-					if !fitsAt(p, i, cand, pr.Spacing) {
+					if overlapsAny(p, i, cand, pr.Spacing) {
 						continue
 					}
-					p.Rects[i] = cand
-					if e := Energy(p, flat); e < bestE {
+					if e := ix.CompEnergyAt(p, i, cand); e < bestE {
 						bestE = e
 						bestRect = cand
 					}
-					p.Rects[i] = old
 				}
 			}
 			if bestRect != old {
@@ -223,11 +281,4 @@ func Construct(comps []chip.Component, nets []Net, pr Params) (*Placement, error
 		return nil, fmt.Errorf("place: baseline produced illegal placement: %w", err)
 	}
 	return p, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,178 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/rng"
+)
+
+// randomNets builds a random net list over n components with positive
+// priorities, including duplicate pairs (several transports can share a
+// net pair before BuildNets merges them, and the index must not care).
+func randomNets(n int, count int, r *rng.Source) []Net {
+	nets := make([]Net, 0, count)
+	for k := 0; k < count; k++ {
+		a := chip.CompID(r.Intn(n))
+		b := chip.CompID(r.Intn(n - 1))
+		if b >= a {
+			b++
+		}
+		nets = append(nets, Net{A: a, B: b, CP: 0.1 + 10*r.Float64()})
+	}
+	return nets
+}
+
+// TestIncrementalDeltaMatchesFull is the tentpole invariant: for 1k
+// random accepted moves on random placements, the incremental delta
+// returned by transform equals Energy(after) - Energy(before) within
+// 1e-9.
+func TestIncrementalDeltaMatchesFull(t *testing.T) {
+	bms := []string{"IVD", "CPA", "Synthetic2"}
+	for _, name := range bms {
+		_, comps := scheduled(t, name)
+		r := rng.New(42)
+		nets := randomNets(len(comps), 3*len(comps), r)
+		ix := BuildNetIndex(len(comps), nets)
+		w, h := AutoPlane(comps, 2)
+		p, err := randomPlacement(comps, w, h, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		for checked < 1000 {
+			before := Energy(p, nets)
+			undo, delta, ok := transform(p, 2, r, ix)
+			if !ok {
+				continue
+			}
+			after := Energy(p, nets)
+			if math.Abs(delta-(after-before)) > 1e-9 {
+				t.Fatalf("%s move %d: incremental delta %v, full delta %v",
+					name, checked, delta, after-before)
+			}
+			// Exercise both branches: keep half the moves, undo the rest.
+			if checked%2 == 1 {
+				undo()
+			}
+			checked++
+		}
+	}
+}
+
+// TestCompEnergyAtMatchesMutation checks that scoring a candidate
+// rectangle without mutating the placement agrees with mutating it and
+// evaluating the incident nets.
+func TestCompEnergyAtMatchesMutation(t *testing.T) {
+	_, comps := scheduled(t, "CPA")
+	r := rng.New(7)
+	nets := randomNets(len(comps), 4*len(comps), r)
+	ix := BuildNetIndex(len(comps), nets)
+	w, h := AutoPlane(comps, 2)
+	p, err := randomPlacement(comps, w, h, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 500; k++ {
+		i := r.Intn(len(comps))
+		old := p.Rects[i]
+		cand := old
+		cand.X = r.Intn(max(1, w-cand.W))
+		cand.Y = r.Intn(max(1, h-cand.H))
+		direct := ix.CompEnergyAt(p, i, cand)
+		p.Rects[i] = cand
+		mutated := ix.CompEnergy(p, i)
+		p.Rects[i] = old
+		if math.Abs(direct-mutated) > 1e-12 {
+			t.Fatalf("move %d: CompEnergyAt %v != mutate-and-score %v", k, direct, mutated)
+		}
+	}
+}
+
+// TestPairEnergyCountsSharedNetsOnce pins the swap-move invariant: nets
+// joining the swapped pair must contribute exactly one term.
+func TestPairEnergyCountsSharedNetsOnce(t *testing.T) {
+	nets := []Net{
+		{A: 0, B: 1, CP: 2},
+		{A: 0, B: 2, CP: 1},
+		{A: 1, B: 2, CP: 1},
+		{A: 0, B: 1, CP: 3}, // duplicate pair, distinct net
+	}
+	ix := BuildNetIndex(3, nets)
+	p := &Placement{W: 20, H: 20, Rects: []Rect{
+		{X: 0, Y: 0, W: 2, H: 2},
+		{X: 4, Y: 0, W: 2, H: 2},
+		{X: 0, Y: 4, W: 2, H: 2},
+	}}
+	got := ix.PairEnergy(p, 0, 1)
+	want := p.Dist(0, 1)*2 + p.Dist(0, 2)*1 + p.Dist(1, 2)*1 + p.Dist(0, 1)*3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PairEnergy = %v, want %v", got, want)
+	}
+	// Swapping the argument order must not change the result.
+	if rev := ix.PairEnergy(p, 1, 0); math.Abs(rev-got) > 1e-12 {
+		t.Fatalf("PairEnergy(1,0) = %v, PairEnergy(0,1) = %v", rev, got)
+	}
+}
+
+// TestQuenchMatchesReferenceQuench compares the incremental quench
+// against a straightforward full-Energy reimplementation of the seed
+// algorithm on a mid-size benchmark.
+func TestQuenchMatchesReferenceQuench(t *testing.T) {
+	_, comps := scheduled(t, "Synthetic1")
+	r := rng.New(13)
+	nets := randomNets(len(comps), 3*len(comps), r)
+	ix := BuildNetIndex(len(comps), nets)
+	w, h := AutoPlane(comps, 2)
+	p, err := randomPlacement(comps, w, h, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	quench(p, nets, ix, 2)
+	referenceQuench(q, nets, 2)
+	for i := range p.Rects {
+		if p.Rects[i] != q.Rects[i] {
+			t.Fatalf("component %d: incremental quench %+v, reference %+v",
+				i, p.Rects[i], q.Rects[i])
+		}
+	}
+}
+
+// referenceQuench is the seed implementation of quench: full Energy
+// recomputation per candidate. Kept in the tests as the executable
+// specification of the incremental version.
+func referenceQuench(p *Placement, nets []Net, spacing int) {
+	for improved := true; improved; {
+		improved = false
+		for i := range p.Rects {
+			old := p.Rects[i]
+			bestRect, bestE := old, Energy(p, nets)
+			for rot := 0; rot < 2; rot++ {
+				cand := old
+				if rot == 1 {
+					cand.W, cand.H = cand.H, cand.W
+				}
+				for yy := spacing; yy+cand.H <= p.H-spacing; yy++ {
+					for xx := spacing; xx+cand.W <= p.W-spacing; xx++ {
+						cand.X, cand.Y = xx, yy
+						if !fitsAt(p, i, cand, spacing) {
+							continue
+						}
+						p.Rects[i] = cand
+						if e := Energy(p, nets); e < bestE {
+							bestE = e
+							bestRect = cand
+						}
+						p.Rects[i] = old
+					}
+				}
+			}
+			if bestRect != old {
+				p.Rects[i] = bestRect
+				improved = true
+			}
+		}
+	}
+}

@@ -273,8 +273,9 @@ func TestTransformPreservesLegality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ix := BuildNetIndex(len(comps), nil)
 	for i := 0; i < 2000; i++ {
-		if _, ok := transform(p, 1, r); ok {
+		if _, _, ok := transform(p, 1, r, ix); ok {
 			if err := p.Legal(1); err != nil {
 				t.Fatalf("move %d broke legality: %v", i, err)
 			}
@@ -290,9 +291,10 @@ func TestUndoRestoresPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ix := BuildNetIndex(len(comps), nil)
 	for i := 0; i < 500; i++ {
 		before := p.Clone()
-		undo, ok := transform(p, 1, r)
+		undo, _, ok := transform(p, 1, r, ix)
 		if !ok {
 			continue
 		}

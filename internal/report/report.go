@@ -7,7 +7,9 @@ package report
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/benchdata"
 	"repro/internal/core"
@@ -23,27 +25,63 @@ type Row struct {
 }
 
 // Run synthesizes every given benchmark with the proposed algorithm and
-// the baseline and collects the comparison rows.
+// the baseline and collects the comparison rows, using one worker per
+// available CPU.
 func Run(benches []benchdata.Benchmark, opts core.Options) ([]Row, error) {
-	rows := make([]Row, 0, len(benches))
-	for _, bm := range benches {
-		ours, err := core.Synthesize(bm.Graph, bm.Alloc, opts)
+	return RunWorkers(benches, opts, runtime.GOMAXPROCS(0))
+}
+
+// RunWorkers is Run with an explicit worker-pool size. Each benchmark is
+// one job (both algorithms), jobs are independent — every synthesis is a
+// pure function of (benchmark, opts) — and results land in a slice
+// indexed by benchmark, so the output is identical for every workers
+// value, including 1. When several benchmarks fail, the error of the
+// earliest one in the input order is reported, again independent of
+// scheduling.
+func RunWorkers(benches []benchdata.Benchmark, opts core.Options, workers int) ([]Row, error) {
+	workers = max(1, min(workers, len(benches)))
+	rows := make([]Row, len(benches))
+	errs := make([]error, len(benches))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rows[i], errs[i] = runOne(benches[i], opts)
+			}
+		}()
+	}
+	for i := range benches {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("report: %s (ours): %w", bm.Name, err)
+			return nil, err
 		}
-		ba, err := core.SynthesizeBaseline(bm.Graph, bm.Alloc, opts)
-		if err != nil {
-			return nil, fmt.Errorf("report: %s (BA): %w", bm.Name, err)
-		}
-		rows = append(rows, Row{
-			Benchmark: bm.Name,
-			Ops:       bm.Graph.NumOps(),
-			Alloc:     bm.Alloc.String(),
-			Ours:      ours.Metrics(),
-			BA:        ba.Metrics(),
-		})
 	}
 	return rows, nil
+}
+
+func runOne(bm benchdata.Benchmark, opts core.Options) (Row, error) {
+	ours, err := core.Synthesize(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		return Row{}, fmt.Errorf("report: %s (ours): %w", bm.Name, err)
+	}
+	ba, err := core.SynthesizeBaseline(bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		return Row{}, fmt.Errorf("report: %s (BA): %w", bm.Name, err)
+	}
+	return Row{
+		Benchmark: bm.Name,
+		Ops:       bm.Graph.NumOps(),
+		Alloc:     bm.Alloc.String(),
+		Ours:      ours.Metrics(),
+		BA:        ba.Metrics(),
+	}, nil
 }
 
 // Imp returns the relative improvement of ours over ba in percent:

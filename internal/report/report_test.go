@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/benchdata"
+	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/unit"
 )
@@ -125,6 +126,59 @@ func TestRunSmallSubset(t *testing.T) {
 	out := TableI(rows)
 	if !strings.Contains(out, "PCR") || !strings.Contains(out, "IVD") {
 		t.Error("table missing benchmarks")
+	}
+}
+
+// TestRunWorkersMatchesSequential checks the pipeline's determinism
+// contract: any pool size yields the same rows as workers=1. CPU wall
+// times legitimately vary per run, so they are zeroed before comparing.
+func TestRunWorkersMatchesSequential(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Place.Imax = 30
+	benches := []benchdata.Benchmark{benchdata.PCR(), benchdata.IVD(), benchdata.CPA()}
+	strip := func(rows []Row) []Row {
+		out := make([]Row, len(rows))
+		for i, r := range rows {
+			r.Ours.CPU, r.BA.CPU = 0, 0
+			out[i] = r
+		}
+		return out
+	}
+	seq, err := RunWorkers(benches, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := RunWorkers(benches, opts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := strip(seq), strip(par)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("workers=%d: row %d differs\nseq: %+v\npar: %+v", workers, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRunWorkersReportsFirstError forces failures (non-covering
+// allocations) and checks the earliest benchmark's error is the one
+// reported, regardless of which worker finishes first.
+func TestRunWorkersReportsFirstError(t *testing.T) {
+	bad := func(bm benchdata.Benchmark) benchdata.Benchmark {
+		bm.Alloc = chip.Allocation{} // covers nothing
+		return bm
+	}
+	benches := []benchdata.Benchmark{benchdata.PCR(), bad(benchdata.IVD()), bad(benchdata.CPA())}
+	opts := core.DefaultOptions()
+	opts.Place.Imax = 30
+	_, err := RunWorkers(benches, opts, 3)
+	if err == nil {
+		t.Fatal("expected an error from non-covering allocations")
+	}
+	if !strings.Contains(err.Error(), "IVD") {
+		t.Errorf("error should come from IVD (first failing index), got: %v", err)
 	}
 }
 

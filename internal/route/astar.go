@@ -1,8 +1,166 @@
 package route
 
-import (
-	"container/heap"
-)
+import "repro/internal/chip"
+
+// The A* searches here are allocation-free on their hot path: all
+// per-search state (g-scores, parents, start/target marks, the open
+// heap and the BFS queue) lives in scratch slices owned by the Grid and
+// is invalidated in O(1) by bumping a generation stamp instead of being
+// reallocated per task. The only allocations left are the returned path
+// and the per-destination heuristic field, which is computed once per
+// component and cached for the lifetime of the grid. A Grid is therefore
+// NOT safe for concurrent searches; concurrent syntheses each build
+// their own Grid.
+
+// scratch is the reusable per-search state.
+type scratch struct {
+	gScore []float64 // best known path cost, valid when mark == gen
+	parent []int32   // predecessor cell index, valid when mark == gen
+	mark   []uint32  // generation stamp for gScore/parent
+	smark  []uint32  // generation stamp: cell is a search start
+	tmark  []uint32  // generation stamp: cell is a search target
+	gen    uint32
+	heap   []heapNode
+	queue  []int32 // BFS worklist for heuristic fields
+}
+
+func newScratch(n int) scratch {
+	return scratch{
+		gScore: make([]float64, n),
+		parent: make([]int32, n),
+		mark:   make([]uint32, n),
+		smark:  make([]uint32, n),
+		tmark:  make([]uint32, n),
+	}
+}
+
+// heapNode is a priority-queue entry; order breaks float ties
+// deterministically (FIFO among equals).
+type heapNode struct {
+	f     float64
+	g     float64
+	idx   int32
+	order int32
+}
+
+func heapNodeLess(a, b heapNode) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.order < b.order
+}
+
+// hpush adds a node to the open heap.
+func (sc *scratch) hpush(n heapNode) {
+	sc.heap = append(sc.heap, n)
+	h := sc.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapNodeLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// hpop removes and returns the minimum node. The (f, order) key is a
+// strict total order (order is unique per push), so the pop sequence is
+// independent of the heap implementation.
+func (sc *scratch) hpop() heapNode {
+	h := sc.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	sc.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && heapNodeLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && heapNodeLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// hfield returns the heuristic distance field of a destination component:
+// for every grid cell, the exact Manhattan distance to the nearest port
+// cell of the component's ring, ignoring obstacles — the same value the
+// per-node min-over-ring scan used to produce, precomputed once by
+// multi-source BFS (on an unobstructed 4-connected grid, BFS distance IS
+// Manhattan distance to the nearest source) and then read in O(1) per
+// node. Rings never change after NewGrid, so the field is cached for the
+// grid's lifetime.
+func (g *Grid) hfield(comp chip.CompID) []int32 {
+	if f := g.hfields[comp]; f != nil {
+		return f
+	}
+	f := make([]int32, g.W*g.H)
+	for i := range f {
+		f[i] = -1
+	}
+	q := g.sc.queue[:0]
+	for _, c := range g.rings[comp] {
+		i := int32(g.idx(c.X, c.Y))
+		f[i] = 0
+		q = append(q, i)
+	}
+	w := int32(g.W)
+	for head := 0; head < len(q); head++ {
+		i := q[head]
+		d := f[i] + 1
+		x := i % w
+		if x > 0 && f[i-1] < 0 {
+			f[i-1] = d
+			q = append(q, i-1)
+		}
+		if x < w-1 && f[i+1] < 0 {
+			f[i+1] = d
+			q = append(q, i+1)
+		}
+		if j := i - w; j >= 0 && f[j] < 0 {
+			f[j] = d
+			q = append(q, j)
+		}
+		if j := i + w; j < int32(len(f)) && f[j] < 0 {
+			f[j] = d
+			q = append(q, j)
+		}
+	}
+	g.sc.queue = q[:0]
+	g.hfields[comp] = f
+	return f
+}
+
+// cellOf converts a packed cell index back to coordinates.
+func (g *Grid) cellOf(i int32) Cell { return Cell{int(i) % g.W, int(i) / g.W} }
+
+// reconstruct walks the parent chain from the goal back to a cell
+// stamped as a search start and returns the forward path.
+func (g *Grid) reconstruct(goal int32, gen uint32) []Cell {
+	sc := &g.sc
+	var path []Cell
+	for k := goal; ; k = sc.parent[k] {
+		path = append(path, g.cellOf(k))
+		if sc.smark[k] == gen {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
 
 // routeTask finds a feasible minimum-cost path for a task from any port
 // cell of its source component to any port cell of its destination —
@@ -10,95 +168,71 @@ import (
 // concurrent tasks at one component need not contend for a single cell.
 func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
 	hold := t.HoldWindow()
-	targets := make(map[Cell]bool)
+	sc := &g.sc
+	sc.gen++
+	gen := sc.gen
 	for _, c := range g.rings[t.To] {
-		targets[c] = true
+		sc.tmark[g.idx(c.X, c.Y)] = gen
 	}
 	// Degenerate case (including From == To, a channel-cache round trip):
 	// a single usable cell shared by both rings is a complete path.
 	for _, c := range g.rings[t.From] {
-		if targets[c] && g.usable(c, hold, t.Fluid.Name, t.Wash) {
+		i := g.idx(c.X, c.Y)
+		if sc.tmark[i] == gen && g.usableAt(i, hold, t.Fluid.Name) {
 			return []Cell{c}
 		}
 	}
 
-	type nodeKey int
-	key := func(c Cell) nodeKey { return nodeKey(c.Y*g.W + c.X) }
-	gScore := make(map[nodeKey]float64)
-	parent := make(map[nodeKey]Cell)
-	start := make(map[nodeKey]bool)
-	open := &cellHeap{}
-	heap.Init(open)
-
-	h := func(c Cell) float64 {
-		best := -1
-		for tc := range targets {
-			dx, dy := c.X-tc.X, c.Y-tc.Y
-			if dx < 0 {
-				dx = -dx
-			}
-			if dy < 0 {
-				dy = -dy
-			}
-			if d := dx + dy; best < 0 || d < best {
-				best = d
-			}
-		}
-		return float64(best)
-	}
-
-	order := 0
+	hd := g.hfield(t.To)
+	sc.heap = sc.heap[:0]
+	order := int32(0)
 	for _, c := range g.rings[t.From] {
 		// The first path cell also hosts any channel-cache park, so it
 		// must be free for the extended hold window.
-		if !g.usable(c, hold, t.Fluid.Name, t.Wash) {
+		i := g.idx(c.X, c.Y)
+		if !g.usableAt(i, hold, t.Fluid.Name) {
 			continue
 		}
-		k := key(c)
-		gScore[k] = 0
-		start[k] = true
-		heap.Push(open, cellNode{c: c, f: h(c), g: 0, order: order})
+		k := int32(i)
+		sc.gScore[k] = 0
+		sc.mark[k] = gen
+		sc.smark[k] = gen
+		sc.hpush(heapNode{f: float64(hd[k]), g: 0, idx: k, order: order})
 		order++
 	}
 
-	for open.Len() > 0 {
-		cur := heap.Pop(open).(cellNode)
-		ck := key(cur.c)
-		if cur.g > gScore[ck] {
-			continue
+	for len(sc.heap) > 0 {
+		cur := sc.hpop()
+		ck := cur.idx
+		if cur.g > sc.gScore[ck] {
+			continue // stale entry
 		}
-		if targets[cur.c] {
-			var path []Cell
-			c := cur.c
-			for {
-				path = append(path, c)
-				if start[key(c)] {
-					break
-				}
-				c = parent[key(c)]
-			}
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			return path
+		if sc.tmark[ck] == gen {
+			return g.reconstruct(ck, gen)
 		}
-		for _, d := range [4]Cell{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
-			n := Cell{cur.c.X + d.X, cur.c.Y + d.Y}
-			if !g.In(n) || !g.usable(n, t.Window, t.Fluid.Name, t.Wash) {
+		x, y := int(ck)%g.W, int(ck)/g.W
+		for _, d := range [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= g.W || ny < 0 || ny >= g.H {
+				continue
+			}
+			ni := g.idx(nx, ny)
+			if !g.usableAt(ni, t.Window, t.Fluid.Name) {
 				continue
 			}
 			step := 1.0
 			if useWeights {
-				step += g.Weight(n)
+				step += g.weight[ni]
 			}
 			ng := cur.g + step
-			nk := key(n)
-			if prev, seen := gScore[nk]; seen && ng >= prev {
+			nk := int32(ni)
+			if sc.mark[nk] == gen && ng >= sc.gScore[nk] {
 				continue
 			}
-			gScore[nk] = ng
-			parent[nk] = cur.c
-			heap.Push(open, cellNode{c: n, f: ng + h(n), g: ng, order: order})
+			sc.gScore[nk] = ng
+			sc.parent[nk] = ck
+			sc.mark[nk] = gen
+			sc.hpush(heapNode{f: ng + float64(hd[nk]), g: ng, idx: nk, order: order})
 			order++
 		}
 	}
@@ -113,108 +247,70 @@ func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
 // which is admissible because every step costs at least 1.
 func (g *Grid) astar(t Task, from, to Cell, useWeights bool) []Cell {
 	if from == to {
-		if g.usable(from, t.Window, t.Fluid.Name, t.Wash) {
+		if g.usable(from, t.Window, t.Fluid.Name) {
 			return []Cell{from}
 		}
 		return nil
 	}
-	type nodeKey int
-	key := func(c Cell) nodeKey { return nodeKey(c.Y*g.W + c.X) }
-
-	gScore := make(map[nodeKey]float64)
-	parent := make(map[nodeKey]Cell)
-	open := &cellHeap{}
-	heap.Init(open)
-
-	h := func(c Cell) float64 {
-		dx := c.X - to.X
+	manh := func(x, y int) float64 {
+		dx, dy := x-to.X, y-to.Y
 		if dx < 0 {
 			dx = -dx
 		}
-		dy := c.Y - to.Y
 		if dy < 0 {
 			dy = -dy
 		}
 		return float64(dx + dy)
 	}
-
-	if !g.usable(from, t.Window, t.Fluid.Name, t.Wash) {
+	if !g.usable(from, t.Window, t.Fluid.Name) {
 		return nil
 	}
-	gScore[key(from)] = 0
-	heap.Push(open, cellNode{c: from, f: h(from), g: 0, order: 0})
-	order := 1
+	sc := &g.sc
+	sc.gen++
+	gen := sc.gen
+	sc.heap = sc.heap[:0]
+	fk := int32(g.idx(from.X, from.Y))
+	sc.gScore[fk] = 0
+	sc.mark[fk] = gen
+	sc.smark[fk] = gen
+	sc.hpush(heapNode{f: manh(from.X, from.Y), g: 0, idx: fk, order: 0})
+	order := int32(1)
+	goal := int32(g.idx(to.X, to.Y))
 
-	for open.Len() > 0 {
-		cur := heap.Pop(open).(cellNode)
-		ck := key(cur.c)
-		if cur.g > gScore[ck] {
+	for len(sc.heap) > 0 {
+		cur := sc.hpop()
+		ck := cur.idx
+		if cur.g > sc.gScore[ck] {
 			continue // stale entry
 		}
-		if cur.c == to {
-			// Reconstruct.
-			var path []Cell
-			c := to
-			for c != from {
-				path = append(path, c)
-				c = parent[key(c)]
-			}
-			path = append(path, from)
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			return path
+		if ck == goal {
+			return g.reconstruct(ck, gen)
 		}
-		for _, d := range [4]Cell{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
-			n := Cell{cur.c.X + d.X, cur.c.Y + d.Y}
-			if !g.In(n) {
+		x, y := int(ck)%g.W, int(ck)/g.W
+		for _, d := range [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= g.W || ny < 0 || ny >= g.H {
 				continue
 			}
-			if !g.usable(n, t.Window, t.Fluid.Name, t.Wash) {
+			ni := g.idx(nx, ny)
+			if !g.usableAt(ni, t.Window, t.Fluid.Name) {
 				continue
 			}
 			step := 1.0
 			if useWeights {
-				step += g.Weight(n)
+				step += g.weight[ni]
 			}
 			ng := cur.g + step
-			nk := key(n)
-			if prev, seen := gScore[nk]; seen && ng >= prev {
+			nk := int32(ni)
+			if sc.mark[nk] == gen && ng >= sc.gScore[nk] {
 				continue
 			}
-			gScore[nk] = ng
-			parent[nk] = cur.c
-			heap.Push(open, cellNode{c: n, f: ng + h(n), g: ng, order: order})
+			sc.gScore[nk] = ng
+			sc.parent[nk] = ck
+			sc.mark[nk] = gen
+			sc.hpush(heapNode{f: ng + manh(nx, ny), g: ng, idx: nk, order: order})
 			order++
 		}
 	}
 	return nil
-}
-
-// cellNode is a priority-queue entry; order breaks float ties
-// deterministically (FIFO among equals).
-type cellNode struct {
-	c     Cell
-	f     float64
-	g     float64
-	order int
-}
-
-type cellHeap []cellNode
-
-func (h cellHeap) Len() int { return len(h) }
-func (h cellHeap) Less(i, j int) bool {
-	if h[i].f != h[j].f {
-		return h[i].f < h[j].f
-	}
-	return h[i].order < h[j].order
-}
-func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellNode)) }
-func (h *cellHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

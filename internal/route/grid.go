@@ -64,6 +64,8 @@ type Grid struct {
 	rings   [][]Cell // all free boundary cells per component: every one
 	// is a usable flow port, so concurrent tasks at one component do not
 	// contend for a single cell
+	sc      scratch   // reusable A*/BFS state; see astar.go
+	hfields [][]int32 // cached heuristic fields per destination component
 }
 
 // NewGrid builds the routing plane from a placement: component interiors
@@ -86,6 +88,8 @@ func NewGrid(comps []chip.Component, pl *place.Placement, pr Params) (*Grid, err
 		slots:   make([][]slot, pl.W*pl.H),
 		ports:   make([]Cell, len(comps)),
 		rings:   make([][]Cell, len(comps)),
+		sc:      newScratch(pl.W * pl.H),
+		hfields: make([][]int32, len(comps)),
 	}
 	for i := range g.weight {
 		g.weight[i] = pr.We
@@ -193,11 +197,17 @@ func (g *Grid) onRing(comp chip.CompID, c Cell) bool {
 // cannot reserve wash windows on individual channel segments, washes are
 // steered by the cell weights (cheap-to-wash and same-fluid cells attract
 // reuse) and accounted in the total channel wash time of Fig. 9.
-func (g *Grid) usable(c Cell, iv interval.Interval, fl string, wash unit.Time) bool {
-	if g.Blocked(c) {
+func (g *Grid) usable(c Cell, iv interval.Interval, fl string) bool {
+	return g.usableAt(g.idx(c.X, c.Y), iv, fl)
+}
+
+// usableAt is usable keyed by packed cell index: the A* inner loop
+// already has the index at hand, so the cell is resolved exactly once.
+func (g *Grid) usableAt(i int, iv interval.Interval, fl string) bool {
+	if g.blocked[i] {
 		return false
 	}
-	for _, s := range g.slots[g.idx(c.X, c.Y)] {
+	for _, s := range g.slots[i] {
 		if s.fluid == fl {
 			// The same sample may share a channel with itself — aliquots
 			// of one fluid neither contaminate nor physically conflict
@@ -208,7 +218,6 @@ func (g *Grid) usable(c Cell, iv interval.Interval, fl string, wash unit.Time) b
 			return false
 		}
 	}
-	_ = wash
 	return true
 }
 

@@ -91,23 +91,22 @@ func TestUsableRules(t *testing.T) {
 		name string
 		win  interval.Interval
 		fl   string
-		wash unit.Time
 		want bool
 	}{
-		{"overlap", iv(11, 13), "B", 0, false},
-		{"overlap same fluid (aliquot sharing)", iv(11, 13), "A", 0, true},
-		{"contained", iv(10, 12), "B", 0, false},
-		{"after, disjoint", iv(15, 17), "B", 0, true},
-		{"after, touching", iv(12, 14), "B", 0, true},
-		{"before, disjoint", iv(5, 7), "B", unit.Seconds(3), true},
-		{"before, touching", iv(5, 10), "B", unit.Seconds(3), true},
+		{"overlap", iv(11, 13), "B", false},
+		{"overlap same fluid (aliquot sharing)", iv(11, 13), "A", true},
+		{"contained", iv(10, 12), "B", false},
+		{"after, disjoint", iv(15, 17), "B", true},
+		{"after, touching", iv(12, 14), "B", true},
+		{"before, disjoint", iv(5, 7), "B", true},
+		{"before, touching", iv(5, 10), "B", true},
 	}
 	for _, tc := range cases {
-		if got := g.usable(c, tc.win, tc.fl, tc.wash); got != tc.want {
+		if got := g.usable(c, tc.win, tc.fl); got != tc.want {
 			t.Errorf("%s: usable = %v, want %v", tc.name, got, tc.want)
 		}
 	}
-	if g.usable(Cell{4, 4}, iv(0, 1), "A", 0) {
+	if g.usable(Cell{4, 4}, iv(0, 1), "A") {
 		t.Error("blocked cell must never be usable")
 	}
 }

@@ -163,9 +163,18 @@ func GenerateSyntheticAssay(name string, ops int, alloc Allocation, seed uint64)
 	return benchdata.GenerateSynthetic(name, ops, alloc, seed)
 }
 
-// RunComparison synthesizes each benchmark with both algorithms.
+// RunComparison synthesizes each benchmark with both algorithms on a
+// worker pool sized to the available CPUs. The rows are the same as a
+// sequential run: each synthesis is deterministic in its inputs and the
+// results are ordered by benchmark, not by completion.
 func RunComparison(benches []Benchmark, opts Options) ([]ComparisonRow, error) {
 	return report.Run(benches, opts)
+}
+
+// RunComparisonWorkers is RunComparison with an explicit worker-pool
+// size (1 recovers the sequential run, with identical output).
+func RunComparisonWorkers(benches []Benchmark, opts Options, workers int) ([]ComparisonRow, error) {
+	return report.RunWorkers(benches, opts, workers)
 }
 
 // TableI renders comparison rows in the layout of the paper's Table I.
