@@ -25,22 +25,29 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/buildinfo"
 )
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "print only Table I")
-		fig8   = flag.Bool("fig8", false, "print only Fig. 8 (channel cache time)")
-		fig9   = flag.Bool("fig9", false, "print only Fig. 9 (channel wash time)")
-		csv    = flag.Bool("csv", false, "print all metrics as CSV")
-		md     = flag.Bool("markdown", false, "print the comparison as a markdown table")
-		bench  = flag.String("bench", "", "restrict to one benchmark (PCR, IVD, CPA, Synthetic1..4)")
-		imax   = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
-		seed   = flag.Uint64("seed", 1, "placement seed")
-		jobs   = flag.Int("j", 0, "benchmark worker-pool size (0 = all CPUs)")
-		portf  = flag.Int("portfolio", 1, "concurrent annealing seeds per benchmark (1 = single-seed)")
+		table1  = flag.Bool("table1", false, "print only Table I")
+		fig8    = flag.Bool("fig8", false, "print only Fig. 8 (channel cache time)")
+		fig9    = flag.Bool("fig9", false, "print only Fig. 9 (channel wash time)")
+		csv     = flag.Bool("csv", false, "print all metrics as CSV")
+		md      = flag.Bool("markdown", false, "print the comparison as a markdown table")
+		bench   = flag.String("bench", "", "restrict to one benchmark (PCR, IVD, CPA, Synthetic1..4)")
+		imax    = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
+		seed    = flag.Uint64("seed", 1, "placement seed")
+		jobs    = flag.Int("j", 0, "benchmark worker-pool size (0 = all CPUs)")
+		portf   = flag.Int("portfolio", 1, "concurrent annealing seeds per benchmark (1 = single-seed)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("mfbench"))
+		return
+	}
 
 	opts := repro.DefaultOptions()
 	opts.Place.Imax = *imax

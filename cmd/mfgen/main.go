@@ -16,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/assay"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -26,8 +27,14 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "synthetic generator seed")
 		name      = flag.String("name", "synthetic", "synthetic assay name")
 		dot       = flag.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("mfgen"))
+		return
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mfgen:", err)

@@ -1,0 +1,294 @@
+// Command mfserved runs the synthesis service: an HTTP API in front of
+// the paper's deterministic flow with a bounded job queue, a worker pool
+// and a content-addressed result cache.
+//
+// Usage:
+//
+//	mfserved                          # serve on :8080
+//	mfserved -addr :9000 -workers 4   # custom listener and pool size
+//	mfserved -selfbench 16            # in-process service benchmark, exit
+//	mfserved -version                 # print build info, exit
+//
+// API summary (see README "Service" for a walkthrough):
+//
+//	POST /v1/synthesize         submit a request → 202 job, 200 cache hit,
+//	                            429 when the queue is full
+//	GET  /v1/jobs/{id}          job status, progress and metrics
+//	GET  /v1/jobs/{id}/solution the solution document
+//	POST /v1/jobs/{id}/cancel   cancel a queued or running job
+//	GET  /healthz, GET /metrics liveness and counters
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "synthesis worker count (default: CPU count)")
+		queueCap  = flag.Int("queue", 64, "bounded job-queue capacity (beyond it: HTTP 429)")
+		cacheMB   = flag.Int64("cache-mb", 256, "result-cache bound in MiB")
+		jobTO     = flag.Duration("job-timeout", 2*time.Minute, "per-job synthesis deadline (<0 disables)")
+		retain    = flag.Int("retain", 4096, "finished jobs kept pollable")
+		selfbench = flag.Int("selfbench", 0, "benchmark the service in-process with N concurrent Synthetic1 requests, print a JSON report and exit")
+		benchOut  = flag.String("o", "", "selfbench: write the report to this file instead of stdout")
+		version   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version("mfserved"))
+		return
+	}
+
+	cfg := server.Config{
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		CacheBytes: *cacheMB << 20,
+		JobTimeout: *jobTO,
+		Retain:     *retain,
+	}
+
+	if *selfbench > 0 {
+		if err := runSelfbench(cfg, *selfbench, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mfserved:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	s := server.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("mfserved: shutting down (draining jobs)…")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("mfserved: http shutdown: %v", err)
+		}
+		if err := s.Shutdown(ctx); err != nil {
+			log.Printf("mfserved: job drain: %v", err)
+		}
+	}()
+
+	log.Printf("mfserved listening on %s (%d workers, queue %d)", *addr, effectiveWorkers(*workers), *queueCap)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("mfserved: %v", err)
+	}
+	<-done
+}
+
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// ---- selfbench ----------------------------------------------------------
+
+// roundReport summarizes one round of concurrent requests.
+type roundReport struct {
+	WallMs        float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	CacheHits     int     `json:"cache_hits"`
+}
+
+// benchReport is the selfbench JSON document (BENCH_service.json).
+type benchReport struct {
+	Bench     string      `json:"bench"`
+	Requests  int         `json:"requests"`
+	Workers   int         `json:"workers"`
+	QueueCap  int         `json:"queue_capacity"`
+	Cold      roundReport `json:"cold"`
+	Warm      roundReport `json:"warm"`
+	SpeedupX  float64     `json:"warm_speedup_x"`
+	GoVersion string      `json:"go_version"`
+}
+
+// runSelfbench starts the service on a loopback listener and drives it
+// over real HTTP: one cache-cold round of n concurrent Synthetic1
+// requests with distinct seeds, then the identical round again so every
+// request is answered from the content-addressed cache.
+func runSelfbench(cfg server.Config, n int, outPath string) error {
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	if cfg.QueueCap < n {
+		// The benchmark fires all n at once; a smaller queue would turn
+		// the measurement into a 429 retry exercise.
+		return fmt.Errorf("selfbench needs -queue >= %d (have %d)", n, cfg.QueueCap)
+	}
+
+	body := func(i int) string {
+		return fmt.Sprintf(`{"bench":"Synthetic1","options":{"seed":%d}}`, i+1)
+	}
+	run := func(label string) (roundReport, error) {
+		lats := make([]time.Duration, n)
+		hits := make([]bool, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lats[i], hits[i], errs[i] = oneRequest(ts.URL, body(i))
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		for i, err := range errs {
+			if err != nil {
+				return roundReport{}, fmt.Errorf("%s request %d: %w", label, i, err)
+			}
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		nhits := 0
+		for _, h := range hits {
+			if h {
+				nhits++
+			}
+		}
+		return roundReport{
+			WallMs:        ms(wall),
+			ThroughputRPS: float64(n) / wall.Seconds(),
+			P50Ms:         ms(percentile(lats, 0.50)),
+			P99Ms:         ms(percentile(lats, 0.99)),
+			MaxMs:         ms(lats[n-1]),
+			CacheHits:     nhits,
+		}, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "selfbench: %d concurrent Synthetic1 requests, %d workers — cold round…\n",
+		n, effectiveWorkers(cfg.Workers))
+	cold, err := run("cold")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "selfbench: warm round (identical requests, cache-served)…")
+	warm, err := run("warm")
+	if err != nil {
+		return err
+	}
+	if warm.CacheHits != n {
+		return fmt.Errorf("warm round had %d/%d cache hits: cache is not content-addressing correctly", warm.CacheHits, n)
+	}
+
+	rep := benchReport{
+		Bench:     "Synthetic1",
+		Requests:  n,
+		Workers:   effectiveWorkers(cfg.Workers),
+		QueueCap:  cfg.QueueCap,
+		Cold:      cold,
+		Warm:      warm,
+		SpeedupX:  cold.WallMs / warm.WallMs,
+		GoVersion: runtime.Version(),
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath != "" {
+		return os.WriteFile(outPath, out, 0o644)
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+// oneRequest submits one synthesis request and waits for its job to
+// finish, returning the submit→done latency and whether the response was
+// served from the cache.
+func oneRequest(base, body string) (time.Duration, bool, error) {
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return 0, false, fmt.Errorf("POST /v1/synthesize: %d: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		JobID  string `json:"job_id"`
+		Status string `json:"status"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		return 0, false, err
+	}
+	for sub.Status != "done" {
+		time.Sleep(2 * time.Millisecond)
+		jr, err := http.Get(base + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			return 0, false, err
+		}
+		jdata, _ := io.ReadAll(jr.Body)
+		jr.Body.Close()
+		var job struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(jdata, &job); err != nil {
+			return 0, false, err
+		}
+		switch job.Status {
+		case "done":
+			sub.Status = "done"
+		case "failed", "canceled":
+			return 0, false, fmt.Errorf("job %s %s: %s", sub.JobID, job.Status, job.Error)
+		}
+	}
+	return time.Since(start), sub.Cached, nil
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

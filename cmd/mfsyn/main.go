@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/solio"
 )
 
@@ -40,8 +41,14 @@ func main() {
 		save      = flag.String("save", "", "write the full solution as JSON to this file")
 		failures  = flag.Bool("failures", false, "print the single-component-failure analysis")
 		congest   = flag.Bool("congestion", false, "print the channel congestion heatmap")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("mfsyn"))
+		return
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mfsyn:", err)

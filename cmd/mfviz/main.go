@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/svg"
 )
 
@@ -27,8 +28,14 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "run the baseline algorithm BA")
 		out       = flag.String("out", "chip", "output file prefix")
 		imax      = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("mfviz"))
+		return
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mfviz:", err)

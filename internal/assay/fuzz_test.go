@@ -1,0 +1,57 @@
+package assay
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCanonical throws arbitrary bytes at the assay JSON decoder —
+// the service accepts this format from the network, so Decode must never
+// panic, and any graph it does accept must have a byte-stable canonical
+// encoding (a stronger property than FuzzDecode's shape round trip: the
+// service cache key hashes MarshalJSON output, so instability would split
+// identical assays across cache entries).
+func FuzzDecodeCanonical(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","operations":[],"dependencies":[]}`))
+	f.Add([]byte(`{"name":"pcr","operations":[
+		{"name":"m1","type":"mix","duration":"6s","fluid":"a","diffusion_cm2_per_s":1e-6},
+		{"name":"m2","type":"mix","duration":"6s","fluid":"b","diffusion_cm2_per_s":5e-7},
+		{"name":"m3","type":"mix","duration":"6s","fluid":"c","diffusion_cm2_per_s":1e-6}],
+		"dependencies":[{"from":"m1","to":"m3"},{"from":"m2","to":"m3"}]}`))
+	f.Add([]byte(`{"name":"h","operations":[{"name":"h1","type":"heat","duration":"0.2s"}]}`))
+	f.Add([]byte(`{"name":"d","operations":[{"name":"d1","type":"detect","duration":"5s"}]}`))
+	f.Add([]byte(`{"name":"cyc","operations":[{"name":"a","type":"mix","duration":"1s"},
+		{"name":"b","type":"mix","duration":"1s"}],
+		"dependencies":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}`))
+	f.Add([]byte(`{"name":"dup","operations":[{"name":"a","type":"mix","duration":"1s"},
+		{"name":"a","type":"mix","duration":"1s"}]}`))
+	f.Add([]byte(`{"name":"bad","operations":[{"name":"a","type":"mix","duration":"-1s"}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte("{\"name\":\"\u0000\",\"operations\":[{\"name\":\"\",\"type\":\"store\",\"duration\":\"1h\"}]}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage is correct; panicking is not
+		}
+		// Accepted graphs must re-encode and decode to the same bytes:
+		// the service's cache key hashes MarshalJSON output, so this
+		// round trip is what makes content addressing sound.
+		first, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted graph failed to marshal: %v", err)
+		}
+		g2, err := Decode(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v\nencoding:\n%s", err, first)
+		}
+		second, err := g2.MarshalJSON()
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("encoding not stable:\nfirst:\n%s\nsecond:\n%s", first, second)
+		}
+	})
+}

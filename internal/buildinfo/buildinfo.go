@@ -1,0 +1,57 @@
+// Package buildinfo derives a version string for the repro command-line
+// tools from the Go build metadata, so every binary answers -version
+// without a hand-maintained constant or linker flags.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version renders a one-line version banner for the named command:
+// module version (or VCS revision and commit time when built from a
+// checkout), Go toolchain, and GOOS/GOARCH.
+func Version(cmd string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s (%s, %s/%s)", cmd, describe(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	return b.String()
+}
+
+// describe condenses debug.ReadBuildInfo into a short identifier.
+func describe() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(devel)"
+	}
+	ver := bi.Main.Version
+	if ver == "" {
+		ver = "(devel)"
+	}
+	var rev, at string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return ver
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	if at != "" {
+		rev += " " + at
+	}
+	return fmt.Sprintf("%s %s", ver, rev)
+}

@@ -1,0 +1,19 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionMentionsCommandAndToolchain(t *testing.T) {
+	v := Version("mfserved")
+	if !strings.HasPrefix(v, "mfserved ") {
+		t.Fatalf("version %q does not lead with the command name", v)
+	}
+	if !strings.Contains(v, "go1") {
+		t.Fatalf("version %q does not name the Go toolchain", v)
+	}
+	if strings.Contains(v, "\n") {
+		t.Fatalf("version %q is not one line", v)
+	}
+}

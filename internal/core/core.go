@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -63,6 +64,17 @@ type Solution struct {
 	// CPU is the wall-clock synthesis time (the Table I "CPU time"
 	// column).
 	CPU time.Duration
+	// Stages breaks CPU down by pipeline stage (placement and routing
+	// accumulate across congestion-recovery attempts). Like CPU it is
+	// measurement, not solution content: fingerprints exclude it.
+	Stages StageTimes
+}
+
+// StageTimes is the wall-clock spent in each synthesis stage.
+type StageTimes struct {
+	Schedule time.Duration
+	Place    time.Duration
+	Route    time.Duration
 }
 
 // Metrics are the quantities the paper evaluates.
@@ -118,16 +130,34 @@ func (s *Solution) Validate() error {
 
 // Synthesize runs the proposed DCSA-aware top-down synthesis flow.
 func Synthesize(g *assay.Graph, alloc chip.Allocation, opts Options) (*Solution, error) {
-	return synthesize(g, alloc, opts, false)
+	return synthesize(context.Background(), g, alloc, opts, false)
+}
+
+// SynthesizeContext is Synthesize with cancellation and deadlines: every
+// stage polls ctx at its natural step boundary (between scheduling
+// commits, simulated-annealing temperature steps and per-task A*
+// routings) and the flow aborts promptly with an error wrapping ctx's
+// error. The polls read no algorithm state and consume no randomness, so
+// an uncancelled context produces byte-identical solutions to
+// Synthesize — the property the service cache and the pinned fingerprints
+// in determinism_test.go rely on.
+func SynthesizeContext(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts Options) (*Solution, error) {
+	return synthesize(ctx, g, alloc, opts, false)
 }
 
 // SynthesizeBaseline runs the baseline algorithm BA: earliest-ready
 // binding, construction-by-correction placement and routing.
 func SynthesizeBaseline(g *assay.Graph, alloc chip.Allocation, opts Options) (*Solution, error) {
-	return synthesize(g, alloc, opts, true)
+	return synthesize(context.Background(), g, alloc, opts, true)
 }
 
-func synthesize(g *assay.Graph, alloc chip.Allocation, opts Options, baseline bool) (*Solution, error) {
+// SynthesizeBaselineContext is SynthesizeBaseline with cancellation (see
+// SynthesizeContext).
+func SynthesizeBaselineContext(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts Options) (*Solution, error) {
+	return synthesize(ctx, g, alloc, opts, true)
+}
+
+func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts Options, baseline bool) (*Solution, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil assay")
 	}
@@ -139,14 +169,16 @@ func synthesize(g *assay.Graph, alloc chip.Allocation, opts Options, baseline bo
 	}
 	start := time.Now()
 	comps := alloc.Instantiate()
+	var stages StageTimes
 
 	var sched *schedule.Result
 	var err error
 	if baseline {
-		sched, err = schedule.ScheduleBaseline(g, comps, opts.Schedule)
+		sched, err = schedule.ScheduleBaselineContext(ctx, g, comps, opts.Schedule)
 	} else {
-		sched, err = schedule.Schedule(g, comps, opts.Schedule)
+		sched, err = schedule.ScheduleContext(ctx, g, comps, opts.Schedule)
 	}
+	stages.Schedule = time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduling %q: %w", g.Name(), err)
 	}
@@ -163,20 +195,24 @@ func synthesize(g *assay.Graph, alloc chip.Allocation, opts Options, baseline bo
 	var used *place.Placement
 	popts := opts.Place
 	for attempt := 0; ; attempt++ {
+		placeStart := time.Now()
 		var pl *place.Placement
 		if baseline {
-			pl, err = place.Construct(comps, nets, popts)
+			pl, err = place.ConstructContext(ctx, comps, nets, popts)
 		} else {
-			pl, err = annealPortfolio(comps, nets, popts, opts.Portfolio)
+			pl, err = annealPortfolio(ctx, comps, nets, popts, opts.Portfolio)
 		}
+		stages.Place += time.Since(placeStart)
 		if err != nil {
 			return nil, fmt.Errorf("core: placing %q: %w", g.Name(), err)
 		}
-		routing, used, err = route.Solve(sched, comps, pl, opts.Route, baseline)
+		routeStart := time.Now()
+		routing, used, err = route.SolveContext(ctx, sched, comps, pl, opts.Route, baseline)
+		stages.Route += time.Since(routeStart)
 		if err == nil {
 			break
 		}
-		if attempt >= 4 {
+		if ctx.Err() != nil || attempt >= 4 {
 			return nil, fmt.Errorf("core: routing %q: %w", g.Name(), err)
 		}
 		popts.Seed++
@@ -201,5 +237,6 @@ func synthesize(g *assay.Graph, alloc chip.Allocation, opts Options, baseline bo
 		Routing:   routing,
 		Baseline:  baseline,
 		CPU:       time.Since(start),
+		Stages:    stages,
 	}, nil
 }

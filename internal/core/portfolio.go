@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/chip"
@@ -15,9 +16,9 @@ import (
 // output is a pure function of (inputs, base seed, K) regardless of
 // goroutine scheduling. K <= 1 degenerates to the plain single-seed
 // anneal and reproduces it exactly.
-func annealPortfolio(comps []chip.Component, nets []place.Net, pr place.Params, k int) (*place.Placement, error) {
+func annealPortfolio(ctx context.Context, comps []chip.Component, nets []place.Net, pr place.Params, k int) (*place.Placement, error) {
 	if k <= 1 {
-		return place.Anneal(comps, nets, pr)
+		return place.AnnealContext(ctx, comps, nets, pr)
 	}
 	type attempt struct {
 		pl     *place.Placement
@@ -32,7 +33,7 @@ func annealPortfolio(comps []chip.Component, nets []place.Net, pr place.Params, 
 			defer wg.Done()
 			pi := pr
 			pi.Seed = pr.Seed + uint64(i)
-			pl, err := place.Anneal(comps, nets, pi)
+			pl, err := place.AnnealContext(ctx, comps, nets, pi)
 			if err != nil {
 				out[i] = attempt{err: err}
 				return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/benchdata"
@@ -85,7 +86,7 @@ func TestPortfolioNoWorseThanSingle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		port, err := annealPortfolio(comps, nets, opts.Place, 4)
+		port, err := annealPortfolio(context.Background(), comps, nets, opts.Place, 4)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,347 @@
+// Package jobq is a bounded FIFO job queue with a fixed worker pool,
+// built for the synthesis service: submissions beyond the queue capacity
+// are rejected immediately (the server maps that to HTTP 429), every job
+// carries an observable status and free-form progress note, queued or
+// running jobs can be cancelled (running jobs via their context), and
+// shutdown completes in-flight work while rejecting new submissions.
+//
+// The queue stores finished jobs until they are explicitly removed or the
+// retention bound evicts the oldest, so clients can poll results after
+// completion.
+package jobq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job lifecycle: Queued → Running → one of Done/Failed/Canceled.
+// Queued jobs cancelled before a worker picks them up go straight to
+// Canceled.
+const (
+	Queued   Status = "queued"
+	Running  Status = "running"
+	Done     Status = "done"
+	Failed   Status = "failed"
+	Canceled Status = "canceled"
+)
+
+// Terminal reports whether a job in this status will never change again.
+func (s Status) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Fn is the work a job performs. It must honour ctx (return once ctx is
+// done) and may call progress with short human-readable notes; the latest
+// note is visible in job snapshots.
+type Fn func(ctx context.Context, progress func(note string)) (any, error)
+
+// Job is an immutable snapshot of one job's state.
+type Job struct {
+	ID       string
+	Status   Status
+	Progress string
+	Created  time.Time
+	Started  time.Time // zero until the job leaves the queue
+	Finished time.Time // zero until the job reaches a terminal status
+	Result   any       // Fn's return value when Status == Done
+	Err      string    // failure or cancellation cause otherwise
+}
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull signals backpressure: capacity jobs are already
+	// waiting. The caller should retry later (HTTP 429).
+	ErrQueueFull = errors.New("jobq: queue full")
+	// ErrShutdown rejects submissions after Shutdown started.
+	ErrShutdown = errors.New("jobq: shutting down")
+)
+
+// job is the internal mutable record.
+type job struct {
+	Job
+	fn     Fn
+	cancel context.CancelCauseFunc // non-nil while running
+}
+
+// Queue is the bounded FIFO queue and its worker pool.
+type Queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers: pending work or shutdown
+	jobs     map[string]*job
+	pending  []string // FIFO of queued job IDs
+	order    []string // terminal job IDs, oldest first (retention ring)
+	capacity int
+	workers  int
+	busy     int
+	nextID   uint64
+	closed   bool
+	retain   int
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+}
+
+// Stats is a point-in-time aggregate of the queue.
+type Stats struct {
+	Workers  int // pool size
+	Busy     int // workers currently executing a job
+	Queued   int // jobs waiting in the FIFO
+	Capacity int // maximum queued jobs before Submit rejects
+	Done     int // retained terminal jobs by status
+	Failed   int
+	Canceled int
+}
+
+// New starts a queue with the given worker-pool size and queue capacity.
+// Both must be at least 1. Finished jobs are retained for polling; once
+// more than retain (default 1024 when <= 0) terminal jobs accumulate, the
+// oldest are evicted.
+func New(workers, capacity, retain int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	if retain <= 0 {
+		retain = 1024
+	}
+	q := &Queue{
+		jobs:     make(map[string]*job),
+		capacity: capacity,
+		workers:  workers,
+		retain:   retain,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.baseCtx, q.baseStop = context.WithCancel(context.Background())
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues fn and returns the new job's ID, or ErrQueueFull /
+// ErrShutdown without side effects.
+func (q *Queue) Submit(fn Fn) (string, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return "", ErrShutdown
+	}
+	if len(q.pending) >= q.capacity {
+		return "", ErrQueueFull
+	}
+	q.nextID++
+	id := fmt.Sprintf("j%06d", q.nextID)
+	q.jobs[id] = &job{
+		Job: Job{ID: id, Status: Queued, Created: time.Now()},
+		fn:  fn,
+	}
+	q.pending = append(q.pending, id)
+	q.cond.Signal()
+	return id, nil
+}
+
+// Complete registers an already-finished job (e.g. a cache hit served
+// without work) and returns its ID. It never blocks and is exempt from
+// the capacity bound: no queue slot or worker is ever consumed.
+func (q *Queue) Complete(result any, progress string) (string, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return "", ErrShutdown
+	}
+	q.nextID++
+	id := fmt.Sprintf("j%06d", q.nextID)
+	now := time.Now()
+	j := &job{Job: Job{
+		ID: id, Status: Done, Progress: progress,
+		Created: now, Started: now, Finished: now, Result: result,
+	}}
+	q.jobs[id] = j
+	q.retire(j)
+	return id, nil
+}
+
+// Get returns a snapshot of the job, if known.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.Job, true
+}
+
+// Cancel requests cancellation of a job. A queued job is cancelled
+// immediately; a running job has its context cancelled and will reach
+// Canceled once its Fn returns. Cancelling a terminal or unknown job is a
+// no-op. The return value reports whether a cancellation was delivered.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.Status.Terminal() {
+		return false
+	}
+	if j.Status == Queued {
+		// Remove from the FIFO so a worker never picks it up.
+		for i, pid := range q.pending {
+			if pid == id {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+		j.Status = Canceled
+		j.Err = context.Canceled.Error()
+		j.Finished = time.Now()
+		q.retire(j)
+		return true
+	}
+	if j.cancel != nil {
+		j.cancel(context.Canceled)
+		return true
+	}
+	return false
+}
+
+// Stats returns current aggregate counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := Stats{Workers: q.workers, Busy: q.busy, Queued: len(q.pending), Capacity: q.capacity}
+	for _, j := range q.jobs {
+		switch j.Status {
+		case Done:
+			s.Done++
+		case Failed:
+			s.Failed++
+		case Canceled:
+			s.Canceled++
+		}
+	}
+	return s
+}
+
+// Shutdown stops accepting submissions, lets the workers drain every
+// queued and running job, and returns once the pool is idle. If ctx
+// expires first, all remaining jobs are cancelled and ctx's error is
+// returned after the workers exit.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline hit: hard-cancel everything still in flight, then wait
+		// for the workers to notice and exit.
+		q.baseStop()
+		q.mu.Lock()
+		for _, id := range q.pending {
+			if j := q.jobs[id]; j != nil && j.Status == Queued {
+				j.Status = Canceled
+				j.Err = context.Cause(ctx).Error()
+				j.Finished = time.Now()
+				q.retire(j)
+			}
+		}
+		q.pending = nil
+		q.cond.Broadcast()
+		q.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// retire appends a terminal job to the retention ring, evicting the
+// oldest beyond the bound. Caller holds q.mu.
+func (q *Queue) retire(j *job) {
+	q.order = append(q.order, j.ID)
+	for len(q.order) > q.retain {
+		delete(q.jobs, q.order[0])
+		q.order = q.order[1:]
+	}
+}
+
+// worker is the run loop of one pool goroutine.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.pending) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.pending) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		id := q.pending[0]
+		q.pending = q.pending[1:]
+		j := q.jobs[id]
+		ctx, cancel := context.WithCancelCause(q.baseCtx)
+		j.cancel = cancel
+		j.Status = Running
+		j.Started = time.Now()
+		q.busy++
+		fn := j.fn
+		q.mu.Unlock()
+
+		progress := func(note string) {
+			q.mu.Lock()
+			j.Progress = note
+			q.mu.Unlock()
+		}
+		result, err := runJob(ctx, fn, progress)
+
+		q.mu.Lock()
+		q.busy--
+		j.cancel = nil
+		j.fn = nil
+		j.Finished = time.Now()
+		switch {
+		case err == nil:
+			j.Status = Done
+			j.Result = result
+		case errors.Is(err, context.Canceled):
+			j.Status = Canceled
+			j.Err = err.Error()
+		default:
+			j.Status = Failed
+			j.Err = err.Error()
+		}
+		q.retire(j)
+		q.mu.Unlock()
+		cancel(nil)
+	}
+}
+
+// runJob executes fn, converting a panic into a failure so one bad job
+// cannot take the worker (and the service) down.
+func runJob(ctx context.Context, fn Fn, progress func(string)) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobq: job panicked: %v", r)
+		}
+	}()
+	return fn(ctx, progress)
+}

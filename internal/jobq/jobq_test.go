@@ -1,0 +1,345 @@
+package jobq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitStatus polls until the job reaches a terminal status or the
+// deadline passes.
+func waitStatus(t *testing.T, q *Queue, id string, want Status) Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if j.Status == want {
+			return j
+		}
+		if j.Status.Terminal() {
+			t.Fatalf("job %s reached %s (err %q), want %s", id, j.Status, j.Err, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach %s in time", id, want)
+	return Job{}
+}
+
+func TestSubmitRunsFIFO(t *testing.T) {
+	q := New(1, 16, 0)
+	defer q.Shutdown(context.Background())
+	var mu sync.Mutex
+	var order []int
+	var ids []string
+	for i := 0; i < 8; i++ {
+		i := i
+		id, err := q.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			progress(fmt.Sprintf("task %d", i))
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		j := waitStatus(t, q, id, Done)
+		if j.Result.(int) != i*i {
+			t.Fatalf("job %s result %v, want %d", id, j.Result, i*i)
+		}
+		if j.Progress != fmt.Sprintf("task %d", i) {
+			t.Fatalf("job %s progress %q", id, j.Progress)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("single worker ran out of order: %v", order)
+		}
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	q := New(1, 2, 0)
+	defer q.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the only worker…
+	if _, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// …fill the queue to capacity…
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) { return nil, nil }); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	// …and verify the next submission is rejected with ErrQueueFull.
+	if _, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull submit: err=%v, want ErrQueueFull", err)
+	}
+	if s := q.Stats(); s.Queued != 2 || s.Busy != 1 {
+		t.Fatalf("stats %+v, want 2 queued / 1 busy", s)
+	}
+	close(block)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	q := New(1, 8, 0)
+	defer q.Shutdown(context.Background())
+	block := make(chan struct{})
+	started := make(chan struct{})
+	runningID, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-block:
+			return nil, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queuedID, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		t.Error("cancelled queued job must never run")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A queued job cancels synchronously.
+	if !q.Cancel(queuedID) {
+		t.Fatal("Cancel(queued) = false")
+	}
+	if j, _ := q.Get(queuedID); j.Status != Canceled {
+		t.Fatalf("queued job status %s after cancel", j.Status)
+	}
+	// A running job cancels once its fn observes ctx.
+	if !q.Cancel(runningID) {
+		t.Fatal("Cancel(running) = false")
+	}
+	j := waitStatus(t, q, runningID, Canceled)
+	if j.Err == "" {
+		t.Fatal("cancelled job lost its cause")
+	}
+	// Cancelling a terminal job is a no-op.
+	if q.Cancel(runningID) {
+		t.Fatal("Cancel(terminal) = true")
+	}
+}
+
+// TestConcurrentSubmitCancelDrain hammers the queue from many goroutines
+// under -race: a mix of submissions, random cancellations and polling.
+func TestConcurrentSubmitCancelDrain(t *testing.T) {
+	q := New(4, 64, 0)
+	const n = 64
+	ids := make([]string, 0, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := q.Submit(func(ctx context.Context, progress func(string)) (any, error) {
+				progress("working")
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(time.Duration(i%5) * time.Millisecond):
+				}
+				return i, nil
+			})
+			if errors.Is(err, ErrQueueFull) {
+				return // backpressure is a legal outcome under load
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, id)
+			mu.Unlock()
+			if i%3 == 0 {
+				q.Cancel(id)
+			}
+			q.Get(id)
+			q.Stats()
+		}(i)
+	}
+	wg.Wait()
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// After a clean shutdown every accepted job is terminal.
+	for _, id := range ids {
+		j, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s lost", id)
+		}
+		if !j.Status.Terminal() {
+			t.Fatalf("job %s left in %s after shutdown", id, j.Status)
+		}
+	}
+}
+
+// TestGracefulShutdown verifies the contract of the service's SIGTERM
+// path: in-flight and already-queued jobs complete, new submissions are
+// rejected, and Shutdown returns only when the pool is idle.
+func TestGracefulShutdown(t *testing.T) {
+	q := New(2, 16, 0)
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-release
+			return "ok", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	<-started // at least one job is in flight when shutdown begins
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- q.Shutdown(context.Background()) }()
+
+	// New work must be rejected as soon as shutdown starts.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) { return nil, nil })
+		if errors.Is(err, ErrShutdown) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit during shutdown: err=%v, want ErrShutdown", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while jobs still blocked")
+	default:
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	for _, id := range ids {
+		j, _ := q.Get(id)
+		if j.Status != Done || j.Result != "ok" {
+			t.Fatalf("job %s: status %s result %v after graceful shutdown", id, j.Status, j.Result)
+		}
+	}
+}
+
+// TestShutdownDeadline verifies the forced path: jobs ignoring release
+// until cancelled are reaped when the shutdown context expires.
+func TestShutdownDeadline(t *testing.T) {
+	q := New(1, 8, 0)
+	id, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		<-ctx.Done() // honours cancellation, but never finishes voluntarily
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := q.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	if j, _ := q.Get(id); j.Status != Canceled {
+		t.Fatalf("running job status %s after forced shutdown", j.Status)
+	}
+	if j, _ := q.Get(queued); j.Status != Canceled {
+		t.Fatalf("queued job status %s after forced shutdown", j.Status)
+	}
+}
+
+func TestPanicIsolatedAsFailure(t *testing.T) {
+	q := New(1, 4, 0)
+	defer q.Shutdown(context.Background())
+	id, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitStatus(t, q, id, Failed)
+	if j.Err == "" {
+		t.Fatal("panic failure lost its message")
+	}
+	// The worker survived: the next job still runs.
+	id2, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q, id2, Done)
+}
+
+func TestCompleteRegistersCachedResult(t *testing.T) {
+	q := New(1, 1, 0)
+	defer q.Shutdown(context.Background())
+	id, err := q.Complete("cached", "cache hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := q.Get(id)
+	if !ok || j.Status != Done || j.Result != "cached" || j.Progress != "cache hit" {
+		t.Fatalf("completed job %+v", j)
+	}
+	if s := q.Stats(); s.Queued != 0 || s.Busy != 0 {
+		t.Fatalf("Complete consumed queue resources: %+v", s)
+	}
+}
+
+func TestRetentionEvictsOldest(t *testing.T) {
+	q := New(1, 4, 3)
+	defer q.Shutdown(context.Background())
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := q.Complete(i, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:2] {
+		if _, ok := q.Get(id); ok {
+			t.Fatalf("job %s should have been evicted", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := q.Get(id); !ok {
+			t.Fatalf("job %s evicted too early", id)
+		}
+	}
+}

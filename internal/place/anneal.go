@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,6 +27,16 @@ import (
 // stream. TestIncrementalDeltaMatchesFull pins the agreement and
 // TestSolutionFingerprints (repo root) pins the resulting trajectories.
 func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
+	return AnnealContext(context.Background(), comps, nets, pr)
+}
+
+// AnnealContext is Anneal with cancellation: ctx is polled once per
+// temperature step (and between quench passes), so a cancelled run
+// aborts within one Imax move batch — microseconds to low milliseconds
+// on the Table I benchmarks. The poll reads no annealer state and
+// consumes no randomness, so an uncancelled context reproduces Anneal
+// bit for bit.
+func AnnealContext(ctx context.Context, comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 	w, h := pr.PlaneW, pr.PlaneH
 	if w == 0 || h == 0 {
 		w, h = AutoPlane(comps, pr.Spacing)
@@ -52,6 +63,9 @@ func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 	// as a potential tie and scored with the full sum.
 	const tieEps = 1e-6
 	for t := pr.T0; t > pr.Tmin; t *= pr.Alpha {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("place: anneal aborted at T=%.3g: %w", t, err)
+		}
 		for i := 0; i < pr.Imax; i++ {
 			undo, delta, ok := transform(p, pr.Spacing, r, ix)
 			if !ok {
@@ -79,7 +93,9 @@ func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 	// Final quench: greedy single-component relocation until the weighted
 	// energy reaches a local optimum. This is the standard low-temperature
 	// tail of SA floorplanners, made explicit and deterministic.
-	quench(best, nets, ix, pr.Spacing)
+	if err := quenchCtx(ctx, best, nets, ix, pr.Spacing); err != nil {
+		return nil, err
+	}
 	if err := best.Legal(pr.Spacing); err != nil {
 		return nil, fmt.Errorf("place: annealer produced illegal placement: %w", err)
 	}
@@ -96,8 +112,16 @@ func Anneal(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 // descent trajectory identical to the full-recompute implementation (see
 // referenceQuench in the tests).
 func quench(p *Placement, nets []Net, ix *NetIndex, spacing int) {
+	_ = quenchCtx(context.Background(), p, nets, ix, spacing)
+}
+
+// quenchCtx is quench with a cancellation poll between descent passes.
+func quenchCtx(ctx context.Context, p *Placement, nets []Net, ix *NetIndex, spacing int) error {
 	const tieEps = 1e-6
 	for improved := true; improved; {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("place: quench aborted: %w", err)
+		}
 		improved = false
 		for i := range p.Rects {
 			old := p.Rects[i]
@@ -132,6 +156,7 @@ func quench(p *Placement, nets []Net, ix *NetIndex, spacing int) {
 			}
 		}
 	}
+	return nil
 }
 
 // fullLess reports whether placing component i at cand gives a strictly
@@ -218,6 +243,12 @@ func transform(p *Placement, spacing int, r *rng.Source, ix *NetIndex) (undo fun
 // wirelength to its neighbours. It is deliberately blind to connection
 // priorities (concurrency and wash time).
 func Construct(comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
+	return ConstructContext(context.Background(), comps, nets, pr)
+}
+
+// ConstructContext is Construct with a cancellation poll between
+// correction passes; an uncancelled context reproduces Construct exactly.
+func ConstructContext(ctx context.Context, comps []chip.Component, nets []Net, pr Params) (*Placement, error) {
 	w, h := pr.PlaneW, pr.PlaneH
 	if w == 0 || h == 0 {
 		w, h = AutoPlane(comps, pr.Spacing)
@@ -251,6 +282,9 @@ func Construct(comps []chip.Component, nets []Net, pr Params) (*Placement, error
 	// incrementally on the moved component's incident nets.
 	const passes = 3
 	for pass := 0; pass < passes; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("place: baseline correction aborted: %w", err)
+		}
 		improved := false
 		for i := range p.Rects {
 			old := p.Rects[i]

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -51,7 +52,14 @@ func (r *Result) TotalLength() unit.Length {
 // Eq. 5; after each task the wash-time weights and occupancy slots of the
 // cells on its path are updated (Algorithm 2 lines 9-18).
 func Route(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) (*Result, error) {
-	return routeAll(r, comps, pl, pr, true)
+	return routeAll(context.Background(), r, comps, pl, pr, true)
+}
+
+// RouteContext is Route with cancellation: ctx is polled before each
+// task's A* search, so a cancelled run aborts within one single-task
+// routing. An uncancelled context reproduces Route exactly.
+func RouteContext(ctx context.Context, r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) (*Result, error) {
+	return routeAll(ctx, r, comps, pl, pr, true)
 }
 
 // RouteUnweighted is the proposed router with the wash-weight guidance of
@@ -59,7 +67,7 @@ func Route(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr P
 // ablation study: comparing it against Route isolates the contribution of
 // the weight mechanism to channel sharing and wash time.
 func RouteUnweighted(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) (*Result, error) {
-	return routeAll(r, comps, pl, pr, false)
+	return routeAll(context.Background(), r, comps, pl, pr, false)
 }
 
 // RouteBaseline runs the construction-by-correction baseline: every task
@@ -68,6 +76,12 @@ func RouteUnweighted(r *schedule.Result, comps []chip.Component, pl *place.Place
 // conflict checks enabled but still no wash-weight guidance, until the
 // solution is conflict-free.
 func RouteBaseline(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) (*Result, error) {
+	return RouteBaselineContext(context.Background(), r, comps, pl, pr)
+}
+
+// RouteBaselineContext is RouteBaseline with cancellation: ctx is polled
+// before each construction routing and each correction round.
+func RouteBaselineContext(ctx context.Context, r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params) (*Result, error) {
 	g, err := NewGrid(comps, pl, pr)
 	if err != nil {
 		return nil, err
@@ -82,6 +96,9 @@ func RouteBaseline(r *schedule.Result, comps []chip.Component, pl *place.Placeme
 		return nil, err
 	}
 	for _, t := range tasks {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: baseline construction aborted: %w", err)
+		}
 		p := empty.routeTask(t, false)
 		if p == nil {
 			return nil, fmt.Errorf("route: baseline construction failed for task %d", t.ID)
@@ -104,6 +121,9 @@ func RouteBaseline(r *schedule.Result, comps []chip.Component, pl *place.Placeme
 	failCount := map[int]int{}
 	const maxRounds = 96
 	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: baseline correction aborted: %w", err)
+		}
 		badSet := map[int]bool{}
 		for _, id := range g.conflictsOf() {
 			badSet[id] = true
@@ -199,6 +219,13 @@ func RouteBaseline(r *schedule.Result, comps []chip.Component, pl *place.Placeme
 // dilated (same relative layout, wider corridors) and routing is retried.
 // It returns the routing result together with the placement actually used.
 func Solve(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params, baseline bool) (*Result, *place.Placement, error) {
+	return SolveContext(context.Background(), r, comps, pl, pr, baseline)
+}
+
+// SolveContext is Solve with cancellation: a done ctx aborts the current
+// routing pass between tasks and stops the dilation ladder instead of
+// retrying. An uncancelled context reproduces Solve exactly.
+func SolveContext(ctx context.Context, r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params, baseline bool) (*Result, *place.Placement, error) {
 	f := 1.0
 	var lastErr error
 	for try := 0; try < 4; try++ {
@@ -206,21 +233,27 @@ func Solve(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr P
 		var res *Result
 		var err error
 		if baseline {
-			res, err = RouteBaseline(r, comps, cur, pr)
+			res, err = RouteBaselineContext(ctx, r, comps, cur, pr)
 		} else {
-			res, err = Route(r, comps, cur, pr)
+			res, err = routeAll(ctx, r, comps, cur, pr, true)
 		}
 		if err == nil {
 			return res, cur, nil
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			break // cancelled, not congested: don't burn dilation retries
+		}
 		f *= 1.5
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("route: aborted: %w", err)
 	}
 	return nil, nil, fmt.Errorf("route: congestion not resolved by dilation: %w", lastErr)
 }
 
 // routeAll is the shared driver for the proposed router.
-func routeAll(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params, weighted bool) (*Result, error) {
+func routeAll(ctx context.Context, r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params, weighted bool) (*Result, error) {
 	g, err := NewGrid(comps, pl, pr)
 	if err != nil {
 		return nil, err
@@ -228,6 +261,9 @@ func routeAll(r *schedule.Result, comps []chip.Component, pl *place.Placement, p
 	tasks := TasksFrom(r)
 	res := &Result{GridW: g.W, GridH: g.H, Pitch: pr.Pitch, Routes: make([]RoutedTask, 0, len(tasks))}
 	for _, t := range tasks {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: aborted before task %d: %w", t.ID, err)
+		}
 		p := g.routeTask(t, weighted)
 		if p == nil {
 			return nil, fmt.Errorf("route: no conflict-free path for task %d (%d→%d, window %v)",

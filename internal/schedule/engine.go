@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/assay"
@@ -56,8 +57,11 @@ type engine struct {
 	res    *Result
 }
 
-// run schedules g on comps using the given binding strategy.
-func run(g *assay.Graph, comps []chip.Component, opts Options, b binder) (*Result, error) {
+// run schedules g on comps using the given binding strategy. It polls
+// ctx between operation commits (every pollEvery pops) so a cancelled
+// synthesis job releases its worker promptly; the poll reads no schedule
+// state, so an uncancelled run is bit-identical to one without checks.
+func run(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Options, b binder) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("schedule: nil assay")
 	}
@@ -106,8 +110,16 @@ func run(g *assay.Graph, comps []chip.Component, opts Options, b binder) (*Resul
 		}
 	}
 
+	// Assays are small (hundreds of ops) and commits are cheap, so a
+	// sparse poll keeps the cancellation overhead unmeasurable.
+	const pollEvery = 32
 	scheduled := 0
 	for q.Len() > 0 {
+		if scheduled%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("schedule: %q aborted: %w", g.Name(), err)
+			}
+		}
 		op := g.Op(heap.Pop(q).(assay.OpID))
 		c := b.choose(e, op)
 		if c == chip.NoComp || int(c) >= len(e.comps) {

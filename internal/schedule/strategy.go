@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/assay"
@@ -126,17 +127,30 @@ func ScheduleWithBinding(g *assay.Graph, comps []chip.Component, opts Options, b
 	if g != nil && len(binding) != g.NumOps() {
 		return nil, fmt.Errorf("schedule: binding covers %d of %d operations", len(binding), g.NumOps())
 	}
-	return run(g, comps, opts, fixedBinder{binding: binding})
+	return run(context.Background(), g, comps, opts, fixedBinder{binding: binding})
 }
 
 // Schedule runs the paper's DCSA-aware binding and scheduling algorithm
 // (Algorithm 1) for assay g on the given allocated components.
 func Schedule(g *assay.Graph, comps []chip.Component, opts Options) (*Result, error) {
-	return run(g, comps, opts, dcsaBinder{})
+	return run(context.Background(), g, comps, opts, dcsaBinder{})
+}
+
+// ScheduleContext is Schedule with cancellation: the list-scheduling loop
+// polls ctx between operation commits and aborts with ctx's error when it
+// is done. An uncancelled context yields exactly Schedule's output.
+func ScheduleContext(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Options) (*Result, error) {
+	return run(ctx, g, comps, opts, dcsaBinder{})
 }
 
 // ScheduleBaseline runs the baseline algorithm BA used for comparison in
 // Section V of the paper.
 func ScheduleBaseline(g *assay.Graph, comps []chip.Component, opts Options) (*Result, error) {
-	return run(g, comps, opts, baselineBinder{})
+	return run(context.Background(), g, comps, opts, baselineBinder{})
+}
+
+// ScheduleBaselineContext is ScheduleBaseline with cancellation (see
+// ScheduleContext).
+func ScheduleBaselineContext(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Options) (*Result, error) {
+	return run(ctx, g, comps, opts, baselineBinder{})
 }

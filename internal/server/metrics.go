@@ -1,0 +1,118 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// histogram is a fixed-bucket latency histogram implementing expvar.Var.
+// Buckets are cumulative-style upper bounds in milliseconds, chosen to
+// straddle the range from sub-millisecond cache hits to multi-second
+// synthetic-benchmark syntheses.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds (ms); an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1
+	count  int64
+	sumMs  float64
+	maxMs  float64
+}
+
+var defaultBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+func newHistogram() *histogram {
+	return &histogram{bounds: defaultBounds, counts: make([]int64, len(defaultBounds)+1)}
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, ms)
+	h.counts[i]++
+	h.count++
+	h.sumMs += ms
+	if ms > h.maxMs {
+		h.maxMs = ms
+	}
+}
+
+// String renders the histogram as a JSON object (the expvar.Var
+// contract): {"count":N,"sum_ms":S,"max_ms":M,"buckets":{"le_10":n,...,"inf":n}}.
+func (h *histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sum_ms":%.3f,"max_ms":%.3f,"buckets":{`, h.count, h.sumMs, h.maxMs)
+	for i, bound := range h.bounds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `"le_%g":%d`, bound, h.counts[i])
+	}
+	if len(h.bounds) > 0 {
+		b.WriteByte(',')
+	}
+	fmt.Fprintf(&b, `"inf":%d}}`, h.counts[len(h.bounds)])
+	return b.String()
+}
+
+// metrics aggregates the service's observability state into one
+// expvar.Map served at /metrics. The map is private (Init, not
+// expvar.Publish) so multiple servers — e.g. parallel tests — never
+// collide in the process-global registry.
+type metrics struct {
+	vars *expvar.Map
+
+	jobsAccepted *expvar.Int
+	jobsRejected *expvar.Int // 429s from a full queue
+
+	histSchedule *histogram
+	histPlace    *histogram
+	histRoute    *histogram
+	histTotal    *histogram // synthesis wall-clock, cache misses only
+	histRequest  *histogram // POST /v1/synthesize handler latency
+}
+
+// newMetrics wires the counters and gauge closures. The gauge funcs pull
+// live values from the queue and cache on every render, so /metrics never
+// goes stale.
+func newMetrics(s *Server) *metrics {
+	m := &metrics{
+		vars:         new(expvar.Map).Init(),
+		jobsAccepted: new(expvar.Int),
+		jobsRejected: new(expvar.Int),
+		histSchedule: newHistogram(),
+		histPlace:    newHistogram(),
+		histRoute:    newHistogram(),
+		histTotal:    newHistogram(),
+		histRequest:  newHistogram(),
+	}
+	m.vars.Set("uptime_s", expvar.Func(func() any {
+		return time.Since(s.start).Seconds()
+	}))
+	m.vars.Set("queue_depth", expvar.Func(func() any { return s.q.Stats().Queued }))
+	m.vars.Set("queue_capacity", expvar.Func(func() any { return s.q.Stats().Capacity }))
+	m.vars.Set("workers", expvar.Func(func() any { return s.q.Stats().Workers }))
+	m.vars.Set("workers_busy", expvar.Func(func() any { return s.q.Stats().Busy }))
+	m.vars.Set("jobs_done", expvar.Func(func() any { return s.q.Stats().Done }))
+	m.vars.Set("jobs_failed", expvar.Func(func() any { return s.q.Stats().Failed }))
+	m.vars.Set("jobs_canceled", expvar.Func(func() any { return s.q.Stats().Canceled }))
+	m.vars.Set("jobs_accepted", m.jobsAccepted)
+	m.vars.Set("jobs_rejected", m.jobsRejected)
+	m.vars.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
+	m.vars.Set("cache_misses", expvar.Func(func() any { return s.cache.Stats().Misses }))
+	m.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.Stats().Entries }))
+	m.vars.Set("cache_bytes", expvar.Func(func() any { return s.cache.Stats().Bytes }))
+	m.vars.Set("latency_schedule_ms", m.histSchedule)
+	m.vars.Set("latency_place_ms", m.histPlace)
+	m.vars.Set("latency_route_ms", m.histRoute)
+	m.vars.Set("latency_synthesis_ms", m.histTotal)
+	m.vars.Set("latency_request_ms", m.histRequest)
+	return m
+}

@@ -1,0 +1,355 @@
+// Package server implements mfserved's HTTP API: a concurrent synthesis
+// service in front of the paper's deterministic pipeline.
+//
+//	POST /v1/synthesize        submit a synthesis request → job ID (202),
+//	                           cache hit → completed job (200),
+//	                           queue full → backpressure (429)
+//	GET  /v1/jobs/{id}          job status, progress and metrics
+//	GET  /v1/jobs/{id}/solution the solio-serialized solution document
+//	POST /v1/jobs/{id}/cancel   cancel a queued or running job
+//	GET  /healthz               liveness
+//	GET  /metrics               expvar counters and latency histograms
+//
+// Determinism is load-bearing: the synthesis flow is a pure function of
+// (assay, allocation, options, algorithm), so results are stored in a
+// content-addressed cache and a cache-served solution is byte-identical
+// to a freshly synthesized one. To keep the served document itself pure,
+// the solution's wall-clock CPU field is zeroed before serialization;
+// per-run timing lives in the job record and the /metrics histograms.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobq"
+	"repro/internal/solcache"
+	"repro/internal/solio"
+)
+
+// Config sizes the service. Zero values select sane defaults.
+type Config struct {
+	// Workers is the synthesis worker-pool size (default: NumCPU).
+	Workers int
+	// QueueCap bounds the FIFO of waiting jobs (default 64); beyond it
+	// POST /v1/synthesize returns 429.
+	QueueCap int
+	// CacheBytes bounds the content-addressed result cache (default 256 MiB).
+	CacheBytes int64
+	// JobTimeout is the per-job synthesis deadline (default 120 s;
+	// negative disables).
+	JobTimeout time.Duration
+	// Retain bounds how many finished jobs stay pollable (default 4096).
+	Retain int
+}
+
+// Server is the service state: worker pool, cache and metrics.
+type Server struct {
+	cfg     Config
+	q       *jobq.Queue
+	cache   *solcache.Cache
+	mux     *http.ServeMux
+	start   time.Time
+	metrics *metrics
+}
+
+// jobResult is what a synthesis job stores in the queue on success.
+type jobResult struct {
+	key      string
+	cached   bool
+	solution []byte // canonical solio document
+	metrics  core.Metrics
+	stages   core.StageTimes
+}
+
+// New builds a server and starts its worker pool. Call Shutdown to drain.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 120 * time.Second
+	}
+	s := &Server{
+		cfg:   cfg,
+		q:     jobq.New(cfg.Workers, cfg.QueueCap, cfg.Retain),
+		cache: solcache.New(cfg.CacheBytes),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.metrics = newMetrics(s)
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops accepting jobs and drains the worker pool (see
+// jobq.Queue.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error { return s.q.Shutdown(ctx) }
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr writes a JSON error body.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// submitResponse is the body of POST /v1/synthesize.
+type submitResponse struct {
+	JobID  string `json:"job_id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+	// Job is the polling URL for the created job.
+	Job string `json:"job"`
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.histRequest.observe(time.Since(start)) }()
+
+	var sreq SynthesizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sreq); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	req, err := resolve(&sreq)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if data, ok := s.cache.Get(req.key); ok {
+		res, err := resultFromCache(req.key, data)
+		if err != nil {
+			// A corrupt cache entry is a server bug; fail loudly.
+			writeErr(w, http.StatusInternalServerError, "cached solution invalid: %v", err)
+			return
+		}
+		id, err := s.q.Complete(res, "served from cache")
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, submitResponse{
+			JobID: id, Status: string(jobq.Done), Cached: true, Job: "/v1/jobs/" + id,
+		})
+		return
+	}
+
+	id, err := s.q.Submit(s.synthesisJob(req))
+	switch {
+	case errors.Is(err, jobq.ErrQueueFull):
+		s.metrics.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "queue full (%d waiting): retry later", s.cfg.QueueCap)
+		return
+	case errors.Is(err, jobq.ErrShutdown):
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.metrics.jobsAccepted.Add(1)
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		JobID: id, Status: string(jobq.Queued), Job: "/v1/jobs/" + id,
+	})
+}
+
+// synthesisJob wraps a resolved request into the queue's work unit.
+func (s *Server) synthesisJob(req *request) jobq.Fn {
+	return func(ctx context.Context, progress func(string)) (any, error) {
+		if s.cfg.JobTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			defer cancel()
+		}
+		algo := "dcsa"
+		synth := core.SynthesizeContext
+		if req.baseline {
+			algo = "baseline"
+			synth = core.SynthesizeBaselineContext
+		}
+		progress(fmt.Sprintf("synthesizing %q (%s)", req.graph.Name(), algo))
+		sol, err := synth(ctx, req.graph, req.alloc, req.opts)
+		if err != nil {
+			return nil, err
+		}
+		met := sol.Metrics()
+		stages := sol.Stages
+		s.metrics.histSchedule.observe(stages.Schedule)
+		s.metrics.histPlace.observe(stages.Place)
+		s.metrics.histRoute.observe(stages.Route)
+		s.metrics.histTotal.observe(met.CPU)
+
+		// Canonicalize: CPU time is measurement, not solution content.
+		// Zeroing it makes the document a pure function of the request, so
+		// cache-served and freshly synthesized responses are byte-identical.
+		sol.CPU = 0
+		var buf bytes.Buffer
+		if err := solio.Encode(&buf, sol); err != nil {
+			return nil, err
+		}
+		s.cache.Put(req.key, buf.Bytes())
+		progress("done")
+		return &jobResult{key: req.key, solution: buf.Bytes(), metrics: met, stages: stages}, nil
+	}
+}
+
+// resultFromCache rebuilds a jobResult from a cached document, decoding
+// it to recover the solution metrics (and, as a side effect, re-running
+// every validator on the cached bytes).
+func resultFromCache(key string, data []byte) (*jobResult, error) {
+	sol, err := solio.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return &jobResult{key: key, cached: true, solution: data, metrics: sol.Metrics()}, nil
+}
+
+// metricsJSON mirrors core.Metrics with explicit units.
+type metricsJSON struct {
+	ExecutionTimeMs int64   `json:"execution_time_ms"`
+	Utilization     float64 `json:"utilization"`
+	ChannelLengthUm int64   `json:"channel_length_um"`
+	CacheTimeMs     int64   `json:"cache_time_ms"`
+	ChannelWashMs   int64   `json:"channel_wash_ms"`
+	ComponentWashMs int64   `json:"component_wash_ms"`
+	Transports      int     `json:"transports"`
+	CPUMs           float64 `json:"cpu_ms"`
+}
+
+func toMetricsJSON(m core.Metrics) *metricsJSON {
+	return &metricsJSON{
+		ExecutionTimeMs: int64(m.ExecutionTime),
+		Utilization:     m.Utilization,
+		ChannelLengthUm: int64(m.ChannelLength),
+		CacheTimeMs:     int64(m.CacheTime),
+		ChannelWashMs:   int64(m.ChannelWashTime),
+		ComponentWashMs: int64(m.ComponentWashTime),
+		Transports:      m.Transports,
+		CPUMs:           float64(m.CPU.Microseconds()) / 1000,
+	}
+}
+
+// stagesJSON is the per-stage latency breakdown of one job.
+type stagesJSON struct {
+	ScheduleMs float64 `json:"schedule_ms"`
+	PlaceMs    float64 `json:"place_ms"`
+	RouteMs    float64 `json:"route_ms"`
+}
+
+// jobResponse is the body of GET /v1/jobs/{id}.
+type jobResponse struct {
+	ID       string       `json:"id"`
+	Status   string       `json:"status"`
+	Progress string       `json:"progress,omitempty"`
+	Cached   bool         `json:"cached,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	Key      string       `json:"cache_key,omitempty"`
+	Metrics  *metricsJSON `json:"metrics,omitempty"`
+	Stages   *stagesJSON  `json:"stages_ms,omitempty"`
+	Solution string       `json:"solution,omitempty"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.q.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	resp := jobResponse{
+		ID: j.ID, Status: string(j.Status), Progress: j.Progress,
+		Error: j.Err, Created: j.Created,
+	}
+	if !j.Started.IsZero() {
+		resp.Started = &j.Started
+	}
+	if !j.Finished.IsZero() {
+		resp.Finished = &j.Finished
+	}
+	if res, ok := j.Result.(*jobResult); ok {
+		resp.Cached = res.cached
+		resp.Key = res.key
+		resp.Metrics = toMetricsJSON(res.metrics)
+		resp.Solution = "/v1/jobs/" + j.ID + "/solution"
+		if !res.cached {
+			resp.Stages = &stagesJSON{
+				ScheduleMs: float64(res.stages.Schedule.Microseconds()) / 1000,
+				PlaceMs:    float64(res.stages.Place.Microseconds()) / 1000,
+				RouteMs:    float64(res.stages.Route.Microseconds()) / 1000,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.q.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	res, ok := j.Result.(*jobResult)
+	if !ok {
+		writeErr(w, http.StatusConflict, "job %q is %s: no solution available", id, j.Status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache-Key", res.key)
+	_, _ = w.Write(res.solution)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.q.Get(id); !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	ok := s.q.Cancel(id)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": ok})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = io.WriteString(w, s.metrics.vars.String())
+}

@@ -1,0 +1,137 @@
+// Package solcache is the content-addressed result cache of the
+// synthesis service. The paper's flow is deterministic in its inputs —
+// every stage takes an explicit seed — so a complete solution is a pure
+// function of (assay, allocation, options, algorithm). That makes results
+// content-addressable: the cache key is the SHA-256 of a canonical
+// encoding of those inputs, and the value is the solio-serialized
+// solution, byte-identical to what a fresh synthesis of the same request
+// would produce. Entries are bounded by total byte size with
+// least-recently-used eviction, and hit/miss counters feed the service's
+// /metrics endpoint.
+package solcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Cache is a thread-safe LRU keyed by content hash.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// Stats is a point-in-time aggregate of the cache.
+type Stats struct {
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+	Hits     int64
+	Misses   int64
+}
+
+// New creates a cache bounded to maxBytes of stored values (keys and
+// bookkeeping are not counted). maxBytes <= 0 selects a 256 MiB default.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Key hashes the canonical request parts into the content address. The
+// caller is responsible for canonical part encodings (e.g. re-encoding a
+// decoded assay through its stable MarshalJSON rather than hashing the
+// client's formatting); each part is length-prefixed so distinct splits
+// can never collide.
+func Key(parts ...[]byte) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		n := len(p)
+		for i := 7; i >= 0; i-- {
+			lenBuf[i] = byte(n)
+			n >>= 8
+		}
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Get returns a copy of the cached value and records a hit or miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	v := el.Value.(*entry).val
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put stores a copy of val under key, evicting least-recently-used
+// entries if the byte bound would be exceeded. Values larger than the
+// bound are not stored at all. Re-putting an existing key refreshes its
+// recency (the value is content-addressed, so it cannot change).
+func (c *Cache) Put(key string, val []byte) {
+	if int64(len(val)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	el := c.ll.PushFront(&entry{key: key, val: cp})
+	c.items[key] = el
+	c.bytes += int64(len(cp))
+	for c.bytes > c.maxBytes {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
+	}
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:  c.ll.Len(),
+		Bytes:    c.bytes,
+		MaxBytes: c.maxBytes,
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+}

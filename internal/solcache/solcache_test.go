@@ -1,0 +1,121 @@
+package solcache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyLengthPrefixPreventsSplitCollisions(t *testing.T) {
+	a := Key([]byte("ab"), []byte("c"))
+	b := Key([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("different part splits hashed to the same key")
+	}
+	if a != Key([]byte("ab"), []byte("c")) {
+		t.Fatal("Key is not deterministic")
+	}
+	if len(a) != 64 {
+		t.Fatalf("key %q is not a SHA-256 hex digest", a)
+	}
+}
+
+func TestGetPutAndCounters(t *testing.T) {
+	c := New(1 << 20)
+	key := Key([]byte("assay"), []byte("opts"))
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, []byte("solution"))
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, []byte("solution")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Returned slice is a copy: corrupting it must not poison the cache.
+	got[0] = 'X'
+	again, _ := c.Get(key)
+	if !bytes.Equal(again, []byte("solution")) {
+		t.Fatal("cache value aliased caller's slice")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 || s.Bytes != int64(len("solution")) {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	c := New(100)
+	val := make([]byte, 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	// Touch "a" so "b" is the LRU entry.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", val) // 120 bytes total: evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s evicted wrongly", k)
+		}
+	}
+	if s := c.Stats(); s.Bytes > 100 {
+		t.Fatalf("cache over byte bound: %+v", s)
+	}
+}
+
+func TestOversizeValueRejected(t *testing.T) {
+	c := New(10)
+	c.Put("big", make([]byte, 11))
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("oversize value stored: %+v", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key([]byte{byte(i % 32)})
+				c.Put(k, bytes.Repeat([]byte{byte(g)}, 64))
+				c.Get(k)
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Entries == 0 || s.Bytes == 0 {
+		t.Fatalf("stats %+v after concurrent load", s)
+	}
+	if s.Entries > 32 {
+		t.Fatalf("more entries than distinct keys: %+v", s)
+	}
+}
+
+func TestRePutRefreshesRecency(t *testing.T) {
+	c := New(100)
+	val := make([]byte, 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	c.Put("a", val) // refresh a: b becomes LRU
+	c.Put("c", val)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted after a's refresh")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("refreshed entry a evicted")
+	}
+}
+
+func ExampleKey() {
+	fmt.Println(Key([]byte(`{"name":"PCR"}`), []byte(`{"seed":1}`))[:16])
+	// Output: 058291ebe4aead90
+}

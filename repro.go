@@ -20,6 +20,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/archsyn"
@@ -132,6 +133,19 @@ func Synthesize(g *Assay, alloc Allocation, opts Options) (*Solution, error) {
 // SynthesizeBaseline runs the baseline algorithm BA of Section V.
 func SynthesizeBaseline(g *Assay, alloc Allocation, opts Options) (*Solution, error) {
 	return core.SynthesizeBaseline(g, alloc, opts)
+}
+
+// SynthesizeContext is Synthesize with cancellation and deadlines: the
+// pipeline polls ctx between scheduling commits, annealing temperature
+// steps and per-task routings, and aborts promptly once ctx is done. An
+// uncancelled context produces byte-identical output to Synthesize.
+func SynthesizeContext(ctx context.Context, g *Assay, alloc Allocation, opts Options) (*Solution, error) {
+	return core.SynthesizeContext(ctx, g, alloc, opts)
+}
+
+// SynthesizeBaselineContext is SynthesizeBaseline with cancellation.
+func SynthesizeBaselineContext(ctx context.Context, g *Assay, alloc Allocation, opts Options) (*Solution, error) {
+	return core.SynthesizeBaselineContext(ctx, g, alloc, opts)
 }
 
 // ScheduleDedicated schedules an assay on a conventional chip whose
