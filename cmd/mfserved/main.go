@@ -6,6 +6,8 @@
 //
 //	mfserved                          # serve on :8080
 //	mfserved -addr :9000 -workers 4   # custom listener and pool size
+//	mfserved -log-level debug         # verbose structured logs
+//	mfserved -debug-addr :6060        # pprof on a separate listener
 //	mfserved -selfbench 16            # in-process service benchmark, exit
 //	mfserved -version                 # print build info, exit
 //
@@ -16,7 +18,12 @@
 //	GET  /v1/jobs/{id}          job status, progress and metrics
 //	GET  /v1/jobs/{id}/solution the solution document
 //	POST /v1/jobs/{id}/cancel   cancel a queued or running job
-//	GET  /healthz, GET /metrics liveness and counters
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text format
+//	GET  /metrics.json          the same state as expvar JSON
+//
+// The debug listener (-debug-addr) serves net/http/pprof on its own mux,
+// so profiling endpoints are never exposed on the API address.
 package main
 
 import (
@@ -25,9 +32,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,6 +59,8 @@ func main() {
 		retain    = flag.Int("retain", 4096, "finished jobs kept pollable")
 		selfbench = flag.Int("selfbench", 0, "benchmark the service in-process with N concurrent Synthetic1 requests, print a JSON report and exit")
 		benchOut  = flag.String("o", "", "selfbench: write the report to this file instead of stdout")
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate mux; empty disables)")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -59,15 +69,24 @@ func main() {
 		return
 	}
 
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "mfserved: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
 	cfg := server.Config{
 		Workers:    *workers,
 		QueueCap:   *queueCap,
 		CacheBytes: *cacheMB << 20,
 		JobTimeout: *jobTO,
 		Retain:     *retain,
+		Logger:     logger,
 	}
 
 	if *selfbench > 0 {
+		cfg.Logger = nil // a selfbench run reports JSON, not request logs
 		if err := runSelfbench(cfg, *selfbench, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "mfserved:", err)
 			os.Exit(1)
@@ -78,26 +97,52 @@ func main() {
 	s := server.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener: the profiling surface
+		// is opt-in and never reachable through the API address.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+	}
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("mfserved: shutting down (draining jobs)…")
+		logger.Info("shutting down, draining jobs")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("mfserved: http shutdown: %v", err)
+			logger.Error("http shutdown", "err", err)
 		}
 		if err := s.Shutdown(ctx); err != nil {
-			log.Printf("mfserved: job drain: %v", err)
+			logger.Error("job drain", "err", err)
 		}
 	}()
 
-	log.Printf("mfserved listening on %s (%d workers, queue %d)", *addr, effectiveWorkers(*workers), *queueCap)
+	logger.Info("mfserved listening",
+		"addr", *addr,
+		"workers", effectiveWorkers(*workers),
+		"queue_capacity", *queueCap,
+		"cache_mb", *cacheMB,
+		"job_timeout", (*jobTO).String(),
+		"retain", *retain,
+		"version", buildinfo.Version("mfserved"),
+	)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("mfserved: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	<-done
 }

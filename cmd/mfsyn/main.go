@@ -10,6 +10,7 @@
 //	mfsyn -bench PCR -events                         # replay event log
 //	mfsyn -bench CPA -failures -congestion           # what-if + heatmap
 //	mfsyn -bench CPA -save cpa_solution.json         # full solution dump
+//	mfsyn -bench CPA -trace cpa_trace.json           # Chrome/Perfetto trace
 //
 // Besides the Table I metrics, every run reports the control-layer cost
 // (valves, switching, pin sharing), the wash plan's on-time fraction and
@@ -19,12 +20,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro"
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 	"repro/internal/solio"
 )
 
@@ -39,6 +42,7 @@ func main() {
 		events    = flag.Bool("events", false, "print the verified replay event log")
 		imax      = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
 		save      = flag.String("save", "", "write the full solution as JSON to this file")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the synthesis to this file (open in ui.perfetto.dev)")
 		failures  = flag.Bool("failures", false, "print the single-component-failure analysis")
 		congest   = flag.Bool("congestion", false, "print the channel congestion heatmap")
 		version   = flag.Bool("version", false, "print version and exit")
@@ -91,15 +95,43 @@ func main() {
 	opts := repro.DefaultOptions()
 	opts.Place.Imax = *imax
 
+	// Tracing rides the context: the pipeline's obs hooks see the tracer
+	// via obs.From and emit spans and counters into the Chrome sink. The
+	// solution is byte-identical with or without it.
+	ctx := context.Background()
+	var traceFile *os.File
+	var traceSink *obs.ChromeSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		traceFile, traceSink = f, obs.NewChromeSink(f)
+		ctx = obs.Into(ctx, obs.New(traceSink))
+	}
+
 	var sol *repro.Solution
 	var err error
 	if *baseline {
-		sol, err = repro.SynthesizeBaseline(g, alloc, opts)
+		sol, err = repro.SynthesizeBaselineContext(ctx, g, alloc, opts)
 	} else {
-		sol, err = repro.Synthesize(g, alloc, opts)
+		sol, err = repro.SynthesizeContext(ctx, g, alloc, opts)
+	}
+	if traceSink != nil {
+		// Flush the trace even when synthesis failed: a partial trace is
+		// exactly what one wants for diagnosing the failure.
+		if cerr := traceSink.Close(); cerr != nil {
+			fail(fmt.Errorf("writing trace: %w", cerr))
+		}
+		if cerr := traceFile.Close(); cerr != nil {
+			fail(fmt.Errorf("writing trace: %w", cerr))
+		}
 	}
 	if err != nil {
 		fail(err)
+	}
+	if *tracePath != "" {
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev)\n", *tracePath)
 	}
 	rep, err := repro.Verify(sol)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/assay"
 	"repro/internal/chip"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/schedule"
@@ -170,7 +171,11 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 	start := time.Now()
 	comps := alloc.Instantiate()
 	var stages StageTimes
+	tr := obs.From(ctx)
+	tr.Begin(obs.CatPipeline, "synthesize")
+	defer tr.End(obs.CatPipeline, "synthesize")
 
+	tr.Begin(obs.CatSchedule, "schedule")
 	var sched *schedule.Result
 	var err error
 	if baseline {
@@ -179,6 +184,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 		sched, err = schedule.ScheduleContext(ctx, g, comps, opts.Schedule)
 	}
 	stages.Schedule = time.Since(start)
+	tr.End(obs.CatSchedule, "schedule")
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduling %q: %w", g.Name(), err)
 	}
@@ -196,6 +202,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 	popts := opts.Place
 	for attempt := 0; ; attempt++ {
 		placeStart := time.Now()
+		tr.Begin(obs.CatPlace, "place")
 		var pl *place.Placement
 		if baseline {
 			pl, err = place.ConstructContext(ctx, comps, nets, popts)
@@ -203,12 +210,15 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 			pl, err = annealPortfolio(ctx, comps, nets, popts, opts.Portfolio)
 		}
 		stages.Place += time.Since(placeStart)
+		tr.End(obs.CatPlace, "place")
 		if err != nil {
 			return nil, fmt.Errorf("core: placing %q: %w", g.Name(), err)
 		}
 		routeStart := time.Now()
+		tr.Begin(obs.CatRoute, "route")
 		routing, used, err = route.SolveContext(ctx, sched, comps, pl, opts.Route, baseline)
 		stages.Route += time.Since(routeStart)
+		tr.End(obs.CatRoute, "route")
 		if err == nil {
 			break
 		}
@@ -216,6 +226,9 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 			return nil, fmt.Errorf("core: routing %q: %w", g.Name(), err)
 		}
 		popts.Seed++
+		tr.Instant(obs.CatPipeline, "synthesize.retry",
+			obs.Arg{Key: "attempt", Val: float64(attempt + 1)},
+			obs.Arg{Key: "seed", Val: float64(popts.Seed)})
 		// The baseline placer is deterministic in the seed; give it more
 		// room instead.
 		if baseline {

@@ -43,6 +43,7 @@ type Fn func(ctx context.Context, progress func(note string)) (any, error)
 // Job is an immutable snapshot of one job's state.
 type Job struct {
 	ID       string
+	Label    string // caller-supplied request label (e.g. a request ID)
 	Status   Status
 	Progress string
 	Created  time.Time
@@ -84,6 +85,14 @@ type Queue struct {
 	wg       sync.WaitGroup
 	baseCtx  context.Context
 	baseStop context.CancelFunc
+
+	// onTerminal observes every terminal transition; see OnTerminal.
+	onTerminal func(Job)
+	// Cumulative terminal-transition totals. Retention eviction removes
+	// jobs from q.jobs but never lowers these.
+	doneTotal     int64
+	failedTotal   int64
+	canceledTotal int64
 }
 
 // Stats is a point-in-time aggregate of the queue.
@@ -95,6 +104,12 @@ type Stats struct {
 	Done     int // retained terminal jobs by status
 	Failed   int
 	Canceled int
+	// Cumulative totals since the queue started. Unlike the retained-job
+	// counts above they are monotonic (retention eviction never lowers
+	// them), which is what Prometheus counter semantics require.
+	DoneTotal     int64
+	FailedTotal   int64
+	CanceledTotal int64
 }
 
 // New starts a queue with the given worker-pool size and queue capacity.
@@ -128,7 +143,12 @@ func New(workers, capacity, retain int) *Queue {
 
 // Submit enqueues fn and returns the new job's ID, or ErrQueueFull /
 // ErrShutdown without side effects.
-func (q *Queue) Submit(fn Fn) (string, error) {
+func (q *Queue) Submit(fn Fn) (string, error) { return q.SubmitLabeled("", fn) }
+
+// SubmitLabeled is Submit with a caller-supplied label (typically the
+// request ID of the submission) carried on every snapshot of the job, so
+// logs and observers can correlate queue activity with requests.
+func (q *Queue) SubmitLabeled(label string, fn Fn) (string, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -140,7 +160,7 @@ func (q *Queue) Submit(fn Fn) (string, error) {
 	q.nextID++
 	id := fmt.Sprintf("j%06d", q.nextID)
 	q.jobs[id] = &job{
-		Job: Job{ID: id, Status: Queued, Created: time.Now()},
+		Job: Job{ID: id, Label: label, Status: Queued, Created: time.Now()},
 		fn:  fn,
 	}
 	q.pending = append(q.pending, id)
@@ -148,24 +168,40 @@ func (q *Queue) Submit(fn Fn) (string, error) {
 	return id, nil
 }
 
+// OnTerminal installs an observer invoked once for every job that
+// reaches a terminal status — worker completion, queued-job cancellation,
+// shutdown hard-cancel and Complete alike. The observer receives an
+// immutable snapshot and runs outside the queue lock, so it may call
+// back into the queue; it must not block for long, or terminal
+// transitions serialize behind it. Install before submitting work.
+func (q *Queue) OnTerminal(fn func(Job)) {
+	q.mu.Lock()
+	q.onTerminal = fn
+	q.mu.Unlock()
+}
+
 // Complete registers an already-finished job (e.g. a cache hit served
 // without work) and returns its ID. It never blocks and is exempt from
 // the capacity bound: no queue slot or worker is ever consumed.
-func (q *Queue) Complete(result any, progress string) (string, error) {
+func (q *Queue) Complete(label string, result any, progress string) (string, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return "", ErrShutdown
 	}
 	q.nextID++
 	id := fmt.Sprintf("j%06d", q.nextID)
 	now := time.Now()
 	j := &job{Job: Job{
-		ID: id, Status: Done, Progress: progress,
+		ID: id, Label: label, Status: Done, Progress: progress,
 		Created: now, Started: now, Finished: now, Result: result,
 	}}
 	q.jobs[id] = j
-	q.retire(j)
+	snap, cb := q.retire(j), q.onTerminal
+	q.mu.Unlock()
+	if cb != nil {
+		cb(snap)
+	}
 	return id, nil
 }
 
@@ -186,9 +222,9 @@ func (q *Queue) Get(id string) (Job, bool) {
 // no-op. The return value reports whether a cancellation was delivered.
 func (q *Queue) Cancel(id string) bool {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok || j.Status.Terminal() {
+		q.mu.Unlock()
 		return false
 	}
 	if j.Status == Queued {
@@ -202,21 +238,29 @@ func (q *Queue) Cancel(id string) bool {
 		j.Status = Canceled
 		j.Err = context.Canceled.Error()
 		j.Finished = time.Now()
-		q.retire(j)
+		snap, cb := q.retire(j), q.onTerminal
+		q.mu.Unlock()
+		if cb != nil {
+			cb(snap)
+		}
 		return true
 	}
-	if j.cancel != nil {
+	running := j.cancel != nil
+	if running {
 		j.cancel(context.Canceled)
-		return true
 	}
-	return false
+	q.mu.Unlock()
+	return running
 }
 
 // Stats returns current aggregate counters.
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	s := Stats{Workers: q.workers, Busy: q.busy, Queued: len(q.pending), Capacity: q.capacity}
+	s := Stats{
+		Workers: q.workers, Busy: q.busy, Queued: len(q.pending), Capacity: q.capacity,
+		DoneTotal: q.doneTotal, FailedTotal: q.failedTotal, CanceledTotal: q.canceledTotal,
+	}
 	for _, j := range q.jobs {
 		switch j.Status {
 		case Done:
@@ -257,30 +301,48 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 		// for the workers to notice and exit.
 		q.baseStop()
 		q.mu.Lock()
+		var snaps []Job
 		for _, id := range q.pending {
 			if j := q.jobs[id]; j != nil && j.Status == Queued {
 				j.Status = Canceled
 				j.Err = context.Cause(ctx).Error()
 				j.Finished = time.Now()
-				q.retire(j)
+				snaps = append(snaps, q.retire(j))
 			}
 		}
 		q.pending = nil
+		cb := q.onTerminal
 		q.cond.Broadcast()
 		q.mu.Unlock()
+		if cb != nil {
+			for _, s := range snaps {
+				cb(s)
+			}
+		}
 		<-done
 		return ctx.Err()
 	}
 }
 
 // retire appends a terminal job to the retention ring, evicting the
-// oldest beyond the bound. Caller holds q.mu.
-func (q *Queue) retire(j *job) {
+// oldest beyond the bound, bumps the cumulative totals, and returns the
+// job's snapshot for the OnTerminal observer. retire is the single point
+// every terminal transition passes through. Caller holds q.mu.
+func (q *Queue) retire(j *job) Job {
+	switch j.Status {
+	case Done:
+		q.doneTotal++
+	case Failed:
+		q.failedTotal++
+	case Canceled:
+		q.canceledTotal++
+	}
 	q.order = append(q.order, j.ID)
 	for len(q.order) > q.retain {
 		delete(q.jobs, q.order[0])
 		q.order = q.order[1:]
 	}
+	return j.Job
 }
 
 // worker is the run loop of one pool goroutine.
@@ -329,9 +391,12 @@ func (q *Queue) worker() {
 			j.Status = Failed
 			j.Err = err.Error()
 		}
-		q.retire(j)
+		snap, cb := q.retire(j), q.onTerminal
 		q.mu.Unlock()
 		cancel(nil)
+		if cb != nil {
+			cb(snap)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -308,7 +309,7 @@ func TestPanicIsolatedAsFailure(t *testing.T) {
 func TestCompleteRegistersCachedResult(t *testing.T) {
 	q := New(1, 1, 0)
 	defer q.Shutdown(context.Background())
-	id, err := q.Complete("cached", "cache hit")
+	id, err := q.Complete("req-1", "cached", "cache hit")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestRetentionEvictsOldest(t *testing.T) {
 	defer q.Shutdown(context.Background())
 	var ids []string
 	for i := 0; i < 5; i++ {
-		id, err := q.Complete(i, "")
+		id, err := q.Complete("", i, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -342,4 +343,93 @@ func TestRetentionEvictsOldest(t *testing.T) {
 			t.Fatalf("job %s evicted too early", id)
 		}
 	}
+	// The cumulative totals survive the eviction that removed ids[:2].
+	if s := q.Stats(); s.DoneTotal != 5 {
+		t.Fatalf("DoneTotal = %d after eviction, want 5", s.DoneTotal)
+	}
+}
+
+func TestOnTerminalObservesEveryTransition(t *testing.T) {
+	q := New(1, 4, 0)
+	defer q.Shutdown(context.Background())
+
+	var mu sync.Mutex
+	got := map[string]Job{}
+	q.OnTerminal(func(j Job) {
+		mu.Lock()
+		got[j.ID] = j
+		mu.Unlock()
+	})
+
+	// Done via worker (with a label), Failed via error, Done via Complete.
+	okID, err := q.SubmitLabeled("req-ok", func(ctx context.Context, _ func(string)) (any, error) {
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q, okID, Done)
+	badID, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		return nil, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q, badID, Failed)
+	cacheID, err := q.Complete("req-cache", "hit", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if j := got[okID]; j.Status != Done || j.Label != "req-ok" {
+		t.Fatalf("worker Done not observed: %+v", j)
+	}
+	if j := got[badID]; j.Status != Failed || j.Err == "" {
+		t.Fatalf("Failed not observed: %+v", j)
+	}
+	if j := got[cacheID]; j.Status != Done || j.Label != "req-cache" {
+		t.Fatalf("Complete not observed: %+v", j)
+	}
+	s := q.Stats()
+	if s.DoneTotal != 2 || s.FailedTotal != 1 || s.CanceledTotal != 0 {
+		t.Fatalf("totals = %d/%d/%d, want 2/1/0", s.DoneTotal, s.FailedTotal, s.CanceledTotal)
+	}
+}
+
+func TestOnTerminalObservesQueuedCancel(t *testing.T) {
+	q := New(1, 4, 0)
+	defer q.Shutdown(context.Background())
+	release := make(chan struct{})
+	blocker, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q, blocker, Running)
+
+	var observed atomic.Bool
+	q.OnTerminal(func(j Job) {
+		if j.Status == Canceled {
+			observed.Store(true)
+		}
+	})
+	queued, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Cancel(queued) {
+		t.Fatal("Cancel of queued job rejected")
+	}
+	if !observed.Load() {
+		t.Fatal("queued-job cancellation not observed")
+	}
+	if s := q.Stats(); s.CanceledTotal != 1 {
+		t.Fatalf("CanceledTotal = %d, want 1", s.CanceledTotal)
+	}
+	close(release)
+	waitStatus(t, q, blocker, Done)
 }

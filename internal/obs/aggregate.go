@@ -1,0 +1,82 @@
+package obs
+
+import "sync/atomic"
+
+// Aggregate is a production sink: it folds the event stream into
+// monotonic totals suitable for a Prometheus exposition. One Aggregate
+// is shared by every synthesis the service runs; all fields are
+// atomics, so concurrent jobs feed it without coordination.
+type Aggregate struct {
+	// Algorithm 1 binding decisions.
+	BindCaseI     atomic.Int64 // in-place consumptions (transport + wash avoided)
+	BindCaseII    atomic.Int64 // earliest-start bindings
+	WashAvoidedMs atomic.Int64 // component wash time avoided by Case I
+
+	// Algorithm 2 simulated annealing.
+	SASteps    atomic.Int64 // temperature steps
+	SAMoves    atomic.Int64 // sampled moves (accepted + rejected + infeasible)
+	SAAccepted atomic.Int64 // accepted moves
+
+	// Time-slot-aware A* routing.
+	RouteTasks    atomic.Int64 // routed transportation tasks
+	AStarExpanded atomic.Int64 // A* nodes expanded
+	SlotConflicts atomic.Int64 // cell probes rejected by slot overlap
+	HeapPeak      atomic.Int64 // max open-heap size seen by any task
+
+	// Recovery ladders.
+	Dilations     atomic.Int64 // placement dilations inside route.Solve
+	PlaceRetries  atomic.Int64 // placement retries after routing failure
+	QuenchSpans   atomic.Int64 // quench descents run
+	ScheduleStats atomic.Int64 // schedules completed
+}
+
+// Event folds one event into the totals.
+func (a *Aggregate) Event(e Event) {
+	switch e.Name {
+	case "bind.case1":
+		a.BindCaseI.Add(1)
+		if v, ok := e.Arg("wash_avoided_ms"); ok {
+			a.WashAvoidedMs.Add(int64(v))
+		}
+	case "bind.case2":
+		a.BindCaseII.Add(1)
+	case "sa.step":
+		a.SASteps.Add(1)
+		acc, _ := e.Arg("accepted")
+		rej, _ := e.Arg("rejected")
+		inf, _ := e.Arg("infeasible")
+		a.SAMoves.Add(int64(acc + rej + inf))
+		a.SAAccepted.Add(int64(acc))
+	case "route.task":
+		a.RouteTasks.Add(1)
+		if v, ok := e.Arg("expanded"); ok {
+			a.AStarExpanded.Add(int64(v))
+		}
+		if v, ok := e.Arg("slot_conflicts"); ok {
+			a.SlotConflicts.Add(int64(v))
+		}
+		if v, ok := e.Arg("heap_peak"); ok {
+			maxInt64(&a.HeapPeak, int64(v))
+		}
+	case "route.dilate":
+		a.Dilations.Add(1)
+	case "synthesize.retry":
+		a.PlaceRetries.Add(1)
+	case "schedule.stats":
+		a.ScheduleStats.Add(1)
+	case "quench":
+		if e.Phase == PhaseBegin {
+			a.QuenchSpans.Add(1)
+		}
+	}
+}
+
+// maxInt64 lifts v into the atomic maximum.
+func maxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+// The nil-sink benchmarks pin the disabled-tracing cost of the hot-path
+// hooks: the exact calls the SA move loop and the A* expansion loop
+// make once per temperature step and once per routed task. All must
+// report 0 allocs/op (TestNilTracerZeroAllocs enforces it; these
+// benchmarks quantify the ns/op).
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkNilTracerAnnealStep(b *testing.B) {
+	tr := From(context.Background())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.AnnealStep(AnnealStep{Seed: 1, Temp: 10000, Cur: 1, Best: 1, Accepted: i})
+	}
+}
+
+func BenchmarkNilTracerRouteTask(b *testing.B) {
+	tr := From(context.Background())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.RouteTask(RouteTask{Task: i, Expanded: 100, HeapPeak: 10, PathLen: 5})
+	}
+}
+
+func BenchmarkNilTracerBind(b *testing.B) {
+	tr := From(context.Background())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Bind(Bind{Op: i, Comp: 1, CaseI: i&1 == 0, WashAvoidedMs: 2000})
+	}
+}
+
+func BenchmarkNilTracerSpan(b *testing.B) {
+	tr := From(context.Background())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin(CatPlace, "anneal")
+		tr.End(CatPlace, "anneal")
+	}
+}
+
+func BenchmarkCollectAnnealStep(b *testing.B) {
+	tr := New(&Collect{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.AnnealStep(AnnealStep{Seed: 1, Temp: 10000, Cur: 1, Best: 1, Accepted: i})
+	}
+}

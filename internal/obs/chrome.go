@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// ChromeSink streams events as Chrome trace-event JSON (the "JSON
+// object format": {"traceEvents":[...]}), loadable in ui.perfetto.dev
+// or chrome://tracing. Events are written as they arrive; Close
+// finishes the JSON document. Safe for concurrent use.
+type ChromeSink struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	n      int
+	named  map[int64]bool
+	closed bool
+	err    error
+}
+
+// NewChromeSink starts a trace document on w. The caller must Close the
+// sink (before closing any underlying file) to produce valid JSON.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriter(w), named: map[int64]bool{}}
+	_, s.err = s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	s.writeRaw(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"mfsyn synthesis"}}`)
+	s.writeRaw(`{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"pipeline"}}`)
+	return s
+}
+
+// writeRaw appends one pre-rendered JSON event object. Caller holds no
+// lock during construction; the comma bookkeeping is serialized here.
+func (s *ChromeSink) writeRaw(obj string) {
+	if s.err != nil {
+		return
+	}
+	if s.n > 0 {
+		s.w.WriteByte(',')
+	}
+	s.w.WriteByte('\n')
+	_, s.err = s.w.WriteString(obj)
+	s.n++
+}
+
+// Event renders and appends one event.
+func (s *ChromeSink) Event(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return
+	}
+	us := float64(e.TS.Nanoseconds()) / 1e3
+	if e.Phase == PhaseMeta {
+		s.named[e.TID] = true
+		s.writeRaw(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":%s,"args":{"name":%s}}`,
+			e.TID, strconv.Quote(e.Name), strconv.Quote(e.Str)))
+		return
+	}
+	if e.TID != 0 && !s.named[e.TID] {
+		// Unnamed non-zero track: give it a stable default so the viewer
+		// never shows a bare numeric lane.
+		s.named[e.TID] = true
+		s.writeRaw(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"track %d"}}`,
+			e.TID, e.TID))
+	}
+	var b []byte
+	b = append(b, fmt.Sprintf(`{"ph":"%c","pid":1,"tid":%d,"ts":%.3f,"cat":%s,"name":%s`,
+		e.Phase, e.TID, us, strconv.Quote(e.Cat), strconv.Quote(e.Name))...)
+	if e.Phase == PhaseComplete {
+		b = append(b, fmt.Sprintf(`,"dur":%.3f`, float64(e.Dur.Nanoseconds())/1e3)...)
+	}
+	if e.Phase == PhaseInstant {
+		b = append(b, `,"s":"t"`...)
+	}
+	if n := e.NArgs(); n > 0 {
+		b = append(b, `,"args":{`...)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, strconv.Quote(e.Args[i].Key)...)
+			b = append(b, ':')
+			b = strconv.AppendFloat(b, e.Args[i].Val, 'g', -1, 64)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	s.writeRaw(string(b))
+}
+
+// Close terminates the JSON document and flushes. Further events are
+// dropped. It returns the first write error encountered, if any.
+func (s *ChromeSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err == nil {
+		_, s.err = s.w.WriteString("\n]}\n")
+	}
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Collect is an in-memory sink for tests. Safe for concurrent use.
+type Collect struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event appends e to the capture.
+func (c *Collect) Event(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of the captured events.
+func (c *Collect) Snapshot() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Count returns how many captured events match the category and name
+// (empty strings match everything).
+func (c *Collect) Count(cat, name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.events {
+		if (cat == "" || c.events[i].Cat == cat) && (name == "" || c.events[i].Name == name) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,343 @@
+// Package obs is the observability layer of the synthesis stack: a
+// hierarchical tracer with typed events threaded through the pipeline
+// stages (schedule, place, route) via context.Context, and pluggable
+// sinks that turn the event stream into Chrome trace-event JSON
+// (ChromeSink), in-memory captures for tests (Collect) or aggregated
+// production counters (Aggregate).
+//
+// # Determinism contract
+//
+// Instrumentation hooks sit strictly outside every RNG and floating-
+// point path of the solvers: a hook may read algorithm state but never
+// mutates it, never consumes randomness and never participates in a
+// float computation the algorithm later branches on. A synthesis run
+// with any tracer attached is therefore byte-identical to one without
+// (the pinned fingerprints in determinism_test.go enforce this with
+// tracing on and off).
+//
+// # Zero overhead when disabled
+//
+// The nil *Tracer is the disabled tracer: every method is nil-safe and
+// returns immediately, and the typed hot-path events (AnnealStep,
+// RouteTask, Bind) are plain value structs, so a call on the nil tracer
+// performs zero heap allocations — see BenchmarkNilTracer* and
+// TestNilTracerZeroAllocs. Hot loops additionally keep their counters
+// in plain integers and emit one event per natural step boundary (per
+// SA temperature step, per routed task), never per move or per expanded
+// node.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Phase is the event kind, matching the Chrome trace-event phases.
+type Phase byte
+
+// The phases a Tracer emits.
+const (
+	PhaseBegin    Phase = 'B' // span begin
+	PhaseEnd      Phase = 'E' // span end
+	PhaseComplete Phase = 'X' // complete span with duration
+	PhaseInstant  Phase = 'i' // point event
+	PhaseCounter  Phase = 'C' // counter sample
+	PhaseMeta     Phase = 'M' // metadata (track names)
+)
+
+// Event categories: one per pipeline stage plus the driver.
+const (
+	CatPipeline = "pipeline"
+	CatSchedule = "schedule"
+	CatPlace    = "place"
+	CatRoute    = "route"
+)
+
+// MaxArgs bounds the key/value payload of one event. A fixed-size array
+// keeps Event a value type: no allocation on construction or delivery.
+const MaxArgs = 8
+
+// Arg is one numeric key/value payload entry. Unused entries have an
+// empty Key.
+type Arg struct {
+	Key string
+	Val float64
+}
+
+// Event is the wire format between the Tracer and its Sink. It is a
+// value type on purpose: delivering one performs no allocation.
+type Event struct {
+	Phase Phase
+	Cat   string
+	Name  string
+	// TS is the event time relative to the tracer's start.
+	TS time.Duration
+	// Dur is the span length for PhaseComplete events.
+	Dur time.Duration
+	// TID is the logical track: 0 for the pipeline driver, the anneal
+	// seed for SA tracks (so portfolio restarts get separate lanes).
+	TID int64
+	// Str carries the one string payload (track names for PhaseMeta).
+	Str  string
+	Args [MaxArgs]Arg
+}
+
+// NArgs returns the number of used argument slots.
+func (e *Event) NArgs() int {
+	for i := range e.Args {
+		if e.Args[i].Key == "" {
+			return i
+		}
+	}
+	return MaxArgs
+}
+
+// Arg returns the named argument value, if present.
+func (e *Event) Arg(key string) (float64, bool) {
+	for i := range e.Args {
+		if e.Args[i].Key == key {
+			return e.Args[i].Val, true
+		}
+		if e.Args[i].Key == "" {
+			break
+		}
+	}
+	return 0, false
+}
+
+// Sink receives the event stream. Implementations must be safe for
+// concurrent use: portfolio annealing and the service worker pool emit
+// from multiple goroutines.
+type Sink interface {
+	Event(Event)
+}
+
+// Tracer emits typed pipeline events to a sink. The nil Tracer is the
+// disabled tracer: every method on it is a no-op, so call sites never
+// branch on availability.
+type Tracer struct {
+	sink Sink
+	t0   time.Time
+}
+
+// New returns a tracer over sink, or nil (the disabled tracer) when
+// sink is nil.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, t0: time.Now()}
+}
+
+// Enabled reports whether events will reach a sink. Use it to guard
+// work that only matters when tracing (wall-clock reads, label
+// formatting) — never to guard algorithm state.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+type ctxKey struct{}
+
+// Into returns a context carrying the tracer. A nil tracer returns ctx
+// unchanged.
+func Into(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From extracts the tracer from ctx, or nil (the disabled tracer) when
+// absent. Call it once per function, not per loop iteration.
+func From(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(ctxKey{}).(*Tracer)
+	return t
+}
+
+func (t *Tracer) emit(e Event) {
+	e.TS = time.Since(t.t0)
+	t.sink.Event(e)
+}
+
+// Begin opens a span on the driver track (TID 0).
+func (t *Tracer) Begin(cat, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Phase: PhaseBegin, Cat: cat, Name: name})
+}
+
+// End closes the most recent span of the same name on the driver track.
+func (t *Tracer) End(cat, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Phase: PhaseEnd, Cat: cat, Name: name})
+}
+
+// BeginTID and EndTID open and close a span on an explicit track.
+func (t *Tracer) BeginTID(cat, name string, tid int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Phase: PhaseBegin, Cat: cat, Name: name, TID: tid})
+}
+
+// EndTID closes a span opened with BeginTID.
+func (t *Tracer) EndTID(cat, name string, tid int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Phase: PhaseEnd, Cat: cat, Name: name, TID: tid})
+}
+
+// Instant records a point event with up to MaxArgs payload entries.
+// Cold paths only (retry ladders, dilations); hot paths use the typed
+// events below.
+func (t *Tracer) Instant(cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	e := Event{Phase: PhaseInstant, Cat: cat, Name: name}
+	copy(e.Args[:], args)
+	t.emit(e)
+}
+
+// NameTrack assigns a display name to a track (Chrome thread_name
+// metadata). Call only under Enabled(): the name is usually formatted.
+func (t *Tracer) NameTrack(tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Phase: PhaseMeta, Name: "thread_name", TID: tid, Str: name})
+}
+
+// AnnealStep is the telemetry of one simulated-annealing temperature
+// step: the temperature, the incumbent and best-so-far Eq. 3 energies,
+// and the move outcomes of the Imax batch.
+type AnnealStep struct {
+	Seed       uint64
+	Temp       float64
+	Cur        float64
+	Best       float64
+	Accepted   int // moves accepted (downhill or Metropolis)
+	Rejected   int // legal moves rejected and undone
+	Infeasible int // sampled moves that were illegal (no energy eval)
+}
+
+// AnnealStep emits one SA temperature-step sample on the seed's track.
+func (t *Tracer) AnnealStep(s AnnealStep) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		Phase: PhaseCounter, Cat: CatPlace, Name: "sa.step", TID: int64(s.Seed),
+		Args: [MaxArgs]Arg{
+			{Key: "temp", Val: s.Temp},
+			{Key: "energy", Val: s.Cur},
+			{Key: "best", Val: s.Best},
+			{Key: "accepted", Val: float64(s.Accepted)},
+			{Key: "rejected", Val: float64(s.Rejected)},
+			{Key: "infeasible", Val: float64(s.Infeasible)},
+		},
+	})
+}
+
+// RouteTask is the telemetry of one routed transportation task: A*
+// effort (nodes expanded, open-heap peak), the time-slot conflicts that
+// pruned cells, and the committed path length.
+type RouteTask struct {
+	Task          int
+	From, To      int
+	Expanded      int // A* nodes expanded (popped non-stale)
+	HeapPeak      int // peak open-heap size
+	SlotConflicts int // cell probes rejected by time-slot overlap
+	PathLen       int // committed path length in grid edges
+	Weighted      bool
+	Dur           time.Duration
+}
+
+// RouteTask emits one per-task routing span (a Chrome complete event).
+func (t *Tracer) RouteTask(s RouteTask) {
+	if t == nil {
+		return
+	}
+	w := 0.0
+	if s.Weighted {
+		w = 1
+	}
+	t.emit(Event{
+		Phase: PhaseComplete, Cat: CatRoute, Name: "route.task", Dur: s.Dur,
+		Args: [MaxArgs]Arg{
+			{Key: "task", Val: float64(s.Task)},
+			{Key: "from", Val: float64(s.From)},
+			{Key: "to", Val: float64(s.To)},
+			{Key: "expanded", Val: float64(s.Expanded)},
+			{Key: "heap_peak", Val: float64(s.HeapPeak)},
+			{Key: "slot_conflicts", Val: float64(s.SlotConflicts)},
+			{Key: "path_len", Val: float64(s.PathLen)},
+			{Key: "weighted", Val: w},
+		},
+	})
+}
+
+// Bind is the telemetry of one binding decision of Algorithm 1. CaseI
+// records an in-place consumption (lines 6-8): the input's transport
+// and the resident fluid's wash were both avoided.
+type Bind struct {
+	Op    int
+	Comp  int
+	CaseI bool
+	// WashAvoidedMs is the wash time skipped by a Case-I binding.
+	WashAvoidedMs int64
+	// TransportAvoidedMs is the channel hop skipped (t_c).
+	TransportAvoidedMs int64
+}
+
+// Bind emits one binding-decision instant.
+func (t *Tracer) Bind(d Bind) {
+	if t == nil {
+		return
+	}
+	name := "bind.case2"
+	if d.CaseI {
+		name = "bind.case1"
+	}
+	t.emit(Event{
+		Phase: PhaseInstant, Cat: CatSchedule, Name: name,
+		Args: [MaxArgs]Arg{
+			{Key: "op", Val: float64(d.Op)},
+			{Key: "comp", Val: float64(d.Comp)},
+			{Key: "wash_avoided_ms", Val: float64(d.WashAvoidedMs)},
+			{Key: "transport_avoided_ms", Val: float64(d.TransportAvoidedMs)},
+		},
+	})
+}
+
+// ScheduleStats is the end-of-stage summary of Algorithm 1.
+type ScheduleStats struct {
+	Ops           int
+	CaseI         int
+	CaseII        int
+	WashAvoidedMs int64
+	Transports    int
+	Caches        int
+	MakespanMs    int64
+}
+
+// ScheduleStats emits the scheduling summary counters.
+func (t *Tracer) ScheduleStats(s ScheduleStats) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{
+		Phase: PhaseCounter, Cat: CatSchedule, Name: "schedule.stats",
+		Args: [MaxArgs]Arg{
+			{Key: "ops", Val: float64(s.Ops)},
+			{Key: "case1", Val: float64(s.CaseI)},
+			{Key: "case2", Val: float64(s.CaseII)},
+			{Key: "wash_avoided_ms", Val: float64(s.WashAvoidedMs)},
+			{Key: "transports", Val: float64(s.Transports)},
+			{Key: "caches", Val: float64(s.Caches)},
+			{Key: "makespan_ms", Val: float64(s.MakespanMs)},
+		},
+	})
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	// Every method must be a no-op on the nil tracer.
+	tr.Begin(CatPipeline, "x")
+	tr.End(CatPipeline, "x")
+	tr.BeginTID(CatPlace, "x", 3)
+	tr.EndTID(CatPlace, "x", 3)
+	tr.Instant(CatRoute, "x", Arg{Key: "k", Val: 1})
+	tr.NameTrack(1, "t")
+	tr.AnnealStep(AnnealStep{})
+	tr.RouteTask(RouteTask{})
+	tr.Bind(Bind{})
+	tr.ScheduleStats(ScheduleStats{})
+	if New(nil) != nil {
+		t.Fatal("New(nil) should return the disabled tracer")
+	}
+}
+
+// TestNilTracerZeroAllocs pins the zero-overhead contract: the typed
+// hot-path events cost zero heap allocations when tracing is disabled.
+func TestNilTracerZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	tr := From(ctx) // nil: no tracer installed
+	if tr != nil {
+		t.Fatal("bare context should carry no tracer")
+	}
+	cases := map[string]func(){
+		"AnnealStep": func() { tr.AnnealStep(AnnealStep{Temp: 1, Cur: 2, Best: 3, Accepted: 4}) },
+		"RouteTask":  func() { tr.RouteTask(RouteTask{Task: 1, Expanded: 100, HeapPeak: 12}) },
+		"Bind":       func() { tr.Bind(Bind{Op: 1, Comp: 2, CaseI: true, WashAvoidedMs: 3}) },
+		"Span":       func() { tr.Begin(CatPlace, "anneal"); tr.End(CatPlace, "anneal") },
+		"From":       func() { _ = From(ctx) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s on nil tracer: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	var c Collect
+	tr := New(&c)
+	ctx := Into(context.Background(), tr)
+	if got := From(ctx); got != tr {
+		t.Fatal("From did not return the installed tracer")
+	}
+	From(ctx).Instant(CatPipeline, "ping")
+	if c.Count(CatPipeline, "ping") != 1 {
+		t.Fatalf("events = %+v, want one ping", c.Snapshot())
+	}
+	// Into with nil leaves ctx untouched.
+	if Into(ctx, nil) != ctx {
+		t.Fatal("Into(ctx, nil) should return ctx unchanged")
+	}
+}
+
+func TestEventArgs(t *testing.T) {
+	e := Event{Args: [MaxArgs]Arg{{Key: "a", Val: 1}, {Key: "b", Val: 2}}}
+	if n := e.NArgs(); n != 2 {
+		t.Fatalf("NArgs = %d, want 2", n)
+	}
+	if v, ok := e.Arg("b"); !ok || v != 2 {
+		t.Fatalf("Arg(b) = %v,%v", v, ok)
+	}
+	if _, ok := e.Arg("zzz"); ok {
+		t.Fatal("Arg(zzz) should be absent")
+	}
+}
+
+// chromeDoc mirrors the trace-event JSON object format.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Cat  string         `json:"cat"`
+	Name string         `json:"name"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+// num reads a numeric arg from a decoded event.
+func (e chromeEvent) num(key string) float64 {
+	v, _ := e.Args[key].(float64)
+	return v
+}
+
+func TestChromeSinkEmitsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	tr := New(sink)
+	tr.Begin(CatPipeline, "synthesize")
+	tr.NameTrack(7, "anneal seed 7")
+	tr.AnnealStep(AnnealStep{Seed: 7, Temp: 10000, Cur: 42.5, Best: 40.25, Accepted: 3, Rejected: 2, Infeasible: 1})
+	tr.RouteTask(RouteTask{Task: 1, From: 0, To: 2, Expanded: 55, HeapPeak: 9, PathLen: 12, Weighted: true, Dur: 1500 * time.Microsecond})
+	tr.Instant(CatRoute, "route.dilate", Arg{Key: "factor", Val: 1.5})
+	tr.End(CatPipeline, "synthesize")
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string][]chromeEvent{}
+	for _, e := range doc.TraceEvents {
+		byName[e.Name] = append(byName[e.Name], e)
+		if e.Ph == "" || e.Pid != 1 {
+			t.Errorf("event missing ph/pid: %+v", e)
+		}
+		if e.Ph != "M" && e.Ts == nil {
+			t.Errorf("non-meta event missing ts: %+v", e)
+		}
+	}
+	if len(byName["synthesize"]) != 2 {
+		t.Fatalf("want B+E for synthesize span, got %+v", byName["synthesize"])
+	}
+	step := byName["sa.step"]
+	if len(step) != 1 || step[0].Ph != "C" || step[0].Tid != 7 || step[0].num("energy") != 42.5 {
+		t.Fatalf("sa.step mis-rendered: %+v", step)
+	}
+	task := byName["route.task"]
+	if len(task) != 1 || task[0].Ph != "X" || task[0].Dur == nil || *task[0].Dur != 1500 {
+		t.Fatalf("route.task mis-rendered: %+v", task)
+	}
+	if inst := byName["route.dilate"]; len(inst) != 1 || inst[0].S != "t" || inst[0].num("factor") != 1.5 {
+		t.Fatalf("instant mis-rendered: %+v", byName["route.dilate"])
+	}
+	// The explicit track name must have been recorded before first use.
+	found := false
+	for _, e := range byName["thread_name"] {
+		if e.Tid == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("thread_name metadata for tid 7 missing")
+	}
+	// Events dropped after Close must not corrupt the document.
+	tr.Begin(CatPipeline, "late")
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("post-Close event corrupted the document")
+	}
+}
+
+func TestChromeSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	tr := New(sink)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.AnnealStep(AnnealStep{Seed: uint64(g + 1), Temp: float64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("concurrent trace invalid: %v", err)
+	}
+	steps := 0
+	for _, e := range doc.TraceEvents {
+		if e.Name == "sa.step" {
+			steps++
+		}
+	}
+	if steps != 8*50 {
+		t.Fatalf("lost events: %d sa.step, want %d", steps, 8*50)
+	}
+}
+
+func TestAggregateFoldsEvents(t *testing.T) {
+	var a Aggregate
+	tr := New(&a)
+	tr.Bind(Bind{Op: 1, Comp: 0, CaseI: true, WashAvoidedMs: 1500})
+	tr.Bind(Bind{Op: 2, Comp: 1, CaseI: true, WashAvoidedMs: 500})
+	tr.Bind(Bind{Op: 3, Comp: 1})
+	tr.AnnealStep(AnnealStep{Accepted: 10, Rejected: 5, Infeasible: 2})
+	tr.AnnealStep(AnnealStep{Accepted: 1, Rejected: 9})
+	tr.RouteTask(RouteTask{Expanded: 100, HeapPeak: 40, SlotConflicts: 7})
+	tr.RouteTask(RouteTask{Expanded: 50, HeapPeak: 25, SlotConflicts: 3})
+	tr.Instant(CatRoute, "route.dilate", Arg{Key: "factor", Val: 1.5})
+	tr.Instant(CatPipeline, "synthesize.retry", Arg{Key: "attempt", Val: 1})
+	tr.ScheduleStats(ScheduleStats{Ops: 10})
+	tr.Begin(CatPlace, "quench")
+	tr.End(CatPlace, "quench")
+
+	check := func(name string, got, want int64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check("BindCaseI", a.BindCaseI.Load(), 2)
+	check("BindCaseII", a.BindCaseII.Load(), 1)
+	check("WashAvoidedMs", a.WashAvoidedMs.Load(), 2000)
+	check("SASteps", a.SASteps.Load(), 2)
+	check("SAMoves", a.SAMoves.Load(), 27)
+	check("SAAccepted", a.SAAccepted.Load(), 11)
+	check("RouteTasks", a.RouteTasks.Load(), 2)
+	check("AStarExpanded", a.AStarExpanded.Load(), 150)
+	check("SlotConflicts", a.SlotConflicts.Load(), 10)
+	check("HeapPeak", a.HeapPeak.Load(), 40)
+	check("Dilations", a.Dilations.Load(), 1)
+	check("PlaceRetries", a.PlaceRetries.Load(), 1)
+	check("ScheduleStats", a.ScheduleStats.Load(), 1)
+	check("QuenchSpans", a.QuenchSpans.Load(), 1)
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/chip"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -57,6 +58,18 @@ func AnnealContext(ctx context.Context, comps []chip.Component, nets []Net, pr P
 	best := p.Clone()
 	bestE := cur
 
+	// Telemetry: one sample per temperature step, emitted at the step
+	// boundary (the same place the cancellation poll sits). The hooks
+	// read cur/bestE and count move outcomes in plain integers — they
+	// never touch the RNG stream or the float comparisons, so a traced
+	// anneal is bit-identical to an untraced one.
+	tr := obs.From(ctx)
+	tid := int64(pr.Seed)
+	if tr.Enabled() {
+		tr.NameTrack(tid, fmt.Sprintf("anneal seed %d", pr.Seed))
+		tr.BeginTID(obs.CatPlace, "anneal", tid)
+	}
+
 	// tieEps separates genuine energy deltas (multiples of half a cell
 	// times a connection priority) from summation-order roundoff noise
 	// (~1e-11 at these energy magnitudes). Below it the move is treated
@@ -66,9 +79,11 @@ func AnnealContext(ctx context.Context, comps []chip.Component, nets []Net, pr P
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("place: anneal aborted at T=%.3g: %w", t, err)
 		}
+		var accepted, rejected, infeasible int
 		for i := 0; i < pr.Imax; i++ {
 			undo, delta, ok := transform(p, pr.Spacing, r, ix)
 			if !ok {
+				infeasible++
 				continue
 			}
 			next, haveNext := 0.0, false
@@ -85,16 +100,29 @@ func AnnealContext(ctx context.Context, comps []chip.Component, nets []Net, pr P
 					bestE = cur
 					best = p.Clone()
 				}
+				accepted++
 			} else {
 				undo()
+				rejected++
 			}
 		}
+		tr.AnnealStep(obs.AnnealStep{
+			Seed: pr.Seed, Temp: t, Cur: cur, Best: bestE,
+			Accepted: accepted, Rejected: rejected, Infeasible: infeasible,
+		})
+	}
+	if tr.Enabled() {
+		tr.EndTID(obs.CatPlace, "anneal", tid)
+		tr.BeginTID(obs.CatPlace, "quench", tid)
 	}
 	// Final quench: greedy single-component relocation until the weighted
 	// energy reaches a local optimum. This is the standard low-temperature
 	// tail of SA floorplanners, made explicit and deterministic.
 	if err := quenchCtx(ctx, best, nets, ix, pr.Spacing); err != nil {
 		return nil, err
+	}
+	if tr.Enabled() {
+		tr.EndTID(obs.CatPlace, "quench", tid)
 	}
 	if err := best.Legal(pr.Spacing); err != nil {
 		return nil, fmt.Errorf("place: annealer produced illegal placement: %w", err)

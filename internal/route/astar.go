@@ -21,7 +21,18 @@ type scratch struct {
 	tmark  []uint32  // generation stamp: cell is a search target
 	gen    uint32
 	heap   []heapNode
-	queue  []int32 // BFS worklist for heuristic fields
+	queue  []int32     // BFS worklist for heuristic fields
+	stats  searchStats // telemetry counters, reset per reported search
+}
+
+// searchStats accumulates per-search telemetry. The counters are plain
+// integers bumped on branches the search already takes — they never
+// influence control flow, so an instrumented search expands exactly the
+// same nodes as an uninstrumented one.
+type searchStats struct {
+	expanded      int // nodes popped and expanded (stale entries excluded)
+	heapPeak      int // maximum open-heap length
+	slotConflicts int // cell probes rejected by time-slot overlap
 }
 
 func newScratch(n int) scratch {
@@ -53,6 +64,9 @@ func heapNodeLess(a, b heapNode) bool {
 // hpush adds a node to the open heap.
 func (sc *scratch) hpush(n heapNode) {
 	sc.heap = append(sc.heap, n)
+	if len(sc.heap) > sc.stats.heapPeak {
+		sc.stats.heapPeak = len(sc.heap)
+	}
 	h := sc.heap
 	i := len(h) - 1
 	for i > 0 {
@@ -207,6 +221,7 @@ func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
 		if cur.g > sc.gScore[ck] {
 			continue // stale entry
 		}
+		sc.stats.expanded++
 		if sc.tmark[ck] == gen {
 			return g.reconstruct(ck, gen)
 		}
@@ -283,6 +298,7 @@ func (g *Grid) astar(t Task, from, to Cell, useWeights bool) []Cell {
 		if cur.g > sc.gScore[ck] {
 			continue // stale entry
 		}
+		sc.stats.expanded++
 		if ck == goal {
 			return g.reconstruct(ck, gen)
 		}

@@ -215,6 +215,7 @@ func (g *Grid) usableAt(i int, iv interval.Interval, fl string) bool {
 			continue
 		}
 		if s.iv.Overlaps(iv) {
+			g.sc.stats.slotConflicts++
 			return false
 		}
 	}

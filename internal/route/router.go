@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/chip"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/schedule"
 	"repro/internal/unit"
@@ -95,13 +97,27 @@ func RouteBaselineContext(ctx context.Context, r *schedule.Result, comps []chip.
 	if err != nil {
 		return nil, err
 	}
+	tr := obs.From(ctx)
 	for _, t := range tasks {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("route: baseline construction aborted: %w", err)
 		}
+		var t0 time.Time
+		if tr.Enabled() {
+			empty.sc.stats = searchStats{}
+			t0 = time.Now()
+		}
 		p := empty.routeTask(t, false)
 		if p == nil {
 			return nil, fmt.Errorf("route: baseline construction failed for task %d", t.ID)
+		}
+		if tr.Enabled() {
+			st := empty.sc.stats
+			tr.RouteTask(obs.RouteTask{
+				Task: t.ID, From: int(t.From), To: int(t.To),
+				Expanded: st.expanded, HeapPeak: st.heapPeak, SlotConflicts: st.slotConflicts,
+				PathLen: len(p) - 1, Dur: time.Since(t0),
+			})
 		}
 		paths[t.ID] = p
 		g.commit(t.ID, p, t.Window, t.Hold, t.Fluid.Name, t.Wash)
@@ -147,6 +163,8 @@ func RouteBaselineContext(ctx context.Context, r *schedule.Result, comps []chip.
 			return nil, fmt.Errorf("route: baseline correction did not converge (%d conflicting tasks left)", len(bad))
 		}
 		res.CorrectionRounds++
+		tr.Instant(obs.CatRoute, "route.correction",
+			obs.Arg{Key: "round", Val: float64(round)}, obs.Arg{Key: "ripped", Val: float64(len(bad))})
 		// Repeated failures escalate in priority (negotiated congestion):
 		// the most-starved task gets first pick of the channel capacity.
 		sort.Slice(bad, func(i, j int) bool {
@@ -226,9 +244,14 @@ func Solve(r *schedule.Result, comps []chip.Component, pl *place.Placement, pr P
 // routing pass between tasks and stops the dilation ladder instead of
 // retrying. An uncancelled context reproduces Solve exactly.
 func SolveContext(ctx context.Context, r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params, baseline bool) (*Result, *place.Placement, error) {
+	tr := obs.From(ctx)
 	f := 1.0
 	var lastErr error
 	for try := 0; try < 4; try++ {
+		if try > 0 {
+			tr.Instant(obs.CatRoute, "route.dilate",
+				obs.Arg{Key: "factor", Val: f}, obs.Arg{Key: "attempt", Val: float64(try)})
+		}
 		cur := place.Dilate(pl, f)
 		var res *Result
 		var err error
@@ -260,14 +283,31 @@ func routeAll(ctx context.Context, r *schedule.Result, comps []chip.Component, p
 	}
 	tasks := TasksFrom(r)
 	res := &Result{GridW: g.W, GridH: g.H, Pitch: pr.Pitch, Routes: make([]RoutedTask, 0, len(tasks))}
+	tr := obs.From(ctx)
 	for _, t := range tasks {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("route: aborted before task %d: %w", t.ID, err)
+		}
+		// Telemetry snapshots the scratch counters around each search.
+		// time.Now is only read when a tracer is installed, so the
+		// disabled path stays free of clock syscalls.
+		var t0 time.Time
+		if tr.Enabled() {
+			g.sc.stats = searchStats{}
+			t0 = time.Now()
 		}
 		p := g.routeTask(t, weighted)
 		if p == nil {
 			return nil, fmt.Errorf("route: no conflict-free path for task %d (%d→%d, window %v)",
 				t.ID, t.From, t.To, t.Window)
+		}
+		if tr.Enabled() {
+			st := g.sc.stats
+			tr.RouteTask(obs.RouteTask{
+				Task: t.ID, From: int(t.From), To: int(t.To),
+				Expanded: st.expanded, HeapPeak: st.heapPeak, SlotConflicts: st.slotConflicts,
+				PathLen: len(p) - 1, Weighted: weighted, Dur: time.Since(t0),
+			})
 		}
 		g.commit(t.ID, p, t.Window, t.Hold, t.Fluid.Name, t.Wash)
 		res.Routes = append(res.Routes, RoutedTask{Task: t, Path: p})

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/assay"
 	"repro/internal/chip"
+	"repro/internal/obs"
 	"repro/internal/unit"
 )
 
@@ -55,6 +56,12 @@ type engine struct {
 	comps  []compState
 	tokens []*token // indexed by producer OpID; nil until produced
 	res    *Result
+	// Telemetry (integer accumulators only — the obs hooks read schedule
+	// state but never influence it; see the obs determinism contract).
+	tr          *obs.Tracer
+	caseI       int       // in-place consumptions (Algorithm 1 Case I)
+	caseII      int       // earliest-start bindings (Case II)
+	washAvoided unit.Time // component wash time eliminated by Case I
 }
 
 // run schedules g on comps using the given binding strategy. It polls
@@ -83,6 +90,7 @@ func run(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Optio
 	e := &engine{
 		g:      g,
 		opts:   opts,
+		tr:     obs.From(ctx),
 		comps:  make([]compState, len(comps)),
 		tokens: make([]*token, g.NumOps()),
 		res: &Result{
@@ -147,6 +155,15 @@ func run(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Optio
 			e.res.Makespan = bo.End
 		}
 	}
+	e.tr.ScheduleStats(obs.ScheduleStats{
+		Ops:           scheduled,
+		CaseI:         e.caseI,
+		CaseII:        e.caseII,
+		WashAvoidedMs: int64(e.washAvoided),
+		Transports:    len(e.res.Transports),
+		Caches:        len(e.res.Caches),
+		MakespanMs:    int64(e.res.Makespan),
+	})
 	return e.res, nil
 }
 
@@ -220,6 +237,21 @@ func (e *engine) commit(op assay.Operation, c chip.CompID) {
 	cs := &e.comps[c]
 	start, inPlaceParent := e.startTime(c, op)
 	end := start + op.Duration
+
+	// Telemetry: an in-place consumption is Algorithm 1's Case I — the
+	// input's transport (t_c) and the resident fluid's wash both vanish.
+	if inPlaceParent != assay.NoOp {
+		wa := e.tokens[inPlaceParent].washDur
+		e.caseI++
+		e.washAvoided += wa
+		e.tr.Bind(obs.Bind{
+			Op: int(op.ID), Comp: int(c), CaseI: true,
+			WashAvoidedMs: int64(wa), TransportAvoidedMs: int64(e.opts.TC),
+		})
+	} else {
+		e.caseII++
+		e.tr.Bind(obs.Bind{Op: int(op.ID), Comp: int(c)})
+	}
 
 	// Evict an unrelated or aliquot-pending resident fluid.
 	if cs.resident != nil && (inPlaceParent == assay.NoOp) {

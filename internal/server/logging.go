@@ -1,0 +1,66 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// logging.go: structured request logging and request-ID plumbing.
+//
+// Every request gets an ID — the client's X-Request-ID if it sent one,
+// otherwise a server-assigned sequence number — echoed in the response
+// header, stored in the request context, and carried as the job label
+// through the queue, so a synthesis can be correlated from HTTP access
+// log to job-finished log line to /v1/jobs polling.
+
+type ctxKeyReqID struct{}
+
+// RequestID returns the request ID the middleware assigned, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyReqID{}).(string)
+	return id
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// withRequestLog wraps the API mux with ID assignment and one structured
+// access-log line per request.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyReqID{}, id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+		)
+	})
+}

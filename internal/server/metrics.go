@@ -42,6 +42,34 @@ func (h *histogram) observe(d time.Duration) {
 	}
 }
 
+// histSnapshot is a consistent point-in-time copy of a histogram, with
+// bucket counts already accumulated into the cumulative form Prometheus
+// histograms use (bucket i counts observations <= bounds[i]).
+type histSnapshot struct {
+	bounds     []float64 // upper bounds in ms, shared, never mutated
+	cumulative []int64   // len(bounds)+1; last entry is the +Inf bucket
+	count      int64
+	sumMs      float64
+}
+
+// snapshot copies the histogram state under the lock.
+func (h *histogram) snapshot() histSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := histSnapshot{
+		bounds:     h.bounds,
+		cumulative: make([]int64, len(h.counts)),
+		count:      h.count,
+		sumMs:      h.sumMs,
+	}
+	var run int64
+	for i, c := range h.counts {
+		run += c
+		s.cumulative[i] = run
+	}
+	return s
+}
+
 // String renders the histogram as a JSON object (the expvar.Var
 // contract): {"count":N,"sum_ms":S,"max_ms":M,"buckets":{"le_10":n,...,"inf":n}}.
 func (h *histogram) String() string {

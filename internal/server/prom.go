@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// prom.go renders the service state in the Prometheus text exposition
+// format (version 0.0.4), served at GET /metrics. The same state is
+// available as expvar JSON at /metrics.json; this view exists so a stock
+// Prometheus scrape — or promtool check metrics — works against mfserved
+// without an adapter. Counters come from the cumulative jobq totals and
+// the obs.Aggregate event sink, both monotonic; the retained-job counts
+// of the JSON view (which decay with retention eviction) are deliberately
+// not exported as counters.
+
+// promFloat formats a sample value; Prometheus accepts Go's shortest
+// round-trip representation including exponents.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promWriter accumulates one exposition. Metric families must be written
+// contiguously (HELP, TYPE, then every series of the family).
+type promWriter struct{ b strings.Builder }
+
+func (p *promWriter) head(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(&p.b, "%s%s %s\n", name, labels, promFloat(v))
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	p.head(name, help, "gauge")
+	p.sample(name, "", v)
+}
+
+func (p *promWriter) counter(name, help string, v float64) {
+	p.head(name, help, "counter")
+	p.sample(name, "", v)
+}
+
+// histogram writes one histogram family. labels carries extra label
+// pairs (e.g. `stage="place"`) applied to every series; bucket bounds
+// are converted from the internal milliseconds to seconds, the
+// Prometheus base unit.
+func (p *promWriter) histogram(name, labels string, snap histSnapshot) {
+	for i, bound := range snap.bounds {
+		le := `le="` + promFloat(bound/1000) + `"`
+		if labels != "" {
+			le = labels + "," + le
+		}
+		p.sample(name+"_bucket", le, float64(snap.cumulative[i]))
+	}
+	inf := `le="+Inf"`
+	if labels != "" {
+		inf = labels + "," + inf
+	}
+	p.sample(name+"_bucket", inf, float64(snap.count))
+	p.sample(name+"_sum", labels, snap.sumMs/1000)
+	p.sample(name+"_count", labels, float64(snap.count))
+}
+
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	var p promWriter
+	qs := s.q.Stats()
+	cs := s.cache.Stats()
+
+	p.gauge("mfserved_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	p.gauge("mfserved_queue_depth", "Jobs waiting in the FIFO.", float64(qs.Queued))
+	p.gauge("mfserved_queue_capacity", "Queued jobs beyond which submissions get 429.", float64(qs.Capacity))
+	p.gauge("mfserved_workers", "Synthesis worker-pool size.", float64(qs.Workers))
+	p.gauge("mfserved_workers_busy", "Workers currently executing a job.", float64(qs.Busy))
+
+	p.head("mfserved_jobs_finished_total", "Jobs that reached a terminal status, by status.", "counter")
+	p.sample("mfserved_jobs_finished_total", `status="done"`, float64(qs.DoneTotal))
+	p.sample("mfserved_jobs_finished_total", `status="failed"`, float64(qs.FailedTotal))
+	p.sample("mfserved_jobs_finished_total", `status="canceled"`, float64(qs.CanceledTotal))
+	p.counter("mfserved_jobs_accepted_total", "Synthesis submissions accepted into the queue.", float64(s.metrics.jobsAccepted.Value()))
+	p.counter("mfserved_jobs_rejected_total", "Synthesis submissions rejected with 429 (queue full).", float64(s.metrics.jobsRejected.Value()))
+
+	p.counter("mfserved_cache_hits_total", "Solution-cache hits.", float64(cs.Hits))
+	p.counter("mfserved_cache_misses_total", "Solution-cache misses.", float64(cs.Misses))
+	p.gauge("mfserved_cache_entries", "Solutions currently cached.", float64(cs.Entries))
+	p.gauge("mfserved_cache_bytes", "Bytes held by the solution cache.", float64(cs.Bytes))
+
+	// Algorithm telemetry folded from the obs event stream of every job.
+	a := s.agg
+	p.head("mfserved_schedule_bindings_total", "Algorithm 1 binding decisions, by case.", "counter")
+	p.sample("mfserved_schedule_bindings_total", `case="1"`, float64(a.BindCaseI.Load()))
+	p.sample("mfserved_schedule_bindings_total", `case="2"`, float64(a.BindCaseII.Load()))
+	p.counter("mfserved_schedule_wash_avoided_seconds_total", "Component wash time eliminated by Case I in-place consumption.", float64(a.WashAvoidedMs.Load())/1000)
+	p.counter("mfserved_sa_steps_total", "Simulated-annealing temperature steps.", float64(a.SASteps.Load()))
+	p.counter("mfserved_sa_moves_total", "Simulated-annealing moves sampled.", float64(a.SAMoves.Load()))
+	p.counter("mfserved_sa_accepted_total", "Simulated-annealing moves accepted.", float64(a.SAAccepted.Load()))
+	p.counter("mfserved_route_tasks_total", "Transportation tasks routed.", float64(a.RouteTasks.Load()))
+	p.counter("mfserved_astar_expanded_total", "A* nodes expanded across all routed tasks.", float64(a.AStarExpanded.Load()))
+	p.counter("mfserved_route_slot_conflicts_total", "Cell probes rejected by time-slot overlap.", float64(a.SlotConflicts.Load()))
+	p.gauge("mfserved_astar_heap_peak", "Largest A* open-heap size seen by any task.", float64(a.HeapPeak.Load()))
+	p.counter("mfserved_route_dilations_total", "Placement dilations triggered by routing congestion.", float64(a.Dilations.Load()))
+	p.counter("mfserved_place_retries_total", "Placement retries after unresolvable congestion.", float64(a.PlaceRetries.Load()))
+
+	p.head("mfserved_stage_latency_seconds", "Per-stage synthesis latency (cache misses only).", "histogram")
+	p.histogram("mfserved_stage_latency_seconds", `stage="schedule"`, s.metrics.histSchedule.snapshot())
+	p.histogram("mfserved_stage_latency_seconds", `stage="place"`, s.metrics.histPlace.snapshot())
+	p.histogram("mfserved_stage_latency_seconds", `stage="route"`, s.metrics.histRoute.snapshot())
+	p.head("mfserved_synthesis_latency_seconds", "End-to-end synthesis latency (cache misses only).", "histogram")
+	p.histogram("mfserved_synthesis_latency_seconds", "", s.metrics.histTotal.snapshot())
+	p.head("mfserved_request_latency_seconds", "POST /v1/synthesize handler latency.", "histogram")
+	p.histogram("mfserved_request_latency_seconds", "", s.metrics.histRequest.snapshot())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(p.b.String()))
+}

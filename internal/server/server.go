@@ -8,7 +8,8 @@
 //	GET  /v1/jobs/{id}/solution the solio-serialized solution document
 //	POST /v1/jobs/{id}/cancel   cancel a queued or running job
 //	GET  /healthz               liveness
-//	GET  /metrics               expvar counters and latency histograms
+//	GET  /metrics               Prometheus text-format counters and histograms
+//	GET  /metrics.json          the same state as expvar JSON
 //
 // Determinism is load-bearing: the synthesis flow is a pure function of
 // (assay, allocation, options, algorithm), so results are stored in a
@@ -25,12 +26,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/jobq"
+	"repro/internal/obs"
 	"repro/internal/solcache"
 	"repro/internal/solio"
 )
@@ -49,6 +53,9 @@ type Config struct {
 	JobTimeout time.Duration
 	// Retain bounds how many finished jobs stay pollable (default 4096).
 	Retain int
+	// Logger receives the structured request and job logs. Nil discards
+	// them (the default for tests and embedded use).
+	Logger *slog.Logger
 }
 
 // Server is the service state: worker pool, cache and metrics.
@@ -57,8 +64,12 @@ type Server struct {
 	q       *jobq.Queue
 	cache   *solcache.Cache
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped with request-ID logging
 	start   time.Time
 	metrics *metrics
+	log     *slog.Logger
+	agg     *obs.Aggregate // algorithm telemetry folded across all jobs
+	reqSeq  atomic.Uint64  // server-assigned request IDs
 }
 
 // jobResult is what a synthesis job stores in the queue on success.
@@ -81,25 +92,46 @@ func New(cfg Config) *Server {
 	if cfg.JobTimeout == 0 {
 		cfg.JobTimeout = 120 * time.Second
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:   cfg,
 		q:     jobq.New(cfg.Workers, cfg.QueueCap, cfg.Retain),
 		cache: solcache.New(cfg.CacheBytes),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+		log:   log,
+		agg:   &obs.Aggregate{},
 	}
 	s.metrics = newMetrics(s)
+	s.q.OnTerminal(func(j jobq.Job) {
+		lvl := slog.LevelInfo
+		if j.Status == jobq.Failed {
+			lvl = slog.LevelWarn
+		}
+		s.log.Log(context.Background(), lvl, "job finished",
+			"job", j.ID,
+			"request_id", j.Label,
+			"status", string(j.Status),
+			"dur_ms", float64(j.Finished.Sub(j.Started).Microseconds())/1000,
+			"err", j.Err,
+		)
+	})
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetrics)
+	s.handler = s.withRequestLog(s.mux)
 	return s
 }
 
 // Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Shutdown stops accepting jobs and drains the worker pool (see
 // jobq.Queue.Shutdown).
@@ -152,7 +184,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, "cached solution invalid: %v", err)
 			return
 		}
-		id, err := s.q.Complete(res, "served from cache")
+		id, err := s.q.Complete(RequestID(r.Context()), res, "served from cache")
 		if err != nil {
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
 			return
@@ -163,7 +195,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id, err := s.q.Submit(s.synthesisJob(req))
+	id, err := s.q.SubmitLabeled(RequestID(r.Context()), s.synthesisJob(req))
 	switch {
 	case errors.Is(err, jobq.ErrQueueFull):
 		s.metrics.jobsRejected.Add(1)
@@ -191,6 +223,11 @@ func (s *Server) synthesisJob(req *request) jobq.Fn {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 			defer cancel()
 		}
+		// Fold this job's algorithm telemetry into the service-wide
+		// aggregate served at /metrics. The tracer hooks are outside the
+		// pipeline's RNG and floating-point paths, so the traced synthesis
+		// is byte-identical to an untraced one (the cache depends on it).
+		ctx = obs.Into(ctx, obs.New(s.agg))
 		algo := "dcsa"
 		synth := core.SynthesizeContext
 		if req.baseline {

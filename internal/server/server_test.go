@@ -133,8 +133,8 @@ func TestCacheServedSolutionIsByteIdentical(t *testing.T) {
 	}
 
 	var m map[string]json.RawMessage
-	if code := getJSON(t, ts.URL, "/metrics", &m); code != http.StatusOK {
-		t.Fatalf("GET /metrics: %d", code)
+	if code := getJSON(t, ts.URL, "/metrics.json", &m); code != http.StatusOK {
+		t.Fatalf("GET /metrics.json: %d", code)
 	}
 	var hits, misses int64
 	mustNum(t, m, "cache_hits", &hits)
@@ -265,7 +265,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	}
 
 	var m map[string]json.RawMessage
-	getJSON(t, ts.URL, "/metrics", &m)
+	getJSON(t, ts.URL, "/metrics.json", &m)
 	var rejected, depth int64
 	mustNum(t, m, "jobs_rejected", &rejected)
 	mustNum(t, m, "queue_depth", &depth)

@@ -1,0 +1,128 @@
+// Observability regression: tracing must be a pure observer. A synthesis
+// with a tracer attached must reproduce every pinned golden fingerprint
+// byte-for-byte — the obs hooks sit outside the pipeline's RNG and
+// floating-point paths, so enabling them cannot perturb a solution. The
+// second test pins the trace contract itself: mfsyn-style tracing emits a
+// valid Chrome trace-event document with balanced schedule/place/route
+// spans and the algorithm counter events the exporters rely on.
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestFingerprintsUnchangedByTracing runs every benchmark × algorithm
+// with a collecting tracer installed and checks the golden fingerprints
+// still match. Together with TestSolutionFingerprints (which runs the
+// same inputs untraced) this pins "tracing on == tracing off".
+func TestFingerprintsUnchangedByTracing(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		for _, algo := range []string{"ours", "BA"} {
+			key := bm.Name + "/" + algo
+			want, ok := goldenFingerprints[key]
+			if !ok || want == "" {
+				continue
+			}
+			t.Run(key, func(t *testing.T) {
+				var c obs.Collect
+				ctx := obs.Into(context.Background(), obs.New(&c))
+				var sol *core.Solution
+				var err error
+				if algo == "ours" {
+					sol, err = core.SynthesizeContext(ctx, bm.Graph, bm.Alloc, fingerprintOpts())
+				} else {
+					sol, err = core.SynthesizeBaselineContext(ctx, bm.Graph, bm.Alloc, fingerprintOpts())
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := solutionFingerprint(sol); got != want {
+					t.Errorf("tracing perturbed the solution:\n got %s\nwant %s", got, want)
+				}
+				// The tracer must actually have seen the pipeline run —
+				// a silently detached tracer would make this test vacuous.
+				if c.Count(obs.CatPipeline, "synthesize") != 2 {
+					t.Errorf("synthesize span not traced: %d events", c.Count(obs.CatPipeline, "synthesize"))
+				}
+				if algo == "ours" && c.Count(obs.CatPlace, "sa.step") == 0 {
+					t.Error("no sa.step events traced")
+				}
+			})
+		}
+	}
+}
+
+// TestChromeTraceEndToEnd drives the exact path `mfsyn -trace` uses: a
+// full synthesis streamed into a ChromeSink, then validates the document
+// structure a trace viewer depends on.
+func TestChromeTraceEndToEnd(t *testing.T) {
+	bm, err := benchdata.ByName("CPA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	ctx := obs.Into(context.Background(), obs.New(sink))
+	if _, err := core.SynthesizeContext(ctx, bm.Graph, bm.Alloc, fingerprintOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Cat  string  `json:"cat"`
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	begins := map[string]int{}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Name]++
+		switch e.Ph {
+		case "B":
+			begins[e.Cat+"/"+e.Name]++
+		case "E":
+			begins[e.Cat+"/"+e.Name]--
+		}
+	}
+	// Every span balanced, and all three stage spans present.
+	for span, open := range begins {
+		if open != 0 {
+			t.Errorf("span %s unbalanced: %+d", span, open)
+		}
+	}
+	for _, span := range []string{"synthesize", "schedule", "place", "route"} {
+		if counts[span] == 0 {
+			t.Errorf("stage span %q missing from trace", span)
+		}
+	}
+	// Algorithm telemetry present: anneal counter samples and per-task
+	// routing events.
+	if counts["sa.step"] == 0 {
+		t.Error("no sa.step counter events in trace")
+	}
+	if counts["route.task"] == 0 {
+		t.Error("no route.task events in trace")
+	}
+	if counts["bind.case1"]+counts["bind.case2"] == 0 {
+		t.Error("no binding events in trace")
+	}
+	if counts["schedule.stats"] != 1 {
+		t.Errorf("schedule.stats emitted %d times, want 1", counts["schedule.stats"])
+	}
+}
