@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke table1 clean
+.PHONY: all build vet test race race-hot check bench bench-smoke verify regress table1 clean
 
 all: check
 
@@ -19,18 +19,46 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full pre-merge gate: compile, vet, race-enabled tests, and a
-# short-mode smoke run of the performance-critical benchmarks.
-check: build vet race bench-smoke
+# Extra race pass over the packages with real concurrency (worker pools,
+# HTTP handlers, metric registries); -count=2 reorders goroutine
+# interleavings cheaply. CI and `make check` both run exactly this
+# target, so the package list lives in one place.
+race-hot:
+	$(GO) test -race -count=2 ./internal/obs/ ./internal/server/ ./internal/jobq/
+
+# The full pre-merge gate: compile, vet, race-enabled tests, the hot
+# concurrency packages twice, and a smoke run of the performance-critical
+# benchmarks.
+check: build vet race race-hot bench-smoke
 
 # Full benchmark suite with allocation counts (slow).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Hot-path benchmarks the smoke run must still find; a renamed or deleted
+# benchmark silently matches nothing with a bare -bench regex, so the run
+# greps its own output for each name and fails loudly instead.
+BENCH_SMOKE_NAMES := BenchmarkSynthesisCPU BenchmarkAnnealEnergy BenchmarkAStarSynthetic4
+BENCH_SMOKE_REGEX := BenchmarkSynthesisCPU|BenchmarkAnnealEnergy|BenchmarkAStarSynthetic4
+
 # Quick sanity pass over the optimized hot paths: one iteration each of
 # the placement, routing and end-to-end synthesis benchmarks.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkSynthesisCPU|BenchmarkAnnealEnergy|BenchmarkAStarSynthetic4' -benchtime 1x .
+	@out=$$($(GO) test -run xxx -bench '$(BENCH_SMOKE_REGEX)' -benchtime 1x . 2>&1); \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	for b in $(BENCH_SMOKE_NAMES); do \
+		echo "$$out" | grep -q "$$b" || { echo "bench-smoke: benchmark $$b missing from output" >&2; exit 1; }; \
+	done
+
+# Independent audit of every benchmark's synthesized solution (and the
+# baseline-BA variant) against the from-scratch constraint model.
+verify:
+	$(GO) run ./cmd/mfverify -bench all
+
+# Benchmark-regression gate against the checked-in baseline figures.
+regress:
+	$(GO) run ./cmd/mfbench -j 2 -regress BENCH_baseline.json -regress-out bench_regress.json
 
 # Regenerate the paper's Table I.
 table1:

@@ -17,15 +17,26 @@
 //	mfbench -portfolio 8 # anneal 8 seeds concurrently per benchmark and
 //	                     # keep the lowest-energy placement (default 1,
 //	                     # which reproduces the single-seed run exactly)
+//
+// Regression gate (CI):
+//
+//	mfbench -regress BENCH_baseline.json -regress-out report.json
+//
+// runs the tracked benchmarks (Synthetic1-4 unless -bench restricts
+// further) with the capture options recorded in the baseline, compares
+// wall time (±tolerance) and solution cost (exactly — synthesis is
+// deterministic) and exits non-zero on any regression.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro"
 	"repro/internal/buildinfo"
+	"repro/internal/regress"
 )
 
 func main() {
@@ -40,6 +51,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "placement seed")
 		jobs    = flag.Int("j", 0, "benchmark worker-pool size (0 = all CPUs)")
 		portf   = flag.Int("portfolio", 1, "concurrent annealing seeds per benchmark (1 = single-seed)")
+		regr    = flag.String("regress", "", "run the benchmark-regression gate against this baseline JSON")
+		regrOut = flag.String("regress-out", "", "with -regress: write the comparison report JSON to this file")
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -62,6 +75,11 @@ func main() {
 			os.Exit(1)
 		}
 		benches = []repro.Benchmark{bm}
+	}
+
+	if *regr != "" {
+		runRegression(*regr, *regrOut, *bench, opts, *jobs)
+		return
 	}
 
 	var rows []repro.ComparisonRow
@@ -93,5 +111,91 @@ func main() {
 	}
 	if all || *fig9 {
 		fmt.Println(repro.Fig9(rows))
+	}
+}
+
+// regressBenches is the tracked set the CI gate runs by default: the
+// four synthetic benchmarks, whose sizes dominate synthesis time.
+var regressBenches = []string{"Synthetic1", "Synthetic2", "Synthetic3", "Synthetic4"}
+
+// runRegression runs the benchmark-regression gate and exits: status 0
+// when every tracked benchmark holds its time and cost baseline, 1 on
+// any regression, 2 on usage or I/O errors.
+func runRegression(baselinePath, outPath, only string, opts repro.Options, jobs int) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mfbench:", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	base, err := regress.Load(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	names := regressBenches
+	if only != "" {
+		names = []string{only}
+	}
+	var benches []repro.Benchmark
+	for _, name := range names {
+		bm, err := repro.BenchmarkByName(name)
+		if err != nil {
+			fail(err)
+		}
+		benches = append(benches, bm)
+	}
+
+	// Costs are only comparable under the capture options.
+	opts.Place.Imax = base.Imax
+	opts.Place.Seed = base.Seed
+
+	var rows []repro.ComparisonRow
+	if jobs > 0 {
+		rows, err = repro.RunComparisonWorkers(benches, opts, jobs)
+	} else {
+		rows, err = repro.RunComparison(benches, opts)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	// The parallel run above settles the cost comparison (costs are
+	// deterministic at any -j), but its wall times carry worker
+	// contention. Re-measure sequentially, best of three, so the time
+	// gate reflects single-run synthesis speed.
+	for i := range rows {
+		for rep := 0; rep < 3; rep++ {
+			sol, err := repro.Synthesize(benches[i].Graph, benches[i].Alloc, opts)
+			if err != nil {
+				fail(err)
+			}
+			if rep == 0 || sol.CPU < rows[i].Ours.CPU {
+				rows[i].Ours.CPU = sol.CPU
+			}
+		}
+	}
+
+	rep := base.Compare(rows)
+	fmt.Print(rep)
+	if outPath != "" {
+		out, err := os.Create(outPath)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		if err := out.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if !rep.OK() {
+		os.Exit(1)
 	}
 }

@@ -10,6 +10,7 @@
 //	mfsyn -bench PCR -events                         # replay event log
 //	mfsyn -bench CPA -failures -congestion           # what-if + heatmap
 //	mfsyn -bench CPA -save cpa_solution.json         # full solution dump
+//	mfsyn -bench CPA -verify                         # independent constraint audit
 //	mfsyn -bench CPA -trace cpa_trace.json           # Chrome/Perfetto trace
 //
 // Besides the Table I metrics, every run reports the control-layer cost
@@ -41,6 +42,7 @@ func main() {
 		layout    = flag.Bool("layout", false, "print the chip layout")
 		events    = flag.Bool("events", false, "print the verified replay event log")
 		imax      = flag.Int("imax", 150, "simulated-annealing iterations per temperature step")
+		verify    = flag.Bool("verify", false, "audit the solution with the independent constraint verifier (internal/verify); any violation fails the run")
 		save      = flag.String("save", "", "write the full solution as JSON to this file")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the synthesis to this file (open in ui.perfetto.dev)")
 		failures  = flag.Bool("failures", false, "print the single-component-failure analysis")
@@ -94,6 +96,7 @@ func main() {
 
 	opts := repro.DefaultOptions()
 	opts.Place.Imax = *imax
+	opts.Verify = *verify
 
 	// Tracing rides the context: the pipeline's obs hooks see the tracer
 	// via obs.From and emit spans and counters into the Chrome sink. The

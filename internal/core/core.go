@@ -23,6 +23,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/schedule"
 	"repro/internal/unit"
+	"repro/internal/verify"
 )
 
 // Options bundles the parameters of every stage. The zero value is not
@@ -38,6 +39,13 @@ type Options struct {
 	// the proposed flow uses it; the baseline placer is deterministic in
 	// the seed and gains nothing from restarts.
 	Portfolio int
+	// Verify, when set, runs the independent constraint auditor
+	// (internal/verify) on every synthesized solution before returning it
+	// and fails the synthesis if the audit reports any violation. The
+	// audit reads the finished solution only — it consumes no randomness
+	// and cannot change the result, so enabling it preserves the pinned
+	// fingerprints at the cost of one extra pass over the solution.
+	Verify bool
 }
 
 // DefaultOptions returns the experimental parameters of Section V:
@@ -240,7 +248,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 		}
 	}
 
-	return &Solution{
+	sol := &Solution{
 		Assay:     g,
 		Comps:     comps,
 		Opts:      opts,
@@ -251,5 +259,29 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 		Baseline:  baseline,
 		CPU:       time.Since(start),
 		Stages:    stages,
-	}, nil
+	}
+	if opts.Verify {
+		if err := Audit(sol).Err(); err != nil {
+			return nil, fmt.Errorf("core: synthesized %q: %w", g.Name(), err)
+		}
+	}
+	return sol, nil
+}
+
+// Audit runs the independent constraint auditor on a complete solution
+// and returns its structured report. Unlike Validate, which reuses the
+// per-stage validators, the auditor re-derives every constraint of the
+// DCSA formulation from scratch (see internal/verify).
+func Audit(sol *Solution) *verify.Report {
+	if sol == nil {
+		return verify.Audit(verify.Input{})
+	}
+	return verify.Audit(verify.Input{
+		Assay:     sol.Assay,
+		Comps:     sol.Comps,
+		Schedule:  sol.Schedule,
+		Placement: sol.Placement,
+		Routing:   sol.Routing,
+		Baseline:  sol.Baseline,
+	})
 }

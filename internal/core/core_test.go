@@ -143,3 +143,28 @@ func TestSingleOpAssay(t *testing.T) {
 		t.Errorf("utilization %v, want 1", m.Utilization)
 	}
 }
+
+// TestVerifyOption: the opt-in audit gate must pass clean syntheses
+// through unchanged and the auditor must reject a corrupted solution.
+func TestVerifyOption(t *testing.T) {
+	bm, err := benchdata.ByName("PCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fastOpts()
+	o.Verify = true
+	sol, err := Synthesize(bm.Graph, bm.Alloc, o)
+	if err != nil {
+		t.Fatalf("verified synthesis failed: %v", err)
+	}
+	if rep := Audit(sol); !rep.OK() {
+		t.Fatalf("audit of a fresh solution found violations:\n%s", rep)
+	}
+	sol.Schedule.Makespan++
+	if rep := Audit(sol); rep.OK() {
+		t.Error("corrupted makespan not reported")
+	}
+	if rep := Audit(nil); rep.OK() {
+		t.Error("nil solution audited clean")
+	}
+}

@@ -1,0 +1,167 @@
+// Package regress implements the benchmark-regression gate: the measured
+// wall time and solution cost of the proposed flow on the tracked
+// benchmarks are compared against the reference figures stored in
+// BENCH_baseline.json. Costs are deterministic — synthesis is a pure
+// function of (benchmark, options) — so any cost drift is a real change
+// and fails at a 0% threshold; wall time is noisy, so it only fails
+// beyond the configured tolerance (and merely gets noted when faster).
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Entry is the reference (or measured) figure set of one benchmark.
+type Entry struct {
+	// NsPerOp is the synthesis wall time of the proposed flow.
+	NsPerOp float64 `json:"ns_per_op"`
+	// The solution costs, compared exactly.
+	MakespanMs      int64 `json:"makespan_ms"`
+	ChannelLengthUm int64 `json:"channel_length_um"`
+	ChannelWashMs   int64 `json:"channel_wash_ms"`
+	Transports      int   `json:"transports"`
+}
+
+// Baseline is the "regress" section of BENCH_baseline.json.
+type Baseline struct {
+	// Imax and Seed record the options the references were captured
+	// with; a run must use the same ones for costs to be comparable.
+	Imax int    `json:"imax"`
+	Seed uint64 `json:"seed"`
+	// Tolerance is the relative wall-time slack (0.15 = +15%).
+	Tolerance  float64          `json:"tolerance"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Load extracts the regression baseline from a BENCH_baseline.json
+// document (whose other sections — historical measurements, host notes —
+// are deliberately ignored).
+func Load(r io.Reader) (*Baseline, error) {
+	var doc struct {
+		Regress *Baseline `json:"regress"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("regress: %w", err)
+	}
+	if doc.Regress == nil {
+		return nil, fmt.Errorf("regress: baseline document has no \"regress\" section")
+	}
+	b := doc.Regress
+	if b.Tolerance <= 0 {
+		return nil, fmt.Errorf("regress: non-positive tolerance %v", b.Tolerance)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("regress: baseline lists no benchmarks")
+	}
+	return b, nil
+}
+
+// Check is the comparison outcome for one benchmark.
+type Check struct {
+	Bench    string `json:"bench"`
+	Measured Entry  `json:"measured"`
+	// Baseline is absent when the benchmark is untracked (which fails
+	// the gate: a silently skipped comparison is not a passed one).
+	Baseline *Entry `json:"baseline,omitempty"`
+	// TimeRatio is measured/baseline wall time (0 when untracked).
+	TimeRatio float64 `json:"time_ratio"`
+	CostOK    bool    `json:"cost_ok"`
+	TimeOK    bool    `json:"time_ok"`
+	// Note carries human context: what drifted, or that the run got
+	// faster than the reference.
+	Note string `json:"note,omitempty"`
+}
+
+// OK reports whether the benchmark passed both gates.
+func (c *Check) OK() bool { return c.CostOK && c.TimeOK && c.Baseline != nil }
+
+// Report is the outcome of one regression run — the JSON artifact CI
+// uploads.
+type Report struct {
+	Tolerance float64 `json:"tolerance"`
+	Imax      int     `json:"imax"`
+	Seed      uint64  `json:"seed"`
+	Checks    []Check `json:"checks"`
+}
+
+// OK reports whether every benchmark passed.
+func (r *Report) OK() bool {
+	for i := range r.Checks {
+		if !r.Checks[i].OK() {
+			return false
+		}
+	}
+	return len(r.Checks) > 0
+}
+
+// String renders the run as one line per benchmark.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark regression gate (time tolerance +%.0f%%, cost tolerance 0%%):\n", 100*r.Tolerance)
+	for i := range r.Checks {
+		c := &r.Checks[i]
+		status := "ok"
+		if !c.OK() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-12s %-4s time %6.1fms (%.2fx)", c.Bench, status,
+			c.Measured.NsPerOp/1e6, c.TimeRatio)
+		if c.Note != "" {
+			fmt.Fprintf(&b, "  %s", c.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// measured converts one comparison row into the figure set the gate
+// compares.
+func measured(row report.Row) Entry {
+	return Entry{
+		NsPerOp:         float64(row.Ours.CPU.Nanoseconds()),
+		MakespanMs:      int64(row.Ours.ExecutionTime),
+		ChannelLengthUm: int64(row.Ours.ChannelLength),
+		ChannelWashMs:   int64(row.Ours.ChannelWashTime),
+		Transports:      row.Ours.Transports,
+	}
+}
+
+// Compare gates the measured rows against the baseline.
+func (b *Baseline) Compare(rows []report.Row) *Report {
+	rep := &Report{Tolerance: b.Tolerance, Imax: b.Imax, Seed: b.Seed}
+	for _, row := range rows {
+		c := Check{Bench: row.Benchmark, Measured: measured(row)}
+		ref, ok := b.Benchmarks[row.Benchmark]
+		if !ok {
+			c.Note = "no baseline entry — capture one before gating this benchmark"
+			rep.Checks = append(rep.Checks, c)
+			continue
+		}
+		c.Baseline = &ref
+		c.CostOK = c.Measured.MakespanMs == ref.MakespanMs &&
+			c.Measured.ChannelLengthUm == ref.ChannelLengthUm &&
+			c.Measured.ChannelWashMs == ref.ChannelWashMs &&
+			c.Measured.Transports == ref.Transports
+		if !c.CostOK {
+			c.Note = fmt.Sprintf("cost drift: makespan %d->%d ms, length %d->%d um, wash %d->%d ms, transports %d->%d",
+				ref.MakespanMs, c.Measured.MakespanMs,
+				ref.ChannelLengthUm, c.Measured.ChannelLengthUm,
+				ref.ChannelWashMs, c.Measured.ChannelWashMs,
+				ref.Transports, c.Measured.Transports)
+		}
+		if ref.NsPerOp > 0 {
+			c.TimeRatio = c.Measured.NsPerOp / ref.NsPerOp
+		}
+		c.TimeOK = c.TimeRatio <= 1+b.Tolerance
+		if c.TimeOK && c.TimeRatio > 0 && c.TimeRatio < 1-b.Tolerance && c.Note == "" {
+			c.Note = fmt.Sprintf("faster than baseline (%.2fx) — consider re-capturing", c.TimeRatio)
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	return rep
+}

@@ -1,0 +1,114 @@
+package regress
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/unit"
+)
+
+func refBaseline() *Baseline {
+	return &Baseline{
+		Imax: 60, Seed: 1, Tolerance: 0.15,
+		Benchmarks: map[string]Entry{
+			"Synthetic1": {NsPerOp: 1e9, MakespanMs: 100, ChannelLengthUm: 50, ChannelWashMs: 20, Transports: 7},
+		},
+	}
+}
+
+func row(cpu time.Duration, makespan int64) report.Row {
+	return report.Row{
+		Benchmark: "Synthetic1",
+		Ours: core.Metrics{
+			ExecutionTime:   unit.Time(makespan),
+			ChannelLength:   50,
+			ChannelWashTime: 20,
+			Transports:      7,
+			CPU:             cpu,
+		},
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	b := refBaseline()
+
+	// Identical costs, same time: pass.
+	rep := b.Compare([]report.Row{row(time.Second, 100)})
+	if !rep.OK() {
+		t.Errorf("clean run failed: %s", rep)
+	}
+	// 10% slower: inside tolerance.
+	if rep := b.Compare([]report.Row{row(1100*time.Millisecond, 100)}); !rep.OK() {
+		t.Errorf("+10%% run failed at 15%% tolerance: %s", rep)
+	}
+	// 30% slower: time gate fails.
+	rep = b.Compare([]report.Row{row(1300*time.Millisecond, 100)})
+	if rep.OK() || rep.Checks[0].CostOK != true || rep.Checks[0].TimeOK {
+		t.Errorf("+30%% run passed: %s", rep)
+	}
+	// Much faster: passes, but flagged for re-capture.
+	rep = b.Compare([]report.Row{row(100*time.Millisecond, 100)})
+	if !rep.OK() || !strings.Contains(rep.Checks[0].Note, "faster") {
+		t.Errorf("faster run not noted: %s", rep)
+	}
+	// Any cost drift fails at 0% threshold, even when faster.
+	rep = b.Compare([]report.Row{row(time.Second, 99)})
+	if rep.OK() || rep.Checks[0].CostOK {
+		t.Errorf("cost drift passed: %s", rep)
+	}
+	// Untracked benchmark fails instead of silently skipping.
+	r := row(time.Second, 100)
+	r.Benchmark = "Synthetic9"
+	if rep := b.Compare([]report.Row{r}); rep.OK() {
+		t.Errorf("untracked benchmark passed: %s", rep)
+	}
+	// An empty run proves nothing.
+	if rep := b.Compare(nil); rep.OK() {
+		t.Error("empty run passed")
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	for name, doc := range map[string]string{
+		"no-section":    `{"benchmarks": {}}`,
+		"no-tolerance":  `{"regress": {"imax": 60, "benchmarks": {"a": {}}}}`,
+		"no-benchmarks": `{"regress": {"tolerance": 0.15}}`,
+		"not-json":      `nope`,
+	} {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLoadRepoBaseline pins the contract with the checked-in
+// BENCH_baseline.json: the regress section exists and tracks the four
+// synthetic benchmarks the CI gate runs.
+func TestLoadRepoBaseline(t *testing.T) {
+	f, err := os.Open("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Imax != 60 || b.Seed != 1 || b.Tolerance != 0.15 {
+		t.Errorf("unexpected capture parameters: %+v", b)
+	}
+	for _, name := range []string{"Synthetic1", "Synthetic2", "Synthetic3", "Synthetic4"} {
+		e, ok := b.Benchmarks[name]
+		if !ok {
+			t.Errorf("%s untracked", name)
+			continue
+		}
+		if e.NsPerOp <= 0 || e.MakespanMs <= 0 || e.ChannelLengthUm <= 0 || e.Transports <= 0 {
+			t.Errorf("%s reference figures incomplete: %+v", name, e)
+		}
+	}
+}

@@ -209,6 +209,24 @@ func Encode(w io.Writer, sol *core.Solution) error {
 
 // Decode reconstructs a solution from its JSON form and re-validates it.
 func Decode(r io.Reader) (*core.Solution, error) {
+	sol, err := DecodeUnvalidated(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := sol.Validate(); err != nil {
+		return nil, fmt.Errorf("solio: decoded solution invalid: %w", err)
+	}
+	return sol, nil
+}
+
+// DecodeUnvalidated reconstructs a solution without running the stage
+// validators, so a tampered or suspect file can be handed to the
+// independent auditor (core.Audit), which reports violations instead of
+// refusing to decode. Only structural integrity is still enforced — the
+// JSON must parse, reference a decodable assay and keep operation records
+// indexable — because nothing downstream can interpret records it cannot
+// even address.
+func DecodeUnvalidated(r io.Reader) (*core.Solution, error) {
 	var d doc
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -311,13 +329,9 @@ func Decode(r io.Reader) (*core.Solution, error) {
 	}
 	route.RecomputeMetrics(routing, sched, comps, pl, opts.Route)
 
-	sol := &core.Solution{
+	return &core.Solution{
 		Assay: g, Comps: comps, Opts: opts,
 		Schedule: sched, Placement: pl, Routing: routing,
 		Baseline: d.Baseline,
-	}
-	if err := sol.Validate(); err != nil {
-		return nil, fmt.Errorf("solio: decoded solution invalid: %w", err)
-	}
-	return sol, nil
+	}, nil
 }

@@ -127,3 +127,38 @@ func TestRoundTripRandomSolutions(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeUnvalidatedAuditsTampered: a tampered file that Decode
+// rejects must still come out of DecodeUnvalidated as an addressable
+// solution so the independent auditor can report the violation itself.
+func TestDecodeUnvalidatedAuditsTampered(t *testing.T) {
+	sol := solve(t, "PCR", false)
+	var buf bytes.Buffer
+	if err := Encode(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.String()
+	mk := fmt.Sprintf(`"makespan_ms": %d`, int64(sol.Schedule.Makespan))
+	bad := strings.Replace(orig, mk, fmt.Sprintf(`"makespan_ms": %d`, int64(sol.Schedule.Makespan)+1), 1)
+	if bad == orig {
+		t.Fatalf("makespan field %q not found in encoding", mk)
+	}
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Fatal("Decode accepted a tampered makespan")
+	}
+	got, err := DecodeUnvalidated(strings.NewReader(bad))
+	if err != nil {
+		t.Fatalf("DecodeUnvalidated rejected the tampered file: %v", err)
+	}
+	if rep := core.Audit(got); rep.OK() {
+		t.Error("audit of the tampered solution found no violations")
+	}
+	// And an untampered file audits clean.
+	got, err = DecodeUnvalidated(strings.NewReader(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := core.Audit(got); !rep.OK() {
+		t.Errorf("audit of a clean round trip found violations:\n%s", rep)
+	}
+}

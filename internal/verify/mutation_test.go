@@ -1,0 +1,252 @@
+// Mutation-kill test: the auditor's reason to exist is catching invalid
+// solutions, so we measure that directly. Known-good synthesized
+// solutions are corrupted by a systematic catalogue of single-site
+// mutants — shifted operations, dropped or shortened washes, dropped,
+// duplicated or hastened transports, kinked, truncated or emptied routes,
+// displaced placements, corrupted aggregates — and the auditor must kill
+// (report at least one violation for) at least 95% of them. The few
+// legitimate survivors are mutants that happen to produce a different but
+// still-valid solution (e.g. truncating a route onto the outer port ring
+// of its destination), which a constraint auditor must NOT reject.
+package verify_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/solio"
+)
+
+// mutant is one deterministic single-site corruption.
+type mutant struct {
+	name string
+	// apply corrupts the solution; it reports false when the site
+	// vanished (defensive — sites are enumerated from the same solution).
+	apply func(*core.Solution) bool
+}
+
+// catalogue enumerates every mutation site of the solution.
+func catalogue(sol *core.Solution) []mutant {
+	var ms []mutant
+	add := func(name string, f func(*core.Solution) bool) {
+		ms = append(ms, mutant{name: name, apply: f})
+	}
+	for i := range sol.Schedule.Ops {
+		i := i
+		// The engine schedules as soon as ready, so hastening an operation
+		// always lands it before an arrival, a wash completion or the
+		// previous binding's end. (Delaying instead can produce a
+		// different but still-valid solution when the op has slack — an
+		// equivalent mutant the auditor must accept, so it is not used.)
+		add(fmt.Sprintf("op-shift-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Ops[i].Start--
+			s.Schedule.Ops[i].End--
+			return true
+		})
+		add(fmt.Sprintf("op-stretch-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Ops[i].End++
+			return true
+		})
+		if sol.Schedule.Ops[i].InPlace {
+			add(fmt.Sprintf("inplace-drop-%d", i), func(s *core.Solution) bool {
+				s.Schedule.Ops[i].InPlace = false
+				return true
+			})
+		}
+	}
+	// Swap the time slots of consecutive bindings on one component.
+	for i := range sol.Schedule.Ops {
+		for j := i + 1; j < len(sol.Schedule.Ops); j++ {
+			if sol.Schedule.Ops[i].Comp != sol.Schedule.Ops[j].Comp {
+				continue
+			}
+			i, j := i, j
+			add(fmt.Sprintf("op-swap-%d-%d", i, j), func(s *core.Solution) bool {
+				a, b := &s.Schedule.Ops[i], &s.Schedule.Ops[j]
+				a.Start, b.Start = b.Start, a.Start
+				a.End, b.End = b.End, a.End
+				return true
+			})
+			break // one swap partner per op keeps the catalogue linear
+		}
+	}
+	for i := range sol.Schedule.Washes {
+		i := i
+		add(fmt.Sprintf("wash-drop-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Washes = append(s.Schedule.Washes[:i:i], s.Schedule.Washes[i+1:]...)
+			return true
+		})
+		add(fmt.Sprintf("wash-shorten-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Washes[i].End--
+			return true
+		})
+		add(fmt.Sprintf("wash-move-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Washes[i].Start--
+			s.Schedule.Washes[i].End--
+			return true
+		})
+	}
+	for i := range sol.Schedule.Transports {
+		i := i
+		add(fmt.Sprintf("tr-drop-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Transports = append(s.Schedule.Transports[:i:i], s.Schedule.Transports[i+1:]...)
+			return true
+		})
+		add(fmt.Sprintf("tr-dup-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Transports = append(s.Schedule.Transports, s.Schedule.Transports[i])
+			return true
+		})
+		add(fmt.Sprintf("tr-early-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Transports[i].Depart--
+			return true
+		})
+		add(fmt.Sprintf("tr-wash-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Transports[i].WashTime++
+			return true
+		})
+	}
+	for i := range sol.Schedule.Caches {
+		i := i
+		add(fmt.Sprintf("cache-drop-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Caches = append(s.Schedule.Caches[:i:i], s.Schedule.Caches[i+1:]...)
+			return true
+		})
+		add(fmt.Sprintf("cache-shift-%d", i), func(s *core.Solution) bool {
+			s.Schedule.Caches[i].Start--
+			return true
+		})
+	}
+	for i := range sol.Routing.Routes {
+		i := i
+		add(fmt.Sprintf("route-empty-%d", i), func(s *core.Solution) bool {
+			s.Routing.Routes[i].Path = nil
+			return true
+		})
+		add(fmt.Sprintf("route-trunc-%d", i), func(s *core.Solution) bool {
+			p := s.Routing.Routes[i].Path
+			if len(p) == 0 {
+				return false
+			}
+			s.Routing.Routes[i].Path = p[:len(p)-1]
+			return true
+		})
+		add(fmt.Sprintf("route-kink-%d", i), func(s *core.Solution) bool {
+			p := s.Routing.Routes[i].Path
+			if len(p) < 3 {
+				return false
+			}
+			p[len(p)/2].X++
+			return true
+		})
+	}
+	for i := range sol.Placement.Rects {
+		i := i
+		add(fmt.Sprintf("rect-oob-%d", i), func(s *core.Solution) bool {
+			s.Placement.Rects[i].X += s.Placement.W
+			return true
+		})
+		if i > 0 {
+			add(fmt.Sprintf("rect-overlap-%d", i), func(s *core.Solution) bool {
+				s.Placement.Rects[i].X = s.Placement.Rects[0].X
+				s.Placement.Rects[i].Y = s.Placement.Rects[0].Y
+				return true
+			})
+		}
+	}
+	add("makespan-bump", func(s *core.Solution) bool {
+		s.Schedule.Makespan++
+		return true
+	})
+	add("union-cells-bump", func(s *core.Solution) bool {
+		s.Routing.UnionCells++
+		return true
+	})
+	add("channel-wash-bump", func(s *core.Solution) bool {
+		s.Routing.ChannelWash++
+		return true
+	})
+	return ms
+}
+
+// freshCopy deep-copies the solution through the serialization round trip
+// (without re-validating, since the copy is about to be corrupted).
+func freshCopy(t *testing.T, encoded []byte) *core.Solution {
+	t.Helper()
+	sol, err := solio.DecodeUnvalidated(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestMutationKillRate(t *testing.T) {
+	for _, run := range []struct {
+		bench    string
+		baseline bool
+	}{
+		{"PCR", false},
+		{"PCR", true},
+		{"IVD", false},
+	} {
+		run := run
+		algo := "ours"
+		if run.baseline {
+			algo = "BA"
+		}
+		t.Run(run.bench+"/"+algo, func(t *testing.T) {
+			t.Parallel()
+			bm, err := benchdata.ByName(run.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := core.DefaultOptions()
+			o.Place.Imax = 30
+			var sol *core.Solution
+			if run.baseline {
+				sol, err = core.SynthesizeBaseline(bm.Graph, bm.Alloc, o)
+			} else {
+				sol, err = core.Synthesize(bm.Graph, bm.Alloc, o)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := core.Audit(sol); !rep.OK() {
+				t.Fatalf("baseline-of-truth solution is not clean:\n%s", rep)
+			}
+			var buf bytes.Buffer
+			if err := solio.Encode(&buf, sol); err != nil {
+				t.Fatal(err)
+			}
+			encoded := buf.Bytes()
+
+			muts := catalogue(sol)
+			if len(muts) < 30 {
+				t.Fatalf("only %d mutants enumerated — the catalogue lost sites", len(muts))
+			}
+			killed, applied := 0, 0
+			var survivors []string
+			for _, m := range muts {
+				cp := freshCopy(t, encoded)
+				if !m.apply(cp) {
+					continue
+				}
+				applied++
+				if rep := core.Audit(cp); !rep.OK() {
+					killed++
+				} else {
+					survivors = append(survivors, m.name)
+				}
+			}
+			rate := float64(killed) / float64(applied)
+			t.Logf("%d/%d mutants killed (%.1f%%), survivors: %v",
+				killed, applied, 100*rate, survivors)
+			if rate < 0.95 {
+				t.Errorf("kill rate %.1f%% below the 95%% guarantee; survivors: %v",
+					100*rate, survivors)
+			}
+		})
+	}
+}

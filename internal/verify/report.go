@@ -1,0 +1,171 @@
+// Package verify is an implementation-independent auditor for complete
+// synthesis solutions. It re-derives every constraint the three pipeline
+// stages must satisfy — sequencing-graph precedence and component
+// exclusivity in the schedule, DCSA storage legality (Eq. 2 and the Case I
+// lowest-diffusion reuse rule of Algorithm 1), placement bounds and
+// overlap, and the time-slot routing condition of Eq. 5 — directly from
+// the paper's formulation, sharing no logic with the algorithms that
+// construct solutions. A violation anywhere is reported as a typed entry
+// in a Report rather than aborting at the first failure, so tests and CI
+// gates can assert on specific failure classes.
+//
+// The auditor is the correctness backstop for the golden-fingerprint
+// regression suite: fingerprints pin one implementation's output bytes,
+// while the auditor pins the constraints any implementation must meet.
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Class partitions violations by the constraint family they break.
+type Class string
+
+// The violation classes, one per independently checkable rule family.
+const (
+	// Structure: malformed records — wrong counts, dangling IDs, bad
+	// durations, type-incompatible bindings.
+	Structure Class = "structure"
+	// Precedence: a fluidic dependency of the sequencing graph is not
+	// realised, or its transport violates the t_c timing discipline.
+	Precedence Class = "precedence"
+	// Exclusivity: two operations (or an operation and a wash) overlap on
+	// one component.
+	Exclusivity Class = "exclusivity"
+	// Storage: DCSA storage legality — a component accepted a new binding
+	// before its residue wash completed, a wash is missing, duplicated or
+	// has the wrong duration for its residue's diffusion coefficient.
+	Storage Class = "storage"
+	// CaseI: the proposed binder's Case I rule — a resident parent output
+	// that must be consumed in place was not, or a higher-diffusion parent
+	// was preferred over the lowest-diffusion resident one.
+	CaseI Class = "case1"
+	// CacheCl: a distributed channel-storage episode is inconsistent with
+	// the transports it feeds.
+	CacheCl Class = "cache"
+	// Placement: a component footprint leaves the plane or overlaps
+	// another.
+	Placement Class = "placement"
+	// Routing: a transportation task's path is missing, disconnected,
+	// crosses a component footprint or terminates off its ports.
+	Routing Class = "routing"
+	// Slot: two transportation tasks of different fluids occupy one grid
+	// cell in intersecting time slots (the conflict condition of Eq. 5).
+	Slot Class = "slot"
+	// Metric: a reported aggregate (makespan, union channel length, total
+	// channel wash time) disagrees with its re-summed value.
+	Metric Class = "metric"
+)
+
+// Violation is one broken constraint.
+type Violation struct {
+	Class Class `json:"class"`
+	// Rule names the specific check within the class, e.g. "wash-duration".
+	Rule string `json:"rule"`
+	// Msg is the human-readable account with the offending IDs and times.
+	Msg string `json:"msg"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s/%s] %s", v.Class, v.Rule, v.Msg)
+}
+
+// Stats counts what the audit examined, so "no violations" can be told
+// apart from "nothing to check".
+type Stats struct {
+	Ops        int `json:"ops"`
+	Edges      int `json:"edges"`
+	Transports int `json:"transports"`
+	Caches     int `json:"caches"`
+	Washes     int `json:"washes"`
+	Rects      int `json:"rects"`
+	Routes     int `json:"routes"`
+	// Cells is the number of distinct grid cells carrying at least one
+	// occupancy slot; Slots the total slot count audited pairwise.
+	Cells int `json:"cells"`
+	Slots int `json:"slots"`
+}
+
+// Report is the structured outcome of one audit.
+type Report struct {
+	// Name is the audited assay's name.
+	Name string `json:"assay"`
+	// Baseline records which algorithm family the solution claims; the
+	// Case I policy checks only apply to the proposed flow.
+	Baseline   bool        `json:"baseline"`
+	Violations []Violation `json:"violations"`
+	Stats      Stats       `json:"stats"`
+}
+
+// OK reports whether the audit found no violations.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Count returns the number of violations in the given class.
+func (r *Report) Count(c Class) int {
+	n := 0
+	for _, v := range r.Violations {
+		if v.Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// ByClass returns the violations of one class, in detection order.
+func (r *Report) ByClass(c Class) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Class == c {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Err returns nil for a clean report, or an error summarising the first
+// violation and the total count — the form core.Options.Verify surfaces.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("verify: %d violation(s), first: %s", len(r.Violations), r.Violations[0])
+}
+
+// String renders the report as one line per violation (or a clean stamp).
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify %s: %d ops, %d transports, %d routes, %d slots",
+		r.Name, r.Stats.Ops, r.Stats.Transports, r.Stats.Routes, r.Stats.Slots)
+	if r.OK() {
+		b.WriteString(": OK")
+		return b.String()
+	}
+	fmt.Fprintf(&b, ": %d violation(s)", len(r.Violations))
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// MarshalJSON emits the report with a never-null violations array, so
+// `mfverify -json` consumers can index it unconditionally.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type alias Report
+	a := alias(*r)
+	if a.Violations == nil {
+		a.Violations = []Violation{}
+	}
+	return json.Marshal(a)
+}
+
+// add records a violation.
+func (r *Report) add(c Class, rule, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{
+		Class: c,
+		Rule:  rule,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}

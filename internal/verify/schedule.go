@@ -1,0 +1,496 @@
+package verify
+
+import (
+	"sort"
+
+	"repro/internal/assay"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// checkStructure validates that every record can be indexed safely: the
+// decision vector covers the assay, every component, operation, residue
+// and transport endpoint reference resolves, and durations are consistent.
+// It returns false when later checks could not index the records without
+// reading out of bounds.
+func (a *auditor) checkStructure() bool {
+	g, s, rep := a.in.Assay, a.in.Schedule, a.rep
+	rep.Stats.Ops = len(s.Ops)
+	rep.Stats.Edges = g.NumEdges()
+	rep.Stats.Transports = len(s.Transports)
+	rep.Stats.Caches = len(s.Caches)
+	rep.Stats.Washes = len(s.Washes)
+
+	ok := true
+	if len(s.Ops) != g.NumOps() {
+		rep.add(Structure, "op-count", "%d scheduling decisions for %d operations", len(s.Ops), g.NumOps())
+		return false
+	}
+	for i, c := range a.in.Comps {
+		if int(c.ID) != i {
+			rep.add(Structure, "comp-ids", "component %d carries non-dense ID %d", i, c.ID)
+			ok = false
+		}
+	}
+	for i, bo := range s.Ops {
+		op := g.Op(assay.OpID(i))
+		if bo.Op != op.ID {
+			rep.add(Structure, "op-id", "decision %d records operation ID %d", i, bo.Op)
+			ok = false
+		}
+		if bo.Comp < 0 || int(bo.Comp) >= len(a.in.Comps) {
+			rep.add(Structure, "op-comp", "operation %q bound to unknown component %d", op.Name, bo.Comp)
+			ok = false
+			continue
+		}
+		if a.in.Comps[bo.Comp].Kind.Type != op.Type {
+			rep.add(Structure, "op-type", "%v operation %q bound to %s",
+				op.Type, op.Name, a.in.Comps[bo.Comp].Name())
+		}
+		if bo.Start < 0 {
+			rep.add(Structure, "op-start", "operation %q starts at %v", op.Name, bo.Start)
+		}
+		if bo.End != bo.Start+op.Duration {
+			rep.add(Structure, "op-duration", "operation %q runs [%v,%v), duration says %v",
+				op.Name, bo.Start, bo.End, op.Duration)
+		}
+	}
+	for _, tr := range s.Transports {
+		if tr.Producer < 0 || int(tr.Producer) >= g.NumOps() ||
+			tr.Consumer < 0 || int(tr.Consumer) >= g.NumOps() {
+			rep.add(Structure, "transport-ops", "transport %d references unknown operations %d->%d",
+				tr.ID, tr.Producer, tr.Consumer)
+			ok = false
+		}
+		if tr.From < 0 || int(tr.From) >= len(a.in.Comps) ||
+			tr.To < 0 || int(tr.To) >= len(a.in.Comps) {
+			rep.add(Structure, "transport-comps", "transport %d moves between unknown components %d->%d",
+				tr.ID, tr.From, tr.To)
+			ok = false
+		}
+	}
+	for i, w := range s.Washes {
+		if w.Comp < 0 || int(w.Comp) >= len(a.in.Comps) {
+			rep.add(Structure, "wash-comp-id", "wash %d on unknown component %d", i, w.Comp)
+			ok = false
+		}
+		if w.Residue < 0 || int(w.Residue) >= g.NumOps() {
+			rep.add(Structure, "wash-residue-id", "wash %d removes residue of unknown operation %d", i, w.Residue)
+			ok = false
+		}
+		if w.End < w.Start {
+			rep.add(Structure, "wash-interval", "wash %d spans negative interval [%v,%v)", i, w.Start, w.End)
+		}
+	}
+	for i, ce := range s.Caches {
+		if ce.Producer < 0 || int(ce.Producer) >= g.NumOps() {
+			rep.add(Structure, "cache-producer-id", "cache %d stores output of unknown operation %d", i, ce.Producer)
+			ok = false
+		}
+		if ce.From < 0 || int(ce.From) >= len(a.in.Comps) {
+			rep.add(Structure, "cache-comp-id", "cache %d evicted from unknown component %d", i, ce.From)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// transportsByEdge indexes the transports by (producer, consumer),
+// reporting duplicates as precedence violations.
+func (a *auditor) transportsByEdge() map[[2]assay.OpID]*schedule.Transport {
+	byEdge := make(map[[2]assay.OpID]*schedule.Transport, len(a.in.Schedule.Transports))
+	for i := range a.in.Schedule.Transports {
+		tr := &a.in.Schedule.Transports[i]
+		k := [2]assay.OpID{tr.Producer, tr.Consumer}
+		if byEdge[k] != nil {
+			a.rep.add(Precedence, "duplicate-transport", "edge %d->%d served by more than one transport", tr.Producer, tr.Consumer)
+			continue
+		}
+		byEdge[k] = tr
+	}
+	return byEdge
+}
+
+// checkPrecedence audits the realisation of every fluidic dependency
+// e_{i,j}: either in-place consumption on a shared component, or exactly
+// one transportation task of duration t_c that departs no earlier than the
+// producer's end and arrives no later than the consumer's start.
+func (a *auditor) checkPrecedence() {
+	g, s, rep := a.in.Assay, a.in.Schedule, a.rep
+	tc := s.Opts.TC
+	byEdge := a.transportsByEdge()
+
+	for _, e := range g.Edges() {
+		p, c := s.Ops[e.From], s.Ops[e.To]
+		tr := byEdge[[2]assay.OpID{e.From, e.To}]
+		if c.InPlace && c.InPlaceParent == e.From {
+			if tr != nil {
+				rep.add(Precedence, "inplace-and-transport", "edge %d->%d consumed in place but also transported", e.From, e.To)
+			}
+			if p.Comp != c.Comp {
+				rep.add(Precedence, "inplace-cross-comp", "edge %d->%d in place across components %d and %d",
+					e.From, e.To, p.Comp, c.Comp)
+			}
+			if c.Start < p.End {
+				rep.add(Precedence, "inplace-order", "in-place consumer %d starts %v before producer %d ends %v",
+					e.To, c.Start, e.From, p.End)
+			}
+			continue
+		}
+		if tr == nil {
+			rep.add(Precedence, "edge-unrealised", "edge %d->%d has neither transport nor in-place consumption", e.From, e.To)
+			continue
+		}
+		if tr.Arrive-tr.Depart != tc {
+			rep.add(Precedence, "transport-duration", "transport %d takes %v, t_c is %v", tr.ID, tr.Arrive-tr.Depart, tc)
+		}
+		if tr.Depart < p.End {
+			rep.add(Precedence, "transport-early", "transport %d departs %v before producer %d ends %v",
+				tr.ID, tr.Depart, e.From, p.End)
+		}
+		if tr.Arrive > c.Start {
+			rep.add(Precedence, "transport-late", "transport %d arrives %v after consumer %d starts %v",
+				tr.ID, tr.Arrive, e.To, c.Start)
+		}
+		if tr.From != p.Comp {
+			rep.add(Precedence, "transport-src", "transport %d departs from component %d, producer %d ran on %d",
+				tr.ID, tr.From, e.From, p.Comp)
+		}
+		if tr.To != c.Comp {
+			rep.add(Precedence, "transport-dst", "transport %d arrives at component %d, consumer %d runs on %d",
+				tr.ID, tr.To, e.To, c.Comp)
+		}
+		if tr.FromChannel && (tr.CacheStart < p.End || tr.CacheStart > tr.Depart) {
+			rep.add(Precedence, "transport-cache-window", "transport %d cached at %v, outside [%v,%v]",
+				tr.ID, tr.CacheStart, p.End, tr.Depart)
+		}
+	}
+
+	edges := make(map[[2]assay.OpID]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		edges[[2]assay.OpID{e.From, e.To}] = true
+	}
+	for _, tr := range s.Transports {
+		if !edges[[2]assay.OpID{tr.Producer, tr.Consumer}] {
+			rep.add(Precedence, "transport-no-edge", "transport %d serves non-existent dependency %d->%d",
+				tr.ID, tr.Producer, tr.Consumer)
+		}
+	}
+	for i, bo := range s.Ops {
+		if bo.InPlace && !hasParent(g, assay.OpID(i), bo.InPlaceParent) {
+			rep.add(Precedence, "inplace-not-parent", "operation %d claims in-place consumption of %d, which is not a parent",
+				i, bo.InPlaceParent)
+		}
+	}
+}
+
+// opsByComp groups the scheduling decisions per component, sorted by
+// start time (ties by operation ID for determinism).
+func (a *auditor) opsByComp() [][]schedule.BoundOp {
+	by := make([][]schedule.BoundOp, len(a.in.Comps))
+	for _, bo := range a.in.Schedule.Ops {
+		by[bo.Comp] = append(by[bo.Comp], bo)
+	}
+	for _, ops := range by {
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].Start != ops[j].Start {
+				return ops[i].Start < ops[j].Start
+			}
+			return ops[i].Op < ops[j].Op
+		})
+	}
+	return by
+}
+
+// checkExclusivity audits component resource exclusivity: no two
+// operations overlap on one component, and no wash overlaps an operation
+// on its component.
+func (a *auditor) checkExclusivity() {
+	rep := a.rep
+	byComp := a.opsByComp()
+	for c, ops := range byComp {
+		for i := 1; i < len(ops); i++ {
+			if ops[i].Start < ops[i-1].End {
+				rep.add(Exclusivity, "op-overlap", "operations %d and %d overlap on %s ([%v,%v) vs [%v,%v))",
+					ops[i-1].Op, ops[i].Op, a.in.Comps[c].Name(),
+					ops[i-1].Start, ops[i-1].End, ops[i].Start, ops[i].End)
+			}
+		}
+	}
+	for _, w := range a.in.Schedule.Washes {
+		for _, bo := range byComp[w.Comp] {
+			if w.Start < bo.End && bo.Start < w.End {
+				rep.add(Exclusivity, "wash-overlap", "wash of residue %d overlaps operation %d on %s ([%v,%v) vs [%v,%v))",
+					w.Residue, bo.Op, a.in.Comps[w.Comp].Name(), w.Start, w.End, bo.Start, bo.End)
+			}
+		}
+	}
+}
+
+// inPlaceConsumerOf maps each operation to the child that consumed its
+// output in place (NoOp when the output left through transports).
+func (a *auditor) inPlaceConsumerOf() []assay.OpID {
+	consumer := make([]assay.OpID, a.in.Assay.NumOps())
+	for i := range consumer {
+		consumer[i] = assay.NoOp
+	}
+	for i, bo := range a.in.Schedule.Ops {
+		if bo.InPlace && bo.InPlaceParent >= 0 && int(bo.InPlaceParent) < len(consumer) {
+			consumer[bo.InPlaceParent] = assay.OpID(i)
+		}
+	}
+	return consumer
+}
+
+// residueDeparture returns the instant op's residue left its component:
+// the eviction instant when the fluid moved to channel storage, the
+// latest transport departure otherwise, or the operation's end for a
+// final product collected immediately.
+func (a *auditor) residueDeparture(op assay.OpID, caches map[assay.OpID]*schedule.ChannelCache) unit.Time {
+	if ce := caches[op]; ce != nil {
+		return ce.Start
+	}
+	dep := a.in.Schedule.Ops[op].End
+	for _, tr := range a.in.Schedule.Transports {
+		if tr.Producer == op && tr.Depart > dep {
+			dep = tr.Depart
+		}
+	}
+	return dep
+}
+
+// cachesByProducer indexes the channel-cache episodes, reporting
+// duplicates (one token is evicted at most once).
+func (a *auditor) cachesByProducer() map[assay.OpID]*schedule.ChannelCache {
+	by := make(map[assay.OpID]*schedule.ChannelCache, len(a.in.Schedule.Caches))
+	for i := range a.in.Schedule.Caches {
+		ce := &a.in.Schedule.Caches[i]
+		if by[ce.Producer] != nil {
+			a.rep.add(CacheCl, "cache-duplicate", "output of operation %d cached twice", ce.Producer)
+			continue
+		}
+		by[ce.Producer] = ce
+	}
+	return by
+}
+
+// checkStorage audits the DCSA storage-legality rules derived from Eq. 2:
+// every residue is washed exactly once with the duration its diffusion
+// coefficient demands (unless the output was consumed in place, which
+// eliminates the wash), the wash starts only after the residue departed,
+// and a component never accepts a new binding before the previous
+// residue's wash completed — t_ready(c) = t_remove(prev) + wash(prev).
+func (a *auditor) checkStorage() {
+	g, s, rep := a.in.Assay, a.in.Schedule, a.rep
+	wm := s.Opts.Wash
+	inPlace := a.inPlaceConsumerOf()
+	caches := a.cachesByProducer()
+
+	washes := make(map[assay.OpID][]schedule.ComponentWash)
+	for _, w := range s.Washes {
+		washes[w.Residue] = append(washes[w.Residue], w)
+	}
+
+	for i := range s.Ops {
+		op := g.Op(assay.OpID(i))
+		ws := washes[op.ID]
+		if inPlace[i] != assay.NoOp {
+			if len(ws) > 0 {
+				rep.add(Storage, "wash-unexpected", "residue of %d was consumed in place by %d yet washed", i, inPlace[i])
+			}
+			continue
+		}
+		switch {
+		case len(ws) == 0:
+			rep.add(Storage, "wash-missing", "residue of operation %d on component %d never washed", i, s.Ops[i].Comp)
+			continue
+		case len(ws) > 1:
+			rep.add(Storage, "wash-duplicate", "residue of operation %d washed %d times", i, len(ws))
+		}
+		w := ws[0]
+		if want := wm.WashTime(op.Output.D); w.End-w.Start != want {
+			rep.add(Storage, "wash-duration", "wash of residue %d (%s, D=%v) lasts %v, model demands %v",
+				i, op.Output.Name, op.Output.D, w.End-w.Start, want)
+		}
+		if w.Comp != s.Ops[i].Comp {
+			rep.add(Storage, "wash-comp", "residue of %d left on component %d but washed on %d",
+				i, s.Ops[i].Comp, w.Comp)
+		}
+		if dep := a.residueDeparture(assay.OpID(i), caches); w.Start < dep {
+			rep.add(Storage, "wash-early", "wash of residue %d starts %v while the fluid departs only at %v",
+				i, w.Start, dep)
+		}
+	}
+
+	// Transports must carry the producer's fluid and the wash time its
+	// residue imposes on the channel cells it crosses — the quantities the
+	// router's Eq. 5 weights and the Fig. 9 accounting depend on.
+	for _, tr := range s.Transports {
+		out := g.Op(tr.Producer).Output
+		if tr.Fluid.Name != out.Name || tr.Fluid.D != out.D {
+			rep.add(Storage, "transport-fluid", "transport %d carries %q (D=%v), producer %d outputs %q (D=%v)",
+				tr.ID, tr.Fluid.Name, tr.Fluid.D, tr.Producer, out.Name, out.D)
+		}
+		if want := wm.WashTime(out.D); tr.WashTime != want {
+			rep.add(Storage, "transport-wash", "transport %d declares wash %v, residue of %q demands %v",
+				tr.ID, tr.WashTime, out.Name, want)
+		}
+	}
+
+	// Eq. 2: between consecutive bindings A then B on one component, A's
+	// residue wash must complete before B starts — unless B consumed A's
+	// output in place, which removes both the transport and the wash.
+	for c, ops := range a.opsByComp() {
+		for i := 1; i < len(ops); i++ {
+			prev, cur := ops[i-1], ops[i]
+			if cur.InPlace && cur.InPlaceParent == prev.Op {
+				continue
+			}
+			if cons := inPlace[prev.Op]; cons != assay.NoOp {
+				// A later operation claims in-place consumption of prev's
+				// output even though cur ran in between — impossible, the
+				// intervening binding would have evicted the fluid.
+				rep.add(Storage, "inplace-not-adjacent", "operation %d consumed %d in place on component %d despite intervening operation %d",
+					cons, prev.Op, c, cur.Op)
+				continue
+			}
+			ws := washes[prev.Op]
+			if len(ws) == 0 {
+				continue // reported as wash-missing above
+			}
+			if ws[0].End > cur.Start {
+				rep.add(Storage, "rebind-before-wash", "component %d rebinds to operation %d at %v before the wash of residue %d completes at %v",
+					c, cur.Op, cur.Start, prev.Op, ws[0].End)
+			}
+		}
+	}
+}
+
+// checkCaches audits the distributed channel-storage episodes against the
+// transports they feed: an episode opens no earlier than its producer's
+// end, every from-channel transport departs from an episode of its
+// producer within the episode's span, and the episode closes exactly at
+// the last such departure.
+func (a *auditor) checkCaches() {
+	s, rep := a.in.Schedule, a.rep
+	caches := a.cachesByProducer()
+
+	lastDepart := make(map[assay.OpID]unit.Time)
+	served := make(map[assay.OpID]bool)
+	for _, tr := range s.Transports {
+		if !tr.FromChannel {
+			continue
+		}
+		served[tr.Producer] = true
+		ce := caches[tr.Producer]
+		if ce == nil {
+			rep.add(CacheCl, "cache-missing", "transport %d departs from channel storage but operation %d has no cache episode",
+				tr.ID, tr.Producer)
+			continue
+		}
+		if tr.CacheStart != ce.Start {
+			rep.add(CacheCl, "cache-start", "transport %d records cache start %v, episode of %d opens at %v",
+				tr.ID, tr.CacheStart, tr.Producer, ce.Start)
+		}
+		if tr.Depart < ce.Start || tr.Depart > ce.End {
+			rep.add(CacheCl, "cache-span", "transport %d departs channel storage at %v, outside episode [%v,%v)",
+				tr.ID, tr.Depart, ce.Start, ce.End)
+		}
+		if tr.Depart > lastDepart[tr.Producer] {
+			lastDepart[tr.Producer] = tr.Depart
+		}
+	}
+	for p, ce := range caches {
+		if ce.End < ce.Start {
+			rep.add(CacheCl, "cache-negative", "cache episode of %d spans negative interval [%v,%v)", p, ce.Start, ce.End)
+		}
+		if ce.Start < s.Ops[p].End {
+			rep.add(CacheCl, "cache-early", "cache episode of %d opens %v before the operation ends %v",
+				p, ce.Start, s.Ops[p].End)
+		}
+		if ce.From != s.Ops[p].Comp {
+			rep.add(CacheCl, "cache-comp", "cache episode of %d evicted from component %d, operation ran on %d",
+				p, ce.From, s.Ops[p].Comp)
+		}
+		if !served[p] {
+			rep.add(CacheCl, "cache-unused", "cache episode of %d feeds no from-channel transport", p)
+			continue
+		}
+		if want := unit.MaxTime(ce.Start, lastDepart[p]); ce.End != want {
+			rep.add(CacheCl, "cache-end", "cache episode of %d closes at %v, last departure is %v", p, ce.End, want)
+		}
+	}
+}
+
+// checkCaseI audits the binding policy of Algorithm 1's Case I for the
+// proposed flow: whenever a parent's output provably sat in its component
+// with the audited operation as its only consumer (same type, a single
+// child, never evicted to channel storage), the operation must consume a
+// resident parent in place — and never a strictly higher-diffusion one
+// while a lower-diffusion resident parent was available.
+func (a *auditor) checkCaseI() {
+	g, s, rep := a.in.Assay, a.in.Schedule, a.rep
+	caches := a.cachesByProducer()
+
+	// eligible reports that parent p's output was certainly resident and
+	// Case-I-consumable when the binder processed op: p produces for op
+	// alone, was never evicted, and matches op's component type.
+	eligible := func(op assay.Operation, p assay.OpID) bool {
+		pop := g.Op(p)
+		return pop.Type == op.Type && len(g.Children(p)) == 1 && caches[p] == nil
+	}
+
+	for i, bo := range s.Ops {
+		op := g.Op(assay.OpID(i))
+		bestD := unit.Diffusion(0)
+		found := false
+		for _, p := range g.Parents(op.ID) {
+			if !eligible(op, p) {
+				continue
+			}
+			if d := g.Op(p).Output.D; !found || d < bestD {
+				bestD = d
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		if !bo.InPlace {
+			rep.add(CaseI, "case1-missed", "operation %d had a resident single-consumer parent (D=%v) but was not bound in place",
+				i, bestD)
+			continue
+		}
+		if pd := g.Op(bo.InPlaceParent).Output.D; pd > bestD {
+			rep.add(CaseI, "case1-not-lowest", "operation %d consumed parent %d (D=%v) in place while a D=%v parent was resident",
+				i, bo.InPlaceParent, pd, bestD)
+		}
+	}
+}
+
+// checkScheduleMetrics audits the reported schedule aggregates.
+func (a *auditor) checkScheduleMetrics() {
+	s, rep := a.in.Schedule, a.rep
+	var maxEnd unit.Time
+	for _, bo := range s.Ops {
+		if bo.End > maxEnd {
+			maxEnd = bo.End
+		}
+	}
+	if s.Makespan != maxEnd {
+		rep.add(Metric, "makespan", "reported makespan %v, latest operation ends at %v", s.Makespan, maxEnd)
+	}
+	if u := s.Utilization(); u < 0 || u > 1 {
+		rep.add(Metric, "utilization", "utilization %v outside [0,1]", u)
+	}
+}
+
+// hasParent reports whether p is a parent of o in the sequencing graph.
+func hasParent(g *assay.Graph, o, p assay.OpID) bool {
+	for _, q := range g.Parents(o) {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

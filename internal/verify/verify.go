@@ -1,0 +1,78 @@
+package verify
+
+import (
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/schedule"
+)
+
+// Input is a complete solution to audit. Assay, Comps and Schedule are
+// mandatory; Placement and Routing may be nil to audit a schedule-only
+// result (e.g. the output of internal/exact), and Routing requires
+// Placement. The schedule options (t_c, wash model) are read from
+// Schedule.Opts and the grid pitch from Routing — the auditor needs the
+// problem parameters, never the solver's parameters.
+type Input struct {
+	Assay     *assay.Graph
+	Comps     []chip.Component
+	Schedule  *schedule.Result
+	Placement *place.Placement
+	Routing   *route.Result
+	// Baseline solutions are exempt from the Case I policy checks: the
+	// comparison algorithm BA deliberately ignores resident fluids.
+	Baseline bool
+}
+
+// Audit re-derives every constraint of the DCSA formulation against the
+// solution and returns all violations found. It never mutates its input
+// and never stops early: a report lists every broken rule it can still
+// meaningfully evaluate (structurally broken sections are skipped once
+// their records cannot be indexed safely).
+func Audit(in Input) *Report {
+	rep := &Report{Baseline: in.Baseline}
+	if in.Assay != nil {
+		rep.Name = in.Assay.Name()
+	}
+
+	if in.Assay == nil || in.Schedule == nil {
+		rep.add(Structure, "input", "audit needs at least an assay and a schedule")
+		return rep
+	}
+	if len(in.Comps) == 0 {
+		rep.add(Structure, "input", "no components allocated")
+		return rep
+	}
+
+	a := &auditor{in: in, rep: rep}
+	if !a.checkStructure() {
+		// Records cannot be indexed safely; the remaining checks would
+		// read out of bounds rather than find real violations.
+		return rep
+	}
+	a.checkPrecedence()
+	a.checkExclusivity()
+	a.checkStorage()
+	a.checkCaches()
+	if !in.Baseline {
+		a.checkCaseI()
+	}
+
+	if in.Placement != nil {
+		a.checkPlacement()
+		if in.Routing != nil {
+			a.checkRouting()
+		}
+	} else if in.Routing != nil {
+		rep.add(Structure, "input", "routing given without a placement")
+	}
+	a.checkScheduleMetrics()
+	return rep
+}
+
+// auditor carries the cross-check state shared by the rule families.
+type auditor struct {
+	in  Input
+	rep *Report
+}

@@ -1,0 +1,411 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// The fixtures are minimal hand-built solutions, each constructed to be
+// audit-clean; every table case below applies one targeted corruption and
+// asserts the auditor reports the exact rule it breaks. All times are the
+// paper's defaults (t_c = 2 s) and the two fluids sit on the wash model's
+// calibration points so wash durations are exact.
+var (
+	testWash = fluid.DefaultWashModel()
+	// fastFluid is a high-diffusion (quick-wash) sample, slowFluid a
+	// low-diffusion (slow-wash) one.
+	fastFluid = fluid.Fluid{Name: "s-fast", D: unit.DiffusionSmallMolecule}
+	slowFluid = fluid.Fluid{Name: "s-slow", D: unit.DiffusionLargeVirus}
+)
+
+func sec(s float64) unit.Time { return unit.Seconds(s) }
+
+// twoStep: mix0 on the mixer [0,4s), one transport [4s,6s), heat1 on the
+// heater [6s,9s). Schedule-only (no placement or routing).
+func twoStep() Input {
+	b := assay.NewBuilder("twoStep")
+	o0 := b.AddOp("mix0", assay.Mix, sec(4), fastFluid)
+	o1 := b.AddOp("heat1", assay.Heat, sec(3), slowFluid)
+	b.AddDep(o0, o1)
+	g := b.MustBuild()
+	comps := chip.Allocation{1, 1, 0, 0}.Instantiate()
+	s := &schedule.Result{Assay: g, Comps: comps, Opts: schedule.DefaultOptions(), Makespan: sec(9)}
+	s.Ops = []schedule.BoundOp{
+		{Op: o0, Comp: 0, Start: 0, End: sec(4)},
+		{Op: o1, Comp: 1, Start: sec(6), End: sec(9)},
+	}
+	s.Transports = []schedule.Transport{{
+		ID: 0, Producer: o0, Consumer: o1, From: 0, To: 1,
+		Depart: sec(4), Arrive: sec(6),
+		Fluid: fastFluid, WashTime: testWash.WashTime(fastFluid.D),
+	}}
+	s.Washes = []schedule.ComponentWash{
+		{Comp: 0, Residue: o0, Start: sec(4), End: sec(4) + testWash.WashTime(fastFluid.D)},
+		{Comp: 1, Residue: o1, Start: sec(9), End: sec(9) + testWash.WashTime(slowFluid.D)},
+	}
+	return Input{Assay: g, Comps: comps, Schedule: s}
+}
+
+// inPlace: mix0 [0,4s) and mix1 [4s,7s) on one mixer, the child consuming
+// the parent's output in place (Case I) — no transport, no parent wash.
+func inPlace() Input {
+	b := assay.NewBuilder("inPlace")
+	o0 := b.AddOp("mix0", assay.Mix, sec(4), fastFluid)
+	o1 := b.AddOp("mix1", assay.Mix, sec(3), slowFluid)
+	b.AddDep(o0, o1)
+	g := b.MustBuild()
+	comps := chip.Allocation{1, 0, 0, 0}.Instantiate()
+	s := &schedule.Result{Assay: g, Comps: comps, Opts: schedule.DefaultOptions(), Makespan: sec(7)}
+	s.Ops = []schedule.BoundOp{
+		{Op: o0, Comp: 0, Start: 0, End: sec(4)},
+		{Op: o1, Comp: 0, Start: sec(4), End: sec(7), InPlace: true, InPlaceParent: o0},
+	}
+	s.Washes = []schedule.ComponentWash{
+		{Comp: 0, Residue: o1, Start: sec(7), End: sec(7) + testWash.WashTime(slowFluid.D)},
+	}
+	return Input{Assay: g, Comps: comps, Schedule: s}
+}
+
+// cached: twoStep, but the mixer's output is evicted into channel storage
+// at 4s, parks until 7s and only then moves to the heater ([7s,9s)).
+func cached() Input {
+	in := twoStep()
+	s := in.Schedule
+	tr := &s.Transports[0]
+	tr.FromChannel, tr.CacheStart = true, sec(4)
+	tr.Depart, tr.Arrive = sec(7), sec(9)
+	s.Ops[1].Start, s.Ops[1].End = sec(9), sec(12)
+	s.Makespan = sec(12)
+	s.Washes[1].Start, s.Washes[1].End = sec(12), sec(12)+testWash.WashTime(slowFluid.D)
+	s.Caches = []schedule.ChannelCache{{
+		Producer: s.Ops[0].Op, From: 0, Start: sec(4), End: sec(7), Fluid: fastFluid,
+	}}
+	return in
+}
+
+// twoParents: mix0 (high-D output) and mix1 (low-D output) both feed mix2;
+// with two mixers both parents are resident and Case I must pick the
+// low-diffusion one (mix1), while mix0's output is transported over.
+func twoParents() Input {
+	b := assay.NewBuilder("twoParents")
+	o0 := b.AddOp("mix0", assay.Mix, sec(4), fastFluid)
+	o1 := b.AddOp("mix1", assay.Mix, sec(4), slowFluid)
+	o2 := b.AddOp("mix2", assay.Mix, sec(4), fastFluid)
+	b.AddDep(o0, o2)
+	b.AddDep(o1, o2)
+	g := b.MustBuild()
+	comps := chip.Allocation{2, 0, 0, 0}.Instantiate()
+	s := &schedule.Result{Assay: g, Comps: comps, Opts: schedule.DefaultOptions(), Makespan: sec(10)}
+	s.Ops = []schedule.BoundOp{
+		{Op: o0, Comp: 0, Start: 0, End: sec(4)},
+		{Op: o1, Comp: 1, Start: 0, End: sec(4)},
+		{Op: o2, Comp: 1, Start: sec(6), End: sec(10), InPlace: true, InPlaceParent: o1},
+	}
+	s.Transports = []schedule.Transport{{
+		ID: 0, Producer: o0, Consumer: o2, From: 0, To: 1,
+		Depart: sec(4), Arrive: sec(6),
+		Fluid: fastFluid, WashTime: testWash.WashTime(fastFluid.D),
+	}}
+	s.Washes = []schedule.ComponentWash{
+		{Comp: 0, Residue: o0, Start: sec(4), End: sec(4) + testWash.WashTime(fastFluid.D)},
+		{Comp: 1, Residue: o2, Start: sec(10), End: sec(10) + testWash.WashTime(fastFluid.D)},
+	}
+	return Input{Assay: g, Comps: comps, Schedule: s}
+}
+
+// chainRouted: mix0 (mixer) → heat1 (heater) → mix2 (mixer again), placed
+// side by side and routed through the 4-cell corridor between them — the
+// full-input fixture for the placement, routing, slot and metric rules.
+// The two transports traverse the same corridor cells in opposite
+// directions in disjoint windows, so the wash re-sum charges both fluids.
+func chainRouted() Input {
+	b := assay.NewBuilder("chainRouted")
+	o0 := b.AddOp("mix0", assay.Mix, sec(4), fastFluid)
+	o1 := b.AddOp("heat1", assay.Heat, sec(3), slowFluid)
+	o2 := b.AddOp("mix2", assay.Mix, sec(4), fastFluid)
+	b.AddDep(o0, o1)
+	b.AddDep(o1, o2)
+	g := b.MustBuild()
+	comps := chip.Allocation{1, 1, 0, 0}.Instantiate()
+	w0 := testWash.WashTime(fastFluid.D)
+	w1 := testWash.WashTime(slowFluid.D)
+	s := &schedule.Result{Assay: g, Comps: comps, Opts: schedule.DefaultOptions(), Makespan: sec(15)}
+	s.Ops = []schedule.BoundOp{
+		{Op: o0, Comp: 0, Start: 0, End: sec(4)},
+		{Op: o1, Comp: 1, Start: sec(6), End: sec(9)},
+		{Op: o2, Comp: 0, Start: sec(11), End: sec(15)},
+	}
+	s.Transports = []schedule.Transport{
+		{ID: 0, Producer: o0, Consumer: o1, From: 0, To: 1,
+			Depart: sec(4), Arrive: sec(6), Fluid: fastFluid, WashTime: w0},
+		{ID: 1, Producer: o1, Consumer: o2, From: 1, To: 0,
+			Depart: sec(9), Arrive: sec(11), Fluid: slowFluid, WashTime: w1},
+	}
+	s.Washes = []schedule.ComponentWash{
+		{Comp: 0, Residue: o0, Start: sec(4), End: sec(4) + w0},
+		{Comp: 1, Residue: o1, Start: sec(9), End: sec(9) + w1},
+		{Comp: 0, Residue: o2, Start: sec(15), End: sec(15) + w0},
+	}
+
+	// Mixer 4x3 at the origin, heater 3x2 at x=8; the corridor between
+	// them is row 0, columns 4..7.
+	pl := &place.Placement{W: 11, H: 3, Rects: []place.Rect{
+		{X: 0, Y: 0, W: 4, H: 3},
+		{X: 8, Y: 0, W: 3, H: 2},
+	}}
+	corridor := []route.Cell{{X: 4, Y: 0}, {X: 5, Y: 0}, {X: 6, Y: 0}, {X: 7, Y: 0}}
+	reverse := []route.Cell{{X: 7, Y: 0}, {X: 6, Y: 0}, {X: 5, Y: 0}, {X: 4, Y: 0}}
+	res := &route.Result{
+		GridW: 11, GridH: 3, Pitch: route.DefaultParams().Pitch,
+		Routes: []route.RoutedTask{
+			{Task: route.Task{ID: 0}, Path: corridor},
+			{Task: route.Task{ID: 1}, Path: reverse},
+		},
+		UnionCells:  4,
+		ChannelWash: 4 * (w0 + w1),
+	}
+	return Input{Assay: g, Comps: comps, Schedule: s, Placement: pl, Routing: res}
+}
+
+func hasRule(r *Report, c Class, rule string) bool {
+	for _, v := range r.ByClass(c) {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFixturesAuditClean pins the precondition every corruption case
+// depends on: the hand-built fixtures themselves carry zero violations.
+func TestFixturesAuditClean(t *testing.T) {
+	for _, f := range []struct {
+		name  string
+		build func() Input
+	}{
+		{"twoStep", twoStep},
+		{"inPlace", inPlace},
+		{"cached", cached},
+		{"twoParents", twoParents},
+		{"chainRouted", chainRouted},
+	} {
+		if rep := Audit(f.build()); !rep.OK() {
+			t.Errorf("%s fixture is not clean:\n%s", f.name, rep)
+		}
+	}
+}
+
+// TestViolationRules corrupts each fixture one rule at a time and asserts
+// the auditor reports exactly that rule (collateral violations from the
+// same corruption are allowed — one broken invariant often implies
+// others — but the targeted rule must be among them).
+func TestViolationRules(t *testing.T) {
+	ms := unit.Time(1)
+	cases := []struct {
+		name   string
+		build  func() Input
+		mutate func(*Input)
+		class  Class
+		rule   string
+	}{
+		{"op-duration", twoStep, func(in *Input) {
+			in.Schedule.Ops[0].End += ms
+		}, Structure, "op-duration"},
+		{"op-type", twoStep, func(in *Input) {
+			in.Schedule.Ops[1].Comp = 0
+		}, Structure, "op-type"},
+		{"op-count", twoStep, func(in *Input) {
+			in.Schedule.Ops = in.Schedule.Ops[:1]
+		}, Structure, "op-count"},
+		{"transport-early", twoStep, func(in *Input) {
+			tr := &in.Schedule.Transports[0]
+			tr.Depart -= sec(1)
+			tr.Arrive -= sec(1)
+		}, Precedence, "transport-early"},
+		{"transport-late", twoStep, func(in *Input) {
+			tr := &in.Schedule.Transports[0]
+			tr.Depart += sec(1)
+			tr.Arrive += sec(1)
+		}, Precedence, "transport-late"},
+		{"transport-duration", twoStep, func(in *Input) {
+			in.Schedule.Transports[0].Arrive -= sec(1)
+		}, Precedence, "transport-duration"},
+		{"edge-unrealised", twoStep, func(in *Input) {
+			in.Schedule.Transports = nil
+		}, Precedence, "edge-unrealised"},
+		{"transport-no-edge", twoStep, func(in *Input) {
+			s := in.Schedule
+			s.Transports = append(s.Transports, schedule.Transport{
+				ID: 1, Producer: s.Ops[1].Op, Consumer: s.Ops[0].Op, From: 1, To: 0,
+				Depart: sec(9), Arrive: sec(11),
+				Fluid: slowFluid, WashTime: testWash.WashTime(slowFluid.D),
+			})
+		}, Precedence, "transport-no-edge"},
+		{"op-overlap", inPlace, func(in *Input) {
+			in.Schedule.Ops[1].Start -= sec(1)
+			in.Schedule.Ops[1].End -= sec(1)
+		}, Exclusivity, "op-overlap"},
+		{"wash-overlap", twoStep, func(in *Input) {
+			w := &in.Schedule.Washes[0]
+			w.End -= w.Start - sec(2)
+			w.Start = sec(2)
+		}, Exclusivity, "wash-overlap"},
+		{"wash-missing", twoStep, func(in *Input) {
+			in.Schedule.Washes = in.Schedule.Washes[:1]
+		}, Storage, "wash-missing"},
+		{"wash-duplicate", twoStep, func(in *Input) {
+			s := in.Schedule
+			dup := s.Washes[1]
+			dup.Start += sec(10)
+			dup.End += sec(10)
+			s.Washes = append(s.Washes, dup)
+		}, Storage, "wash-duplicate"},
+		{"wash-duration", twoStep, func(in *Input) {
+			in.Schedule.Washes[1].End += ms
+		}, Storage, "wash-duration"},
+		{"wash-early", twoStep, func(in *Input) {
+			in.Schedule.Washes[0].Start -= ms
+			in.Schedule.Washes[0].End -= ms
+		}, Storage, "wash-early"},
+		{"wash-unexpected", inPlace, func(in *Input) {
+			s := in.Schedule
+			s.Washes = append(s.Washes, schedule.ComponentWash{
+				Comp: 0, Residue: s.Ops[0].Op,
+				Start: s.Washes[0].End, End: s.Washes[0].End + testWash.WashTime(fastFluid.D),
+			})
+		}, Storage, "wash-unexpected"},
+		{"rebind-before-wash", chainRouted, func(in *Input) {
+			in.Schedule.Ops[2].Start = sec(4.1)
+			in.Schedule.Ops[2].End = sec(8.1)
+		}, Storage, "rebind-before-wash"},
+		{"transport-wash", twoStep, func(in *Input) {
+			in.Schedule.Transports[0].WashTime += ms
+		}, Storage, "transport-wash"},
+		{"transport-fluid", twoStep, func(in *Input) {
+			in.Schedule.Transports[0].Fluid = slowFluid
+		}, Storage, "transport-fluid"},
+		{"cache-missing", cached, func(in *Input) {
+			in.Schedule.Caches = nil
+		}, CacheCl, "cache-missing"},
+		{"cache-unused", cached, func(in *Input) {
+			in.Schedule.Transports[0].FromChannel = false
+		}, CacheCl, "cache-unused"},
+		{"cache-end", cached, func(in *Input) {
+			in.Schedule.Caches[0].End += sec(1)
+		}, CacheCl, "cache-end"},
+		{"cache-early", cached, func(in *Input) {
+			in.Schedule.Caches[0].Start -= sec(1)
+			in.Schedule.Transports[0].CacheStart -= sec(1)
+		}, CacheCl, "cache-early"},
+		{"cache-span", cached, func(in *Input) {
+			in.Schedule.Transports[0].Depart += sec(1)
+			in.Schedule.Transports[0].Arrive += sec(1)
+		}, CacheCl, "cache-span"},
+		{"case1-missed", inPlace, func(in *Input) {
+			in.Schedule.Ops[1].InPlace = false
+		}, CaseI, "case1-missed"},
+		{"case1-not-lowest", twoParents, func(in *Input) {
+			in.Schedule.Ops[2].InPlaceParent = in.Schedule.Ops[0].Op
+		}, CaseI, "case1-not-lowest"},
+		{"placement-overlap", chainRouted, func(in *Input) {
+			in.Placement.Rects[1].X = 1
+		}, Placement, "overlap"},
+		{"placement-bounds", chainRouted, func(in *Input) {
+			in.Placement.Rects[1].X = 9
+		}, Placement, "bounds"},
+		{"footprint-size", chainRouted, func(in *Input) {
+			in.Placement.Rects[0].W = 5
+		}, Placement, "footprint-size"},
+		{"route-missing", chainRouted, func(in *Input) {
+			in.Routing.Routes = in.Routing.Routes[:1]
+		}, Routing, "route-missing"},
+		{"route-duplicate", chainRouted, func(in *Input) {
+			in.Routing.Routes = append(in.Routing.Routes, in.Routing.Routes[0])
+		}, Routing, "route-duplicate"},
+		{"route-unknown", chainRouted, func(in *Input) {
+			in.Routing.Routes[0].Task.ID = 99
+		}, Routing, "route-unknown"},
+		{"path-empty", chainRouted, func(in *Input) {
+			in.Routing.Routes[0].Path = nil
+		}, Routing, "path-empty"},
+		{"path-connectivity", chainRouted, func(in *Input) {
+			p := in.Routing.Routes[0].Path
+			in.Routing.Routes[0].Path = append(p[:1:1], p[2:]...)
+		}, Routing, "path-connectivity"},
+		{"endpoint-src", chainRouted, func(in *Input) {
+			in.Routing.Routes[0].Path = in.Routing.Routes[0].Path[2:]
+		}, Routing, "endpoint-src"},
+		{"path-blocked", chainRouted, func(in *Input) {
+			in.Routing.Routes[0].Path[0] = route.Cell{X: 3, Y: 0}
+		}, Routing, "path-blocked"},
+		{"slot-conflict", chainRouted, func(in *Input) {
+			in.Schedule.Transports[1].Depart = sec(5)
+			in.Schedule.Transports[1].Arrive = sec(7)
+		}, Slot, "slot-conflict"},
+		{"makespan", twoStep, func(in *Input) {
+			in.Schedule.Makespan += ms
+		}, Metric, "makespan"},
+		{"union-cells", chainRouted, func(in *Input) {
+			in.Routing.UnionCells++
+		}, Metric, "union-cells"},
+		{"wash-sum", chainRouted, func(in *Input) {
+			in.Routing.ChannelWash += ms
+		}, Metric, "wash-sum"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			in := tc.build()
+			tc.mutate(&in)
+			rep := Audit(in)
+			if rep.OK() {
+				t.Fatalf("corruption %s not detected", tc.name)
+			}
+			if !hasRule(rep, tc.class, tc.rule) {
+				t.Errorf("want %s/%s, got:\n%s", tc.class, tc.rule, rep)
+			}
+		})
+	}
+}
+
+// TestBaselineSkipsCaseI: the comparison algorithm BA deliberately
+// ignores resident fluids, so its solutions must not be held to the
+// Case I policy — but every physical rule still applies.
+func TestBaselineSkipsCaseI(t *testing.T) {
+	in := inPlace()
+	in.Baseline = true
+	in.Schedule.Ops[1].InPlace = false
+	rep := Audit(in)
+	if rep.Count(CaseI) != 0 {
+		t.Errorf("baseline solution held to Case I policy:\n%s", rep)
+	}
+	if !hasRule(rep, Precedence, "edge-unrealised") {
+		t.Errorf("physical rules must still apply to baseline:\n%s", rep)
+	}
+}
+
+// TestAuditEmptyInput: a nil or empty input is a structural violation,
+// never a panic.
+func TestAuditEmptyInput(t *testing.T) {
+	if rep := Audit(Input{}); rep.OK() {
+		t.Error("empty input audited clean")
+	}
+	in := twoStep()
+	in.Comps = nil
+	if rep := Audit(in); rep.OK() {
+		t.Error("solution without components audited clean")
+	}
+	in = twoStep()
+	in.Routing = &route.Result{}
+	in.Placement = nil
+	if rep := Audit(in); !hasRule(rep, Structure, "input") {
+		t.Error("routing without placement not reported")
+	}
+}

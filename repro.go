@@ -39,6 +39,7 @@ import (
 	"repro/internal/timing"
 	"repro/internal/unit"
 	"repro/internal/valve"
+	"repro/internal/verify"
 	"repro/internal/viz"
 	"repro/internal/washplan"
 	"repro/internal/whatif"
@@ -90,6 +91,10 @@ type ComparisonRow = report.Row
 
 // Replay is a verified discrete event trace of a Solution.
 type Replay = sim.Replay
+
+// AuditReport is the structured outcome of the independent constraint
+// audit (see Audit).
+type AuditReport = verify.Report
 
 // ControlAnalysis summarises the control-layer cost (valve count and
 // Hamming-distance switching) implied by a routed solution — the paper's
@@ -164,6 +169,14 @@ func ScheduleDedicated(g *Assay, alloc Allocation, opts Options, capacity int) (
 
 // Verify replays a solution and re-checks every physical invariant.
 func Verify(sol *Solution) (*Replay, error) { return sim.Run(sol) }
+
+// Audit re-derives every constraint of the DCSA formulation against the
+// solution with the independent auditor (internal/verify) — sequencing-
+// graph precedence, component exclusivity, storage legality, placement
+// geometry and the Eq. 5 time-slot routing condition — and returns a
+// structured report of all violations found. A clean report's Err() is
+// nil.
+func Audit(sol *Solution) *AuditReport { return core.Audit(sol) }
 
 // Benchmarks returns the seven Table I benchmarks.
 func Benchmarks() []Benchmark { return benchdata.All() }
