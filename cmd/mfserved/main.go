@@ -9,6 +9,8 @@
 //	mfserved -log-level debug         # verbose structured logs
 //	mfserved -debug-addr :6060        # pprof on a separate listener
 //	mfserved -selfbench 16            # in-process service benchmark, exit
+//	mfserved -selfbench 16 -chaos 7   # same benchmark under fault injection
+//	mfserved -journal jobs.journal    # crash-safe job journal (replay on start)
 //	mfserved -version                 # print build info, exit
 //
 // API summary (see README "Service" for a walkthrough):
@@ -33,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/http/pprof"
@@ -46,6 +49,8 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -59,6 +64,8 @@ func main() {
 		retain    = flag.Int("retain", 4096, "finished jobs kept pollable")
 		selfbench = flag.Int("selfbench", 0, "benchmark the service in-process with N concurrent Synthetic1 requests, print a JSON report and exit")
 		benchOut  = flag.String("o", "", "selfbench: write the report to this file instead of stdout")
+		chaosSeed = flag.Uint64("chaos", 0, "selfbench: arm the default fault-injection chaos plan with this seed and report degraded vs failed outcomes (0 disables)")
+		jrnlPath  = flag.String("journal", "", "crash-safe job journal path; pending jobs from a previous process are resubmitted on start (empty disables)")
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate mux; empty disables)")
 		version   = flag.Bool("version", false, "print version and exit")
@@ -77,25 +84,37 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	cfg := server.Config{
-		Workers:    *workers,
-		QueueCap:   *queueCap,
-		CacheBytes: *cacheMB << 20,
-		JobTimeout: *jobTO,
-		Retain:     *retain,
-		Logger:     logger,
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		CacheBytes:  *cacheMB << 20,
+		JobTimeout:  *jobTO,
+		Retain:      *retain,
+		Logger:      logger,
+		JournalPath: *jrnlPath,
 	}
 
 	if *selfbench > 0 {
-		cfg.Logger = nil // a selfbench run reports JSON, not request logs
-		if err := runSelfbench(cfg, *selfbench, *benchOut); err != nil {
+		cfg.Logger = nil     // a selfbench run reports JSON, not request logs
+		cfg.JournalPath = "" // benchmark jobs are disposable
+		var err error
+		if *chaosSeed != 0 {
+			err = runChaosBench(cfg, *selfbench, *chaosSeed, *benchOut)
+		} else {
+			err = runSelfbench(cfg, *selfbench, *benchOut)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mfserved:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	s := server.New(cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	s, err := server.New(cfg)
+	if err != nil {
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
 
 	if *debugAddr != "" {
 		// pprof lives on its own mux and listener: the profiling surface
@@ -131,17 +150,26 @@ func main() {
 		}
 	}()
 
+	// Bind before logging so "addr" is the resolved address: with
+	// ":0"-style flags the chosen port is otherwise unknowable to
+	// supervisors (and to the crash-recovery tests) watching the log.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
 	logger.Info("mfserved listening",
-		"addr", *addr,
+		"addr", ln.Addr().String(),
 		"workers", effectiveWorkers(*workers),
 		"queue_capacity", *queueCap,
 		"cache_mb", *cacheMB,
 		"job_timeout", (*jobTO).String(),
 		"retain", *retain,
+		"journal", *jrnlPath,
 		"version", buildinfo.Version("mfserved"),
 	)
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		logger.Error("listen failed", "addr", *addr, "err", err)
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		logger.Error("serve failed", "addr", ln.Addr().String(), "err", err)
 		os.Exit(1)
 	}
 	<-done
@@ -183,7 +211,10 @@ type benchReport struct {
 // requests with distinct seeds, then the identical round again so every
 // request is answered from the content-addressed cache.
 func runSelfbench(cfg server.Config, n int, outPath string) error {
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()
@@ -272,6 +303,161 @@ func runSelfbench(cfg server.Config, n int, outPath string) error {
 	}
 	_, err = os.Stdout.Write(out)
 	return err
+}
+
+// ---- chaos selfbench ----------------------------------------------------
+
+// chaosReport is the -selfbench -chaos JSON document: outcome counts
+// under the default fault-injection plan plus per-point fire counts.
+type chaosReport struct {
+	Bench    string `json:"bench"`
+	Requests int    `json:"requests"`
+	Seed     uint64 `json:"chaos_seed"`
+	Workers  int    `json:"workers"`
+	QueueCap int    `json:"queue_capacity"`
+	// OK finished clean; Degraded finished via the degradation ladder
+	// (the response lists which rungs); Failed hit an injected or real
+	// error; Rejected got 429 backpressure; Shed got 503 from the open
+	// circuit breaker.
+	OK       int `json:"ok"`
+	Degraded int `json:"degraded"`
+	Failed   int `json:"failed"`
+	Rejected int `json:"rejected"`
+	Shed     int `json:"shed"`
+	// Fires counts injected faults by point name.
+	Fires     map[string]int64 `json:"fault_fires"`
+	WallMs    float64          `json:"wall_ms"`
+	GoVersion string           `json:"go_version"`
+}
+
+// runChaosBench drives the same concurrent request shape as runSelfbench
+// with the default chaos fault plan armed and the degradation ladder on.
+// The pass criterion is weaker than the clean benchmark's: every request
+// must reach a terminal outcome (no hangs, no invalid solutions — jobs
+// under fault injection are audited in-pipeline), but injected failures
+// and backpressure are expected and merely counted.
+func runChaosBench(cfg server.Config, n int, seed uint64, outPath string) error {
+	plan := fault.DefaultChaos(seed)
+	cfg.Fault = plan
+	cfg.Degrade = core.Degrade{RipUpRounds: 3, ReducedEffort: true}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	rep := chaosReport{
+		Bench: "Synthetic1", Requests: n, Seed: seed,
+		Workers: effectiveWorkers(cfg.Workers), QueueCap: cfg.QueueCap,
+		GoVersion: runtime.Version(),
+	}
+	fmt.Fprintf(os.Stderr, "selfbench: %d concurrent Synthetic1 requests under chaos seed %d…\n", n, seed)
+	outcomes := make([]string, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"bench":"Synthetic1","options":{"seed":%d}}`, i+1)
+			outcomes[i] = chaosRequest(ts.URL, body)
+		}(i)
+	}
+	wg.Wait()
+	rep.WallMs = ms(time.Since(start))
+	for i, o := range outcomes {
+		switch o {
+		case "ok":
+			rep.OK++
+		case "degraded":
+			rep.Degraded++
+		case "failed":
+			rep.Failed++
+		case "rejected":
+			rep.Rejected++
+		case "shed":
+			rep.Shed++
+		default:
+			return fmt.Errorf("chaos request %d never reached a terminal outcome: %s", i, o)
+		}
+	}
+	rep.Fires = make(map[string]int64)
+	for pt, st := range plan.Stats() {
+		if st.Fires > 0 {
+			rep.Fires[string(pt)] = st.Fires
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath != "" {
+		return os.WriteFile(outPath, out, 0o644)
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+// chaosRequest submits one request and classifies its terminal outcome.
+func chaosRequest(base, body string) string {
+	resp, err := http.Post(base+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "transport error: " + err.Error()
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return "rejected"
+	case http.StatusServiceUnavailable:
+		return "shed"
+	case http.StatusInternalServerError:
+		return "failed" // injected handler error
+	case http.StatusOK, http.StatusAccepted:
+	default:
+		return fmt.Sprintf("unexpected status %d: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		return "bad submit body: " + err.Error()
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		jr, err := http.Get(base + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			return "transport error: " + err.Error()
+		}
+		jdata, _ := io.ReadAll(jr.Body)
+		jr.Body.Close()
+		var job struct {
+			Status       string            `json:"status"`
+			Degradations []json.RawMessage `json:"degradations"`
+		}
+		if err := json.Unmarshal(jdata, &job); err != nil {
+			return "bad job body: " + err.Error()
+		}
+		switch job.Status {
+		case "done":
+			if len(job.Degradations) > 0 {
+				return "degraded"
+			}
+			return "ok"
+		case "failed", "canceled":
+			return "failed"
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return "poll timeout"
 }
 
 // oneRequest submits one synthesis request and waits for its job to

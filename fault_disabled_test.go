@@ -1,0 +1,77 @@
+// Fault-injection regression: the injection plumbing must be invisible
+// unless a point actually fires. Like obs_trace_test.go for tracing,
+// this pins "fault machinery compiled in and installed == fault-free
+// build" via the golden fingerprints: once with an empty (disabled) plan
+// in the context, and once with every registered point armed at
+// probability zero — the armed variant consumes the plan's own RNG
+// streams on every evaluation, proving those draws never leak into the
+// pipeline's randomness or floating-point state.
+package repro_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+func fingerprintWithPlan(t *testing.T, plan *fault.Plan, label string) {
+	t.Helper()
+	for _, bm := range benchdata.All() {
+		for _, algo := range []string{"ours", "BA"} {
+			key := bm.Name + "/" + algo
+			want, ok := goldenFingerprints[key]
+			if !ok || want == "" {
+				continue
+			}
+			t.Run(key+"/"+label, func(t *testing.T) {
+				ctx := fault.Into(context.Background(), plan)
+				var sol *core.Solution
+				var err error
+				if algo == "ours" {
+					sol, err = core.SynthesizeContext(ctx, bm.Graph, bm.Alloc, fingerprintOpts())
+				} else {
+					sol, err = core.SynthesizeBaselineContext(ctx, bm.Graph, bm.Alloc, fingerprintOpts())
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := solutionFingerprint(sol); got != want {
+					t.Errorf("fault plumbing perturbed the solution:\n got %s\nwant %s", got, want)
+				}
+				if len(sol.Degradations) != 0 {
+					t.Errorf("non-firing plan recorded degradations: %v", sol.Degradations)
+				}
+			})
+		}
+	}
+}
+
+// TestFingerprintsUnchangedByDisabledFault: an installed-but-empty plan
+// is the common production shape (context plumbed, nothing armed).
+func TestFingerprintsUnchangedByDisabledFault(t *testing.T) {
+	fingerprintWithPlan(t, fault.NewPlan(1), "empty")
+}
+
+// TestFingerprintsUnchangedByArmedZeroProbFault: every point armed but
+// unable to fire. Each armed evaluation draws from the point's private
+// RNG stream, so this variant fails if any injection site shares state
+// with the algorithms. It also flips core's fault-armed audit on,
+// re-verifying each golden solution as a side effect.
+func TestFingerprintsUnchangedByArmedZeroProbFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full fingerprint sweep; covered by the empty-plan variant in short mode")
+	}
+	plan := fault.NewPlan(2)
+	for _, pt := range fault.Points() {
+		plan.Arm(pt.Point, fault.Policy{Prob: 0})
+	}
+	fingerprintWithPlan(t, plan, "armed-zero")
+	for pt, st := range plan.Stats() {
+		if st.Fires != 0 {
+			t.Fatalf("point %s fired %d times at probability zero", pt, st.Fires)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/benchdata"
+	"repro/internal/fault"
+)
+
+// TestDegradeZeroValueOff pins that the zero Degrade disables the ladder
+// and a clean synthesis records no degradations — the invariant the
+// pinned fingerprints rely on.
+func TestDegradeZeroValueOff(t *testing.T) {
+	if (Degrade{}).Enabled() {
+		t.Fatal("zero Degrade reports enabled")
+	}
+	if (Degrade{RipUpRounds: 2}).Enabled() == false {
+		t.Fatal("armed Degrade reports disabled")
+	}
+	bm := benchdata.All()[0]
+	sol, err := Synthesize(bm.Graph, bm.Alloc, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Degraded() || len(sol.Degradations) != 0 {
+		t.Fatalf("clean run recorded degradations: %v", sol.Degradations)
+	}
+}
+
+// TestScheduleDeadlineFallback: an impossible scheduling budget triggers
+// the baseline list-scheduler fallback instead of failing, and the
+// degraded solution passes the independent audit.
+func TestScheduleDeadlineFallback(t *testing.T) {
+	bm := benchdata.All()[0]
+	opts := fastOpts()
+	opts.Degrade.ScheduleDeadline = time.Nanosecond
+	sol, err := SynthesizeContext(context.Background(), bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasEvent(sol, "schedule", "baseline-fallback") {
+		t.Fatalf("no schedule fallback recorded: %v", sol.Degradations)
+	}
+	if err := Audit(sol).Err(); err != nil {
+		t.Fatalf("degraded solution fails audit: %v", err)
+	}
+	if err := sol.Validate(); err != nil {
+		t.Fatalf("degraded solution fails validation: %v", err)
+	}
+}
+
+// TestPlaceDeadlineReducedEffort: an impossible annealing budget triggers
+// the reduced-effort retry rung.
+func TestPlaceDeadlineReducedEffort(t *testing.T) {
+	bm := benchdata.All()[0]
+	opts := fastOpts()
+	opts.Degrade.PlaceDeadline = time.Nanosecond
+	sol, err := SynthesizeContext(context.Background(), bm.Graph, bm.Alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasEvent(sol, "place", "reduced-effort") {
+		t.Fatalf("no place reduced-effort recorded: %v", sol.Degradations)
+	}
+	if err := sol.Validate(); err != nil {
+		t.Fatalf("degraded solution fails validation: %v", err)
+	}
+}
+
+// TestRouteDeadlineExhausts: a routing budget nothing can meet burns
+// every congestion-recovery attempt and fails with the deadline in the
+// error chain — degraded-but-unroutable never returns a solution.
+func TestRouteDeadlineExhausts(t *testing.T) {
+	bm := benchdata.All()[0]
+	opts := fastOpts()
+	opts.Degrade.RouteDeadline = time.Nanosecond
+	sol, err := SynthesizeContext(context.Background(), bm.Graph, bm.Alloc, opts)
+	if err == nil {
+		t.Fatalf("synthesis succeeded under a 1ns routing deadline (degradations %v)", sol.Degradations)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not carry the deadline: %v", err)
+	}
+}
+
+// TestParentCancelIsNotADeadlineMiss: the ladder must not treat the
+// caller's context dying as a stage overrun — cancellation stays fatal
+// even with every deadline armed.
+func TestParentCancelIsNotADeadlineMiss(t *testing.T) {
+	bm := benchdata.All()[0]
+	opts := fastOpts()
+	opts.Degrade.ScheduleDeadline = time.Hour
+	opts.Degrade.PlaceDeadline = time.Hour
+	opts.Degrade.RouteDeadline = time.Hour
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := SynthesizeContext(ctx, bm.Graph, bm.Alloc, opts)
+	if err == nil {
+		t.Fatalf("synthesis succeeded on a cancelled context (degradations %v)", sol.Degradations)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry cancellation: %v", err)
+	}
+}
+
+// TestInjectedStageFailTyped: an injected stage failure surfaces as a
+// typed *fault.Error, never a silent or mislabelled result.
+func TestInjectedStageFailTyped(t *testing.T) {
+	bm := benchdata.All()[0]
+	ctx := fault.Into(context.Background(),
+		fault.NewPlan(3).Arm(fault.ScheduleStepFail, fault.Once(0)))
+	_, err := SynthesizeContext(ctx, bm.Graph, bm.Alloc, fastOpts())
+	if err == nil {
+		t.Fatal("synthesis succeeded with an injected schedule failure")
+	}
+	if !fault.IsInjected(err) {
+		t.Fatalf("injected failure lost its type: %v", err)
+	}
+}
+
+// TestInjectedDefectsAuditedOrTyped is the acceptance property for
+// routing-cell faults: with defects injected the synthesis either
+// returns a solution that passed the independent audit (and says so in
+// Degradations) or fails with a typed error — never a silently invalid
+// solution.
+func TestInjectedDefectsAuditedOrTyped(t *testing.T) {
+	bm := benchdata.All()[0]
+	for _, seed := range []uint64{1, 7, 42} {
+		plan := fault.NewPlan(seed).Arm(fault.RouteCellBlocked, fault.Policy{Prob: 0.02})
+		ctx := fault.Into(context.Background(), plan)
+		opts := fastOpts()
+		opts.Degrade.RipUpRounds = 3
+		sol, err := SynthesizeContext(ctx, bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			// A defect pattern may legitimately make the chip unroutable;
+			// the failure must then be explicit.
+			t.Logf("seed %d: typed failure: %v", seed, err)
+			continue
+		}
+		if st := plan.Stats()[fault.RouteCellBlocked]; st.Fires > 0 && !hasEvent(sol, "route", "defects") {
+			t.Errorf("seed %d: %d defect cells fired but no defects degradation recorded", seed, st.Fires)
+		}
+		// synthesize audits fault-armed runs before returning; re-audit
+		// here so the test does not depend on that internal wiring.
+		if err := Audit(sol).Err(); err != nil {
+			t.Errorf("seed %d: defect-era solution fails audit: %v", seed, err)
+		}
+		if err := sol.Validate(); err != nil {
+			t.Errorf("seed %d: defect-era solution fails validation: %v", seed, err)
+		}
+	}
+}
+
+func hasEvent(sol *Solution, stage, event string) bool {
+	for _, d := range sol.Degradations {
+		if d.Stage == stage && d.Event == event {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+// Chaos suite: drive the whole service stack with the default fault
+// plan armed and prove (a) every registered injection point actually
+// fires — dead points would make the harness decorative — and (b) every
+// request still reaches a correct terminal outcome: done (audited
+// in-pipeline when faults are armed, degradations reported), failed with
+// an explicit error, or backpressured. Run it under -race; the faults
+// fire on worker goroutines, handler goroutines and the pipeline.
+package fault_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/server"
+)
+
+// chaosServer builds a service with the given plan, the degradation
+// ladder armed, and a queue wide enough that only injected faults — not
+// sizing — shape the outcomes.
+func chaosServer(t *testing.T, plan *fault.Plan) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Workers:          2,
+		QueueCap:         256,
+		BreakerThreshold: -1, // shedding off: every request must be attempted
+		Fault:            plan,
+		Degrade:          core.Degrade{RipUpRounds: 3, ReducedEffort: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return ts
+}
+
+// fireOne submits one request and follows it to a terminal outcome,
+// failing the test on anything that is neither success nor an explicit,
+// typed rejection.
+func fireOne(t *testing.T, base string, i int) {
+	t.Helper()
+	body := fmt.Sprintf(`{"bench":"PCR","options":{"imax":60,"seed":%d}}`, i+1)
+	resp, err := http.Post(base+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("request %d: %v", i, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+	case http.StatusInternalServerError, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		// Injected handler error or backpressure: explicit, typed, done.
+		return
+	default:
+		t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, data)
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatalf("request %d: decoding submit: %v", i, err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		jr, err := http.Get(base + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			t.Fatalf("request %d: poll: %v", i, err)
+		}
+		jdata, _ := io.ReadAll(jr.Body)
+		jr.Body.Close()
+		var job struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(jdata, &job); err != nil {
+			t.Fatalf("request %d: decoding job: %v", i, err)
+		}
+		switch job.Status {
+		case "done":
+			return
+		case "failed", "canceled":
+			if job.Error == "" {
+				t.Fatalf("request %d: job %s with no error message", i, job.Status)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("request %d: job %s stuck in %q", i, sub.JobID, job.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestChaosEveryPointFires is the harness-liveness acceptance criterion:
+// under the default chaos plan, sustained load makes every registered
+// injection point fire at least once.
+func TestChaosEveryPointFires(t *testing.T) {
+	plan := fault.DefaultChaos(0xC0FFEE)
+	ts := chaosServer(t, plan)
+
+	allFired := func() (fault.Point, bool) {
+		st := plan.Stats()
+		for _, pi := range fault.Points() {
+			if st[pi.Point].Fires == 0 {
+				return pi.Point, false
+			}
+		}
+		return "", true
+	}
+
+	const wave = 8
+	seed := 0
+	for round := 0; round < 40; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < wave; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fireOne(t, ts.URL, i)
+			}(seed + i)
+		}
+		wg.Wait()
+		seed += wave
+		if _, ok := allFired(); ok {
+			break
+		}
+	}
+	if pt, ok := allFired(); !ok {
+		t.Fatalf("point %q never fired after %d requests: %+v", pt, seed, plan.Stats())
+	}
+	t.Logf("all %d points fired within %d requests", len(fault.Points()), seed)
+
+	// Every armed point must also have been evaluated far more often than
+	// it fired — the probability gates are real, not Always() in disguise.
+	for pt, st := range plan.Stats() {
+		if st.Evals < st.Fires {
+			t.Errorf("point %s: fires %d > evals %d", pt, st.Fires, st.Evals)
+		}
+	}
+}
+
+// TestChaosWorkerPanicsAreIsolated: a plan that panics every job still
+// leaves the service answering — the acceptance shape for the jobq
+// panic barrier, driven end-to-end over HTTP.
+func TestChaosWorkerPanicsAreIsolated(t *testing.T) {
+	plan := fault.NewPlan(5).Arm(fault.JobqWorkerPanic, fault.Always())
+	ts := chaosServer(t, plan)
+
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"bench":"PCR","options":{"imax":60,"seed":%d}}`, 100+i)
+		resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		var sub struct {
+			JobID string `json:"job_id"`
+		}
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(time.Minute)
+		for {
+			jr, _ := http.Get(ts.URL + "/v1/jobs/" + sub.JobID)
+			jdata, _ := io.ReadAll(jr.Body)
+			jr.Body.Close()
+			var job struct {
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			}
+			if err := json.Unmarshal(jdata, &job); err != nil {
+				t.Fatal(err)
+			}
+			if job.Status == "failed" {
+				if !strings.Contains(job.Error, "panic") {
+					t.Fatalf("panicked job error does not say so: %q", job.Error)
+				}
+				break
+			}
+			if job.Status == "done" {
+				t.Fatal("job succeeded despite an always-panic plan")
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job stuck in %q after worker panic", job.Status)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// The pool survived four panics; a healthy plan-free request — the
+	// fault context is per-server, so use arithmetic the plan can't touch:
+	// /healthz is served off the same process.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("service unhealthy after panics: %v (%d)", err, hr.StatusCode)
+	}
+	hr.Body.Close()
+}

@@ -1,0 +1,248 @@
+// Package fault is the deterministic fault-injection layer of the
+// synthesis stack. Named injection points sit at the natural failure
+// boundaries of the pipeline and the service around it — worker panics,
+// slow jobs, cache misses, stage aborts, defective routing cells — and a
+// seeded Plan decides, per point, whether each evaluation fires.
+//
+// # Determinism contract
+//
+// Every point draws from its own xorshift64* stream seeded by the plan
+// seed mixed with the point name, so the firing pattern of one point is a
+// pure function of (seed, point, evaluation index): independent of
+// wall-clock time, of goroutine interleaving across points, and of which
+// other points are armed. Two runs with the same plan and the same
+// per-point evaluation order inject the same faults. Chaos runs are
+// therefore replayable from a single seed.
+//
+// # Zero overhead and fingerprint preservation when disabled
+//
+// The nil *Plan is the disabled injector, exactly like the nil
+// *obs.Tracer: every method on it returns immediately, performs no
+// allocation and consumes no randomness. A Plan with no armed points
+// behaves identically at each un-armed point (one map lookup, no RNG
+// draw). Either way a synthesis run with the fault layer compiled in but
+// disabled is byte-identical to one without it — the pinned golden
+// fingerprints enforce this (see fault_disabled_test.go at the repo
+// root).
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Point names one injection site. The full catalogue is in points.go;
+// consuming packages reference these constants rather than raw strings so
+// a typo cannot silently create an un-armable point.
+type Point string
+
+// Policy decides when an armed point fires. The zero Policy never fires;
+// Always() is the common "every evaluation" trigger.
+type Policy struct {
+	// Prob is the probability each evaluation fires, in [0, 1]. It is
+	// evaluated on the point's private deterministic stream.
+	Prob float64
+	// Skip suppresses the first Skip evaluations (fire only from the
+	// Skip+1st on). The suppressed evaluations still advance the stream.
+	Skip int
+	// Limit caps the total number of fires; 0 means unlimited.
+	Limit int
+	// Delay is how long latency points (jobq.job.slow,
+	// server.response.slow, jobq.queue.stall) sleep when they fire.
+	// Failure points ignore it.
+	Delay time.Duration
+}
+
+// Always returns a policy that fires on every evaluation.
+func Always() Policy { return Policy{Prob: 1} }
+
+// Once returns a policy that fires exactly once, on the n+1st evaluation.
+func Once(n int) Policy { return Policy{Prob: 1, Skip: n, Limit: 1} }
+
+// Error is the typed failure an injected fault produces. Consumers
+// propagate it unwrapped so callers can distinguish injected failures
+// from organic ones with errors.As / IsInjected.
+type Error struct {
+	Point Point
+}
+
+func (e *Error) Error() string { return "fault: injected failure at " + string(e.Point) }
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// PointStats counts one point's activity on a plan.
+type PointStats struct {
+	Evals int64 // times the point was evaluated while armed
+	Fires int64 // times it actually fired
+}
+
+// state is the per-point mutable record of a plan.
+type state struct {
+	pol   Policy
+	src   *rng.Source
+	evals int64
+	fires int64
+}
+
+// Plan is a seeded set of armed injection points. The nil Plan is the
+// disabled injector: every method is nil-safe and a no-op. A Plan is safe
+// for concurrent use.
+type Plan struct {
+	seed uint64
+	mu   sync.Mutex
+	pts  map[Point]*state
+}
+
+// NewPlan returns an empty plan with the given seed. Arm points on it;
+// an empty plan never fires.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{seed: seed, pts: make(map[Point]*state)}
+}
+
+// Seed returns the plan's seed (for logs and reports).
+func (p *Plan) Seed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// Arm attaches a policy to a point and returns the plan for chaining.
+// Arming an unknown point panics: the registry in points.go is the single
+// source of truth, and a misspelled point would otherwise never fire.
+func (p *Plan) Arm(pt Point, pol Policy) *Plan {
+	if !Known(pt) {
+		panic(fmt.Sprintf("fault: arming unregistered point %q", pt))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pts[pt] = &state{pol: pol, src: rng.New(p.seed ^ pointHash(pt))}
+	return p
+}
+
+// pointHash mixes a point name into a seed offset (FNV-1a 64).
+func pointHash(pt Point) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(pt); i++ {
+		h ^= uint64(pt[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Enabled reports whether the plan can fire at all. Use it only to guard
+// work that exists solely for injection (never algorithm state).
+func (p *Plan) Enabled() bool { return p != nil && len(p.pts) > 0 }
+
+// Fire evaluates the point and reports whether the fault fires now. On
+// the nil plan, or for an un-armed point, it returns false without
+// consuming randomness.
+func (p *Plan) Fire(pt Point) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fireLocked(pt)
+}
+
+func (p *Plan) fireLocked(pt Point) bool {
+	st, ok := p.pts[pt]
+	if !ok {
+		return false
+	}
+	st.evals++
+	// The draw happens on every armed evaluation — even ones Skip or
+	// Limit suppress — so the stream position depends only on the
+	// evaluation index, never on the policy bounds.
+	hit := st.src.Float64() < st.pol.Prob
+	if !hit || st.evals <= int64(st.pol.Skip) {
+		return false
+	}
+	if st.pol.Limit > 0 && st.fires >= int64(st.pol.Limit) {
+		return false
+	}
+	st.fires++
+	return true
+}
+
+// Err evaluates the point and returns a typed *Error when it fires, nil
+// otherwise. This is the one-liner for stage-boundary failure points:
+//
+//	if err := flt.Err(fault.RouteStepFail); err != nil { return nil, err }
+func (p *Plan) Err(pt Point) error {
+	if p.Fire(pt) {
+		return &Error{Point: pt}
+	}
+	return nil
+}
+
+// Sleep evaluates the point and, when it fires, sleeps for the policy's
+// Delay or until ctx is done, whichever comes first. It reports whether
+// the fault fired.
+func (p *Plan) Sleep(ctx context.Context, pt Point) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	fired := p.fireLocked(pt)
+	var d time.Duration
+	if fired {
+		d = p.pts[pt].pol.Delay
+	}
+	p.mu.Unlock()
+	if !fired || d <= 0 {
+		return fired
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	return true
+}
+
+// Stats snapshots the per-point activity of every armed point.
+func (p *Plan) Stats() map[Point]PointStats {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Point]PointStats, len(p.pts))
+	for pt, st := range p.pts {
+		out[pt] = PointStats{Evals: st.evals, Fires: st.fires}
+	}
+	return out
+}
+
+// ctx plumbing, mirroring obs.Tracer: the plan rides the request context
+// through the queue into the pipeline stages.
+
+type ctxKey struct{}
+
+// Into returns a context carrying the plan. A nil plan returns ctx
+// unchanged, so the disabled path allocates nothing.
+func Into(ctx context.Context, p *Plan) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, p)
+}
+
+// From extracts the plan from ctx, or nil (the disabled injector) when
+// absent. Call it once per function, not per loop iteration.
+func From(ctx context.Context) *Plan {
+	p, _ := ctx.Value(ctxKey{}).(*Plan)
+	return p
+}

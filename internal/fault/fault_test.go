@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilPlanIsDisabled pins the nil-safety contract every call site
+// relies on: all methods no-op on the nil plan.
+func TestNilPlanIsDisabled(t *testing.T) {
+	var p *Plan
+	if p.Enabled() {
+		t.Error("nil plan reports enabled")
+	}
+	if p.Fire(RouteStepFail) {
+		t.Error("nil plan fired")
+	}
+	if err := p.Err(ScheduleStepFail); err != nil {
+		t.Errorf("nil plan returned error: %v", err)
+	}
+	if p.Sleep(context.Background(), JobqJobSlow) {
+		t.Error("nil plan slept")
+	}
+	if p.Stats() != nil {
+		t.Error("nil plan has stats")
+	}
+	if p.Seed() != 0 {
+		t.Error("nil plan has a seed")
+	}
+	ctx := context.Background()
+	if Into(ctx, nil) != ctx {
+		t.Error("Into(nil) rewrapped the context")
+	}
+	if From(ctx) != nil {
+		t.Error("From on a bare context is not nil")
+	}
+}
+
+// TestZeroAllocsDisabled pins the zero-overhead contract: evaluating a
+// point on the nil plan and on an armed plan's un-armed point allocates
+// nothing.
+func TestZeroAllocsDisabled(t *testing.T) {
+	var nilPlan *Plan
+	armed := NewPlan(7).Arm(RouteStepFail, Always())
+	if n := testing.AllocsPerRun(100, func() { nilPlan.Fire(PlaceStepFail) }); n != 0 {
+		t.Errorf("nil plan Fire allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { armed.Fire(PlaceStepFail) }); n != 0 {
+		t.Errorf("un-armed point Fire allocates %v/op", n)
+	}
+}
+
+// TestDeterministicStreams pins the replay guarantee: same seed, same
+// per-point firing pattern, regardless of which other points are armed
+// or in which order points are evaluated.
+func TestDeterministicStreams(t *testing.T) {
+	pattern := func(p *Plan, n int) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = p.Fire(RouteCellBlocked)
+		}
+		return out
+	}
+	solo := pattern(NewPlan(42).Arm(RouteCellBlocked, Policy{Prob: 0.3}), 200)
+	crowded := NewPlan(42).
+		Arm(RouteCellBlocked, Policy{Prob: 0.3}).
+		Arm(JobqWorkerPanic, Always()).
+		Arm(ScheduleStepFail, Policy{Prob: 0.9})
+	// Interleave evaluations of other points: they must not perturb the
+	// RouteCellBlocked stream.
+	var got []bool
+	for i := 0; i < 200; i++ {
+		crowded.Fire(JobqWorkerPanic)
+		got = append(got, crowded.Fire(RouteCellBlocked))
+		crowded.Fire(ScheduleStepFail)
+	}
+	fires := 0
+	for i := range solo {
+		if solo[i] != got[i] {
+			t.Fatalf("stream diverged at evaluation %d: solo=%v crowded=%v", i, solo[i], got[i])
+		}
+		if solo[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == 200 {
+		t.Fatalf("Prob 0.3 fired %d/200 times: stream looks degenerate", fires)
+	}
+	if diff := pattern(NewPlan(43).Arm(RouteCellBlocked, Policy{Prob: 0.3}), 200); equalBools(diff, solo) {
+		t.Error("different seeds produced identical firing patterns")
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPolicyBounds exercises Skip and Limit, and that suppressed
+// evaluations still advance the stream (stream position is a pure
+// function of the evaluation index).
+func TestPolicyBounds(t *testing.T) {
+	p := NewPlan(1).Arm(JobqWorkerPanic, Policy{Prob: 1, Skip: 3, Limit: 2})
+	var fires []int
+	for i := 0; i < 10; i++ {
+		if p.Fire(JobqWorkerPanic) {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 3 || fires[1] != 4 {
+		t.Errorf("Skip=3 Limit=2 fired at %v, want [3 4]", fires)
+	}
+	st := p.Stats()[JobqWorkerPanic]
+	if st.Evals != 10 || st.Fires != 2 {
+		t.Errorf("stats = %+v, want Evals 10 Fires 2", st)
+	}
+	if !NewPlan(1).Arm(CacheGetMiss, Once(0)).Fire(CacheGetMiss) {
+		t.Error("Once(0) did not fire on the first evaluation")
+	}
+}
+
+// TestErrTyped pins the typed-error contract consumers sort on.
+func TestErrTyped(t *testing.T) {
+	p := NewPlan(1).Arm(RouteStepFail, Always())
+	err := p.Err(RouteStepFail)
+	if err == nil {
+		t.Fatal("armed Always point returned nil error")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != RouteStepFail {
+		t.Fatalf("Err returned %T %v, want *fault.Error at RouteStepFail", err, err)
+	}
+	if !IsInjected(err) {
+		t.Error("IsInjected is false for an injected error")
+	}
+	if IsInjected(errors.New("organic")) {
+		t.Error("IsInjected is true for an organic error")
+	}
+}
+
+// TestSleepHonoursContext: a cancelled context cuts an injected delay
+// short instead of blocking the worker.
+func TestSleepHonoursContext(t *testing.T) {
+	p := NewPlan(1).Arm(JobqJobSlow, Policy{Prob: 1, Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if !p.Sleep(ctx, JobqJobSlow) {
+		t.Fatal("armed sleep did not fire")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Sleep ignored cancelled context: blocked %v", d)
+	}
+}
+
+// TestArmUnknownPanics: the registry is the single source of truth.
+func TestArmUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arming an unregistered point did not panic")
+		}
+	}()
+	NewPlan(1).Arm(Point("no.such.point"), Always())
+}
+
+// TestRegistryCoversDefaultChaos: the canonical chaos plan arms every
+// registered point, so a chaos run exercises the whole catalogue.
+func TestRegistryCoversDefaultChaos(t *testing.T) {
+	p := DefaultChaos(1)
+	for _, pi := range Points() {
+		if _, ok := p.pts[pi.Point]; !ok {
+			t.Errorf("DefaultChaos does not arm %s", pi.Point)
+		}
+	}
+	if len(p.pts) != len(Points()) {
+		t.Errorf("DefaultChaos arms %d points, registry has %d", len(p.pts), len(Points()))
+	}
+}
+
+// TestConcurrentFire runs under -race in CI: the plan must be safe for
+// concurrent evaluation from the worker pool.
+func TestConcurrentFire(t *testing.T) {
+	p := DefaultChaos(99)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				p.Fire(RouteCellBlocked)
+				p.Err(ScheduleStepFail)
+				p.Sleep(context.Background(), JobqQueueStall)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	st := p.Stats()[RouteCellBlocked]
+	if st.Evals != 8*500 {
+		t.Errorf("concurrent evals lost: %d, want %d", st.Evals, 8*500)
+	}
+}

@@ -14,8 +14,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Status is a job's lifecycle state.
@@ -51,6 +54,10 @@ type Job struct {
 	Finished time.Time // zero until the job reaches a terminal status
 	Result   any       // Fn's return value when Status == Done
 	Err      string    // failure or cancellation cause otherwise
+	// Stack is the goroutine stack captured when the job's Fn panicked;
+	// empty for every other failure mode. It rides the snapshot so the
+	// service can log the crash site instead of just "job panicked".
+	Stack string
 }
 
 // Errors returned by Submit.
@@ -88,6 +95,8 @@ type Queue struct {
 
 	// onTerminal observes every terminal transition; see OnTerminal.
 	onTerminal func(Job)
+	// flt injects worker-level faults when armed; nil in production.
+	flt *fault.Plan
 	// Cumulative terminal-transition totals. Retention eviction removes
 	// jobs from q.jobs but never lowers these.
 	doneTotal     int64
@@ -166,6 +175,15 @@ func (q *Queue) SubmitLabeled(label string, fn Fn) (string, error) {
 	q.pending = append(q.pending, id)
 	q.cond.Signal()
 	return id, nil
+}
+
+// SetFault arms the queue's fault-injection points (worker panic, slow
+// job, dispatch stall) on the given plan. A nil plan — the default —
+// disables injection entirely. Install before submitting work.
+func (q *Queue) SetFault(p *fault.Plan) {
+	q.mu.Lock()
+	q.flt = p
+	q.mu.Unlock()
 }
 
 // OnTerminal installs an observer invoked once for every job that
@@ -366,14 +384,20 @@ func (q *Queue) worker() {
 		j.Started = time.Now()
 		q.busy++
 		fn := j.fn
+		flt := q.flt
 		q.mu.Unlock()
+
+		// Injected dispatch stall: the worker sits on the job between
+		// dequeue and run, modelling a scheduler hiccup. Cancellation
+		// still cuts it short via the job's context.
+		flt.Sleep(ctx, fault.JobqQueueStall)
 
 		progress := func(note string) {
 			q.mu.Lock()
 			j.Progress = note
 			q.mu.Unlock()
 		}
-		result, err := runJob(ctx, fn, progress)
+		result, stack, err := runJob(ctx, fn, progress, flt)
 
 		q.mu.Lock()
 		q.busy--
@@ -390,6 +414,7 @@ func (q *Queue) worker() {
 		default:
 			j.Status = Failed
 			j.Err = err.Error()
+			j.Stack = stack
 		}
 		snap, cb := q.retire(j), q.onTerminal
 		q.mu.Unlock()
@@ -401,12 +426,23 @@ func (q *Queue) worker() {
 }
 
 // runJob executes fn, converting a panic into a failure so one bad job
-// cannot take the worker (and the service) down.
-func runJob(ctx context.Context, fn Fn, progress func(string)) (result any, err error) {
+// cannot take the worker (and the service) down. The panic's stack is
+// captured and returned alongside the error for the job record.
+func runJob(ctx context.Context, fn Fn, progress func(string), flt *fault.Plan) (result any, stack string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("jobq: job panicked: %v", r)
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("jobq: job panicked: %w", perr)
+			} else {
+				err = fmt.Errorf("jobq: job panicked: %v", r)
+			}
+			stack = string(debug.Stack())
 		}
 	}()
-	return fn(ctx, progress)
+	if flt.Fire(fault.JobqWorkerPanic) {
+		panic(&fault.Error{Point: fault.JobqWorkerPanic})
+	}
+	flt.Sleep(ctx, fault.JobqJobSlow)
+	result, err = fn(ctx, progress)
+	return result, "", err
 }

@@ -1,9 +1,12 @@
 package jobq
 
 import (
+	"strings"
+
 	"context"
 	"errors"
 	"fmt"
+	"repro/internal/fault"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -432,4 +435,106 @@ func TestOnTerminalObservesQueuedCancel(t *testing.T) {
 	}
 	close(release)
 	waitStatus(t, q, blocker, Done)
+}
+
+// TestPanicCapturesStack: a panicking job's failure record carries the
+// goroutine stack, pointing at the panic site — not just the message.
+func TestPanicCapturesStack(t *testing.T) {
+	q := New(1, 4, 0)
+	defer q.Shutdown(context.Background())
+	id, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		explodeForStackTest()
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitStatus(t, q, id, Failed)
+	if j.Stack == "" {
+		t.Fatal("panic failure has no captured stack")
+	}
+	if !strings.Contains(j.Stack, "explodeForStackTest") {
+		t.Errorf("stack does not name the panic site:\n%s", j.Stack)
+	}
+	// Non-panic failures must not carry a stack.
+	id2, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		return nil, errors.New("organic failure")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 := waitStatus(t, q, id2, Failed); j2.Stack != "" {
+		t.Errorf("organic failure captured a stack:\n%s", j2.Stack)
+	}
+}
+
+// explodeForStackTest exists so the captured stack has a recognizable
+// frame to assert on.
+func explodeForStackTest() { panic("boom with stack") }
+
+// TestInjectedWorkerPanic: the jobq.worker.panic injection point fails
+// the job with a typed fault error and the captured stack, and the
+// worker survives to run the next job faultlessly.
+func TestInjectedWorkerPanic(t *testing.T) {
+	q := New(1, 4, 0)
+	defer q.Shutdown(context.Background())
+	q.SetFault(fault.NewPlan(11).Arm(fault.JobqWorkerPanic, fault.Once(0)))
+	ran := false
+	id, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitStatus(t, q, id, Failed)
+	if !strings.Contains(j.Err, string(fault.JobqWorkerPanic)) {
+		t.Errorf("injected panic error %q does not name the point", j.Err)
+	}
+	if j.Stack == "" {
+		t.Error("injected panic captured no stack")
+	}
+	if ran {
+		t.Error("job body ran despite injected worker panic")
+	}
+	// Once(0) fired; the next job runs clean.
+	id2, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q, id2, Done)
+}
+
+// TestInjectedSlowAndStall: latency points delay the job without
+// corrupting its result, and cancellation cuts the injected delay short.
+func TestInjectedSlowAndStall(t *testing.T) {
+	q := New(1, 4, 0)
+	defer q.Shutdown(context.Background())
+	q.SetFault(fault.NewPlan(11).
+		Arm(fault.JobqJobSlow, fault.Policy{Prob: 1, Delay: 20 * time.Millisecond}).
+		Arm(fault.JobqQueueStall, fault.Policy{Prob: 1, Delay: 10 * time.Millisecond}))
+	start := time.Now()
+	id, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitStatus(t, q, id, Done)
+	if j.Result != 42 {
+		t.Errorf("slow job result = %v, want 42", j.Result)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("injected delays not applied: job finished in %v", d)
+	}
+
+	// A cancelled job does not serve out an injected minute-long delay.
+	q.SetFault(fault.NewPlan(11).Arm(fault.JobqJobSlow, fault.Policy{Prob: 1, Delay: time.Minute}))
+	id2, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q, id2, Running)
+	q.Cancel(id2)
+	waitStatus(t, q, id2, Canceled)
 }

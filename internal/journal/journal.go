@@ -1,0 +1,229 @@
+// Package journal is the crash-safe job journal of the synthesis
+// service: an append-only file of JSON lines recording every accepted
+// synthesis request and every terminal outcome. After a crash — up to
+// and including SIGKILL mid-write — reopening the journal yields the
+// accepted-but-unfinished requests so the service can resubmit them:
+// an accepted job is never silently lost.
+//
+// Durability model: each record is one JSON line written with a single
+// write(2) on an O_APPEND descriptor. That survives process death at any
+// instant (the data is in the page cache the moment write returns) and
+// keeps concurrent appends atomic. It does not survive power loss —
+// fsync per record would, but the service's threat model is crashing
+// processes, not crashing kernels, and an fsync per accepted request
+// would gate the whole submit path on the disk. A torn final line (the
+// one write the kernel was never asked to do) parses as garbage and is
+// skipped with a count, never an error.
+//
+// The file is compacted on Open: finished work is dropped and only
+// pending records are rewritten (to a temp file, then renamed over the
+// original), so the journal's size tracks the backlog, not the history.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one journal line.
+type Record struct {
+	// Op is "accepted" or "terminal".
+	Op string `json:"op"`
+	// ID is the journal's own entry ID, stable across restarts (queue job
+	// IDs restart from zero with the process and cannot name work that
+	// outlives it).
+	ID string `json:"id"`
+	// Label is the caller's correlation label (the request ID).
+	Label string `json:"label,omitempty"`
+	// Request is the raw synthesis request body, kept so a pending entry
+	// can be resubmitted verbatim after a restart.
+	Request json.RawMessage `json:"request,omitempty"`
+	// Status is the terminal outcome ("done", "failed", "canceled",
+	// "rejected", "unreplayable") for op == "terminal".
+	Status string `json:"status,omitempty"`
+	// Time stamps the record for operators; replay ignores it.
+	Time time.Time `json:"time"`
+}
+
+// Journal is an open journal file. All methods are safe for concurrent
+// use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  uint64
+}
+
+// Open reads the journal at path (creating it if absent), compacts it,
+// and returns the open journal plus the pending records — accepted
+// entries with no terminal outcome, in acceptance order — and the number
+// of torn or unparseable lines that were skipped.
+func Open(path string) (*Journal, []Record, int, error) {
+	pending, maxSeq, torn, err := load(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Compact: rewrite only the pending records, atomically. A crash
+	// before the rename leaves the old file; after it, the new — both are
+	// complete journals.
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	w := bufio.NewWriter(tf)
+	for _, r := range pending {
+		line, err := json.Marshal(r)
+		if err != nil {
+			tf.Close()
+			return nil, nil, 0, fmt.Errorf("journal: compact: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tf.Close()
+		return nil, nil, 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return nil, nil, 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, nil, 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f, path: path, seq: maxSeq}, pending, torn, nil
+}
+
+// load parses the journal file, returning pending accepted records, the
+// highest entry sequence seen, and the count of skipped torn lines.
+func load(path string) ([]Record, uint64, int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, 0, 0, fmt.Errorf("journal: %w", err)
+			}
+		}
+		return nil, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	accepted := make(map[string]int) // entry ID -> index into order
+	var order []Record
+	terminal := make(map[string]bool)
+	var maxSeq uint64
+	torn := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 32<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
+			// A torn last write or stray corruption. Skipping is safe in
+			// both directions: a torn "accepted" was never acknowledged
+			// (the append happens before the job is), and a torn
+			// "terminal" merely replays a finished job, which is
+			// idempotent (the cache serves it).
+			torn++
+			continue
+		}
+		if n := entrySeq(r.ID); n > maxSeq {
+			maxSeq = n
+		}
+		switch r.Op {
+		case "accepted":
+			if _, dup := accepted[r.ID]; !dup {
+				accepted[r.ID] = len(order)
+				order = append(order, r)
+			}
+		case "terminal":
+			terminal[r.ID] = true
+		default:
+			torn++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, 0, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	var pending []Record
+	for _, r := range order {
+		if !terminal[r.ID] {
+			pending = append(pending, r)
+		}
+	}
+	return pending, maxSeq, torn, nil
+}
+
+// entrySeq extracts the numeric suffix of an entry ID ("e42" → 42).
+func entrySeq(id string) uint64 {
+	if !strings.HasPrefix(id, "e") {
+		return 0
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Accepted appends an acceptance record and returns its new entry ID.
+func (j *Journal) Accepted(label string, request json.RawMessage) (string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	id := "e" + strconv.FormatUint(j.seq, 10)
+	return id, j.append(Record{Op: "accepted", ID: id, Label: label, Request: request, Time: time.Now().UTC()})
+}
+
+// Terminal appends a terminal-outcome record for entry id.
+func (j *Journal) Terminal(id, status string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.append(Record{Op: "terminal", ID: id, Status: status, Time: time.Now().UTC()})
+}
+
+// append marshals r and writes it with a single write(2). Caller holds
+// j.mu.
+func (j *Journal) append(r Record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	return j.path
+}
+
+// Close closes the journal file. Records written before Close are
+// already durable against process death; Close adds nothing but the
+// descriptor's release.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/chip"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rng"
 )
@@ -75,8 +76,15 @@ func AnnealContext(ctx context.Context, comps []chip.Component, nets []Net, pr P
 	// (~1e-11 at these energy magnitudes). Below it the move is treated
 	// as a potential tie and scored with the full sum.
 	const tieEps = 1e-6
+	// The fault check shares the temperature-step poll boundary with the
+	// ctx poll: outside the SA RNG path, so an un-armed plan cannot
+	// perturb the anneal trajectory.
+	flt := fault.From(ctx)
 	for t := pr.T0; t > pr.Tmin; t *= pr.Alpha {
 		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("place: anneal aborted at T=%.3g: %w", t, err)
+		}
+		if err := flt.Err(fault.PlaceStepFail); err != nil {
 			return nil, fmt.Errorf("place: anneal aborted at T=%.3g: %w", t, err)
 		}
 		var accepted, rejected, infeasible int
@@ -309,8 +317,12 @@ func ConstructContext(ctx context.Context, comps []chip.Component, nets []Net, p
 	// Correction: sequential single-component relocation passes, scored
 	// incrementally on the moved component's incident nets.
 	const passes = 3
+	flt := fault.From(ctx)
 	for pass := 0; pass < passes; pass++ {
 		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("place: baseline correction aborted: %w", err)
+		}
+		if err := flt.Err(fault.PlaceStepFail); err != nil {
 			return nil, fmt.Errorf("place: baseline correction aborted: %w", err)
 		}
 		improved := false

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/chip"
+	"repro/internal/fault"
 	"repro/internal/fluid"
 	"repro/internal/interval"
 	"repro/internal/place"
@@ -32,6 +33,15 @@ type Params struct {
 	// Pitch is the physical length of one grid-cell edge; total channel
 	// length is reported as routed edges × Pitch.
 	Pitch unit.Length
+	// RipUpRounds bounds the local rip-up-and-reroute recovery the
+	// proposed router may attempt when a task finds no conflict-free
+	// path: up to RipUpRounds rounds of evicting already-routed tasks
+	// around the stuck task's terminals (widening the search box each
+	// round) before giving up. Zero — the default and the published
+	// algorithm — disables recovery entirely and reproduces the
+	// historical behaviour bit for bit; only the degradation ladder of
+	// internal/core arms it.
+	RipUpRounds int
 }
 
 // DefaultParams returns the published parameters: w_e = 10 and a 10 mm
@@ -119,6 +129,41 @@ func NewGrid(comps []chip.Component, pl *place.Placement, pr Params) (*Grid, err
 		g.ports[c] = g.rings[c][0]
 	}
 	return g, nil
+}
+
+// InjectDefects marks free routing cells defective according to the
+// plan's route.cell.blocked point, modelling fabrication defects on the
+// flow layer. Cells are evaluated once each in row-major order, so the
+// defect pattern is a pure function of the plan seed and the grid shape.
+// Component port-ring cells are exempt: a defect covering a whole ring
+// would seal a component in — NewGrid rejects that as an invalid plane,
+// not a routable-around defect — and partial ring damage adds nothing the
+// interior defects don't already model. Returns the number of cells
+// blocked.
+func (g *Grid) InjectDefects(p *fault.Plan) int {
+	if !p.Enabled() {
+		return 0
+	}
+	exempt := make(map[Cell]bool)
+	for _, ring := range g.rings {
+		for _, c := range ring {
+			exempt[c] = true
+		}
+	}
+	n := 0
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			i := g.idx(x, y)
+			if g.blocked[i] || exempt[Cell{X: x, Y: y}] {
+				continue
+			}
+			if p.Fire(fault.RouteCellBlocked) {
+				g.blocked[i] = true
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // dedupeCells removes duplicates while preserving order.

@@ -1,0 +1,114 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/interval"
+	"repro/internal/place"
+)
+
+// ripupFixture builds a 20×9 plane with two components facing each other
+// across an open corridor, a victim route committed on it, and the Result
+// bookkeeping ripUpRecover mutates.
+func ripupFixture(t *testing.T) (*Grid, *Result, Task, Task) {
+	t.Helper()
+	comps := chip.Allocation{2, 0, 0, 0}.Instantiate()
+	pl := &place.Placement{W: 20, H: 9, Rects: []place.Rect{
+		{X: 2, Y: 3, W: 2, H: 2},
+		{X: 16, Y: 3, W: 2, H: 2},
+	}}
+	g, err := NewGrid(comps, pl, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := Task{ID: 1, From: 0, To: 1,
+		Window: interval.Make(0, 100), Fluid: fluid.Fluid{Name: "blocker"}, Wash: 2000}
+	stuck := Task{ID: 2, From: 0, To: 1,
+		Window: interval.Make(10, 50), Fluid: fluid.Fluid{Name: "sample"}, Wash: 2000}
+	return g, &Result{GridW: g.W, GridH: g.H, Pitch: DefaultParams().Pitch}, victim, stuck
+}
+
+// column returns the full-height path occupying column x — a wall no
+// different-fluid task with an overlapping window can cross.
+func column(x, h int) []Cell {
+	p := make([]Cell, 0, h)
+	for y := 0; y < h; y++ {
+		p = append(p, Cell{X: x, Y: y})
+	}
+	return p
+}
+
+// TestRipUpRecoverSucceeds: the stuck task cannot cross the victim's
+// wall, recovery evicts the victim, routes the stuck task and reroutes
+// the victim — both end up committed and conflict-free.
+func TestRipUpRecoverSucceeds(t *testing.T) {
+	g, res, victim, stuck := ripupFixture(t)
+	wall := column(10, g.H)
+	g.commit(victim.ID, wall, victim.Window, victim.Hold, victim.Fluid.Name, victim.Wash)
+	res.Routes = append(res.Routes, RoutedTask{Task: victim, Path: wall})
+
+	if p := g.routeTask(stuck, true); p != nil {
+		t.Fatal("fixture broken: stuck task routed through the wall")
+	}
+	p := ripUpRecover(g, res, stuck, true, 3, nil)
+	if p == nil {
+		t.Fatal("recovery failed on a recoverable grid")
+	}
+	if res.RecoveryRounds != 1 {
+		t.Errorf("RecoveryRounds = %d, want 1", res.RecoveryRounds)
+	}
+	// The caller commits the returned path; mirror that here.
+	g.commit(stuck.ID, p, stuck.Window, stuck.Hold, stuck.Fluid.Name, stuck.Wash)
+	res.Routes = append(res.Routes, RoutedTask{Task: stuck, Path: p})
+	if got := g.conflictsOf(); len(got) != 0 {
+		t.Errorf("recovered grid still has conflicts: %v", got)
+	}
+	np := res.Routes[0].Path
+	if first, last := np[0], np[len(np)-1]; !g.onRing(victim.From, first) || !g.onRing(victim.To, last) {
+		t.Errorf("rerouted victim does not span its terminals: %v … %v", first, last)
+	}
+}
+
+// TestRipUpRecoverRollsBack: when the victim cannot be rerouted the
+// round must restore the grid exactly — victim still committed, stuck
+// task absent, Result untouched.
+func TestRipUpRecoverRollsBack(t *testing.T) {
+	g, res, victim, stuck := ripupFixture(t)
+	// Physically wall off the corridor except one gap cell, then park the
+	// victim on the gap: after eviction the stuck task takes the gap, and
+	// the victim has nowhere left to go.
+	gap := Cell{X: 10, Y: 4}
+	for y := 0; y < g.H; y++ {
+		if y != gap.Y {
+			g.blocked[g.idx(10, y)] = true
+		}
+	}
+	// The victim's recorded path must start and end on its terminals'
+	// rings for a reroute attempt to be meaningful; route it for real.
+	vp := g.routeTask(victim, true)
+	if vp == nil {
+		t.Fatal("fixture broken: victim cannot route through the gap")
+	}
+	g.commit(victim.ID, vp, victim.Window, victim.Hold, victim.Fluid.Name, victim.Wash)
+	res.Routes = append(res.Routes, RoutedTask{Task: victim, Path: vp})
+
+	if p := g.routeTask(stuck, true); p != nil {
+		t.Fatal("fixture broken: stuck task found a second way through")
+	}
+	if p := ripUpRecover(g, res, stuck, true, 3, nil); p != nil {
+		t.Fatalf("recovery succeeded where both tasks need the same cell: %v", p)
+	}
+	if res.RecoveryRounds != 0 {
+		t.Errorf("failed recovery advanced RecoveryRounds to %d", res.RecoveryRounds)
+	}
+	if res.Routes[0].Path[0] != vp[0] || len(res.Routes[0].Path) != len(vp) {
+		t.Error("failed recovery rewrote the victim's recorded path")
+	}
+	// The victim's slots must be back: the gap cell is unusable for the
+	// stuck task's window again.
+	if g.usable(gap, stuck.Window, stuck.Fluid.Name) {
+		t.Error("failed recovery did not restore the victim's occupancy")
+	}
+}

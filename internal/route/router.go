@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/chip"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/schedule"
@@ -40,6 +41,19 @@ type Result struct {
 	UnionCells int
 	// CorrectionRounds counts rip-up-and-reroute rounds (baseline only).
 	CorrectionRounds int
+	// RecoveryRounds counts the bounded rip-up recovery rounds the
+	// proposed router spent rescuing stuck tasks (Params.RipUpRounds > 0
+	// only). Provenance, not solution content: serialization and
+	// fingerprints exclude it.
+	RecoveryRounds int
+	// DilationTries counts the placement dilation retries SolveContext
+	// needed before routing succeeded (0 = first try). Provenance, like
+	// RecoveryRounds.
+	DilationTries int
+	// DefectCells counts the routing cells an armed fault plan marked
+	// defective before routing started (see Grid.InjectDefects).
+	// Provenance, like RecoveryRounds.
+	DefectCells int
 }
 
 // TotalLength returns the physical total flow-channel length: every grid
@@ -98,8 +112,20 @@ func RouteBaselineContext(ctx context.Context, r *schedule.Result, comps []chip.
 		return nil, err
 	}
 	tr := obs.From(ctx)
+	flt := fault.From(ctx)
+	// Defects are drawn once on the commit grid and mirrored onto the
+	// conflict-blind view, so construction and correction see the same
+	// damaged plane without consuming the fault stream twice.
+	if n := g.InjectDefects(flt); n > 0 {
+		copy(empty.blocked, g.blocked)
+		res.DefectCells = n
+		tr.Instant(obs.CatRoute, "route.defects", obs.Arg{Key: "cells", Val: float64(n)})
+	}
 	for _, t := range tasks {
 		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: baseline construction aborted: %w", err)
+		}
+		if err := flt.Err(fault.RouteStepFail); err != nil {
 			return nil, fmt.Errorf("route: baseline construction aborted: %w", err)
 		}
 		var t0 time.Time
@@ -138,6 +164,9 @@ func RouteBaselineContext(ctx context.Context, r *schedule.Result, comps []chip.
 	const maxRounds = 96
 	for round := 0; ; round++ {
 		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: baseline correction aborted: %w", err)
+		}
+		if err := flt.Err(fault.RouteStepFail); err != nil {
 			return nil, fmt.Errorf("route: baseline correction aborted: %w", err)
 		}
 		badSet := map[int]bool{}
@@ -261,6 +290,7 @@ func SolveContext(ctx context.Context, r *schedule.Result, comps []chip.Componen
 			res, err = routeAll(ctx, r, comps, cur, pr, true)
 		}
 		if err == nil {
+			res.DilationTries = try
 			return res, cur, nil
 		}
 		lastErr = err
@@ -284,8 +314,16 @@ func routeAll(ctx context.Context, r *schedule.Result, comps []chip.Component, p
 	tasks := TasksFrom(r)
 	res := &Result{GridW: g.W, GridH: g.H, Pitch: pr.Pitch, Routes: make([]RoutedTask, 0, len(tasks))}
 	tr := obs.From(ctx)
+	flt := fault.From(ctx)
+	if n := g.InjectDefects(flt); n > 0 {
+		res.DefectCells = n
+		tr.Instant(obs.CatRoute, "route.defects", obs.Arg{Key: "cells", Val: float64(n)})
+	}
 	for _, t := range tasks {
 		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: aborted before task %d: %w", t.ID, err)
+		}
+		if err := flt.Err(fault.RouteStepFail); err != nil {
 			return nil, fmt.Errorf("route: aborted before task %d: %w", t.ID, err)
 		}
 		// Telemetry snapshots the scratch counters around each search.
@@ -297,6 +335,9 @@ func routeAll(ctx context.Context, r *schedule.Result, comps []chip.Component, p
 			t0 = time.Now()
 		}
 		p := g.routeTask(t, weighted)
+		if p == nil && pr.RipUpRounds > 0 {
+			p = ripUpRecover(g, res, t, weighted, pr.RipUpRounds, tr)
+		}
 		if p == nil {
 			return nil, fmt.Errorf("route: no conflict-free path for task %d (%d→%d, window %v)",
 				t.ID, t.From, t.To, t.Window)
@@ -314,6 +355,98 @@ func routeAll(ctx context.Context, r *schedule.Result, comps []chip.Component, p
 	}
 	finishMetrics(res, g)
 	return res, nil
+}
+
+// ripUpRecover attempts bounded local rip-up-and-reroute when task t
+// finds no conflict-free path in the proposed router. Each round widens a
+// box around t's terminals (the congestion region of terminalBox),
+// evicts the already-routed tasks whose paths cross the box and whose
+// hold windows overlap t's — the only routes whose occupancy slots can
+// be excluding t — routes t, then reroutes the victims in their original
+// order. If any victim cannot be rerouted the round is rolled back
+// exactly (t cleared, surviving new paths cleared, original paths
+// recommitted) and the next round widens the box. On success the
+// victims' entries in res are updated in place and res.RecoveryRounds
+// advances.
+//
+// Cell weights are not rolled back: commit overwrites a cell's weight
+// with the new residue's wash time and clear restores nothing (see
+// grid.clear). Weights only guide the A* cost of Eq. 5 — feasibility
+// comes from the occupancy slots, which are restored exactly — so a
+// rolled-back round can shift later tasks' channel sharing but never
+// their correctness. That approximation is why recovery is opt-in
+// degraded-mode behaviour rather than part of the published algorithm.
+func ripUpRecover(g *Grid, res *Result, t Task, weighted bool, rounds int, tr *obs.Tracer) []Cell {
+	for k := 0; k < rounds; k++ {
+		lo, hi := g.terminalBox(t, 3+2*k)
+		inBox := func(c Cell) bool {
+			return c.X >= lo.X && c.X <= hi.X && c.Y >= lo.Y && c.Y <= hi.Y
+		}
+		var victims []int // indices into res.Routes, original routing order
+		for i := range res.Routes {
+			rt := &res.Routes[i]
+			if !rt.Task.HoldWindow().Overlaps(t.HoldWindow()) || rt.Task.Fluid.Name == t.Fluid.Name {
+				continue
+			}
+			for _, c := range rt.Path {
+				if inBox(c) {
+					victims = append(victims, i)
+					break
+				}
+			}
+		}
+		if len(victims) == 0 {
+			continue // nothing evictable here: widen and retry
+		}
+		for _, i := range victims {
+			g.clear(res.Routes[i].Task.ID)
+		}
+		rollback := func(upto int) {
+			g.clear(t.ID)
+			for vi := 0; vi < upto; vi++ {
+				g.clear(res.Routes[victims[vi]].Task.ID)
+			}
+			for _, i := range victims {
+				rt := &res.Routes[i]
+				g.commit(rt.Task.ID, rt.Path, rt.Task.Window, rt.Task.Hold, rt.Task.Fluid.Name, rt.Task.Wash)
+			}
+		}
+		p := g.routeTask(t, weighted)
+		if p == nil {
+			rollback(0)
+			continue
+		}
+		g.commit(t.ID, p, t.Window, t.Hold, t.Fluid.Name, t.Wash)
+		newPaths := make([][]Cell, len(victims))
+		ok := true
+		for vi, i := range victims {
+			vt := res.Routes[i].Task
+			np := g.routeTask(vt, weighted)
+			if np == nil {
+				ok = false
+				rollback(vi)
+				break
+			}
+			g.commit(vt.ID, np, vt.Window, vt.Hold, vt.Fluid.Name, vt.Wash)
+			newPaths[vi] = np
+		}
+		if !ok {
+			continue
+		}
+		for vi, i := range victims {
+			res.Routes[i].Path = newPaths[vi]
+		}
+		// Hand the grid back without t: the caller commits the returned
+		// path, exactly as it would for a first-try success.
+		g.clear(t.ID)
+		res.RecoveryRounds++
+		tr.Instant(obs.CatRoute, "route.ripup",
+			obs.Arg{Key: "task", Val: float64(t.ID)},
+			obs.Arg{Key: "round", Val: float64(k)},
+			obs.Arg{Key: "victims", Val: float64(len(victims))})
+		return p
+	}
+	return nil
 }
 
 // finishMetrics computes the union channel length and the total channel

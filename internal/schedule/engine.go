@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/assay"
 	"repro/internal/chip"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/unit"
 )
@@ -119,12 +120,19 @@ func run(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Optio
 	}
 
 	// Assays are small (hundreds of ops) and commits are cheap, so a
-	// sparse poll keeps the cancellation overhead unmeasurable.
+	// sparse poll keeps the cancellation overhead unmeasurable. The fault
+	// check shares the poll boundary: like the ctx poll it reads no
+	// schedule state and consumes no randomness, so an un-armed plan is
+	// bit-identical to no plan.
+	flt := fault.From(ctx)
 	const pollEvery = 32
 	scheduled := 0
 	for q.Len() > 0 {
 		if scheduled%pollEvery == 0 {
 			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("schedule: %q aborted: %w", g.Name(), err)
+			}
+			if err := flt.Err(fault.ScheduleStepFail); err != nil {
 				return nil, fmt.Errorf("schedule: %q aborted: %w", g.Name(), err)
 			}
 		}

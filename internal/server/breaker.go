@@ -1,0 +1,113 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the load-shedding circuit breaker guarding the submit path.
+// Transient queue overflow is handled by retry with backoff; the breaker
+// exists for the pathological regime where the queue stays full across
+// retries for many consecutive requests — there, burning every handler's
+// retry budget just adds latency to answers that will all be 429 anyway.
+//
+// States follow the classic pattern. Closed: requests pass; each
+// submit that still finds the queue full after its retries counts one
+// overflow, and any success resets the count. Open (count reached the
+// threshold): requests are shed immediately without touching the queue,
+// until the cooldown elapses. Half-open (first request after cooldown):
+// exactly one probe passes through; its outcome closes or re-opens the
+// breaker.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive overflows to open; <=0 means disabled
+	cooldown  time.Duration // how long open lasts before a probe is allowed
+	now       func() time.Time
+
+	overflows int       // consecutive overflow count while closed
+	openUntil time.Time // nonzero while open
+	probing   bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may attempt the queue. A false return
+// means shed immediately. A true return from the half-open state claims
+// the probe slot: the caller must report the outcome via success or
+// overflow, or the breaker stays half-open with the slot taken.
+func (b *breaker) allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if b.now().Before(b.openUntil) {
+		return false
+	}
+	// Cooldown elapsed: admit a single probe.
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a submit that got through (accepted, or rejected for a
+// non-overflow reason). Closes the breaker and clears the count.
+func (b *breaker) success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.overflows = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+}
+
+// overflow records a submit that exhausted its retries against a full
+// queue. Returns true if this event opened (or re-opened) the breaker.
+func (b *breaker) overflow() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		// Failed probe: straight back to open for another cooldown.
+		b.probing = false
+		b.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	b.overflows++
+	if b.overflows >= b.threshold && b.openUntil.IsZero() {
+		b.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+// state returns "closed", "open", or "half-open" for metrics.
+func (b *breaker) state() string {
+	if b == nil || b.threshold <= 0 {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return "closed"
+	case b.now().Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}

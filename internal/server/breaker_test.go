@@ -1,0 +1,109 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock lets breaker tests step time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensOnConsecutiveOverflows(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		if b.overflow() {
+			t.Fatalf("breaker opened after %d overflows, threshold 3", i+1)
+		}
+		if !b.allow() {
+			t.Fatalf("closed breaker shed a request after %d overflows", i+1)
+		}
+	}
+	if !b.overflow() {
+		t.Fatal("third consecutive overflow did not open the breaker")
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	if got := b.state(); got != "open" {
+		t.Fatalf("state = %q, want open", got)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker(3, time.Second, nil)
+	b.overflow()
+	b.overflow()
+	b.success()
+	if b.overflow() {
+		t.Fatal("overflow count survived a success")
+	}
+	if got := b.state(); got != "closed" {
+		t.Fatalf("state = %q, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.overflow() // opens
+	clk.advance(2 * time.Second)
+	if got := b.state(); got != "half-open" {
+		t.Fatalf("state after cooldown = %q, want half-open", got)
+	}
+	if !b.allow() {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	// Only one probe at a time.
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe fails: back to open for a fresh cooldown.
+	if !b.overflow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+	// Probe succeeds after the next cooldown: fully closed.
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("half-open breaker denied the second probe")
+	}
+	b.success()
+	if got := b.state(); got != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", got)
+	}
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed breaker shed requests")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	for _, b := range []*breaker{nil, newBreaker(0, time.Second, nil), newBreaker(-1, time.Second, nil)} {
+		for i := 0; i < 100; i++ {
+			b.overflow()
+		}
+		if !b.allow() {
+			t.Fatal("disabled breaker shed a request")
+		}
+		if got := b.state(); got != "disabled" {
+			t.Fatalf("state = %q, want disabled", got)
+		}
+	}
+}
+
+func TestBreakerNonConsecutiveOverflowsStayClosed(t *testing.T) {
+	b := newBreaker(3, time.Second, nil)
+	for i := 0; i < 20; i++ {
+		b.overflow()
+		b.overflow()
+		b.success()
+	}
+	if got := b.state(); got != "closed" {
+		t.Fatalf("interleaved successes still opened the breaker: %q", got)
+	}
+}

@@ -99,6 +99,7 @@ type metrics struct {
 
 	jobsAccepted *expvar.Int
 	jobsRejected *expvar.Int // 429s from a full queue
+	jobsShed     *expvar.Int // 503s from the open circuit breaker
 
 	histSchedule *histogram
 	histPlace    *histogram
@@ -115,6 +116,7 @@ func newMetrics(s *Server) *metrics {
 		vars:         new(expvar.Map).Init(),
 		jobsAccepted: new(expvar.Int),
 		jobsRejected: new(expvar.Int),
+		jobsShed:     new(expvar.Int),
 		histSchedule: newHistogram(),
 		histPlace:    newHistogram(),
 		histRoute:    newHistogram(),
@@ -133,6 +135,9 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("jobs_canceled", expvar.Func(func() any { return s.q.Stats().Canceled }))
 	m.vars.Set("jobs_accepted", m.jobsAccepted)
 	m.vars.Set("jobs_rejected", m.jobsRejected)
+	m.vars.Set("jobs_shed", m.jobsShed)
+	m.vars.Set("breaker_state", expvar.Func(func() any { return s.brk.state() }))
+	m.vars.Set("journal_replayed", expvar.Func(func() any { return s.replayed.Load() }))
 	m.vars.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
 	m.vars.Set("cache_misses", expvar.Func(func() any { return s.cache.Stats().Misses }))
 	m.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.Stats().Entries }))

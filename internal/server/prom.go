@@ -21,6 +21,16 @@ import (
 // round-trip representation including exponents.
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// breakerOpenGauge collapses the breaker's state string into a 0/1
+// gauge: the alerting question is "are we shedding load", and both open
+// and half-open mean the queue recently was overwhelmed.
+func breakerOpenGauge(state string) float64 {
+	if state == "open" || state == "half-open" {
+		return 1
+	}
+	return 0
+}
+
 // promWriter accumulates one exposition. Metric families must be written
 // contiguously (HELP, TYPE, then every series of the family).
 type promWriter struct{ b strings.Builder }
@@ -84,6 +94,9 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.sample("mfserved_jobs_finished_total", `status="canceled"`, float64(qs.CanceledTotal))
 	p.counter("mfserved_jobs_accepted_total", "Synthesis submissions accepted into the queue.", float64(s.metrics.jobsAccepted.Value()))
 	p.counter("mfserved_jobs_rejected_total", "Synthesis submissions rejected with 429 (queue full).", float64(s.metrics.jobsRejected.Value()))
+	p.counter("mfserved_jobs_shed_total", "Synthesis submissions shed with 503 by the open circuit breaker.", float64(s.metrics.jobsShed.Value()))
+	p.gauge("mfserved_breaker_open", "1 while the load-shedding circuit breaker is open or half-open, 0 otherwise.", breakerOpenGauge(s.brk.state()))
+	p.counter("mfserved_journal_replayed_total", "Jobs resubmitted from the crash-safe journal at startup.", float64(s.replayed.Load()))
 
 	p.counter("mfserved_cache_hits_total", "Solution-cache hits.", float64(cs.Hits))
 	p.counter("mfserved_cache_misses_total", "Solution-cache misses.", float64(cs.Misses))

@@ -29,11 +29,14 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/jobq"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/solcache"
 	"repro/internal/solio"
@@ -56,6 +59,37 @@ type Config struct {
 	// Logger receives the structured request and job logs. Nil discards
 	// them (the default for tests and embedded use).
 	Logger *slog.Logger
+
+	// SubmitRetries is how many times a synthesis submission retries a
+	// full queue before giving up with 429 (default 2; negative disables
+	// retries). Each retry backs off SubmitBackoff, doubling.
+	SubmitRetries int
+	// SubmitBackoff is the base delay between submit retries (default 20 ms).
+	SubmitBackoff time.Duration
+	// BreakerThreshold opens the load-shedding circuit breaker after this
+	// many consecutive submissions exhausted their retries against a full
+	// queue (default 16; negative disables the breaker). While open,
+	// submissions are shed with 503 without touching the queue.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting
+	// a probe request (default 2 s).
+	BreakerCooldown time.Duration
+	// JournalPath, when set, enables the crash-safe job journal: accepted
+	// synthesis requests are appended there before entering the queue and
+	// marked terminal when they finish, and on startup any
+	// accepted-but-unfinished requests from a previous process are
+	// resubmitted. Empty disables journaling.
+	JournalPath string
+	// Degrade is the degradation ladder applied to every synthesis job
+	// (see core.Degrade). It is process-wide configuration, not request
+	// content, so it is deliberately outside the cache key: all jobs of
+	// one process share it, and the zero value (the default) changes
+	// nothing about the pipeline.
+	Degrade core.Degrade
+	// Fault is the fault-injection plan threaded through the handler, the
+	// queue, the cache and every synthesis job. Nil (the default) injects
+	// nothing and adds no overhead.
+	Fault *fault.Plan
 }
 
 // Server is the service state: worker pool, cache and metrics.
@@ -70,19 +104,35 @@ type Server struct {
 	log     *slog.Logger
 	agg     *obs.Aggregate // algorithm telemetry folded across all jobs
 	reqSeq  atomic.Uint64  // server-assigned request IDs
+	flt     *fault.Plan    // nil when fault injection is off
+	brk     *breaker
+
+	// Crash-safe journal state. jobEntry maps live queue job IDs to their
+	// journal entry IDs; earlyTerm stashes terminal outcomes that arrived
+	// before the submit path could register the mapping (a fast worker can
+	// finish a job before SubmitLabeled's caller resumes).
+	jnl       *journal.Journal
+	jmu       sync.Mutex
+	jobEntry  map[string]string
+	earlyTerm map[string]string
+	replayed  atomic.Int64
 }
 
 // jobResult is what a synthesis job stores in the queue on success.
 type jobResult struct {
-	key      string
-	cached   bool
-	solution []byte // canonical solio document
-	metrics  core.Metrics
-	stages   core.StageTimes
+	key          string
+	cached       bool
+	solution     []byte // canonical solio document
+	metrics      core.Metrics
+	stages       core.StageTimes
+	degradations []core.Degradation
 }
 
 // New builds a server and starts its worker pool. Call Shutdown to drain.
-func New(cfg Config) *Server {
+// The only error source is the job journal: an unreadable or unwritable
+// JournalPath refuses to start rather than silently running without
+// crash safety.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
@@ -92,33 +142,67 @@ func New(cfg Config) *Server {
 	if cfg.JobTimeout == 0 {
 		cfg.JobTimeout = 120 * time.Second
 	}
+	if cfg.SubmitRetries == 0 {
+		cfg.SubmitRetries = 2
+	}
+	if cfg.SubmitBackoff <= 0 {
+		cfg.SubmitBackoff = 20 * time.Millisecond
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 16
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
 	log := cfg.Logger
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		cfg:   cfg,
-		q:     jobq.New(cfg.Workers, cfg.QueueCap, cfg.Retain),
-		cache: solcache.New(cfg.CacheBytes),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		log:   log,
-		agg:   &obs.Aggregate{},
+		cfg:       cfg,
+		q:         jobq.New(cfg.Workers, cfg.QueueCap, cfg.Retain),
+		cache:     solcache.New(cfg.CacheBytes),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		log:       log,
+		agg:       &obs.Aggregate{},
+		flt:       cfg.Fault,
+		brk:       newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+		jobEntry:  make(map[string]string),
+		earlyTerm: make(map[string]string),
 	}
+	s.q.SetFault(s.flt)
+	s.cache.SetFault(s.flt)
 	s.metrics = newMetrics(s)
 	s.q.OnTerminal(func(j jobq.Job) {
 		lvl := slog.LevelInfo
-		if j.Status == jobq.Failed {
-			lvl = slog.LevelWarn
-		}
-		s.log.Log(context.Background(), lvl, "job finished",
+		attrs := []any{
 			"job", j.ID,
 			"request_id", j.Label,
 			"status", string(j.Status),
-			"dur_ms", float64(j.Finished.Sub(j.Started).Microseconds())/1000,
+			"dur_ms", float64(j.Finished.Sub(j.Started).Microseconds()) / 1000,
 			"err", j.Err,
-		)
+		}
+		if j.Status == jobq.Failed {
+			lvl = slog.LevelWarn
+			if j.Stack != "" {
+				attrs = append(attrs, "stack", j.Stack)
+			}
+		}
+		s.log.Log(context.Background(), lvl, "job finished", attrs...)
+		s.journalOutcome(j)
 	})
+	if cfg.JournalPath != "" {
+		jnl, pending, torn, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = jnl
+		if torn > 0 {
+			s.log.Warn("journal had torn lines", "path", cfg.JournalPath, "torn", torn)
+		}
+		s.replay(pending)
+	}
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
@@ -127,15 +211,122 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetrics)
 	s.handler = s.withRequestLog(s.mux)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Shutdown stops accepting jobs and drains the worker pool (see
-// jobq.Queue.Shutdown).
-func (s *Server) Shutdown(ctx context.Context) error { return s.q.Shutdown(ctx) }
+// jobq.Queue.Shutdown), then closes the journal. Jobs the drain cuts off
+// stay pending in the journal and are resubmitted by the next process.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.q.Shutdown(ctx)
+	if s.jnl != nil {
+		if cerr := s.jnl.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// journalOutcome records a job's terminal status in the journal. Cache
+// hits were never journaled (nothing is lost if they vanish); for the
+// rest, a terminal that races ahead of the submit path's registration is
+// stashed until registerJournal claims it.
+func (s *Server) journalOutcome(j jobq.Job) {
+	if s.jnl == nil {
+		return
+	}
+	if res, ok := j.Result.(*jobResult); ok && res.cached {
+		return
+	}
+	s.jmu.Lock()
+	entry, ok := s.jobEntry[j.ID]
+	if !ok {
+		s.earlyTerm[j.ID] = string(j.Status)
+		s.jmu.Unlock()
+		return
+	}
+	delete(s.jobEntry, j.ID)
+	s.jmu.Unlock()
+	s.journalTerminal(entry, string(j.Status))
+}
+
+// registerJournal links a queue job to its journal entry, or — if the
+// job already finished — writes the stashed terminal record now.
+func (s *Server) registerJournal(jobID, entry string) {
+	if s.jnl == nil {
+		return
+	}
+	s.jmu.Lock()
+	if status, done := s.earlyTerm[jobID]; done {
+		delete(s.earlyTerm, jobID)
+		s.jmu.Unlock()
+		s.journalTerminal(entry, status)
+		return
+	}
+	s.jobEntry[jobID] = entry
+	s.jmu.Unlock()
+}
+
+// journalTerminal writes a terminal record, logging rather than failing:
+// at worst the job replays after a crash, and replay is idempotent.
+func (s *Server) journalTerminal(entry, status string) {
+	if err := s.jnl.Terminal(entry, status); err != nil {
+		s.log.Warn("journal terminal write failed", "entry", entry, "status", status, "err", err)
+	}
+}
+
+// replay resubmits the journal's pending records from a previous
+// process. A record that no longer parses or resolves is closed out as
+// "unreplayable"; one the (startup-empty) queue cannot take is closed as
+// "rejected". Either way every accepted job reaches a terminal record.
+func (s *Server) replay(pending []journal.Record) {
+	for _, rec := range pending {
+		var sreq SynthesizeRequest
+		req, err := func() (*request, error) {
+			dec := json.NewDecoder(bytes.NewReader(rec.Request))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&sreq); err != nil {
+				return nil, err
+			}
+			return resolve(&sreq)
+		}()
+		if err != nil {
+			s.log.Warn("journal replay: unreplayable record", "entry", rec.ID, "err", err)
+			s.journalTerminal(rec.ID, "unreplayable")
+			continue
+		}
+		id, err := s.q.SubmitLabeled(rec.Label, s.synthesisJob(req))
+		if err != nil {
+			s.log.Warn("journal replay: resubmit failed", "entry", rec.ID, "err", err)
+			s.journalTerminal(rec.ID, "rejected")
+			continue
+		}
+		s.registerJournal(id, rec.ID)
+		s.replayed.Add(1)
+		s.log.Info("journal replay: resubmitted job", "entry", rec.ID, "job", id, "request_id", rec.Label)
+	}
+}
+
+// submitWithRetry pushes a job into the queue, absorbing transient
+// overflow with exponential backoff before surfacing ErrQueueFull.
+func (s *Server) submitWithRetry(ctx context.Context, label string, fn jobq.Fn) (string, error) {
+	var id string
+	var err error
+	for attempt := 0; ; attempt++ {
+		id, err = s.q.SubmitLabeled(label, fn)
+		if !errors.Is(err, jobq.ErrQueueFull) || attempt >= s.cfg.SubmitRetries {
+			return id, err
+		}
+		select {
+		case <-ctx.Done():
+			return "", err
+		case <-time.After(s.cfg.SubmitBackoff << attempt):
+		}
+	}
+}
 
 // writeJSON writes v with the given status code.
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -164,8 +355,16 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.histRequest.observe(time.Since(start)) }()
 
+	// The raw body is kept because an accepted request is journaled
+	// verbatim: replay after a crash re-decodes exactly what the client
+	// sent, not a re-serialization that might drift.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
 	var sreq SynthesizeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sreq); err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
@@ -176,6 +375,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := s.flt.Err(fault.ServerHandlerError); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.flt.Sleep(r.Context(), fault.ServerResponseSlow)
 
 	if data, ok := s.cache.Get(req.key); ok {
 		res, err := resultFromCache(req.key, data)
@@ -195,20 +399,60 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id, err := s.q.SubmitLabeled(RequestID(r.Context()), s.synthesisJob(req))
+	// Load shedding: while the breaker is open, don't even knock on the
+	// queue — answer immediately so the workers drain in peace.
+	if !s.brk.allow() {
+		s.metrics.jobsShed.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.BreakerCooldown.Seconds())+1))
+		writeErr(w, http.StatusServiceUnavailable, "shedding load: queue has been full for %d consecutive submissions", s.cfg.BreakerThreshold)
+		return
+	}
+
+	// Journal the acceptance before the submit: a crash anywhere after
+	// this line replays the request. The inverse order could lose a job
+	// the client was told was accepted.
+	label := RequestID(r.Context())
+	var entry string
+	if s.jnl != nil {
+		entry, err = s.jnl.Accepted(label, body)
+		if err != nil {
+			s.brk.success() // release a possible half-open probe slot
+			writeErr(w, http.StatusInternalServerError, "journal: %v", err)
+			return
+		}
+	}
+
+	id, err := s.submitWithRetry(r.Context(), label, s.synthesisJob(req))
 	switch {
 	case errors.Is(err, jobq.ErrQueueFull):
+		if s.brk.overflow() {
+			s.log.Warn("circuit breaker opened",
+				"threshold", s.cfg.BreakerThreshold, "cooldown", s.cfg.BreakerCooldown)
+		}
 		s.metrics.jobsRejected.Add(1)
+		if s.jnl != nil {
+			s.journalTerminal(entry, "rejected")
+		}
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, "queue full (%d waiting): retry later", s.cfg.QueueCap)
 		return
 	case errors.Is(err, jobq.ErrShutdown):
+		s.brk.success()
+		if s.jnl != nil {
+			s.journalTerminal(entry, "rejected")
+		}
 		writeErr(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	case err != nil:
+		s.brk.success()
+		if s.jnl != nil {
+			s.journalTerminal(entry, "rejected")
+		}
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	s.brk.success()
+	s.registerJournal(id, entry)
 	s.metrics.jobsAccepted.Add(1)
 	writeJSON(w, http.StatusAccepted, submitResponse{
 		JobID: id, Status: string(jobq.Queued), Job: "/v1/jobs/" + id,
@@ -228,14 +472,20 @@ func (s *Server) synthesisJob(req *request) jobq.Fn {
 		// pipeline's RNG and floating-point paths, so the traced synthesis
 		// is byte-identical to an untraced one (the cache depends on it).
 		ctx = obs.Into(ctx, obs.New(s.agg))
+		// Thread the process-wide fault plan into the pipeline. With no
+		// plan (the default) this is a no-op and the synthesis is
+		// byte-identical to a fault-free build.
+		ctx = fault.Into(ctx, s.flt)
 		algo := "dcsa"
 		synth := core.SynthesizeContext
 		if req.baseline {
 			algo = "baseline"
 			synth = core.SynthesizeBaselineContext
 		}
+		opts := req.opts
+		opts.Degrade = s.cfg.Degrade
 		progress(fmt.Sprintf("synthesizing %q (%s)", req.graph.Name(), algo))
-		sol, err := synth(ctx, req.graph, req.alloc, req.opts)
+		sol, err := synth(ctx, req.graph, req.alloc, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -256,7 +506,8 @@ func (s *Server) synthesisJob(req *request) jobq.Fn {
 		}
 		s.cache.Put(req.key, buf.Bytes())
 		progress("done")
-		return &jobResult{key: req.key, solution: buf.Bytes(), metrics: met, stages: stages}, nil
+		return &jobResult{key: req.key, solution: buf.Bytes(), metrics: met,
+			stages: stages, degradations: sol.Degradations}, nil
 	}
 }
 
@@ -268,7 +519,8 @@ func resultFromCache(key string, data []byte) (*jobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &jobResult{key: key, cached: true, solution: data, metrics: sol.Metrics()}, nil
+	return &jobResult{key: key, cached: true, solution: data,
+		metrics: sol.Metrics(), degradations: sol.Degradations}, nil
 }
 
 // metricsJSON mirrors core.Metrics with explicit units.
@@ -317,6 +569,9 @@ type jobResponse struct {
 	Metrics  *metricsJSON `json:"metrics,omitempty"`
 	Stages   *stagesJSON  `json:"stages_ms,omitempty"`
 	Solution string       `json:"solution,omitempty"`
+	// Degradations lists the degradation-ladder rungs the synthesis took
+	// (empty for a clean run; see core.Degradation).
+	Degradations []core.Degradation `json:"degradations,omitempty"`
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -341,6 +596,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		resp.Key = res.key
 		resp.Metrics = toMetricsJSON(res.metrics)
 		resp.Solution = "/v1/jobs/" + j.ID + "/solution"
+		resp.Degradations = res.degradations
 		if !res.cached {
 			resp.Stages = &stagesJSON{
 				ScheduleMs: float64(res.stages.Schedule.Microseconds()) / 1000,

@@ -15,6 +15,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // Cache is a thread-safe LRU keyed by content hash.
@@ -26,6 +28,11 @@ type Cache struct {
 	items    map[string]*list.Element
 	hits     int64
 	misses   int64
+	// flt injects cache faults (forced misses, dropped puts) when armed;
+	// nil in production. Both faults are safe by construction: the cache
+	// is a pure accelerator, so losing an entry can only cost a
+	// recomputation, never correctness.
+	flt *fault.Plan
 }
 
 type entry struct {
@@ -75,10 +82,22 @@ func Key(parts ...[]byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// SetFault arms the cache's injection points (solcache.get.miss,
+// solcache.put.drop) on the given plan; nil disables injection.
+func (c *Cache) SetFault(p *fault.Plan) {
+	c.mu.Lock()
+	c.flt = p
+	c.mu.Unlock()
+}
+
 // Get returns a copy of the cached value and records a hit or miss.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.flt.Fire(fault.CacheGetMiss) {
+		c.misses++
+		return nil, false
+	}
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
@@ -102,6 +121,9 @@ func (c *Cache) Put(key string, val []byte) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.flt.Fire(fault.CachePutDrop) {
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		return

@@ -1,6 +1,8 @@
 package solcache
 
 import (
+	"repro/internal/fault"
+
 	"bytes"
 	"fmt"
 	"sync"
@@ -118,4 +120,34 @@ func TestRePutRefreshesRecency(t *testing.T) {
 func ExampleKey() {
 	fmt.Println(Key([]byte(`{"name":"PCR"}`), []byte(`{"seed":1}`))[:16])
 	// Output: 058291ebe4aead90
+}
+
+// TestFaultInjection: a forced miss hides a present entry (counted as a
+// miss) and a dropped put leaves the cache unchanged — both degrade to
+// recomputation, never to corruption.
+func TestFaultInjection(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", []byte("v"))
+
+	c.SetFault(fault.NewPlan(5).Arm(fault.CacheGetMiss, fault.Once(0)))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("injected miss still returned the entry")
+	}
+	if v, ok := c.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("entry gone after injected miss: %q %v", v, ok)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss 1 hit", s)
+	}
+
+	c.SetFault(fault.NewPlan(5).Arm(fault.CachePutDrop, fault.Once(0)))
+	c.Put("k2", []byte("v2"))
+	c.SetFault(nil)
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("dropped put stored the value anyway")
+	}
+	c.Put("k2", []byte("v2"))
+	if v, ok := c.Get("k2"); !ok || string(v) != "v2" {
+		t.Fatalf("put after injected drop failed: %q %v", v, ok)
+	}
 }

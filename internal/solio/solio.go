@@ -34,6 +34,16 @@ type doc struct {
 	Place    docPlacement    `json:"placement"`
 	Routes   []docRoute      `json:"routes"`
 	CPUMs    float64         `json:"cpu_ms"`
+	// Degradations is present only for solutions that used a
+	// degradation-ladder rung (internal/core); omitting it when empty
+	// keeps clean-run encodings byte-identical to the historical format.
+	Degradations []docDegradation `json:"degradations,omitempty"`
+}
+
+type docDegradation struct {
+	Stage  string `json:"stage"`
+	Event  string `json:"event"`
+	Detail string `json:"detail,omitempty"`
 }
 
 type docOptions struct {
@@ -201,6 +211,9 @@ func Encode(w io.Writer, sol *core.Solution) error {
 		}
 		d.Routes = append(d.Routes, dr)
 	}
+	for _, dg := range sol.Degradations {
+		d.Degradations = append(d.Degradations, docDegradation{Stage: dg.Stage, Event: dg.Event, Detail: dg.Detail})
+	}
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -329,9 +342,13 @@ func DecodeUnvalidated(r io.Reader) (*core.Solution, error) {
 	}
 	route.RecomputeMetrics(routing, sched, comps, pl, opts.Route)
 
-	return &core.Solution{
+	sol := &core.Solution{
 		Assay: g, Comps: comps, Opts: opts,
 		Schedule: sched, Placement: pl, Routing: routing,
 		Baseline: d.Baseline,
-	}, nil
+	}
+	for _, dg := range d.Degradations {
+		sol.Degradations = append(sol.Degradations, core.Degradation{Stage: dg.Stage, Event: dg.Event, Detail: dg.Detail})
+	}
+	return sol, nil
 }

@@ -162,3 +162,35 @@ func TestDecodeUnvalidatedAuditsTampered(t *testing.T) {
 		t.Errorf("audit of a clean round trip found violations:\n%s", rep)
 	}
 }
+
+// TestDegradationsRoundTrip: a degraded solution's provenance survives
+// serialization, and a clean solution's encoding contains no
+// degradations key at all (the byte-identity guarantee the pinned
+// fingerprints rely on).
+func TestDegradationsRoundTrip(t *testing.T) {
+	sol := solve(t, "PCR", false)
+	var clean bytes.Buffer
+	if err := Encode(&clean, sol); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "degradations") {
+		t.Fatal("clean solution encodes a degradations key")
+	}
+	sol.Degradations = []core.Degradation{
+		{Stage: "schedule", Event: "baseline-fallback", Detail: "test"},
+		{Stage: "route", Event: "ripup"},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Degradations) != 2 ||
+		got.Degradations[0] != sol.Degradations[0] ||
+		got.Degradations[1] != sol.Degradations[1] {
+		t.Fatalf("degradations changed in round trip: %+v", got.Degradations)
+	}
+}
