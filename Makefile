@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot check bench bench-smoke verify regress table1 clean
+.PHONY: all build vet test race race-hot check bench bench-smoke bench-multicore verify regress table1 clean
 
 all: check
 
@@ -51,14 +51,34 @@ bench-smoke:
 		echo "$$out" | grep -q "$$b" || { echo "bench-smoke: benchmark $$b missing from output" >&2; exit 1; }; \
 	done
 
+# Multicore-path benchmarks: parallel-tempering placement and concurrent
+# slot-disjoint routing at pool sizes 1 and 4, with allocation counts, plus
+# the serving hot-path allocation benchmarks. Same missing-benchmark guard
+# as bench-smoke: a renamed benchmark must fail loudly, not match nothing.
+BENCH_MULTICORE_NAMES := BenchmarkAnnealTempered BenchmarkRouteParallel
+BENCH_MULTICORE_REGEX := BenchmarkAnnealTempered|BenchmarkRouteParallel
+
+bench-multicore:
+	@out=$$($(GO) test -run xxx -bench '$(BENCH_MULTICORE_REGEX)' -benchmem -benchtime 1x . 2>&1); \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	for b in $(BENCH_MULTICORE_NAMES); do \
+		echo "$$out" | grep -q "$$b" || { echo "bench-multicore: benchmark $$b missing from output" >&2; exit 1; }; \
+	done
+	$(GO) test -run xxx -bench 'BenchmarkServeCacheHit|BenchmarkWriteJSON|BenchmarkCompleteChurn' -benchmem ./internal/server/ ./internal/jobq/
+
 # Independent audit of every benchmark's synthesized solution (and the
 # baseline-BA variant) against the from-scratch constraint model.
 verify:
 	$(GO) run ./cmd/mfverify -bench all
 
-# Benchmark-regression gate against the checked-in baseline figures.
+# Benchmark-regression gate against both checked-in baselines: the
+# sequential default path (BENCH_baseline.json) and the combined
+# tempering+wave-routing configuration (BENCH_multicore.json). Costs must
+# match exactly for each baseline's recorded options; the multicore time
+# gate self-disables below its min_cpus.
 regress:
-	$(GO) run ./cmd/mfbench -j 2 -regress BENCH_baseline.json -regress-out bench_regress.json
+	$(GO) run ./cmd/mfbench -j 2 -regress BENCH_baseline.json,BENCH_multicore.json -regress-out bench_regress.json
 
 # Regenerate the paper's Table I.
 table1:

@@ -389,3 +389,64 @@ func BenchmarkStorageArchitecture(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAnnealTempered measures parallel tempering on the largest
+// tracked benchmark: R replicas at a temperature ladder versus the
+// single-seed anneal. On a multicore host the replicas of one round run
+// concurrently, so R=4 should cost well under 4x the R=1 wall time; on
+// one core it honestly serializes.
+func BenchmarkAnnealTempered(b *testing.B) {
+	bm, err := benchdata.ByName("Synthetic3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 4} {
+		k := k
+		b.Run(fmt.Sprintf("R=%d", k), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Place.Imax = 60
+			opts.Tempering = k
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Synthesize(bm.Graph, bm.Alloc, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteParallel measures the concurrent slot-disjoint wave
+// router against the sequential loop on a fixed schedule and placement.
+// The routed Result is byte-identical in both configurations (pinned by
+// TestParallelRoutingMatchesSequential); only the wall time may differ.
+func BenchmarkRouteParallel(b *testing.B) {
+	bm, err := benchdata.ByName("Synthetic4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	comps := bm.Alloc.Instantiate()
+	sched, err := schedule.Schedule(bm.Graph, comps, opts.Schedule)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := place.BuildNets(sched, opts.Place.Beta, opts.Place.Gamma)
+	pl, err := place.Anneal(comps, nets, opts.Place)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl = place.Dilate(pl, 1.5)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pr := opts.Route
+			pr.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := route.Route(sched, comps, pl, pr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,15 +17,33 @@
 //	mfbench -portfolio 8 # anneal 8 seeds concurrently per benchmark and
 //	                     # keep the lowest-energy placement (default 1,
 //	                     # which reproduces the single-seed run exactly)
+//	mfbench -tempering 4 # parallel tempering with 4 replicas instead of
+//	                     # the portfolio (changes the solution; 0 = off)
+//	mfbench -route-workers 4
+//	                     # concurrent slot-disjoint wave routing with a
+//	                     # 4-worker pool; output is byte-identical to the
+//	                     # sequential router for every value
+//
+// Multicore scaling sweep:
+//
+//	mfbench -sweep BENCH_multicore.json
+//
+// measures end-to-end synthesis wall time of the tracked benchmarks at
+// each GOMAXPROCS in {1, 2, 4, …, NumCPU}, in four modes (sequential,
+// tempering, wave routing, combined), and writes the curve as JSON. The
+// host's CPU count is recorded in the document — a 1-core host yields a
+// flat, honest curve, not a fabricated speedup.
 //
 // Regression gate (CI):
 //
-//	mfbench -regress BENCH_baseline.json -regress-out report.json
+//	mfbench -regress BENCH_baseline.json,BENCH_multicore.json -regress-out report.json
 //
 // runs the tracked benchmarks (Synthetic1-4 unless -bench restricts
-// further) with the capture options recorded in the baseline, compares
-// wall time (±tolerance) and solution cost (exactly — synthesis is
-// deterministic) and exits non-zero on any regression.
+// further) once per listed baseline, with the capture options recorded in
+// each (including tempering/route-workers for the multicore baseline),
+// compares wall time (±tolerance, skipped below the baseline's min_cpus)
+// and solution cost (exactly — synthesis is deterministic) and exits
+// non-zero on any regression.
 package main
 
 import (
@@ -33,6 +51,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/buildinfo"
@@ -51,7 +73,10 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "placement seed")
 		jobs    = flag.Int("j", 0, "benchmark worker-pool size (0 = all CPUs)")
 		portf   = flag.Int("portfolio", 1, "concurrent annealing seeds per benchmark (1 = single-seed)")
-		regr    = flag.String("regress", "", "run the benchmark-regression gate against this baseline JSON")
+		temper  = flag.Int("tempering", 0, "parallel-tempering replica count (0 = off; overrides -portfolio when >= 2)")
+		routeW  = flag.Int("route-workers", 0, "concurrent wave-routing pool size (0/1 = sequential; result is identical)")
+		sweep   = flag.String("sweep", "", "measure the GOMAXPROCS scaling curve and write it to this JSON file")
+		regr    = flag.String("regress", "", "run the benchmark-regression gate against these baseline JSONs (comma-separated)")
 		regrOut = flag.String("regress-out", "", "with -regress: write the comparison report JSON to this file")
 		version = flag.Bool("version", false, "print version and exit")
 	)
@@ -66,6 +91,8 @@ func main() {
 	opts.Place.Imax = *imax
 	opts.Place.Seed = *seed
 	opts.Portfolio = *portf
+	opts.Tempering = *temper
+	opts.Route.Workers = *routeW
 
 	benches := repro.Benchmarks()
 	if *bench != "" {
@@ -77,6 +104,10 @@ func main() {
 		benches = []repro.Benchmark{bm}
 	}
 
+	if *sweep != "" {
+		runSweep(*sweep, *bench, opts, *temper, *routeW)
+		return
+	}
 	if *regr != "" {
 		runRegression(*regr, *regrOut, *bench, opts, *jobs)
 		return
@@ -118,24 +149,19 @@ func main() {
 // four synthetic benchmarks, whose sizes dominate synthesis time.
 var regressBenches = []string{"Synthetic1", "Synthetic2", "Synthetic3", "Synthetic4"}
 
-// runRegression runs the benchmark-regression gate and exits: status 0
-// when every tracked benchmark holds its time and cost baseline, 1 on
-// any regression, 2 on usage or I/O errors.
-func runRegression(baselinePath, outPath, only string, opts repro.Options, jobs int) {
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "mfbench:", err)
-		os.Exit(2)
-	}
-	f, err := os.Open(baselinePath)
-	if err != nil {
-		fail(err)
-	}
-	base, err := regress.Load(f)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
+// fail aborts with a usage/IO error (exit status 2).
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mfbench:", err)
+	os.Exit(2)
+}
 
+// runRegression runs the benchmark-regression gate against every listed
+// baseline (comma-separated paths) and exits: status 0 when every
+// tracked benchmark holds its time and cost references in every
+// baseline, 1 on any regression, 2 on usage or I/O errors. Each baseline
+// is replayed under its own capture options — the multicore baseline
+// turns tempering and wave routing on, the classic one keeps them off.
+func runRegression(baselinePaths, outPath, only string, opts repro.Options, jobs int) {
 	names := regressBenches
 	if only != "" {
 		names = []string{only}
@@ -149,38 +175,75 @@ func runRegression(baselinePath, outPath, only string, opts repro.Options, jobs 
 		benches = append(benches, bm)
 	}
 
-	// Costs are only comparable under the capture options.
-	opts.Place.Imax = base.Imax
-	opts.Place.Seed = base.Seed
-
-	var rows []repro.ComparisonRow
-	if jobs > 0 {
-		rows, err = repro.RunComparisonWorkers(benches, opts, jobs)
-	} else {
-		rows, err = repro.RunComparison(benches, opts)
+	// namedReport tags each gate outcome with its baseline for the CI
+	// artifact; the file holds one element per listed baseline.
+	type namedReport struct {
+		Baseline string `json:"baseline"`
+		*regress.Report
 	}
-	if err != nil {
-		fail(err)
-	}
+	var reports []namedReport
+	allOK := true
 
-	// The parallel run above settles the cost comparison (costs are
-	// deterministic at any -j), but its wall times carry worker
-	// contention. Re-measure sequentially, best of three, so the time
-	// gate reflects single-run synthesis speed.
-	for i := range rows {
-		for rep := 0; rep < 3; rep++ {
-			sol, err := repro.Synthesize(benches[i].Graph, benches[i].Alloc, opts)
-			if err != nil {
-				fail(err)
-			}
-			if rep == 0 || sol.CPU < rows[i].Ours.CPU {
-				rows[i].Ours.CPU = sol.CPU
+	for _, path := range strings.Split(baselinePaths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		base, err := regress.Load(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+
+		// Costs are only comparable under the capture options.
+		o := opts
+		o.Place.Imax = base.Imax
+		o.Place.Seed = base.Seed
+		o.Tempering = base.Tempering
+		o.Route.Workers = base.RouteWorkers
+
+		var rows []repro.ComparisonRow
+		if jobs > 0 {
+			rows, err = repro.RunComparisonWorkers(benches, o, jobs)
+		} else {
+			rows, err = repro.RunComparison(benches, o)
+		}
+		if err != nil {
+			fail(err)
+		}
+
+		// The parallel run above settles the cost comparison (costs are
+		// deterministic at any -j), but its wall times carry worker
+		// contention. Re-measure sequentially, best of three, so the time
+		// gate reflects single-run synthesis speed.
+		for i := range rows {
+			for rep := 0; rep < 3; rep++ {
+				sol, err := repro.Synthesize(benches[i].Graph, benches[i].Alloc, o)
+				if err != nil {
+					fail(err)
+				}
+				if rep == 0 || sol.CPU < rows[i].Ours.CPU {
+					rows[i].Ours.CPU = sol.CPU
+				}
 			}
 		}
+
+		rep := base.Compare(rows)
+		fmt.Printf("== %s ==\n", filepath.Base(path))
+		fmt.Print(rep)
+		reports = append(reports, namedReport{Baseline: path, Report: rep})
+		if !rep.OK() {
+			allOK = false
+		}
+	}
+	if len(reports) == 0 {
+		fail(fmt.Errorf("no baseline paths in %q", baselinePaths))
 	}
 
-	rep := base.Compare(rows)
-	fmt.Print(rep)
 	if outPath != "" {
 		out, err := os.Create(outPath)
 		if err != nil {
@@ -188,14 +251,132 @@ func runRegression(baselinePath, outPath, only string, opts repro.Options, jobs 
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := enc.Encode(reports); err != nil {
 			fail(err)
 		}
 		if err := out.Close(); err != nil {
 			fail(err)
 		}
 	}
-	if !rep.OK() {
+	if !allOK {
 		os.Exit(1)
 	}
+}
+
+// sweepModes are the four configurations the scaling sweep measures at
+// every GOMAXPROCS value. Sequential is the pinned default path; the
+// other three exercise each multicore mode alone and combined.
+func sweepModes(tempering, routeWorkers int) []struct {
+	Name                    string
+	Tempering, RouteWorkers int
+} {
+	if tempering < 2 {
+		tempering = 4
+	}
+	if routeWorkers < 2 {
+		routeWorkers = 4
+	}
+	return []struct {
+		Name                    string
+		Tempering, RouteWorkers int
+	}{
+		{"sequential", 0, 0},
+		{"tempering", tempering, 0},
+		{"waves", 0, routeWorkers},
+		{"combined", tempering, routeWorkers},
+	}
+}
+
+// sweepProcs is the GOMAXPROCS ladder: powers of two up to NumCPU, with
+// NumCPU itself always included.
+func sweepProcs() []int {
+	n := runtime.NumCPU()
+	var procs []int
+	for p := 1; p < n; p *= 2 {
+		procs = append(procs, p)
+	}
+	return append(procs, n)
+}
+
+// runSweep measures the GOMAXPROCS scaling curve of end-to-end synthesis
+// on the tracked benchmarks and writes it as JSON. Wall times are best
+// of three; the host's true core count is recorded so a 1-core capture
+// reads as what it is instead of masquerading as a multicore result.
+func runSweep(outPath, only string, opts repro.Options, tempering, routeWorkers int) {
+	names := regressBenches
+	if only != "" {
+		names = []string{only}
+	}
+	modes := sweepModes(tempering, routeWorkers)
+	procs := sweepProcs()
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	type point struct {
+		Procs      int                         `json:"procs"`
+		Benchmarks map[string]map[string]int64 `json:"benchmarks"` // bench -> mode -> ns/op
+	}
+	doc := struct {
+		Captured string `json:"captured"`
+		Host     struct {
+			Cores  int    `json:"cores"`
+			GOOS   string `json:"goos"`
+			GOARCH string `json:"goarch"`
+		} `json:"host"`
+		Method string  `json:"method"`
+		Sweep  []point `json:"sweep"`
+	}{
+		Captured: time.Now().UTC().Format("2006-01-02"),
+		Method: fmt.Sprintf("mfbench -sweep (Imax=%d, seed=%d): end-to-end synthesis wall time, best of 3 per point; "+
+			"modes: sequential, tempering=%d, route-workers=%d, combined", opts.Place.Imax, opts.Place.Seed,
+			modes[1].Tempering, modes[2].RouteWorkers),
+	}
+	doc.Host.Cores = runtime.NumCPU()
+	doc.Host.GOOS = runtime.GOOS
+	doc.Host.GOARCH = runtime.GOARCH
+
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		pt := point{Procs: p, Benchmarks: make(map[string]map[string]int64)}
+		for _, name := range names {
+			bm, err := repro.BenchmarkByName(name)
+			if err != nil {
+				fail(err)
+			}
+			row := make(map[string]int64, len(modes))
+			for _, mode := range modes {
+				o := opts
+				o.Tempering = mode.Tempering
+				o.Route.Workers = mode.RouteWorkers
+				var best int64
+				for rep := 0; rep < 3; rep++ {
+					sol, err := repro.Synthesize(bm.Graph, bm.Alloc, o)
+					if err != nil {
+						fail(fmt.Errorf("%s/%s at GOMAXPROCS=%d: %w", name, mode.Name, p, err))
+					}
+					if ns := sol.CPU.Nanoseconds(); rep == 0 || ns < best {
+						best = ns
+					}
+				}
+				row[mode.Name] = best
+				fmt.Printf("GOMAXPROCS=%-3d %-12s %-10s %8.1f ms\n", p, name, mode.Name, float64(best)/1e6)
+			}
+			pt.Benchmarks[name] = row
+		}
+		doc.Sweep = append(doc.Sweep, pt)
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail(err)
+	}
+	if err := out.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (%d procs x %d benchmarks x %d modes)\n", outPath, len(procs), len(names), len(modes))
 }

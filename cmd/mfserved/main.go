@@ -194,16 +194,42 @@ type roundReport struct {
 	CacheHits     int     `json:"cache_hits"`
 }
 
+// scalingPoint is one GOMAXPROCS rung of the selfbench scaling curve.
+type scalingPoint struct {
+	Procs int         `json:"procs"`
+	Cold  roundReport `json:"cold"`
+	Warm  roundReport `json:"warm"`
+}
+
 // benchReport is the selfbench JSON document (BENCH_service.json).
 type benchReport struct {
-	Bench     string      `json:"bench"`
-	Requests  int         `json:"requests"`
-	Workers   int         `json:"workers"`
-	QueueCap  int         `json:"queue_capacity"`
-	Cold      roundReport `json:"cold"`
-	Warm      roundReport `json:"warm"`
-	SpeedupX  float64     `json:"warm_speedup_x"`
-	GoVersion string      `json:"go_version"`
+	Bench    string      `json:"bench"`
+	Requests int         `json:"requests"`
+	Workers  int         `json:"workers"`
+	QueueCap int         `json:"queue_capacity"`
+	HostCPUs int         `json:"host_cpus"`
+	Cold     roundReport `json:"cold"`
+	Warm     roundReport `json:"warm"`
+	SpeedupX float64     `json:"warm_speedup_x"`
+	// Scaling reports cold/warm throughput at GOMAXPROCS 1, 2 and
+	// NumCPU (deduplicated): the service's multicore curve. Every cold
+	// round uses fresh seeds so it never touches earlier rounds' cache
+	// entries.
+	Scaling   []scalingPoint `json:"scaling"`
+	GoVersion string         `json:"go_version"`
+}
+
+// scalingProcs is the deduplicated GOMAXPROCS ladder {1, 2, NumCPU}.
+func scalingProcs() []int {
+	n := runtime.NumCPU()
+	procs := []int{1}
+	if n >= 2 {
+		procs = append(procs, 2)
+	}
+	if n > 2 {
+		procs = append(procs, n)
+	}
+	return procs
 }
 
 // runSelfbench starts the service on a loopback listener and drives it
@@ -228,10 +254,12 @@ func runSelfbench(cfg server.Config, n int, outPath string) error {
 		return fmt.Errorf("selfbench needs -queue >= %d (have %d)", n, cfg.QueueCap)
 	}
 
-	body := func(i int) string {
-		return fmt.Sprintf(`{"bench":"Synthetic1","options":{"seed":%d}}`, i+1)
+	// Each round's requests use seeds seedBase+1 … seedBase+n: a fresh
+	// base makes a round cache-cold, a repeated base makes it cache-warm.
+	body := func(seedBase uint64, i int) string {
+		return fmt.Sprintf(`{"bench":"Synthetic1","options":{"seed":%d}}`, seedBase+uint64(i)+1)
 	}
-	run := func(label string) (roundReport, error) {
+	run := func(label string, seedBase uint64) (roundReport, error) {
 		lats := make([]time.Duration, n)
 		hits := make([]bool, n)
 		errs := make([]error, n)
@@ -241,7 +269,7 @@ func runSelfbench(cfg server.Config, n int, outPath string) error {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				lats[i], hits[i], errs[i] = oneRequest(ts.URL, body(i))
+				lats[i], hits[i], errs[i] = oneRequest(ts.URL, body(seedBase, i))
 			}(i)
 		}
 		wg.Wait()
@@ -270,12 +298,12 @@ func runSelfbench(cfg server.Config, n int, outPath string) error {
 
 	fmt.Fprintf(os.Stderr, "selfbench: %d concurrent Synthetic1 requests, %d workers — cold round…\n",
 		n, effectiveWorkers(cfg.Workers))
-	cold, err := run("cold")
+	cold, err := run("cold", 0)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "selfbench: warm round (identical requests, cache-served)…")
-	warm, err := run("warm")
+	warm, err := run("warm", 0)
 	if err != nil {
 		return err
 	}
@@ -283,14 +311,44 @@ func runSelfbench(cfg server.Config, n int, outPath string) error {
 		return fmt.Errorf("warm round had %d/%d cache hits: cache is not content-addressing correctly", warm.CacheHits, n)
 	}
 
+	// Scaling curve: the same cold/warm pair at each GOMAXPROCS rung.
+	// Each rung gets an unused seed base so its cold round never collides
+	// with a previous rung's cache entries.
+	prevProcs := runtime.GOMAXPROCS(0)
+	var scaling []scalingPoint
+	for r, procs := range scalingProcs() {
+		runtime.GOMAXPROCS(procs)
+		base := uint64((r + 1) * 1_000_000)
+		fmt.Fprintf(os.Stderr, "selfbench: scaling rung GOMAXPROCS=%d…\n", procs)
+		c, err := run(fmt.Sprintf("scaling-cold@%d", procs), base)
+		if err != nil {
+			runtime.GOMAXPROCS(prevProcs)
+			return err
+		}
+		w, err := run(fmt.Sprintf("scaling-warm@%d", procs), base)
+		if err != nil {
+			runtime.GOMAXPROCS(prevProcs)
+			return err
+		}
+		if c.CacheHits != 0 || w.CacheHits != n {
+			runtime.GOMAXPROCS(prevProcs)
+			return fmt.Errorf("scaling rung GOMAXPROCS=%d: cold had %d hits (want 0), warm %d (want %d)",
+				procs, c.CacheHits, w.CacheHits, n)
+		}
+		scaling = append(scaling, scalingPoint{Procs: procs, Cold: c, Warm: w})
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
 	rep := benchReport{
 		Bench:     "Synthetic1",
 		Requests:  n,
 		Workers:   effectiveWorkers(cfg.Workers),
 		QueueCap:  cfg.QueueCap,
+		HostCPUs:  runtime.NumCPU(),
 		Cold:      cold,
 		Warm:      warm,
 		SpeedupX:  cold.WallMs / warm.WallMs,
+		Scaling:   scaling,
 		GoVersion: runtime.Version(),
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -41,6 +41,15 @@ type Options struct {
 	// the proposed flow uses it; the baseline placer is deterministic in
 	// the seed and gains nothing from restarts.
 	Portfolio int
+	// Tempering, when >= 2, replaces the independent-seed portfolio with
+	// parallel tempering: that many replicas anneal concurrently at a
+	// geometric temperature ladder spanning [Tmin, T0] (seeds Place.Seed …
+	// Place.Seed+Tempering-1) and exchange configurations at deterministic
+	// round boundaries (see place.AnnealTempered). 0 or 1 keeps the
+	// historical portfolio/single-seed path bit for bit — the pinned
+	// fingerprints cover that default. When both Tempering and Portfolio
+	// are set, Tempering wins; the baseline flow ignores both.
+	Tempering int
 	// Verify, when set, runs the independent constraint auditor
 	// (internal/verify) on every synthesized solution before returning it
 	// and fails the synthesis if the audit reports any violation. The
@@ -298,6 +307,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 	var used *place.Placement
 	popts := opts.Place
 	portfolio := opts.Portfolio
+	tempering := opts.Tempering
 	ropts := opts.Route
 	if ropts.RipUpRounds == 0 {
 		ropts.RipUpRounds = opts.Degrade.RipUpRounds
@@ -315,7 +325,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 			pl, err = place.ConstructContext(ctx, comps, nets, popts)
 		} else {
 			pctx, cancel := stageCtx(ctx, opts.Degrade.PlaceDeadline)
-			pl, err = annealPortfolio(pctx, comps, nets, popts, portfolio)
+			pl, err = annealPlacement(pctx, comps, nets, popts, portfolio, tempering)
 			if stageDeadlineMiss(ctx, pctx, err) {
 				// Rung: the anneal overran its budget. Retry once at a
 				// quarter of the moves per temperature step, single seed,
@@ -365,6 +375,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 			// attempts run the last-resort reduced-effort restart.
 			popts.Imax = max(1, opts.Place.Imax/4)
 			portfolio = 0
+			tempering = 0
 			tr.Instant(obs.CatPlace, "degrade.place.restart")
 			degr = append(degr, Degradation{Stage: "place", Event: "reduced-effort",
 				Detail: fmt.Sprintf("4 routing attempts failed; annealing restarted at Imax=%d without portfolio", popts.Imax)})

@@ -16,6 +16,16 @@ import (
 // output is a pure function of (inputs, base seed, K) regardless of
 // goroutine scheduling. K <= 1 degenerates to the plain single-seed
 // anneal and reproduces it exactly.
+// annealPlacement dispatches the proposed flow's placement search:
+// parallel tempering when tempering >= 2 (it subsumes the portfolio —
+// replicas already span distinct seeds), otherwise the K-seed portfolio.
+func annealPlacement(ctx context.Context, comps []chip.Component, nets []place.Net, pr place.Params, portfolio, tempering int) (*place.Placement, error) {
+	if tempering >= 2 {
+		return place.AnnealTemperedContext(ctx, comps, nets, pr, tempering, 0)
+	}
+	return annealPortfolio(ctx, comps, nets, pr, portfolio)
+}
+
 func annealPortfolio(ctx context.Context, comps []chip.Component, nets []place.Net, pr place.Params, k int) (*place.Placement, error) {
 	if k <= 1 {
 		return place.AnnealContext(ctx, comps, nets, pr)

@@ -76,6 +76,20 @@ type job struct {
 	cancel context.CancelCauseFunc // non-nil while running
 }
 
+// jobPool recycles job records evicted from the retention ring. A
+// record's lifetime is fully lock-bounded: every read or write of a
+// *job happens under q.mu, snapshots leave as Job values, and eviction
+// (the only release point) deletes the map entry in the same critical
+// section — so once retire drops a record, nothing can reach it again
+// and it is safe to scrub and reuse. Under sustained serving load the
+// queue churns one record per request; recycling keeps that O(1) in
+// allocations instead of O(requests).
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+// newJob draws a record from the pool. Records are scrubbed on release
+// (see retire), so pooled entries never pin a stale Result or Fn.
+func newJob() *job { return jobPool.Get().(*job) }
+
 // Queue is the bounded FIFO queue and its worker pool.
 type Queue struct {
 	mu       sync.Mutex
@@ -168,10 +182,10 @@ func (q *Queue) SubmitLabeled(label string, fn Fn) (string, error) {
 	}
 	q.nextID++
 	id := fmt.Sprintf("j%06d", q.nextID)
-	q.jobs[id] = &job{
-		Job: Job{ID: id, Label: label, Status: Queued, Created: time.Now()},
-		fn:  fn,
-	}
+	j := newJob()
+	j.Job = Job{ID: id, Label: label, Status: Queued, Created: time.Now()}
+	j.fn = fn
+	q.jobs[id] = j
 	q.pending = append(q.pending, id)
 	q.cond.Signal()
 	return id, nil
@@ -210,10 +224,11 @@ func (q *Queue) Complete(label string, result any, progress string) (string, err
 	q.nextID++
 	id := fmt.Sprintf("j%06d", q.nextID)
 	now := time.Now()
-	j := &job{Job: Job{
+	j := newJob()
+	j.Job = Job{
 		ID: id, Label: label, Status: Done, Progress: progress,
 		Created: now, Started: now, Finished: now, Result: result,
-	}}
+	}
 	q.jobs[id] = j
 	snap, cb := q.retire(j), q.onTerminal
 	q.mu.Unlock()
@@ -357,7 +372,15 @@ func (q *Queue) retire(j *job) Job {
 	}
 	q.order = append(q.order, j.ID)
 	for len(q.order) > q.retain {
-		delete(q.jobs, q.order[0])
+		// Eviction is the record's release point: the map entry goes away
+		// under the same lock that guards every *job access, so nothing can
+		// observe the scrub. Zeroing drops the Result/fn references before
+		// the record idles in the pool.
+		if old := q.jobs[q.order[0]]; old != nil {
+			delete(q.jobs, q.order[0])
+			*old = job{}
+			jobPool.Put(old)
+		}
 		q.order = q.order[1:]
 	}
 	return j.Job

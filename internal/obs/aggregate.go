@@ -28,6 +28,17 @@ type Aggregate struct {
 	PlaceRetries  atomic.Int64 // placement retries after routing failure
 	QuenchSpans   atomic.Int64 // quench descents run
 	ScheduleStats atomic.Int64 // schedules completed
+
+	// Parallel tempering (opt-in multicore placement mode).
+	TemperReplicas atomic.Int64 // widest replica ladder run so far
+	TemperRounds   atomic.Int64 // barrier-synced tempering rounds
+	TemperSwaps    atomic.Int64 // accepted replica configuration swaps
+
+	// Concurrent wave routing (opt-in multicore routing mode).
+	RouteWaves     atomic.Int64 // multi-task waves routed in parallel
+	RouteWaveWidth atomic.Int64 // widest wave (parallelism width) seen
+	RouteSpecOK    atomic.Int64 // speculative paths accepted at commit
+	RouteSpecMiss  atomic.Int64 // speculations invalidated and re-routed
 }
 
 // Event folds one event into the totals.
@@ -60,6 +71,26 @@ func (a *Aggregate) Event(e Event) {
 		}
 	case "route.dilate":
 		a.Dilations.Add(1)
+	case "temper.replicas":
+		if v, ok := e.Arg("replicas"); ok {
+			maxInt64(&a.TemperReplicas, int64(v))
+		}
+	case "temper.round":
+		a.TemperRounds.Add(1)
+		if v, ok := e.Arg("swaps"); ok {
+			a.TemperSwaps.Add(int64(v))
+		}
+	case "route.wave":
+		a.RouteWaves.Add(1)
+		if v, ok := e.Arg("width"); ok {
+			maxInt64(&a.RouteWaveWidth, int64(v))
+		}
+		if v, ok := e.Arg("spec"); ok {
+			a.RouteSpecOK.Add(int64(v))
+		}
+		if v, ok := e.Arg("rerouted"); ok {
+			a.RouteSpecMiss.Add(int64(v))
+		}
 	case "synthesize.retry":
 		a.PlaceRetries.Add(1)
 	case "schedule.stats":

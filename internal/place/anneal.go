@@ -106,7 +106,7 @@ func AnnealContext(ctx context.Context, comps []chip.Component, nets []Net, pr P
 				cur = next
 				if cur < bestE {
 					bestE = cur
-					best = p.Clone()
+					best.CopyFrom(p)
 				}
 				accepted++
 			} else {

@@ -109,6 +109,18 @@ func (p *Placement) Clone() *Placement {
 	return c
 }
 
+// CopyFrom overwrites p with src, reusing p's rectangle slice when the
+// capacity suffices. The annealers use it to keep a best-so-far snapshot
+// without allocating a fresh Placement on every improvement.
+func (p *Placement) CopyFrom(src *Placement) {
+	p.W, p.H = src.W, src.H
+	if cap(p.Rects) < len(src.Rects) {
+		p.Rects = make([]Rect, len(src.Rects))
+	}
+	p.Rects = p.Rects[:len(src.Rects)]
+	copy(p.Rects, src.Rects)
+}
+
 // Legal verifies bounds and pairwise spacing.
 func (p *Placement) Legal(spacing int) error {
 	for i, r := range p.Rects {

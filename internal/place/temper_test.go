@@ -1,0 +1,143 @@
+package place
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/chip"
+)
+
+// temperFixture builds a small component set and net list with distinct
+// priorities, enough for swaps to matter.
+func temperFixture() ([]chip.Component, []Net) {
+	kinds := []chip.Kind{
+		{Name: "mixer", Footprint: chip.Footprint{W: 6, H: 4}},
+		{Name: "heater", Footprint: chip.Footprint{W: 4, H: 4}},
+		{Name: "detector", Footprint: chip.Footprint{W: 3, H: 3}},
+	}
+	var comps []chip.Component
+	for i := 0; i < 6; i++ {
+		comps = append(comps, chip.Component{ID: chip.CompID(i), Kind: kinds[i%len(kinds)]})
+	}
+	nets := []Net{
+		{A: 0, B: 1, CP: 3.5},
+		{A: 1, B: 2, CP: 1.0},
+		{A: 2, B: 3, CP: 2.25},
+		{A: 3, B: 4, CP: 0.5},
+		{A: 4, B: 5, CP: 4.0},
+		{A: 0, B: 5, CP: 1.75},
+	}
+	return comps, nets
+}
+
+func temperParams() Params {
+	pr := DefaultParams()
+	pr.Imax = 40
+	return pr
+}
+
+// TestTemperedDeterminismAcrossWorkers is the headline property: the
+// tempered placement is byte-identical for every worker-pool size —
+// replica stepping is embarrassingly parallel within a round and swap
+// decisions are serialized on the coordinator, so goroutine interleaving
+// cannot leak into the result. Run under -race this also proves the
+// replica fan-out is data-race-free.
+func TestTemperedDeterminismAcrossWorkers(t *testing.T) {
+	comps, nets := temperFixture()
+	pr := temperParams()
+	var ref *Placement
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		p, err := AnnealTemperedContext(context.Background(), comps, nets, pr, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = p
+			continue
+		}
+		if p.W != ref.W || p.H != ref.H || len(p.Rects) != len(ref.Rects) {
+			t.Fatalf("workers=%d: plane mismatch", workers)
+		}
+		for i := range p.Rects {
+			if p.Rects[i] != ref.Rects[i] {
+				t.Fatalf("workers=%d: rect %d = %+v, want %+v (worker count leaked into result)",
+					workers, i, p.Rects[i], ref.Rects[i])
+			}
+		}
+	}
+}
+
+// TestTemperedRepeatable re-runs the same tempered anneal many times on
+// the default worker fan-out; any scheduling-dependent swap decision
+// would show up as run-to-run drift.
+func TestTemperedRepeatable(t *testing.T) {
+	comps, nets := temperFixture()
+	pr := temperParams()
+	ref, err := AnnealTempered(comps, nets, pr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		p, err := AnnealTempered(comps, nets, pr, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range p.Rects {
+			if p.Rects[i] != ref.Rects[i] {
+				t.Fatalf("run %d: rect %d = %+v, want %+v", run, i, p.Rects[i], ref.Rects[i])
+			}
+		}
+	}
+}
+
+// TestTemperedDegeneratesToAnneal pins that replicas <= 1 is the plain
+// annealer, bit for bit.
+func TestTemperedDegeneratesToAnneal(t *testing.T) {
+	comps, nets := temperFixture()
+	pr := temperParams()
+	want, err := Anneal(comps, nets, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1} {
+		got, err := AnnealTempered(comps, nets, pr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Rects {
+			if got.Rects[i] != want.Rects[i] {
+				t.Fatalf("replicas=%d: rect %d = %+v, want %+v", k, i, got.Rects[i], want.Rects[i])
+			}
+		}
+	}
+}
+
+// TestTemperedLegalAndScored sanity-checks the output contract: legal
+// placement, finite energy, and not worse than the median single-seed
+// run would plausibly allow (weak bound — quality assertions on a
+// stochastic search would flake).
+func TestTemperedLegalAndScored(t *testing.T) {
+	comps, nets := temperFixture()
+	pr := temperParams()
+	p, err := AnnealTempered(comps, nets, pr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Legal(pr.Spacing); err != nil {
+		t.Fatalf("illegal placement: %v", err)
+	}
+	if e := Energy(p, nets); e <= 0 {
+		t.Fatalf("implausible energy %v", e)
+	}
+}
+
+// TestTemperedCancel verifies the per-round cancellation poll.
+func TestTemperedCancel(t *testing.T) {
+	comps, nets := temperFixture()
+	pr := temperParams()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnnealTemperedContext(ctx, comps, nets, pr, 4, 2); err == nil {
+		t.Fatal("cancelled tempering returned no error")
+	}
+}

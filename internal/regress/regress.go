@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"repro/internal/report"
@@ -33,6 +34,19 @@ type Baseline struct {
 	// with; a run must use the same ones for costs to be comparable.
 	Imax int    `json:"imax"`
 	Seed uint64 `json:"seed"`
+	// Tempering and RouteWorkers record the multicore options of the
+	// capture (0 = off). Tempering changes the solution, so it must match
+	// for the cost gate to mean anything; RouteWorkers never does (the
+	// wave router is pinned byte-identical), but replaying it keeps the
+	// timing comparison like-for-like.
+	Tempering    int `json:"tempering,omitempty"`
+	RouteWorkers int `json:"route_workers,omitempty"`
+	// MinCPUs, when positive, marks the baseline's wall times as captured
+	// on a host with at least that many CPUs. On a smaller host the time
+	// gate is skipped (with a note) — a 1-core runner cannot reproduce a
+	// multicore curve and failing it would only teach people to ignore
+	// the gate. Costs are still compared exactly.
+	MinCPUs int `json:"min_cpus,omitempty"`
 	// Tolerance is the relative wall-time slack (0.15 = +15%).
 	Tolerance  float64          `json:"tolerance"`
 	Benchmarks map[string]Entry `json:"benchmarks"`
@@ -131,9 +145,17 @@ func measured(row report.Row) Entry {
 	}
 }
 
-// Compare gates the measured rows against the baseline.
+// Compare gates the measured rows against the baseline on this host.
 func (b *Baseline) Compare(rows []report.Row) *Report {
+	return b.CompareOn(rows, runtime.NumCPU())
+}
+
+// CompareOn gates the measured rows against the baseline for a host with
+// hostCPUs logical CPUs (split out from Compare so tests can pin the
+// host size).
+func (b *Baseline) CompareOn(rows []report.Row, hostCPUs int) *Report {
 	rep := &Report{Tolerance: b.Tolerance, Imax: b.Imax, Seed: b.Seed}
+	timeGate := b.MinCPUs <= 0 || hostCPUs >= b.MinCPUs
 	for _, row := range rows {
 		c := Check{Bench: row.Benchmark, Measured: measured(row)}
 		ref, ok := b.Benchmarks[row.Benchmark]
@@ -157,9 +179,17 @@ func (b *Baseline) Compare(rows []report.Row) *Report {
 		if ref.NsPerOp > 0 {
 			c.TimeRatio = c.Measured.NsPerOp / ref.NsPerOp
 		}
-		c.TimeOK = c.TimeRatio <= 1+b.Tolerance
-		if c.TimeOK && c.TimeRatio > 0 && c.TimeRatio < 1-b.Tolerance && c.Note == "" {
-			c.Note = fmt.Sprintf("faster than baseline (%.2fx) — consider re-capturing", c.TimeRatio)
+		switch {
+		case !timeGate:
+			c.TimeOK = true
+			if c.Note == "" {
+				c.Note = fmt.Sprintf("time gate skipped: host has %d CPUs, baseline needs >= %d", hostCPUs, b.MinCPUs)
+			}
+		default:
+			c.TimeOK = c.TimeRatio <= 1+b.Tolerance
+			if c.TimeOK && c.TimeRatio > 0 && c.TimeRatio < 1-b.Tolerance && c.Note == "" {
+				c.Note = fmt.Sprintf("faster than baseline (%.2fx) — consider re-capturing", c.TimeRatio)
+			}
 		}
 		rep.Checks = append(rep.Checks, c)
 	}

@@ -112,3 +112,28 @@ func TestLoadRepoBaseline(t *testing.T) {
 		}
 	}
 }
+
+// TestMinCPUsSkipsTimeGate pins the small-host behaviour: below the
+// baseline's MinCPUs the time gate passes with a note (a 1-core runner
+// cannot reproduce a multicore curve), while cost drift still fails.
+func TestMinCPUsSkipsTimeGate(t *testing.T) {
+	b := refBaseline()
+	b.MinCPUs = 4
+
+	// 3x slower on a too-small host: time gate skipped, run passes.
+	rep := b.CompareOn([]report.Row{row(3*time.Second, 100)}, 1)
+	if !rep.OK() {
+		t.Errorf("small host failed the skipped time gate: %s", rep)
+	}
+	if !strings.Contains(rep.Checks[0].Note, "time gate skipped") {
+		t.Errorf("skip not noted: %q", rep.Checks[0].Note)
+	}
+	// Same run on a big-enough host: time gate applies and fails.
+	if rep := b.CompareOn([]report.Row{row(3*time.Second, 100)}, 4); rep.OK() {
+		t.Errorf("3x slower run passed on a %d-CPU host: %s", 4, rep)
+	}
+	// Cost drift fails regardless of host size.
+	if rep := b.CompareOn([]report.Row{row(time.Second, 99)}, 1); rep.OK() {
+		t.Errorf("cost drift passed under the skipped time gate: %s", rep)
+	}
+}

@@ -4,13 +4,16 @@ import "repro/internal/chip"
 
 // The A* searches here are allocation-free on their hot path: all
 // per-search state (g-scores, parents, start/target marks, the open
-// heap and the BFS queue) lives in scratch slices owned by the Grid and
-// is invalidated in O(1) by bumping a generation stamp instead of being
-// reallocated per task. The only allocations left are the returned path
-// and the per-destination heuristic field, which is computed once per
-// component and cached for the lifetime of the grid. A Grid is therefore
-// NOT safe for concurrent searches; concurrent syntheses each build
-// their own Grid.
+// heap and the BFS queue) lives in scratch slices and is invalidated in
+// O(1) by bumping a generation stamp instead of being reallocated per
+// task. The only allocations left are the returned path and the
+// per-destination heuristic field, which is computed once per component
+// and cached for the lifetime of the grid. A search mutates only its
+// scratch, so several searches may run concurrently against one Grid as
+// long as each owns a private scratch, nothing commits meanwhile, and
+// every heuristic field was precomputed — the contract of the parallel
+// wave router in parallel.go. The Grid's embedded g.sc serves the
+// sequential paths.
 
 // scratch is the reusable per-search state.
 type scratch struct {
@@ -23,6 +26,15 @@ type scratch struct {
 	heap   []heapNode
 	queue  []int32     // BFS worklist for heuristic fields
 	stats  searchStats // telemetry counters, reset per reported search
+	// Read tracking for speculative parallel routing: when track is set,
+	// usableAt records every cell index it probes (deduplicated by rmark)
+	// into reads. A speculative search is exactly reproducible against a
+	// later grid state iff none of its read cells were committed to in
+	// between — weights and slots are only ever written on committed path
+	// cells, and the search consults them only through tracked probes.
+	track bool
+	rmark []uint32 // generation stamp: cell already in reads
+	reads []int32  // cell indices probed this search
 }
 
 // searchStats accumulates per-search telemetry. The counters are plain
@@ -42,7 +54,50 @@ func newScratch(n int) scratch {
 		mark:   make([]uint32, n),
 		smark:  make([]uint32, n),
 		tmark:  make([]uint32, n),
+		rmark:  make([]uint32, n),
 	}
+}
+
+// ensure grows the scratch to cover n cells, keeping existing backing
+// arrays when their capacity suffices. Entries beyond the previous length
+// are pristine (all-zero) by the reset invariant, so generation stamps
+// stay sound across reuse.
+func (sc *scratch) ensure(n int) {
+	if cap(sc.gScore) < n {
+		*sc = scratch{
+			gScore: make([]float64, n),
+			parent: make([]int32, n),
+			mark:   make([]uint32, n),
+			smark:  make([]uint32, n),
+			tmark:  make([]uint32, n),
+			rmark:  make([]uint32, n),
+		}
+		return
+	}
+	sc.gScore = sc.gScore[:n]
+	sc.parent = sc.parent[:n]
+	sc.mark = sc.mark[:n]
+	sc.smark = sc.smark[:n]
+	sc.tmark = sc.tmark[:n]
+	sc.rmark = sc.rmark[:n]
+}
+
+// reset scrubs every generation-stamped array and rewinds the generation
+// so the scratch can be pooled and reused on a different grid. Only the
+// current length is cleared: cells beyond it were either never written or
+// cleared by an earlier reset, which keeps the whole capacity clean — the
+// invariant ensure relies on.
+func (sc *scratch) reset() {
+	clear(sc.mark)
+	clear(sc.smark)
+	clear(sc.tmark)
+	clear(sc.rmark)
+	sc.gen = 0
+	sc.heap = sc.heap[:0]
+	sc.queue = sc.queue[:0]
+	sc.reads = sc.reads[:0]
+	sc.track = false
+	sc.stats = searchStats{}
 }
 
 // heapNode is a priority-queue entry; order breaks float ties
@@ -161,8 +216,7 @@ func (g *Grid) cellOf(i int32) Cell { return Cell{int(i) % g.W, int(i) / g.W} }
 
 // reconstruct walks the parent chain from the goal back to a cell
 // stamped as a search start and returns the forward path.
-func (g *Grid) reconstruct(goal int32, gen uint32) []Cell {
-	sc := &g.sc
+func (g *Grid) reconstruct(sc *scratch, goal int32, gen uint32) []Cell {
 	var path []Cell
 	for k := goal; ; k = sc.parent[k] {
 		path = append(path, g.cellOf(k))
@@ -181,10 +235,18 @@ func (g *Grid) reconstruct(goal int32, gen uint32) []Cell {
 // components expose their whole free boundary ring as flow ports, so
 // concurrent tasks at one component need not contend for a single cell.
 func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
+	return g.routeTaskSc(&g.sc, t, useWeights)
+}
+
+// routeTaskSc is routeTask against an explicit scratch. With a private
+// scratch it only reads the Grid (given the task's heuristic field is
+// already cached), which is what lets the wave router run several
+// searches concurrently.
+func (g *Grid) routeTaskSc(sc *scratch, t Task, useWeights bool) []Cell {
 	hold := t.HoldWindow()
-	sc := &g.sc
 	sc.gen++
 	gen := sc.gen
+	sc.reads = sc.reads[:0]
 	for _, c := range g.rings[t.To] {
 		sc.tmark[g.idx(c.X, c.Y)] = gen
 	}
@@ -192,7 +254,7 @@ func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
 	// a single usable cell shared by both rings is a complete path.
 	for _, c := range g.rings[t.From] {
 		i := g.idx(c.X, c.Y)
-		if sc.tmark[i] == gen && g.usableAt(i, hold, t.Fluid.Name) {
+		if sc.tmark[i] == gen && g.usableAt(sc, i, hold, t.Fluid.Name) {
 			return []Cell{c}
 		}
 	}
@@ -204,7 +266,7 @@ func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
 		// The first path cell also hosts any channel-cache park, so it
 		// must be free for the extended hold window.
 		i := g.idx(c.X, c.Y)
-		if !g.usableAt(i, hold, t.Fluid.Name) {
+		if !g.usableAt(sc, i, hold, t.Fluid.Name) {
 			continue
 		}
 		k := int32(i)
@@ -223,7 +285,7 @@ func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
 		}
 		sc.stats.expanded++
 		if sc.tmark[ck] == gen {
-			return g.reconstruct(ck, gen)
+			return g.reconstruct(sc, ck, gen)
 		}
 		x, y := int(ck)%g.W, int(ck)/g.W
 		for _, d := range [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
@@ -232,7 +294,7 @@ func (g *Grid) routeTask(t Task, useWeights bool) []Cell {
 				continue
 			}
 			ni := g.idx(nx, ny)
-			if !g.usableAt(ni, t.Window, t.Fluid.Name) {
+			if !g.usableAt(sc, ni, t.Window, t.Fluid.Name) {
 				continue
 			}
 			step := 1.0
@@ -283,6 +345,7 @@ func (g *Grid) astar(t Task, from, to Cell, useWeights bool) []Cell {
 	sc := &g.sc
 	sc.gen++
 	gen := sc.gen
+	sc.reads = sc.reads[:0]
 	sc.heap = sc.heap[:0]
 	fk := int32(g.idx(from.X, from.Y))
 	sc.gScore[fk] = 0
@@ -300,7 +363,7 @@ func (g *Grid) astar(t Task, from, to Cell, useWeights bool) []Cell {
 		}
 		sc.stats.expanded++
 		if ck == goal {
-			return g.reconstruct(ck, gen)
+			return g.reconstruct(sc, ck, gen)
 		}
 		x, y := int(ck)%g.W, int(ck)/g.W
 		for _, d := range [4][2]int{{0, -1}, {1, 0}, {0, 1}, {-1, 0}} {
@@ -309,7 +372,7 @@ func (g *Grid) astar(t Task, from, to Cell, useWeights bool) []Cell {
 				continue
 			}
 			ni := g.idx(nx, ny)
-			if !g.usableAt(ni, t.Window, t.Fluid.Name) {
+			if !g.usableAt(sc, ni, t.Window, t.Fluid.Name) {
 				continue
 			}
 			step := 1.0

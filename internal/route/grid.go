@@ -16,6 +16,7 @@ package route
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/chip"
 	"repro/internal/fault"
@@ -42,6 +43,13 @@ type Params struct {
 	// historical behaviour bit for bit; only the degradation ladder of
 	// internal/core arms it.
 	RipUpRounds int
+	// Workers, when >= 2, routes waves of time-slot-disjoint tasks
+	// concurrently with speculative per-worker searches that are validated
+	// against the deterministic sequential commit order (see parallel.go).
+	// The routed paths are byte-identical to the sequential router's for
+	// every Workers value; 0 or 1 — the default — runs the historical
+	// sequential loop outright.
+	Workers int
 }
 
 // DefaultParams returns the published parameters: w_e = 10 and a 10 mm
@@ -78,6 +86,16 @@ type Grid struct {
 	hfields [][]int32 // cached heuristic fields per destination component
 }
 
+// gridPool recycles Grid shells between routings. A NewGrid/release pair
+// brackets every routing pass, so the big per-plane arrays (blocked,
+// weight, slots and the A* scratch — five W×H slices plus one []slot
+// header per cell) are allocated once per size class and reused across
+// dilation retries, seed retries and served requests instead of being
+// torn down per pass. release scrubs all mutable state, so a recycled
+// grid is indistinguishable from a fresh one — determinism does not
+// depend on pool hits.
+var gridPool sync.Pool
+
 // NewGrid builds the routing plane from a placement: component interiors
 // are blocked, every free cell starts at weight w_e, and each component
 // gets a port cell on its boundary ring.
@@ -88,19 +106,29 @@ func NewGrid(comps []chip.Component, pl *place.Placement, pr Params) (*Grid, err
 	if len(pl.Rects) != len(comps) {
 		return nil, fmt.Errorf("route: placement has %d rects for %d components", len(pl.Rects), len(comps))
 	}
-	g := &Grid{
-		W:       pl.W,
-		H:       pl.H,
-		pitch:   pr.Pitch,
-		we:      pr.We,
-		blocked: make([]bool, pl.W*pl.H),
-		weight:  make([]float64, pl.W*pl.H),
-		slots:   make([][]slot, pl.W*pl.H),
-		ports:   make([]Cell, len(comps)),
-		rings:   make([][]Cell, len(comps)),
-		sc:      newScratch(pl.W * pl.H),
-		hfields: make([][]int32, len(comps)),
+	n := pl.W * pl.H
+	g, _ := gridPool.Get().(*Grid)
+	if g == nil {
+		g = &Grid{}
 	}
+	g.W, g.H = pl.W, pl.H
+	g.pitch, g.we = pr.Pitch, pr.We
+	// Backing arrays survive in the pool at their released (clean) state:
+	// growing past the capacity reallocates zeroed memory, while reslicing
+	// within it exposes only cells release already scrubbed.
+	if cap(g.blocked) < n {
+		g.blocked = make([]bool, n)
+		g.weight = make([]float64, n)
+		g.slots = make([][]slot, n)
+	} else {
+		g.blocked = g.blocked[:n]
+		g.weight = g.weight[:n]
+		g.slots = g.slots[:n]
+	}
+	g.sc.ensure(n)
+	g.ports = make([]Cell, len(comps))
+	g.rings = make([][]Cell, len(comps))
+	g.hfields = make([][]int32, len(comps))
 	for i := range g.weight {
 		g.weight[i] = pr.We
 	}
@@ -108,6 +136,7 @@ func NewGrid(comps []chip.Component, pl *place.Placement, pr Params) (*Grid, err
 		for y := r.Y; y < r.Y+r.H; y++ {
 			for x := r.X; x < r.X+r.W; x++ {
 				if x < 0 || x >= g.W || y < 0 || y >= g.H {
+					g.release()
 					return nil, fmt.Errorf("route: component rect %+v outside plane", r)
 				}
 				g.blocked[g.idx(x, y)] = true
@@ -123,12 +152,29 @@ func NewGrid(comps []chip.Component, pl *place.Placement, pr Params) (*Grid, err
 		outer := g.freeRing(place.Rect{X: r.X - 1, Y: r.Y - 1, W: r.W + 2, H: r.H + 2})
 		ring = append(ring, outer...)
 		if len(ring) == 0 {
+			g.release()
 			return nil, fmt.Errorf("route: component %d at %+v has no free port cell", c, r)
 		}
 		g.rings[c] = dedupeCells(ring)
 		g.ports[c] = g.rings[c][0]
 	}
 	return g, nil
+}
+
+// release scrubs the grid's mutable state and returns it to the pool.
+// Callers must not touch the grid afterwards; nothing a routing Result
+// carries aliases grid memory (paths and metrics are copied out), so the
+// routing entry points release unconditionally on exit.
+func (g *Grid) release() {
+	clear(g.blocked)
+	for i := range g.slots {
+		g.slots[i] = g.slots[i][:0]
+	}
+	g.sc.reset()
+	// Per-component headers are rebuilt per placement; drop them so the
+	// pool retains only the size-class arrays.
+	g.ports, g.rings, g.hfields = nil, nil, nil
+	gridPool.Put(g)
 }
 
 // InjectDefects marks free routing cells defective according to the
@@ -243,12 +289,21 @@ func (g *Grid) onRing(comp chip.CompID, c Cell) bool {
 // steered by the cell weights (cheap-to-wash and same-fluid cells attract
 // reuse) and accounted in the total channel wash time of Fig. 9.
 func (g *Grid) usable(c Cell, iv interval.Interval, fl string) bool {
-	return g.usableAt(g.idx(c.X, c.Y), iv, fl)
+	return g.usableAt(&g.sc, g.idx(c.X, c.Y), iv, fl)
 }
 
 // usableAt is usable keyed by packed cell index: the A* inner loop
 // already has the index at hand, so the cell is resolved exactly once.
-func (g *Grid) usableAt(i int, iv interval.Interval, fl string) bool {
+// The scratch receives the telemetry counters and, when read tracking is
+// armed, the probe record — every grid cell whose mutable state (slots,
+// weight) can influence the calling search goes through here, which is
+// what makes the recorded read set a sound invalidation key for
+// speculative parallel routing.
+func (g *Grid) usableAt(sc *scratch, i int, iv interval.Interval, fl string) bool {
+	if sc.track && sc.rmark[i] != sc.gen {
+		sc.rmark[i] = sc.gen
+		sc.reads = append(sc.reads, int32(i))
+	}
 	if g.blocked[i] {
 		return false
 	}
@@ -260,7 +315,7 @@ func (g *Grid) usableAt(i int, iv interval.Interval, fl string) bool {
 			continue
 		}
 		if s.iv.Overlaps(iv) {
-			g.sc.stats.slotConflicts++
+			sc.stats.slotConflicts++
 			return false
 		}
 	}

@@ -1,0 +1,213 @@
+package route
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Concurrent routing of time-slot-disjoint tasks.
+//
+// The sequential router commits tasks in non-decreasing start-time order,
+// and every commit mutates the grid twice over: it appends occupancy
+// slots along the path (the Eq. 5 feasibility state) and overwrites the
+// path cells' weights with the residue wash time (the Eq. 5 cost state).
+// Slot-disjointness — tasks whose Eq. 5 hold intervals don't intersect —
+// guarantees the *feasibility* checks of wave peers cannot interact, but
+// the weight writes can still steer a later task's cheapest path. A
+// plain "route disjoint tasks concurrently" scheme would therefore drift
+// from the sequential solution.
+//
+// The wave router closes that gap with speculation + validation:
+//
+//  1. A wave is the longest run (bounded by waveCap) of consecutive
+//     pending tasks whose hold windows are pairwise disjoint.
+//  2. Every wave task is routed speculatively against the frozen grid
+//     (commits happen only between waves) on its own pooled scratch,
+//     with read tracking armed: the scratch records every cell whose
+//     slots/weight the search consulted. The grid is strictly read-only
+//     during this phase — per-destination heuristic fields are
+//     precomputed — so the fan-out is data-race-free by construction.
+//  3. Tasks then commit strictly in sequential order. A speculative path
+//     is accepted iff none of its recorded reads lies on a cell an
+//     earlier wave member just committed to; otherwise the task is
+//     re-routed on the spot against the up-to-date grid, exactly as the
+//     sequential router would have.
+//
+// A search is a pure function of the cells it reads, so an accepted
+// speculative path is bit-identical to what the sequential router would
+// have produced, and a rejected one is recomputed sequentially —
+// the overall Result is byte-identical to routeAll's sequential loop for
+// every Workers value. TestParallelRoutingMatchesSequential pins this on
+// all pinned benchmarks.
+
+// waveCap bounds how far ahead of the commit frontier the router
+// speculates: enough to keep the workers fed, small enough that a stale
+// speculation wastes little work.
+func waveCap(workers int) int { return 2 * workers }
+
+// routeAllWaves is routeAll's parallel drive loop: it walks the sorted
+// task list in contiguous waves of pairwise slot-disjoint tasks, routing
+// each wave speculatively in parallel and falling back to plain
+// sequential routing for single-task "waves". ctx is polled once per
+// wave. The appended Routes are byte-identical to the sequential loop's.
+func (g *Grid) routeAllWaves(ctx context.Context, tasks []Task, res *Result, pr Params, weighted bool, tr *obs.Tracer) error {
+	workers := pr.Workers
+	dirty := make([]uint32, g.W*g.H)
+	var dgen uint32
+	maxLen := waveCap(workers)
+	for lo := 0; lo < len(tasks); {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("route: aborted before task %d: %w", tasks[lo].ID, err)
+		}
+		hi := disjointRun(tasks, lo, maxLen)
+		if hi-lo < 2 {
+			t := tasks[lo]
+			p := g.routeTask(t, weighted)
+			if p == nil && pr.RipUpRounds > 0 {
+				p = ripUpRecover(g, res, t, weighted, pr.RipUpRounds, tr)
+			}
+			if p == nil {
+				return noPathError(t)
+			}
+			g.commit(t.ID, p, t.Window, t.Hold, t.Fluid.Name, t.Wash)
+			res.Routes = append(res.Routes, RoutedTask{Task: t, Path: p})
+			lo = hi
+			continue
+		}
+		accepted, err := g.routeWave(tasks, lo, hi, weighted, workers, res, pr, dirty, &dgen, tr)
+		tr.Instant(obs.CatRoute, "route.wave",
+			obs.Arg{Key: "width", Val: float64(hi - lo)},
+			obs.Arg{Key: "spec", Val: float64(accepted)},
+			obs.Arg{Key: "rerouted", Val: float64(hi - lo - accepted)})
+		if err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// specResult is one wave member's speculative outcome.
+type specResult struct {
+	path  []Cell
+	reads []int32
+}
+
+// scratchPool recycles read-tracking scratches across waves and routing
+// passes (they are too short-lived to tie to one Grid).
+var scratchPool sync.Pool
+
+func getScratch(n int) *scratch {
+	sc, _ := scratchPool.Get().(*scratch)
+	if sc == nil {
+		s := newScratch(n)
+		sc = &s
+	} else {
+		sc.ensure(n)
+	}
+	sc.track = true
+	return sc
+}
+
+func putScratch(sc *scratch) {
+	sc.reset()
+	scratchPool.Put(sc)
+}
+
+// routeWave routes tasks[lo:hi] (a pairwise slot-disjoint wave, hi-lo >=
+// 2) with speculative parallel searches and a deterministic in-order
+// commit. dirty is a W*H generation-stamp array owned by the caller;
+// *dgen is bumped once per wave. Returns the number of speculative paths
+// accepted, or an error when some task has no conflict-free path (the
+// same failure the sequential loop would report — recovery and dilation
+// stay with the caller).
+func (g *Grid) routeWave(tasks []Task, lo, hi int, weighted bool, workers int,
+	res *Result, pr Params, dirty []uint32, dgen *uint32, tr *obs.Tracer) (int, error) {
+
+	// Heuristic fields are lazily cached on first use; force them in now,
+	// sequentially, so the parallel phase never writes the cache.
+	for i := lo; i < hi; i++ {
+		g.hfield(tasks[i].To)
+	}
+
+	n := hi - lo
+	specs := make([]specResult, n)
+	workers = min(workers, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := getScratch(g.W * g.H)
+			defer putScratch(sc)
+			for i := range jobs {
+				p := g.routeTaskSc(sc, tasks[lo+i], weighted)
+				// Snapshot the read set: the scratch is reused for the
+				// worker's next job, the record must outlive it.
+				specs[i] = specResult{path: p, reads: append([]int32(nil), sc.reads...)}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Deterministic merge: commit in task order, re-routing any member
+	// whose speculation was invalidated by an earlier commit of this wave.
+	*dgen++
+	accepted := 0
+	for i := 0; i < n; i++ {
+		t := tasks[lo+i]
+		p := specs[i].path
+		valid := p != nil
+		for _, ci := range specs[i].reads {
+			if dirty[ci] == *dgen {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			// Same fallback ladder as the sequential loop: fresh search
+			// against the current grid, then bounded rip-up recovery.
+			p = g.routeTask(t, weighted)
+			if p == nil && pr.RipUpRounds > 0 {
+				p = ripUpRecover(g, res, t, weighted, pr.RipUpRounds, tr)
+			}
+			if p == nil {
+				return accepted, noPathError(t)
+			}
+		} else {
+			accepted++
+		}
+		g.commit(t.ID, p, t.Window, t.Hold, t.Fluid.Name, t.Wash)
+		res.Routes = append(res.Routes, RoutedTask{Task: t, Path: p})
+		for _, c := range p {
+			dirty[g.idx(c.X, c.Y)] = *dgen
+		}
+	}
+	return accepted, nil
+}
+
+// disjointRun returns the end (exclusive) of the longest wave starting at
+// lo: consecutive tasks whose hold windows are pairwise disjoint, capped
+// at maxLen. The scan stops at the first task overlapping any member —
+// waves must stay contiguous, because commits happen in task order.
+func disjointRun(tasks []Task, lo, maxLen int) int {
+	hi := lo + 1
+	for hi < len(tasks) && hi-lo < maxLen {
+		cand := tasks[hi].HoldWindow()
+		for i := lo; i < hi; i++ {
+			if tasks[i].HoldWindow().Overlaps(cand) {
+				return hi
+			}
+		}
+		hi++
+	}
+	return hi
+}

@@ -102,6 +102,7 @@ func RouteBaselineContext(ctx context.Context, r *schedule.Result, comps []chip.
 	if err != nil {
 		return nil, err
 	}
+	defer g.release()
 	tasks := TasksFrom(r)
 	res := &Result{GridW: g.W, GridH: g.H, Pitch: pr.Pitch, Routes: make([]RoutedTask, len(tasks))}
 	paths := make(map[int][]Cell, len(tasks))
@@ -111,6 +112,7 @@ func RouteBaselineContext(ctx context.Context, r *schedule.Result, comps []chip.
 	if err != nil {
 		return nil, err
 	}
+	defer empty.release()
 	tr := obs.From(ctx)
 	flt := fault.From(ctx)
 	// Defects are drawn once on the commit grid and mirrored onto the
@@ -305,12 +307,20 @@ func SolveContext(ctx context.Context, r *schedule.Result, comps []chip.Componen
 	return nil, nil, fmt.Errorf("route: congestion not resolved by dilation: %w", lastErr)
 }
 
+// noPathError is the shared routing-failure error of the sequential loop
+// and the wave router.
+func noPathError(t Task) error {
+	return fmt.Errorf("route: no conflict-free path for task %d (%d→%d, window %v)",
+		t.ID, t.From, t.To, t.Window)
+}
+
 // routeAll is the shared driver for the proposed router.
 func routeAll(ctx context.Context, r *schedule.Result, comps []chip.Component, pl *place.Placement, pr Params, weighted bool) (*Result, error) {
 	g, err := NewGrid(comps, pl, pr)
 	if err != nil {
 		return nil, err
 	}
+	defer g.release()
 	tasks := TasksFrom(r)
 	res := &Result{GridW: g.W, GridH: g.H, Pitch: pr.Pitch, Routes: make([]RoutedTask, 0, len(tasks))}
 	tr := obs.From(ctx)
@@ -318,6 +328,18 @@ func routeAll(ctx context.Context, r *schedule.Result, comps []chip.Component, p
 	if n := g.InjectDefects(flt); n > 0 {
 		res.DefectCells = n
 		tr.Instant(obs.CatRoute, "route.defects", obs.Arg{Key: "cells", Val: float64(n)})
+	}
+	// The wave router takes over when parallelism is requested. It yields
+	// byte-identical Routes (see parallel.go) but per-wave rather than
+	// per-task telemetry, and it does not consume the fault stream per
+	// task — so an armed fault plan keeps the sequential loop, whose
+	// injection points the chaos suite pins.
+	if pr.Workers >= 2 && len(tasks) >= 2 && !flt.Enabled() {
+		if err := g.routeAllWaves(ctx, tasks, res, pr, weighted, tr); err != nil {
+			return nil, err
+		}
+		finishMetrics(res, g)
+		return res, nil
 	}
 	for _, t := range tasks {
 		if err := ctx.Err(); err != nil {
@@ -339,8 +361,7 @@ func routeAll(ctx context.Context, r *schedule.Result, comps []chip.Component, p
 			p = ripUpRecover(g, res, t, weighted, pr.RipUpRounds, tr)
 		}
 		if p == nil {
-			return nil, fmt.Errorf("route: no conflict-free path for task %d (%d→%d, window %v)",
-				t.ID, t.From, t.To, t.Window)
+			return nil, noPathError(t)
 		}
 		if tr.Enabled() {
 			st := g.sc.stats
@@ -466,6 +487,7 @@ func RecomputeMetrics(res *Result, sched *schedule.Result, comps []chip.Componen
 	if err != nil {
 		return
 	}
+	defer g.release()
 	for _, rt := range res.Routes {
 		t := rt.Task
 		g.commit(t.ID, rt.Path, t.Window, t.Hold, t.Fluid.Name, t.Wash)
@@ -517,6 +539,7 @@ func Validate(res *Result, sched *schedule.Result, comps []chip.Component, pl *p
 	if err != nil {
 		return err
 	}
+	defer g.release()
 	if len(res.Routes) != len(sched.Transports) {
 		return fmt.Errorf("route: %d routes for %d transports", len(res.Routes), len(sched.Transports))
 	}

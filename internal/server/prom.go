@@ -119,6 +119,15 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("mfserved_route_dilations_total", "Placement dilations triggered by routing congestion.", float64(a.Dilations.Load()))
 	p.counter("mfserved_place_retries_total", "Placement retries after unresolvable congestion.", float64(a.PlaceRetries.Load()))
 
+	// Opt-in multicore modes: parallel tempering and wave routing.
+	p.gauge("mfserved_temper_replicas", "Widest parallel-tempering replica ladder run so far.", float64(a.TemperReplicas.Load()))
+	p.counter("mfserved_temper_rounds_total", "Parallel-tempering rounds (barrier-synced step+swap phases).", float64(a.TemperRounds.Load()))
+	p.counter("mfserved_temper_swaps_total", "Accepted replica configuration swaps between adjacent rungs.", float64(a.TemperSwaps.Load()))
+	p.counter("mfserved_route_waves_total", "Multi-task routing waves executed in parallel.", float64(a.RouteWaves.Load()))
+	p.gauge("mfserved_route_wave_width_peak", "Widest routing wave (parallelism width) seen by any job.", float64(a.RouteWaveWidth.Load()))
+	p.counter("mfserved_route_spec_accepted_total", "Speculative wave paths accepted at commit time.", float64(a.RouteSpecOK.Load()))
+	p.counter("mfserved_route_spec_rerouted_total", "Speculative wave paths invalidated and re-routed sequentially.", float64(a.RouteSpecMiss.Load()))
+
 	p.head("mfserved_stage_latency_seconds", "Per-stage synthesis latency (cache misses only).", "histogram")
 	p.histogram("mfserved_stage_latency_seconds", `stage="schedule"`, s.metrics.histSchedule.snapshot())
 	p.histogram("mfserved_stage_latency_seconds", `stage="place"`, s.metrics.histPlace.snapshot())

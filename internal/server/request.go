@@ -69,6 +69,13 @@ type OptionsSpec struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Portfolio anneals that many seeds concurrently and keeps the best.
 	Portfolio *int `json:"portfolio,omitempty"`
+	// Tempering runs parallel tempering with that many replicas instead
+	// of the seed portfolio; 0/1 keep the configured default path.
+	Tempering *int `json:"tempering,omitempty"`
+	// RouteWorkers enables the concurrent wave router with that pool
+	// size. The routed solution is byte-identical for every value — this
+	// knob trades CPU for latency only.
+	RouteWorkers *int `json:"route_workers,omitempty"`
 	// TCSeconds is the transportation constant t_c in seconds.
 	TCSeconds *float64 `json:"tc_s,omitempty"`
 }
@@ -147,6 +154,18 @@ func resolve(req *SynthesizeRequest) (*request, error) {
 			}
 			opts.Portfolio = *o.Portfolio
 		}
+		if o.Tempering != nil {
+			if *o.Tempering < 0 || *o.Tempering > 64 {
+				return nil, fmt.Errorf("tempering %d outside [0, 64]", *o.Tempering)
+			}
+			opts.Tempering = *o.Tempering
+		}
+		if o.RouteWorkers != nil {
+			if *o.RouteWorkers < 0 || *o.RouteWorkers > 256 {
+				return nil, fmt.Errorf("route_workers %d outside [0, 256]", *o.RouteWorkers)
+			}
+			opts.Route.Workers = *o.RouteWorkers
+		}
 		if o.TCSeconds != nil {
 			if *o.TCSeconds <= 0 || *o.TCSeconds > 3600 {
 				return nil, fmt.Errorf("tc_s %g outside (0, 3600]", *o.TCSeconds)
@@ -216,7 +235,11 @@ func buildProtocol(p *ProtocolSpec) (*assay.Graph, error) {
 // canonOpts is the canonical, order-stable encoding of every parameter
 // that influences the synthesized solution. It deliberately covers ALL of
 // core.Options — adding an option without extending this struct would
-// alias distinct computations onto one cache key.
+// alias distinct computations onto one cache key. The one deliberate
+// omission is Route.Workers: the wave router is pinned byte-identical to
+// the sequential router for every worker count (see
+// TestParallelRoutingMatchesSequential), so folding it into the key
+// would only split identical solutions across cache entries.
 type canonOpts struct {
 	TCms      int64   `json:"tc_ms"`
 	FastWash  int64   `json:"fast_wash_ms"`
@@ -236,6 +259,7 @@ type canonOpts struct {
 	We        float64 `json:"we"`
 	PitchUm   int64   `json:"pitch_um"`
 	Portfolio int     `json:"portfolio"`
+	Tempering int     `json:"tempering"`
 	Baseline  bool    `json:"baseline"`
 }
 
@@ -268,6 +292,7 @@ func cacheKey(g *assay.Graph, alloc chip.Allocation, opts core.Options, baseline
 		We:        opts.Route.We,
 		PitchUm:   int64(opts.Route.Pitch),
 		Portfolio: opts.Portfolio,
+		Tempering: opts.Tempering,
 		Baseline:  baseline,
 	}
 	optJSON, err := json.Marshal(co)

@@ -328,13 +328,22 @@ func (s *Server) submitWithRetry(ctx context.Context, label string, fn jobq.Fn) 
 	}
 }
 
-// writeJSON writes v with the given status code.
+// writeJSON writes v with the given status code. The body is staged in a
+// pooled buffer: one Write call, a correct Content-Length, and no
+// per-response buffer garbage.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
+	buf := getBuf()
+	defer putBuf(buf)
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprintf("%d", buf.Len()))
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // writeErr writes a JSON error body.
@@ -357,12 +366,17 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 
 	// The raw body is kept because an accepted request is journaled
 	// verbatim: replay after a crash re-decodes exactly what the client
-	// sent, not a re-serialization that might drift.
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
-	if err != nil {
+	// sent, not a re-serialization that might drift. It lives in a pooled
+	// buffer: the journal append copies synchronously and json.RawMessage
+	// fields copy out of the decoder, so nothing aliases body once the
+	// handler returns.
+	bodyBuf := getBuf()
+	defer putBuf(bodyBuf)
+	if _, err := bodyBuf.ReadFrom(http.MaxBytesReader(w, r.Body, 16<<20)); err != nil {
 		writeErr(w, http.StatusBadRequest, "reading request: %v", err)
 		return
 	}
+	body := bodyBuf.Bytes()
 	var sreq SynthesizeRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
@@ -500,13 +514,18 @@ func (s *Server) synthesisJob(req *request) jobq.Fn {
 		// Zeroing it makes the document a pure function of the request, so
 		// cache-served and freshly synthesized responses are byte-identical.
 		sol.CPU = 0
-		var buf bytes.Buffer
-		if err := solio.Encode(&buf, sol); err != nil {
+		// Encode into a pooled buffer, then copy out an exact-size document:
+		// the cache and the job record retain the copy, never pool memory.
+		buf := getBuf()
+		if err := solio.Encode(buf, sol); err != nil {
+			putBuf(buf)
 			return nil, err
 		}
-		s.cache.Put(req.key, buf.Bytes())
+		doc := append([]byte(nil), buf.Bytes()...)
+		putBuf(buf)
+		s.cache.Put(req.key, doc)
 		progress("done")
-		return &jobResult{key: req.key, solution: buf.Bytes(), metrics: met,
+		return &jobResult{key: req.key, solution: doc, metrics: met,
 			stages: stages, degradations: sol.Degradations}, nil
 	}
 }

@@ -1,0 +1,93 @@
+// Multicore determinism regression: the parallel-tempering placer and
+// the concurrent wave router are opt-in performance modes that must
+// never change WHAT is computed, only how fast. These tests pin that
+// property against the golden fingerprints and across worker-pool sizes.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/core"
+)
+
+// TestParallelRoutingMatchesSequential re-synthesizes all 14 pinned
+// benchmark solutions with the concurrent slot-disjoint router enabled
+// and requires byte-identical results: every speculative path the wave
+// router accepts must be the exact path the sequential router would have
+// committed. Several worker counts are exercised because wave width (and
+// therefore the speculation/validation split) depends on Workers.
+func TestParallelRoutingMatchesSequential(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		opts := fingerprintOpts()
+		opts.Route.Workers = workers
+		for _, bm := range benchdata.All() {
+			for _, algo := range []string{"ours", "BA"} {
+				t.Run(fmt.Sprintf("%s/%s/w%d", bm.Name, algo, workers), func(t *testing.T) {
+					var sol *core.Solution
+					var err error
+					if algo == "ours" {
+						sol, err = core.Synthesize(bm.Graph, bm.Alloc, opts)
+					} else {
+						sol, err = core.SynthesizeBaseline(bm.Graph, bm.Alloc, opts)
+					}
+					if err != nil {
+						t.Fatalf("synthesize: %v", err)
+					}
+					got := solutionFingerprint(sol)
+					want := goldenFingerprints[bm.Name+"/"+algo]
+					if got != want {
+						t.Fatalf("parallel routing diverged from sequential:\n got %s\nwant %s", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTemperingEndToEndDeterminism pins that a tempered synthesis is
+// reproducible run-to-run (the replica fan-out and swap schedule are
+// scheduling-independent) and survives a full solution audit.
+func TestTemperingEndToEndDeterminism(t *testing.T) {
+	bm, err := benchdata.ByName("Synthetic2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fingerprintOpts()
+	opts.Tempering = 4
+	opts.Verify = true
+	var fp string
+	for run := 0; run < 3; run++ {
+		sol, err := core.Synthesize(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		got := solutionFingerprint(sol)
+		if run == 0 {
+			fp = got
+		} else if got != fp {
+			t.Fatalf("run %d: tempered synthesis not reproducible: %s vs %s", run, got, fp)
+		}
+	}
+}
+
+// TestTemperingPreservesDefaultPath double-checks the guard: Tempering=0
+// and Tempering=1 must reproduce the pinned default-path fingerprint.
+func TestTemperingPreservesDefaultPath(t *testing.T) {
+	bm, err := benchdata.ByName("Synthetic1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1} {
+		opts := fingerprintOpts()
+		opts.Tempering = k
+		sol, err := core.Synthesize(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := solutionFingerprint(sol), goldenFingerprints["Synthetic1/ours"]; got != want {
+			t.Fatalf("Tempering=%d perturbed the default path: %s != %s", k, got, want)
+		}
+	}
+}
