@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot check bench bench-smoke bench-multicore verify regress table1 clean
+.PHONY: all build vet test race race-hot check bench bench-smoke bench-multicore cluster-bench verify regress table1 clean
 
 all: check
 
@@ -66,6 +66,15 @@ bench-multicore:
 		echo "$$out" | grep -q "$$b" || { echo "bench-multicore: benchmark $$b missing from output" >&2; exit 1; }; \
 	done
 	$(GO) test -run xxx -bench 'BenchmarkServeCacheHit|BenchmarkWriteJSON|BenchmarkCompleteChurn' -benchmem ./internal/server/ ./internal/jobq/
+
+# Cluster scaling ladder: spawn 1..3 real mfserved processes wired into
+# one consistent-hash ring, drive cold and warm rounds through it, write
+# the per-node-count table to BENCH_cluster.json, then gate the 1-node
+# reference entry with the regression checker (costs exact, wall time
+# within the recorded tolerance).
+cluster-bench:
+	$(GO) run ./cmd/mfserved -cluster-selfbench 3 -cluster-requests 12 -o BENCH_cluster.json
+	$(GO) run ./cmd/mfbench -regress BENCH_cluster.json -bench Synthetic1
 
 # Independent audit of every benchmark's synthesized solution (and the
 # baseline-BA variant) against the from-scratch constraint model.

@@ -1,0 +1,419 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/regress"
+)
+
+// cluster.go implements -cluster-selfbench: a multi-process scaling
+// benchmark of the clustered service. For each rung n = 1..maxNodes it
+// spawns n real mfserved processes (one synthesis worker and GOMAXPROCS=1
+// each, so on a multicore host n nodes genuinely use n cores), wires
+// them into one consistent-hash ring via -peers, and drives a cold and a
+// warm round of concurrent requests round-robin across the nodes. The
+// warm round submits each request to a *different* node than the cold
+// round did, so warm throughput measures cluster-wide cache visibility:
+// a node that never saw the request must still answer it as a hit via
+// ownership forwarding or read-through peering.
+
+// clusterRound is one round's aggregate, plus how many responses were
+// served across nodes (peer field set) rather than from the serving
+// node's own cache or pipeline.
+type clusterRound struct {
+	WallMs        float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	CacheHits     int     `json:"cache_hits"`
+	PeerServed    int     `json:"peer_served"`
+}
+
+// clusterRung is one node-count rung of the ladder.
+type clusterRung struct {
+	Nodes int          `json:"nodes"`
+	Cold  clusterRound `json:"cold"`
+	Warm  clusterRound `json:"warm"`
+	// WarmSpeedupX is this rung's warm throughput over the 1-node rung's.
+	WarmSpeedupX float64 `json:"warm_speedup_vs_1node"`
+}
+
+// clusterReport is the BENCH_cluster.json document.
+type clusterReport struct {
+	Bench     string        `json:"bench"`
+	Requests  int           `json:"requests"`
+	HostCPUs  int           `json:"host_cpus"`
+	Note      string        `json:"note"`
+	Ladder    []clusterRung `json:"ladder"`
+	GoVersion string        `json:"go_version"`
+	// Regress makes the file gatable by mfbench -regress (restricted to
+	// Synthetic1): the reference entry is measured through the 1-node rung.
+	Regress *regress.Baseline `json:"regress"`
+}
+
+const clusterBenchNote = "Each node runs with one synthesis worker and GOMAXPROCS=1, so rung n uses up to n cores; " +
+	"on hosts with fewer cores than nodes the rungs time-share and the warm_speedup_vs_1node floor (>=2x at n>=2) is " +
+	"not enforced, only recorded. The warm round submits every request to a different node than the cold round did, " +
+	"so peer_served > 0 proves cluster-wide cache visibility."
+
+// runClusterBench runs the ladder and writes the report.
+func runClusterBench(maxNodes, requests int, outPath string) error {
+	if maxNodes < 1 || maxNodes > 16 {
+		return fmt.Errorf("-cluster-selfbench wants 1..16 nodes, got %d", maxNodes)
+	}
+	if requests < maxNodes {
+		requests = maxNodes * 4
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "mfserved-cluster-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rep := clusterReport{
+		Bench:     "Synthetic1",
+		Requests:  requests,
+		HostCPUs:  runtime.NumCPU(),
+		Note:      clusterBenchNote,
+		GoVersion: runtime.Version(),
+	}
+
+	for n := 1; n <= maxNodes; n++ {
+		fmt.Fprintf(os.Stderr, "cluster-selfbench: rung %d/%d — starting %d node(s)…\n", n, maxNodes, n)
+		rung, entry, err := runClusterRung(exe, dir, n, requests)
+		if err != nil {
+			return fmt.Errorf("rung %d: %w", n, err)
+		}
+		if n == 1 {
+			rep.Regress = &regress.Baseline{
+				Imax: 60, Seed: 1, Tolerance: 0.5,
+				Benchmarks: map[string]regress.Entry{"Synthetic1": entry},
+			}
+			rung.WarmSpeedupX = 1
+		} else {
+			rung.WarmSpeedupX = rung.Warm.ThroughputRPS / rep.Ladder[0].Warm.ThroughputRPS
+			if rung.Warm.PeerServed == 0 {
+				return fmt.Errorf("rung %d: warm round had zero cross-node serves — the cluster cache is not visible across nodes", n)
+			}
+			// The scaling floor is only honest when the host can actually
+			// run the nodes concurrently; on smaller hosts it is recorded
+			// but not enforced (the multicore baseline's min_cpus precedent).
+			if runtime.NumCPU() >= n && rung.WarmSpeedupX < 2 {
+				return fmt.Errorf("rung %d: warm throughput only %.2fx the single node on a %d-CPU host",
+					n, rung.WarmSpeedupX, runtime.NumCPU())
+			}
+		}
+		rep.Ladder = append(rep.Ladder, rung)
+		fmt.Fprintf(os.Stderr, "cluster-selfbench: rung %d — warm %.0f req/s (%.2fx), %d peer-served\n",
+			n, rung.Warm.ThroughputRPS, rung.WarmSpeedupX, rung.Warm.PeerServed)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath != "" {
+		return os.WriteFile(outPath, out, 0o644)
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+// runClusterRung spawns n nodes, runs the cold and warm rounds, and
+// tears the processes down. On the 1-node rung it also measures the
+// regression reference entry (Synthetic1, imax 60, seed 1) before the
+// rounds, so the entry reflects a real single-node synthesis.
+func runClusterRung(exe, dir string, n, requests int) (clusterRung, regress.Entry, error) {
+	rung := clusterRung{Nodes: n}
+	var entry regress.Entry
+
+	nodes, stop, err := spawnClusterNodes(exe, filepath.Join(dir, fmt.Sprintf("rung%d", n)), n, requests)
+	if err != nil {
+		return rung, entry, err
+	}
+	defer stop()
+
+	if n == 1 {
+		entry, err = measureRegressEntry(nodes[0])
+		if err != nil {
+			return rung, entry, err
+		}
+	}
+
+	// Seed bases are disjoint per rung so every cold round is truly cold.
+	base := uint64(n) * 10_000_000
+	cold, err := clusterBenchRound(nodes, requests, base, 0)
+	if err != nil {
+		return rung, entry, err
+	}
+	if cold.CacheHits != 0 {
+		return rung, entry, fmt.Errorf("cold round had %d cache hits, want 0", cold.CacheHits)
+	}
+	// Warm: same bodies, each submitted one node further round-robin.
+	warm, err := clusterBenchRound(nodes, requests, base, 1)
+	if err != nil {
+		return rung, entry, err
+	}
+	if warm.CacheHits != requests {
+		return rung, entry, fmt.Errorf("warm round had %d/%d cache hits: cluster cache not content-addressing", warm.CacheHits, requests)
+	}
+	rung.Cold, rung.Warm = cold, warm
+	return rung, entry, nil
+}
+
+// clusterBenchRound fires `requests` concurrent Synthetic1 requests,
+// request i going to node (i+rot) mod n.
+func clusterBenchRound(nodes []string, requests int, seedBase uint64, rot int) (clusterRound, error) {
+	lats := make([]time.Duration, requests)
+	hits := make([]bool, requests)
+	peers := make([]string, requests)
+	errs := make([]error, requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"bench":"Synthetic1","options":{"imax":60,"seed":%d}}`, seedBase+uint64(i)+1)
+			node := nodes[(i+rot)%len(nodes)]
+			lats[i], hits[i], peers[i], errs[i] = oneClusterRequest(node, body)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return clusterRound{}, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	r := clusterRound{
+		WallMs:        ms(wall),
+		ThroughputRPS: float64(requests) / wall.Seconds(),
+		P50Ms:         ms(percentile(lats, 0.50)),
+		P99Ms:         ms(percentile(lats, 0.99)),
+		MaxMs:         ms(lats[requests-1]),
+	}
+	for i := range hits {
+		if hits[i] {
+			r.CacheHits++
+		}
+		if peers[i] != "" {
+			r.PeerServed++
+		}
+	}
+	return r, nil
+}
+
+// spawnClusterNodes starts n mfserved processes wired into one ring and
+// waits until every /healthz answers. The returned stop func SIGTERMs
+// them all and waits.
+func spawnClusterNodes(exe, dir string, n, queueCap int) ([]string, func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	// Reserve a distinct loopback port per node. The listener is closed
+	// right before the node starts; the race window is tolerable for a
+	// local benchmark.
+	addrs := make([]string, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		urls[i] = "http://" + addrs[i]
+		ln.Close()
+	}
+	procs := make([]*exec.Cmd, 0, n)
+	stop := func() {
+		for _, p := range procs {
+			_ = p.Process.Signal(syscall.SIGTERM)
+		}
+		for _, p := range procs {
+			done := make(chan struct{})
+			go func(p *exec.Cmd) { _ = p.Wait(); close(done) }(p)
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				_ = p.Process.Kill()
+				<-done
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe,
+			"-addr", addrs[i],
+			"-self", urls[i],
+			"-peers", strings.Join(urls, ","),
+			"-workers", "1",
+			"-queue", fmt.Sprint(queueCap+8),
+			"-journal", filepath.Join(dir, fmt.Sprintf("node%d.journal", i)),
+			"-probe-interval", "200ms",
+			"-log-level", "warn",
+		)
+		// One OS thread of compute per node: rung n uses up to n cores,
+		// which is what makes the ladder a scaling curve.
+		cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		procs = append(procs, cmd)
+	}
+	for _, u := range urls {
+		if err := waitHealthy(u, 15*time.Second); err != nil {
+			stop()
+			return nil, nil, err
+		}
+	}
+	return urls, stop, nil
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("node %s never became healthy", base)
+}
+
+// oneClusterRequest is oneRequest plus the peer attribution of the
+// response (which node's cache or pipeline actually produced it).
+func oneClusterRequest(base, body string) (time.Duration, bool, string, error) {
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, false, "", err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return 0, false, "", fmt.Errorf("POST /v1/synthesize: %d: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		JobID  string `json:"job_id"`
+		Status string `json:"status"`
+		Cached bool   `json:"cached"`
+		Peer   string `json:"peer"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		return 0, false, "", err
+	}
+	peer := sub.Peer
+	for sub.Status != "done" {
+		time.Sleep(2 * time.Millisecond)
+		jr, err := http.Get(base + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			return 0, false, "", err
+		}
+		jdata, _ := io.ReadAll(jr.Body)
+		jr.Body.Close()
+		var job struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+			Peer   string `json:"peer"`
+		}
+		if err := json.Unmarshal(jdata, &job); err != nil {
+			return 0, false, "", err
+		}
+		switch job.Status {
+		case "done":
+			sub.Status = "done"
+			peer = job.Peer
+		case "failed", "canceled":
+			return 0, false, "", fmt.Errorf("job %s %s: %s", sub.JobID, job.Status, job.Error)
+		}
+	}
+	return time.Since(start), sub.Cached, peer, nil
+}
+
+// measureRegressEntry synthesizes the regression reference (Synthetic1,
+// imax 60, seed 1) on a single fresh node and reads the solution costs
+// and synthesis CPU time back from the job record.
+func measureRegressEntry(base string) (regress.Entry, error) {
+	var entry regress.Entry
+	body := `{"bench":"Synthetic1","options":{"imax":60,"seed":1}}`
+	resp, err := http.Post(base+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		return entry, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sub struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		return entry, err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		jr, err := http.Get(base + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			return entry, err
+		}
+		jdata, _ := io.ReadAll(jr.Body)
+		jr.Body.Close()
+		var job struct {
+			Status  string `json:"status"`
+			Error   string `json:"error"`
+			Metrics *struct {
+				ExecutionTimeMs int64   `json:"execution_time_ms"`
+				ChannelLengthUm int64   `json:"channel_length_um"`
+				ChannelWashMs   int64   `json:"channel_wash_ms"`
+				Transports      int     `json:"transports"`
+				CPUMs           float64 `json:"cpu_ms"`
+			} `json:"metrics"`
+		}
+		if err := json.Unmarshal(jdata, &job); err != nil {
+			return entry, err
+		}
+		switch job.Status {
+		case "done":
+			if job.Metrics == nil {
+				return entry, fmt.Errorf("reference job has no metrics")
+			}
+			return regress.Entry{
+				NsPerOp:         job.Metrics.CPUMs * 1e6,
+				MakespanMs:      job.Metrics.ExecutionTimeMs,
+				ChannelLengthUm: job.Metrics.ChannelLengthUm,
+				ChannelWashMs:   job.Metrics.ChannelWashMs,
+				Transports:      job.Metrics.Transports,
+			}, nil
+		case "failed", "canceled":
+			return entry, fmt.Errorf("reference job %s: %s", job.Status, job.Error)
+		}
+		if time.Now().After(deadline) {
+			return entry, fmt.Errorf("reference job timed out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

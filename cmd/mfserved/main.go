@@ -11,6 +11,9 @@
 //	mfserved -selfbench 16            # in-process service benchmark, exit
 //	mfserved -selfbench 16 -chaos 7   # same benchmark under fault injection
 //	mfserved -journal jobs.journal    # crash-safe job journal (replay on start)
+//	mfserved -self http://10.0.0.1:8080 -peers http://10.0.0.1:8080,http://10.0.0.2:8080
+//	                                  # cluster mode: consistent-hash routing + cache peering
+//	mfserved -cluster-selfbench 3     # spawn a 1..3-node local cluster ladder, report, exit
 //	mfserved -version                 # print build info, exit
 //
 // API summary (see README "Service" for a walkthrough):
@@ -49,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/server"
@@ -69,6 +73,16 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate mux; empty disables)")
 		version   = flag.Bool("version", false, "print version and exit")
+
+		// Cluster mode (see DESIGN.md "Cluster").
+		peers     = flag.String("peers", "", "comma-separated base URLs of every cluster node, including this one (enables cluster mode)")
+		peersFile = flag.String("peers-file", "", "discovery file with one peer URL per line, re-read on change (enables cluster mode)")
+		selfURL   = flag.String("self", "", "this node's base URL exactly as it appears in the peer list (required in cluster mode)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per peer on the consistent-hash ring (default 64)")
+		probeIv   = flag.Duration("probe-interval", 500*time.Millisecond, "cluster health-probe cadence")
+
+		clusterBench = flag.Int("cluster-selfbench", 0, "spawn a local N-node cluster ladder (1..N single-worker processes), drive the selfbench workload through the ring, write the scaling report and exit")
+		clusterReqs  = flag.Int("cluster-requests", 12, "cluster-selfbench: concurrent requests per round")
 	)
 	flag.Parse()
 	if *version {
@@ -107,6 +121,41 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *clusterBench > 0 {
+		if err := runClusterBench(*clusterBench, *clusterReqs, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mfserved:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var cl *cluster.Cluster
+	if *peers != "" || *peersFile != "" {
+		if *selfURL == "" {
+			fmt.Fprintln(os.Stderr, "mfserved: cluster mode needs -self (this node's URL in the peer list)")
+			os.Exit(2)
+		}
+		var peerList []string
+		if *peers != "" {
+			peerList = strings.Split(*peers, ",")
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:          *selfURL,
+			Peers:         peerList,
+			PeersFile:     *peersFile,
+			VNodes:        *vnodes,
+			ProbeInterval: *probeIv,
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Error("cluster startup failed", "err", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		cfg.Cluster = cl
 	}
 
 	s, err := server.New(cfg)
@@ -168,6 +217,9 @@ func main() {
 		"journal", *jrnlPath,
 		"version", buildinfo.Version("mfserved"),
 	)
+	if cl != nil {
+		logger.Info("cluster mode", "self", cl.Self(), "members", len(cl.Members()), "max_hops", cl.MaxHops())
+	}
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		logger.Error("serve failed", "addr", ln.Addr().String(), "err", err)
 		os.Exit(1)

@@ -1,0 +1,122 @@
+// Package breaker is the load-shedding circuit breaker shared by the
+// synthesis service's submit path and the cluster forwarder. Transient
+// failure of the guarded resource (a full queue, an unreachable peer) is
+// handled by the caller's retry with backoff; the breaker exists for the
+// pathological regime where the resource stays bad across retries for
+// many consecutive attempts — there, burning every caller's retry budget
+// just adds latency to answers that will all fail anyway.
+//
+// States follow the classic pattern. Closed: requests pass; each
+// attempt that still finds the resource bad after its retries counts one
+// overflow, and any success resets the count. Open (count reached the
+// threshold): requests are shed immediately without touching the
+// resource, until the cooldown elapses. Half-open (first request after
+// cooldown): exactly one probe passes through; its outcome closes or
+// re-opens the breaker.
+package breaker
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is one circuit breaker. A nil *Breaker is valid and always
+// allows (the disabled state), so callers can thread an optional breaker
+// without nil checks.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive overflows to open; <=0 means disabled
+	cooldown  time.Duration // how long open lasts before a probe is allowed
+	now       func() time.Time
+
+	overflows int       // consecutive overflow count while closed
+	openUntil time.Time // nonzero while open
+	probing   bool      // a half-open probe is in flight
+}
+
+// New builds a breaker that opens after threshold consecutive overflows
+// and stays open for cooldown. threshold <= 0 disables the breaker
+// entirely. now overrides the clock for tests; nil selects time.Now.
+func New(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may attempt the resource. A false
+// return means shed immediately. A true return from the half-open state
+// claims the probe slot: the caller must report the outcome via Success
+// or Overflow, or the breaker stays half-open with the slot taken.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if b.now().Before(b.openUntil) {
+		return false
+	}
+	// Cooldown elapsed: admit a single probe.
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records an attempt that got through (the resource worked, or
+// failed for a non-overflow reason). Closes the breaker and clears the
+// count.
+func (b *Breaker) Success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.overflows = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+}
+
+// Overflow records an attempt that exhausted its retries against a bad
+// resource. Returns true if this event opened (or re-opened) the breaker.
+func (b *Breaker) Overflow() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		// Failed probe: straight back to open for another cooldown.
+		b.probing = false
+		b.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	b.overflows++
+	if b.overflows >= b.threshold && b.openUntil.IsZero() {
+		b.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+// State returns "closed", "open", "half-open" or "disabled" for metrics.
+func (b *Breaker) State() string {
+	if b == nil || b.threshold <= 0 {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return "closed"
+	case b.now().Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}

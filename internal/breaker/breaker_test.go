@@ -1,4 +1,4 @@
-package server
+package breaker
 
 import (
 	"testing"
@@ -13,97 +13,97 @@ func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 func TestBreakerOpensOnConsecutiveOverflows(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	b := newBreaker(3, time.Second, clk.now)
+	b := New(3, time.Second, clk.now)
 	for i := 0; i < 2; i++ {
-		if b.overflow() {
+		if b.Overflow() {
 			t.Fatalf("breaker opened after %d overflows, threshold 3", i+1)
 		}
-		if !b.allow() {
+		if !b.Allow() {
 			t.Fatalf("closed breaker shed a request after %d overflows", i+1)
 		}
 	}
-	if !b.overflow() {
+	if !b.Overflow() {
 		t.Fatal("third consecutive overflow did not open the breaker")
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("open breaker admitted a request")
 	}
-	if got := b.state(); got != "open" {
+	if got := b.State(); got != "open" {
 		t.Fatalf("state = %q, want open", got)
 	}
 }
 
 func TestBreakerSuccessResetsCount(t *testing.T) {
-	b := newBreaker(3, time.Second, nil)
-	b.overflow()
-	b.overflow()
-	b.success()
-	if b.overflow() {
+	b := New(3, time.Second, nil)
+	b.Overflow()
+	b.Overflow()
+	b.Success()
+	if b.Overflow() {
 		t.Fatal("overflow count survived a success")
 	}
-	if got := b.state(); got != "closed" {
+	if got := b.State(); got != "closed" {
 		t.Fatalf("state = %q, want closed", got)
 	}
 }
 
 func TestBreakerHalfOpenProbe(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	b := newBreaker(1, time.Second, clk.now)
-	b.overflow() // opens
+	b := New(1, time.Second, clk.now)
+	b.Overflow() // opens
 	clk.advance(2 * time.Second)
-	if got := b.state(); got != "half-open" {
+	if got := b.State(); got != "half-open" {
 		t.Fatalf("state after cooldown = %q, want half-open", got)
 	}
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("half-open breaker denied the probe")
 	}
 	// Only one probe at a time.
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("half-open breaker admitted a second concurrent probe")
 	}
 	// Probe fails: back to open for a fresh cooldown.
-	if !b.overflow() {
+	if !b.Overflow() {
 		t.Fatal("failed probe did not re-open the breaker")
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("re-opened breaker admitted a request")
 	}
 	// Probe succeeds after the next cooldown: fully closed.
 	clk.advance(2 * time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("half-open breaker denied the second probe")
 	}
-	b.success()
-	if got := b.state(); got != "closed" {
+	b.Success()
+	if got := b.State(); got != "closed" {
 		t.Fatalf("state after successful probe = %q, want closed", got)
 	}
-	if !b.allow() || !b.allow() {
+	if !b.Allow() || !b.Allow() {
 		t.Fatal("closed breaker shed requests")
 	}
 }
 
 func TestBreakerDisabled(t *testing.T) {
-	for _, b := range []*breaker{nil, newBreaker(0, time.Second, nil), newBreaker(-1, time.Second, nil)} {
+	for _, b := range []*Breaker{nil, New(0, time.Second, nil), New(-1, time.Second, nil)} {
 		for i := 0; i < 100; i++ {
-			b.overflow()
+			b.Overflow()
 		}
-		if !b.allow() {
+		if !b.Allow() {
 			t.Fatal("disabled breaker shed a request")
 		}
-		if got := b.state(); got != "disabled" {
+		if got := b.State(); got != "disabled" {
 			t.Fatalf("state = %q, want disabled", got)
 		}
 	}
 }
 
 func TestBreakerNonConsecutiveOverflowsStayClosed(t *testing.T) {
-	b := newBreaker(3, time.Second, nil)
+	b := New(3, time.Second, nil)
 	for i := 0; i < 20; i++ {
-		b.overflow()
-		b.overflow()
-		b.success()
+		b.Overflow()
+		b.Overflow()
+		b.Success()
 	}
-	if got := b.state(); got != "closed" {
+	if got := b.State(); got != "closed" {
 		t.Fatalf("interleaved successes still opened the breaker: %q", got)
 	}
 }

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// newTestCluster builds a Cluster whose prober runs fast enough for
+// tests, with self as a synthetic address that never serves.
+func newTestCluster(t *testing.T, self string, peers []string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:          self,
+		Peers:         peers,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterSelfMustBeMember(t *testing.T) {
+	_, err := New(Config{Self: "http://a:1", Peers: []string{"http://b:1"}})
+	if err == nil {
+		t.Fatal("self outside the peer list was accepted")
+	}
+}
+
+func TestClusterNormalizesPeers(t *testing.T) {
+	c := newTestCluster(t, "HTTP://A:8080/", []string{"http://a:8080", "http://B:8080/"})
+	if c.Self() != "http://a:8080" {
+		t.Fatalf("self = %q", c.Self())
+	}
+	want := []string{"http://a:8080", "http://b:8080"}
+	got := c.Members()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("members = %v, want %v", got, want)
+	}
+}
+
+// TestProberMarksDownAndReroutes: when a peer stops answering /healthz,
+// keys it owned must reroute to survivors; when it recovers, ownership
+// must return (same ring as before — consistent hashing is memoryless).
+func TestProberMarksDownAndReroutes(t *testing.T) {
+	alive := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !alive {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	self := "http://127.0.0.1:1" // never dialed: self is not probed
+	c := newTestCluster(t, self, []string{self, ts.URL})
+
+	// Find a key the test server owns.
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("%064x", i)
+		if owner, _ := c.Owner(k); owner == ts.URL {
+			key = k
+			break
+		}
+	}
+
+	if !c.Healthy(ts.URL) {
+		t.Fatal("fresh peer not healthy")
+	}
+
+	alive = false
+	waitFor(t, time.Second, func() bool { return !c.Healthy(ts.URL) })
+	if owner, isSelf := c.Owner(key); !isSelf {
+		t.Fatalf("dead peer still owns %s (owner %s)", key, owner)
+	}
+
+	alive = true
+	waitFor(t, time.Second, func() bool { return c.Healthy(ts.URL) })
+	if owner, _ := c.Owner(key); owner != ts.URL {
+		t.Fatalf("recovered peer did not regain ownership: owner = %s", owner)
+	}
+
+	stats := c.PeerStats()
+	if len(stats) != 1 || stats[0].ProbeOK == 0 || stats[0].ProbeFail == 0 {
+		t.Fatalf("probe counters not recorded: %+v", stats)
+	}
+}
+
+// TestPeersFileReload: editing the discovery file must change
+// membership without a restart.
+func TestPeersFileReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peers.txt")
+	self := "http://127.0.0.1:1"
+	other := "http://127.0.0.2:1"
+	write := func(content string) {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// mtime granularity on some filesystems is 1s; force a distinct
+		// timestamp so the watcher sees the change.
+		future := time.Now().Add(2 * time.Second)
+		if err := os.Chtimes(path, future, future); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("# cluster members\n" + self + "\n")
+
+	c, err := New(Config{
+		Self:          self,
+		PeersFile:     path,
+		ProbeInterval: 20 * time.Millisecond,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Members(); len(got) != 1 {
+		t.Fatalf("initial members = %v", got)
+	}
+
+	write(self + "\n" + other + "\n")
+	waitFor(t, 2*time.Second, func() bool { return len(c.Members()) == 2 })
+
+	// A corrupt rewrite must not wipe the membership.
+	write("://not a url\n")
+	time.Sleep(100 * time.Millisecond)
+	if got := c.Members(); len(got) != 2 {
+		t.Fatalf("corrupt peers file changed membership: %v", got)
+	}
+}
+
+// TestFetchSolutionOwnerFirst: read-through peering must try the owner
+// before siblings and return the first hit.
+func TestFetchSolutionOwnerFirst(t *testing.T) {
+	doc := []byte(`{"solution":true}`)
+	var hitPeer string
+	mk := func(name string, has bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" {
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			if !has {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			hitPeer = name
+			w.Header().Set("X-Cache-Key", r.URL.Path[len("/v1/peer/solution/"):])
+			_, _ = w.Write(doc)
+		}))
+	}
+	a := mk("a", false)
+	defer a.Close()
+	b := mk("b", true)
+	defer b.Close()
+
+	self := "http://127.0.0.1:1"
+	c := newTestCluster(t, self, []string{self, a.URL, b.URL})
+
+	key := fmt.Sprintf("%064x", 7)
+	got, peer, ok := c.FetchSolution(context.Background(), key, "r1")
+	if !ok {
+		t.Fatal("peering missed though one peer has the doc")
+	}
+	if string(got) != string(doc) {
+		t.Fatalf("doc = %q", got)
+	}
+	if hitPeer != "b" || peer != b.URL {
+		t.Fatalf("hit %q (peer %s), want b", hitPeer, peer)
+	}
+	// Counters: exactly one hit on b; a is either a miss or skipped
+	// depending on ring order.
+	if c.peerHits.Value(b.URL) != 1 {
+		t.Fatalf("peer hit counter = %d", c.peerHits.Value(b.URL))
+	}
+}
+
+// TestSynthesizeRemoteBreaker: repeated forward failures must open the
+// peer's breaker so later forwards fail fast without dialing.
+func TestSynthesizeRemoteBreaker(t *testing.T) {
+	self := "http://127.0.0.1:1"
+	dead := "http://127.0.0.1:2" // nothing listens here
+	c, err := New(Config{
+		Self:             self,
+		Peers:            []string{self, dead},
+		ProbeInterval:    time.Hour, // keep the prober out of this test
+		ForwardRetries:   0,
+		ForwardBackoff:   time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	body := []byte(`{"bench":"Synthetic1"}`)
+	for i := 0; i < 2; i++ {
+		if _, err := c.SynthesizeRemote(ctx, dead, "", "r1", 0, body); err == nil {
+			t.Fatal("forward to a dead peer succeeded")
+		}
+	}
+	if c.Healthy(dead) {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	start := time.Now()
+	if _, err := c.SynthesizeRemote(ctx, dead, "", "r1", 0, body); err == nil {
+		t.Fatal("open breaker admitted a forward")
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("open-breaker forward took %v, expected fail-fast", d)
+	}
+	if got := c.forwardFail.Value(dead); got != 3 {
+		t.Fatalf("forwardFail = %d, want 3", got)
+	}
+}
+
+func TestHopsHeader(t *testing.T) {
+	h := http.Header{}
+	if Hops(h) != 0 {
+		t.Fatal("missing header should read 0")
+	}
+	h.Set(HeaderHops, "2")
+	if Hops(h) != 2 {
+		t.Fatal("hops not parsed")
+	}
+	h.Set(HeaderHops, "garbage")
+	if Hops(h) != 0 {
+		t.Fatal("malformed hops should read 0")
+	}
+	h.Set(HeaderHops, "-3")
+	if Hops(h) != 0 {
+		t.Fatal("negative hops should read 0")
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Forwarding headers. HeaderHops counts how many nodes have already
+// forwarded a request; it must never leak into the solution-cache key
+// (the key is derived from the request body alone, so two nodes
+// forwarding the same assay agree on ownership). HeaderRequestID carries
+// the originating node's request ID across hops, so one client request
+// produces one correlated slog line per node it touches.
+const (
+	HeaderHops      = "X-Forwarded-Hops"
+	HeaderRequestID = "X-Request-ID"
+)
+
+// Hops parses the forwarded-hop count from a request header (0 when
+// absent or malformed — a garbled header must degrade to "treat as
+// fresh", not to an error a client can't act on).
+func Hops(h http.Header) int {
+	n, err := strconv.Atoi(h.Get(HeaderHops))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// submitReply mirrors the owner's POST /v1/synthesize body (the subset
+// forwarding needs).
+type submitReply struct {
+	JobID  string `json:"job_id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+}
+
+// jobReply mirrors the owner's GET /v1/jobs/{id} body (the subset
+// forwarding needs).
+type jobReply struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+// FetchSolution is the read-through cache-peering path: after a local
+// cache miss, ask the key's owner (then its ring successors) for the
+// finished solution document. Returns the document and the peer that
+// served it. A miss or any error returns ok=false — peering is an
+// optimization, never a dependency, so the caller just synthesizes.
+func (c *Cluster) FetchSolution(ctx context.Context, key, requestID string) ([]byte, string, bool) {
+	for _, peer := range c.lookupOrder(key) {
+		if !c.Healthy(peer) {
+			continue
+		}
+		doc, status, err := c.fetchFrom(ctx, peer, key, requestID)
+		switch {
+		case err != nil:
+			c.peerErrors.Add(peer, 1)
+		case status == http.StatusOK:
+			c.peerHits.Add(peer, 1)
+			return doc, peer, true
+		default: // 404: the peer simply doesn't have it
+			c.peerMisses.Add(peer, 1)
+		}
+		if ctx.Err() != nil {
+			return nil, "", false
+		}
+	}
+	return nil, "", false
+}
+
+// fetchFrom performs one peer-cache GET with its own short deadline.
+func (c *Cluster) fetchFrom(ctx context.Context, peer, key, requestID string) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/peer/solution/"+key, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set(HeaderRequestID, requestID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, resp.StatusCode, nil
+	}
+	// A peer vouching for the wrong key would poison the local cache;
+	// cross-check before trusting the bytes.
+	if got := resp.Header.Get("X-Cache-Key"); got != "" && got != key {
+		return nil, 0, fmt.Errorf("peer %s returned key %s, want %s", peer, got, key)
+	}
+	doc, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	return doc, http.StatusOK, nil
+}
+
+// SynthesizeRemote forwards a synthesis request to its ring owner and
+// blocks until the owner's job reaches a terminal state, returning the
+// solution document. body is the client's request verbatim — the owner
+// derives the same cache key from the same bytes. hops is the count
+// already accumulated; the forwarded request carries hops+1.
+//
+// Transient failures (transport errors, 429 queue-full, 503 shedding,
+// 5xx) retry with doubling backoff; each exhausted forward feeds the
+// peer's circuit breaker so a struggling owner stops receiving forwards
+// entirely until its cooldown. The caller treats any error as "degrade
+// to local synthesis".
+func (c *Cluster) SynthesizeRemote(ctx context.Context, owner, key, requestID string, hops int, body []byte) ([]byte, error) {
+	brk := c.breakerFor(owner)
+	if !brk.Allow() {
+		c.forwardFail.Add(owner, 1)
+		return nil, fmt.Errorf("cluster: breaker open for %s", owner)
+	}
+	var lastErr error
+	backoff := c.cfg.ForwardBackoff
+	for attempt := 0; attempt <= c.cfg.ForwardRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				lastErr = ctx.Err()
+				attempt = c.cfg.ForwardRetries + 1 // exhausted
+			case <-time.After(backoff):
+				backoff *= 2
+			}
+			if lastErr != nil {
+				break
+			}
+		}
+		doc, retryable, err := c.forwardOnce(ctx, owner, key, requestID, hops, body)
+		if err == nil {
+			brk.Success()
+			c.forwardOK.Add(owner, 1)
+			return doc, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	if brk.Overflow() {
+		c.log.Warn("cluster: peer breaker opened", "peer", owner)
+	}
+	c.forwardFail.Add(owner, 1)
+	return nil, fmt.Errorf("cluster: forward to %s: %w", owner, lastErr)
+}
+
+// forwardOnce performs one complete forward exchange: submit, poll to
+// terminal, fetch solution. retryable reports whether the failure is
+// worth another attempt.
+func (c *Cluster) forwardOnce(ctx context.Context, owner, key, requestID string, hops int, body []byte) (doc []byte, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/synthesize", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderRequestID, requestID)
+	req.Header.Set(HeaderHops, strconv.Itoa(hops+1))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, true, fmt.Errorf("owner busy: %s", resp.Status)
+	default:
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		// A 4xx won't improve on retry; a 5xx might.
+		return nil, resp.StatusCode >= 500, fmt.Errorf("owner rejected forward: %s", resp.Status)
+	}
+	var sub submitReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sub); err != nil {
+		return nil, true, fmt.Errorf("decoding submit reply: %w", err)
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		if err := c.pollJob(ctx, owner, sub.JobID, requestID); err != nil {
+			// A failed remote job would fail identically here (same request,
+			// same deterministic pipeline) — except when the failure is the
+			// owner's own timeout or cancellation, which local capacity may
+			// not share. Retrying the forward won't help either way.
+			return nil, false, err
+		}
+	}
+	doc, err = c.fetchJobSolution(ctx, owner, sub.JobID, key, requestID)
+	if err != nil {
+		return nil, true, err
+	}
+	return doc, false, nil
+}
+
+// pollJob polls the owner's job until it is done, or fails with the
+// job's (or transport's) error.
+func (c *Cluster) pollJob(ctx context.Context, owner, jobID, requestID string) error {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/jobs/"+jobID, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set(HeaderRequestID, requestID)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return err
+		}
+		var jr jobReply
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr)
+		resp.Body.Close()
+		if decErr != nil {
+			return fmt.Errorf("decoding job status: %w", decErr)
+		}
+		switch jr.Status {
+		case "done":
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("remote job %s %s: %s", jobID, jr.Status, jr.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.cfg.PollInterval):
+		}
+	}
+}
+
+// fetchJobSolution downloads a finished job's solution document and
+// verifies the owner derived the same cache key (a mismatch means the
+// two nodes disagree about request canonicalization — corrupt data, not
+// a retry candidate, but the caller's local fallback still serves the
+// client).
+func (c *Cluster) fetchJobSolution(ctx context.Context, owner, jobID, key, requestID string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/jobs/"+jobID+"/solution", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HeaderRequestID, requestID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fetching solution: %s", resp.Status)
+	}
+	if got := resp.Header.Get("X-Cache-Key"); got != "" && key != "" && got != key {
+		return nil, fmt.Errorf("owner %s derived key %s, this node derived %s", owner, got, key)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+}
+
+// WriteBack opportunistically delivers a locally synthesized solution to
+// the key's owner, healing the ring after an owner outage forced a
+// local fallback. Best-effort: an error just means the owner synthesizes
+// it itself on the next request.
+func (c *Cluster) WriteBack(ctx context.Context, peer, key, requestID string, doc []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+"/v1/peer/solution/"+key, bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderRequestID, requestID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("write-back to %s: %s", peer, resp.Status)
+	}
+	c.writeBacks.Add(peer, 1)
+	return nil
+}

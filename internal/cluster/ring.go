@@ -1,0 +1,164 @@
+// Package cluster is mfserved's shared-nothing multi-node layer: a
+// consistent-hash ring assigns every synthesis request an owner node
+// (keyed on the existing SHA-256 solution-cache key, so ownership is a
+// pure function of request content), non-owners forward over HTTP with
+// retry, backoff and a per-peer circuit breaker, and a read-through
+// cache-peering path makes any warm cache hit cluster-wide. Membership
+// comes from a static peer list or a discovery file re-read on change; a
+// seeded health prober marks peers down so the ring reroutes around
+// them, and an unreachable owner degrades to local synthesis (with an
+// opportunistic write-back once the owner returns) instead of failing.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per peer. 64 points per peer
+// keeps the owner distribution within a few percent of uniform for
+// single-digit clusters while a full ring rebuild stays microseconds.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// and the peer it maps to.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// Ring is an immutable consistent-hash ring. Build returns a fresh ring
+// on every membership or health change; lookups are lock-free. The ring
+// is a pure function of the peer set — the same peers in any order hash
+// to the identical ring — and adding or removing one peer only moves the
+// keys that peer's arcs cover (~1/N of the space), never keys between
+// two surviving peers.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	peers  []string    // sorted, deduplicated member list
+}
+
+// point hashes a label onto the circle: the first 8 bytes of its
+// SHA-256. Solution-cache keys are already uniformly distributed hex
+// digests, but hashing again costs little and makes vnode labels and
+// keys share one well-mixed keyspace.
+func point(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// BuildRing constructs the ring for the given peers with vnodes virtual
+// nodes each (vnodes <= 0 selects DefaultVNodes). Peers are sorted and
+// deduplicated first, so any permutation of the same list yields a
+// byte-identical ring. An empty peer list yields an empty ring whose
+// Owner returns "".
+func BuildRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	sorted = dedupe(sorted)
+	r := &Ring{
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+		peers:  sorted,
+	}
+	var label []byte
+	for _, p := range sorted {
+		for i := 0; i < vnodes; i++ {
+			// The vnode label is "peer\x00i": NUL cannot appear in a URL,
+			// so distinct (peer, index) pairs can never collide as strings.
+			label = label[:0]
+			label = append(label, p...)
+			label = append(label, 0)
+			label = appendInt(label, i)
+			sum := sha256.Sum256(label)
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// A 64-bit hash collision between vnodes is vanishingly unlikely
+		// but must still order deterministically.
+		return a.peer < b.peer
+	})
+	return r
+}
+
+// appendInt appends the decimal form of i (avoiding strconv garbage in
+// the build loop).
+func appendInt(b []byte, i int) []byte {
+	if i == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	n := len(tmp)
+	for i > 0 {
+		n--
+		tmp[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(b, tmp[n:]...)
+}
+
+// dedupe removes adjacent duplicates from a sorted slice.
+func dedupe(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Peers returns the ring's member list, sorted.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Owner returns the peer owning key: the peer of the first virtual node
+// at or clockwise after the key's position. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.at(key)].peer
+}
+
+// at returns the index of key's successor point (wrapping).
+func (r *Ring) at(key string) int {
+	h := point(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Order returns up to n distinct peers in ring order starting at key's
+// owner: the owner first, then the peers whose virtual nodes follow
+// clockwise. This is the cluster's lookup preference for read-through
+// cache peering — the owner is where the solution should live, the
+// successors are where a rebalance or fallback may have left it.
+// n <= 0 returns every peer.
+func (r *Ring) Order(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.peers) {
+		n = len(r.peers)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.at(key); i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func peersN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// keysN generates deterministic pseudo-cache-keys (the real keys are
+// hex SHA-256 digests; these exercise the same code path).
+func keysN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%064x", uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossOrder: the ring must be a pure function of
+// the peer SET — every permutation of the same list owns every key
+// identically, or two nodes with differently-ordered -peers flags would
+// forward requests in circles.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	peers := peersN(5)
+	keys := keysN(2000)
+	ref := BuildRing(peers, 0)
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuf := append([]string(nil), peers...)
+		rnd.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+		r := BuildRing(shuf, 0)
+		if !reflect.DeepEqual(r.Peers(), ref.Peers()) {
+			t.Fatalf("trial %d: peer list differs: %v vs %v", trial, r.Peers(), ref.Peers())
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: owner(%s) = %s, reference says %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingDuplicatePeersCollapse(t *testing.T) {
+	a := BuildRing([]string{"http://a:1", "http://a:1", "http://b:1"}, 0)
+	b := BuildRing([]string{"http://a:1", "http://b:1"}, 0)
+	if !reflect.DeepEqual(a.Peers(), b.Peers()) {
+		t.Fatalf("duplicates not collapsed: %v", a.Peers())
+	}
+	for _, k := range keysN(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatal("duplicate peer changed ownership")
+		}
+	}
+}
+
+// TestRingRebalanceProperty: growing N -> N+1 peers must move roughly
+// 1/(N+1) of the keyspace, and every moved key must move TO the new
+// peer. Any key moving between two surviving peers would invalidate
+// their caches for no reason — the whole point of consistent hashing.
+func TestRingRebalanceProperty(t *testing.T) {
+	const nKeys = 10000
+	peers := peersN(4)
+	grown := append(peersN(4), "http://10.0.0.99:8080")
+	before := BuildRing(peers, 0)
+	after := BuildRing(grown, 0)
+	moved := 0
+	for _, k := range keysN(nKeys) {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "http://10.0.0.99:8080" {
+			t.Fatalf("key %s moved %s -> %s, not to the new peer", k, ob, oa)
+		}
+	}
+	frac := float64(moved) / nKeys
+	// Ideal is 1/5 = 0.20; 64 vnodes keeps the variance modest.
+	if frac < 0.10 || frac > 0.32 {
+		t.Fatalf("grow 4->5 moved %.1f%% of keys, want ~20%%", frac*100)
+	}
+	t.Logf("grow 4->5 moved %.1f%% of %d keys", frac*100, nKeys)
+}
+
+// TestRingShrinkProperty: the mirror image — removing a peer reassigns
+// only that peer's keys, each to a surviving peer.
+func TestRingShrinkProperty(t *testing.T) {
+	peers := peersN(5)
+	before := BuildRing(peers, 0)
+	after := BuildRing(peers[:4], 0)
+	for _, k := range keysN(5000) {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		if ob != peers[4] {
+			t.Fatalf("key %s moved %s -> %s though %s still lives", k, ob, oa, ob)
+		}
+	}
+}
+
+// TestRingDistribution: ownership should be near-uniform; a badly
+// skewed ring turns one node into the whole cluster's hot spot.
+func TestRingDistribution(t *testing.T) {
+	peers := peersN(4)
+	r := BuildRing(peers, 0)
+	counts := map[string]int{}
+	const nKeys = 20000
+	for _, k := range keysN(nKeys) {
+		counts[r.Owner(k)]++
+	}
+	for _, p := range peers {
+		frac := float64(counts[p]) / nKeys
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("peer %s owns %.1f%% of keys, expected near 25%%", p, frac*100)
+		}
+	}
+}
+
+// TestRingOrder: the lookup preference must start at the owner and list
+// each peer exactly once.
+func TestRingOrder(t *testing.T) {
+	peers := peersN(4)
+	r := BuildRing(peers, 0)
+	for _, k := range keysN(50) {
+		order := r.Order(k, 0)
+		if len(order) != len(peers) {
+			t.Fatalf("order has %d peers, want %d", len(order), len(peers))
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("order starts at %s, owner is %s", order[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range order {
+			if seen[p] {
+				t.Fatalf("peer %s appears twice in order", p)
+			}
+			seen[p] = true
+		}
+	}
+	if got := r.Order(keysN(1)[0], 2); len(got) != 2 {
+		t.Fatalf("Order(k, 2) returned %d peers", len(got))
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := BuildRing(nil, 0)
+	if r.Owner("anything") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	if r.Order("anything", 3) != nil {
+		t.Fatal("empty ring returned an order")
+	}
+}

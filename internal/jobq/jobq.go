@@ -107,6 +107,10 @@ type Queue struct {
 	baseCtx  context.Context
 	baseStop context.CancelFunc
 
+	// detached counts running detached jobs (SubmitDetached). They hold
+	// no worker and no FIFO slot but are still bounded by capacity.
+	detached int
+
 	// onTerminal observes every terminal transition; see OnTerminal.
 	onTerminal func(Job)
 	// flt injects worker-level faults when armed; nil in production.
@@ -124,6 +128,7 @@ type Stats struct {
 	Busy     int // workers currently executing a job
 	Queued   int // jobs waiting in the FIFO
 	Capacity int // maximum queued jobs before Submit rejects
+	Detached int // running detached jobs (SubmitDetached)
 	Done     int // retained terminal jobs by status
 	Failed   int
 	Canceled int
@@ -188,6 +193,78 @@ func (q *Queue) SubmitLabeled(label string, fn Fn) (string, error) {
 	q.jobs[id] = j
 	q.pending = append(q.pending, id)
 	q.cond.Signal()
+	return id, nil
+}
+
+// SubmitDetached runs fn immediately in its own goroutine instead of
+// waiting for a pool worker. It exists for jobs that spend their life
+// blocked on another node — forwarding a synthesis request across the
+// cluster — where parking a pool worker invites distributed deadlock:
+// with one worker per node, node A forwarding to B while B forwards to A
+// would leave both pools blocked polling each other. Detached jobs hold
+// no worker and no FIFO slot but are still bounded by the queue
+// capacity (ErrQueueFull beyond it), carry normal job records (Get,
+// Cancel, OnTerminal, retention all apply), and participate in
+// Shutdown: drain waits for them, and the hard-cancel path cancels
+// their contexts.
+func (q *Queue) SubmitDetached(label string, fn Fn) (string, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", ErrShutdown
+	}
+	if q.detached >= q.capacity {
+		q.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	q.nextID++
+	id := fmt.Sprintf("j%06d", q.nextID)
+	now := time.Now()
+	j := newJob()
+	j.Job = Job{ID: id, Label: label, Status: Running, Created: now, Started: now}
+	ctx, cancel := context.WithCancelCause(q.baseCtx)
+	j.cancel = cancel
+	q.jobs[id] = j
+	q.detached++
+	flt := q.flt
+	// wg.Add under the same lock as the closed check: Shutdown flips
+	// closed before waiting, so the counter can never grow after Wait.
+	q.wg.Add(1)
+	q.mu.Unlock()
+
+	go func() {
+		defer q.wg.Done()
+		progress := func(note string) {
+			q.mu.Lock()
+			j.Progress = note
+			q.mu.Unlock()
+		}
+		result, stack, err := runJob(ctx, fn, progress, flt)
+
+		q.mu.Lock()
+		q.detached--
+		j.cancel = nil
+		j.fn = nil
+		j.Finished = time.Now()
+		switch {
+		case err == nil:
+			j.Status = Done
+			j.Result = result
+		case errors.Is(err, context.Canceled):
+			j.Status = Canceled
+			j.Err = err.Error()
+		default:
+			j.Status = Failed
+			j.Err = err.Error()
+			j.Stack = stack
+		}
+		snap, cb := q.retire(j), q.onTerminal
+		q.mu.Unlock()
+		cancel(nil)
+		if cb != nil {
+			cb(snap)
+		}
+	}()
 	return id, nil
 }
 
@@ -292,6 +369,7 @@ func (q *Queue) Stats() Stats {
 	defer q.mu.Unlock()
 	s := Stats{
 		Workers: q.workers, Busy: q.busy, Queued: len(q.pending), Capacity: q.capacity,
+		Detached:  q.detached,
 		DoneTotal: q.doneTotal, FailedTotal: q.failedTotal, CanceledTotal: q.canceledTotal,
 	}
 	for _, j := range q.jobs {

@@ -577,3 +577,94 @@ func BenchmarkCompleteChurn(b *testing.B) {
 		}
 	}
 }
+
+// TestSubmitDetachedRunsWithoutWorker: a detached job must make
+// progress while every pool worker is occupied — that independence is
+// its entire reason to exist (forward jobs must not deadlock a
+// one-worker node against another one-worker node).
+func TestSubmitDetachedRunsWithoutWorker(t *testing.T) {
+	q := New(1, 4, 0)
+	defer q.Shutdown(context.Background())
+
+	// Pin the only worker.
+	release := make(chan struct{})
+	blocker, err := q.Submit(func(ctx context.Context, _ func(string)) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, q, blocker, Running)
+
+	id, err := q.SubmitDetached("req-1", func(ctx context.Context, progress func(string)) (any, error) {
+		progress("forwarding")
+		return "remote", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitStatus(t, q, id, Done)
+	if j.Result != "remote" || j.Label != "req-1" {
+		t.Fatalf("detached job snapshot: %+v", j)
+	}
+	close(release)
+	waitStatus(t, q, blocker, Done)
+}
+
+// TestSubmitDetachedBounded: detached jobs respect the capacity bound
+// and release their slot on completion.
+func TestSubmitDetachedBounded(t *testing.T) {
+	q := New(1, 2, 0)
+	defer q.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	hold := func(ctx context.Context, _ func(string)) (any, error) {
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	a, err := q.SubmitDetached("", hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SubmitDetached("", hold); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Detached != 2 {
+		t.Fatalf("Detached = %d, want 2", st.Detached)
+	}
+	if _, err := q.SubmitDetached("", hold); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third detached job: err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	waitStatus(t, q, a, Done)
+}
+
+// TestSubmitDetachedShutdown: drain waits for detached jobs; the
+// hard-cancel path cancels their contexts.
+func TestSubmitDetachedShutdown(t *testing.T) {
+	q := New(1, 4, 0)
+	id, err := q.SubmitDetached("", func(ctx context.Context, _ func(string)) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := q.Shutdown(ctx); err == nil {
+		t.Fatal("deadline shutdown reported clean drain with a detached job pinned")
+	}
+	j := waitStatus(t, q, id, Canceled)
+	if j.Err == "" {
+		t.Fatal("hard-canceled detached job lost its cause")
+	}
+	if _, err := q.SubmitDetached("", nil); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("post-shutdown detached submit: %v", err)
+	}
+}

@@ -106,6 +106,16 @@ func Open(path string) (*Journal, []Record, int, error) {
 	return &Journal{f: f, path: path, seq: maxSeq}, pending, torn, nil
 }
 
+// Peek reads the journal at path without opening it for writing and
+// without compacting: the pending records and torn-line count exactly as
+// they sit on disk. It exists so a test or an operator can inspect a
+// crashed node's journal — counting the jobs a restart must replay —
+// without mutating the evidence.
+func Peek(path string) ([]Record, int, error) {
+	pending, _, torn, err := load(path)
+	return pending, torn, err
+}
+
 // load parses the journal file, returning pending accepted records, the
 // highest entry sequence seen, and the count of skipped torn lines.
 func load(path string) ([]Record, uint64, int, error) {

@@ -100,6 +100,8 @@ type metrics struct {
 	jobsAccepted *expvar.Int
 	jobsRejected *expvar.Int // 429s from a full queue
 	jobsShed     *expvar.Int // 503s from the open circuit breaker
+	peerServed   *expvar.Int // peer-cache GETs served with a solution
+	peerStored   *expvar.Int // write-back PUTs accepted into the cache
 
 	histSchedule *histogram
 	histPlace    *histogram
@@ -117,6 +119,8 @@ func newMetrics(s *Server) *metrics {
 		jobsAccepted: new(expvar.Int),
 		jobsRejected: new(expvar.Int),
 		jobsShed:     new(expvar.Int),
+		peerServed:   new(expvar.Int),
+		peerStored:   new(expvar.Int),
 		histSchedule: newHistogram(),
 		histPlace:    newHistogram(),
 		histRoute:    newHistogram(),
@@ -136,12 +140,20 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("jobs_accepted", m.jobsAccepted)
 	m.vars.Set("jobs_rejected", m.jobsRejected)
 	m.vars.Set("jobs_shed", m.jobsShed)
-	m.vars.Set("breaker_state", expvar.Func(func() any { return s.brk.state() }))
+	m.vars.Set("breaker_state", expvar.Func(func() any { return s.brk.State() }))
 	m.vars.Set("journal_replayed", expvar.Func(func() any { return s.replayed.Load() }))
 	m.vars.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
 	m.vars.Set("cache_misses", expvar.Func(func() any { return s.cache.Stats().Misses }))
 	m.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.Stats().Entries }))
 	m.vars.Set("cache_bytes", expvar.Func(func() any { return s.cache.Stats().Bytes }))
+	m.vars.Set("queue_detached", expvar.Func(func() any { return s.q.Stats().Detached }))
+	if s.cl != nil {
+		m.vars.Set("cluster_self", expvar.Func(func() any { return s.cl.Self() }))
+		m.vars.Set("cluster_members", expvar.Func(func() any { return len(s.cl.Members()) }))
+		m.vars.Set("cluster_peer_served", m.peerServed)
+		m.vars.Set("cluster_peer_stored", m.peerStored)
+		m.vars.Set("cluster_peers", expvar.Func(func() any { return s.cl.PeerStats() }))
+	}
 	m.vars.Set("latency_schedule_ms", m.histSchedule)
 	m.vars.Set("latency_place_ms", m.histPlace)
 	m.vars.Set("latency_route_ms", m.histRoute)

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // prom.go renders the service state in the Prometheus text exposition
@@ -95,7 +97,7 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("mfserved_jobs_accepted_total", "Synthesis submissions accepted into the queue.", float64(s.metrics.jobsAccepted.Value()))
 	p.counter("mfserved_jobs_rejected_total", "Synthesis submissions rejected with 429 (queue full).", float64(s.metrics.jobsRejected.Value()))
 	p.counter("mfserved_jobs_shed_total", "Synthesis submissions shed with 503 by the open circuit breaker.", float64(s.metrics.jobsShed.Value()))
-	p.gauge("mfserved_breaker_open", "1 while the load-shedding circuit breaker is open or half-open, 0 otherwise.", breakerOpenGauge(s.brk.state()))
+	p.gauge("mfserved_breaker_open", "1 while the load-shedding circuit breaker is open or half-open, 0 otherwise.", breakerOpenGauge(s.brk.State()))
 	p.counter("mfserved_journal_replayed_total", "Jobs resubmitted from the crash-safe journal at startup.", float64(s.replayed.Load()))
 
 	p.counter("mfserved_cache_hits_total", "Solution-cache hits.", float64(cs.Hits))
@@ -136,6 +138,46 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.histogram("mfserved_synthesis_latency_seconds", "", s.metrics.histTotal.snapshot())
 	p.head("mfserved_request_latency_seconds", "POST /v1/synthesize handler latency.", "histogram")
 	p.histogram("mfserved_request_latency_seconds", "", s.metrics.histRequest.snapshot())
+
+	// Cluster families, only in cluster mode so a single-node scrape
+	// stays byte-stable with earlier releases.
+	if s.cl != nil {
+		p.gauge("mfserved_cluster_members", "Configured cluster members (alive or not).", float64(len(s.cl.Members())))
+		p.gauge("mfserved_cluster_detached_jobs", "Forward jobs currently running detached from the worker pool.", float64(qs.Detached))
+		p.counter("mfserved_cluster_peer_served_total", "Peer-cache lookups this node answered with a solution.", float64(s.metrics.peerServed.Value()))
+		p.counter("mfserved_cluster_peer_stored_total", "Write-back solutions this node accepted from siblings.", float64(s.metrics.peerStored.Value()))
+
+		stats := s.cl.PeerStats()
+		peerLabel := func(ps cluster.PeerStats) string { return `peer="` + ps.Peer + `"` }
+		p.head("mfserved_cluster_peer_up", "1 while the peer answers health probes, 0 while marked down.", "gauge")
+		for _, ps := range stats {
+			up := 0.0
+			if ps.Up {
+				up = 1
+			}
+			p.sample("mfserved_cluster_peer_up", peerLabel(ps), up)
+		}
+		p.head("mfserved_cluster_forwards_total", "Synthesis forwards to the ring owner, by outcome.", "counter")
+		for _, ps := range stats {
+			p.sample("mfserved_cluster_forwards_total", peerLabel(ps)+`,outcome="ok"`, float64(ps.ForwardOK))
+			p.sample("mfserved_cluster_forwards_total", peerLabel(ps)+`,outcome="fallback"`, float64(ps.ForwardFail))
+		}
+		p.head("mfserved_cluster_peer_lookups_total", "Read-through peer-cache lookups, by result.", "counter")
+		for _, ps := range stats {
+			p.sample("mfserved_cluster_peer_lookups_total", peerLabel(ps)+`,result="hit"`, float64(ps.PeerHits))
+			p.sample("mfserved_cluster_peer_lookups_total", peerLabel(ps)+`,result="miss"`, float64(ps.PeerMisses))
+			p.sample("mfserved_cluster_peer_lookups_total", peerLabel(ps)+`,result="error"`, float64(ps.PeerErrors))
+		}
+		p.head("mfserved_cluster_probes_total", "Health probes, by result.", "counter")
+		for _, ps := range stats {
+			p.sample("mfserved_cluster_probes_total", peerLabel(ps)+`,result="ok"`, float64(ps.ProbeOK))
+			p.sample("mfserved_cluster_probes_total", peerLabel(ps)+`,result="fail"`, float64(ps.ProbeFail))
+		}
+		p.head("mfserved_cluster_writebacks_total", "Solutions written back to their ring owner after a local fallback.", "counter")
+		for _, ps := range stats {
+			p.sample("mfserved_cluster_writebacks_total", peerLabel(ps), float64(ps.WriteBacks))
+		}
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(p.b.String()))

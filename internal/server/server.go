@@ -33,6 +33,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/jobq"
@@ -90,6 +92,13 @@ type Config struct {
 	// queue, the cache and every synthesis job. Nil (the default) injects
 	// nothing and adds no overhead.
 	Fault *fault.Plan
+	// Cluster, when set, makes this server one node of a shared-nothing
+	// cluster (see internal/cluster): a consistent-hash ring keyed on the
+	// solution-cache key routes each request to an owner node, local cache
+	// misses read through peers before synthesizing, and the peer-cache
+	// endpoints (/v1/peer/solution/{key}) are registered. Nil (the
+	// default) runs a plain single-node server with zero overhead.
+	Cluster *cluster.Cluster
 }
 
 // Server is the service state: worker pool, cache and metrics.
@@ -105,7 +114,8 @@ type Server struct {
 	agg     *obs.Aggregate // algorithm telemetry folded across all jobs
 	reqSeq  atomic.Uint64  // server-assigned request IDs
 	flt     *fault.Plan    // nil when fault injection is off
-	brk     *breaker
+	brk     *breaker.Breaker
+	cl      *cluster.Cluster // nil outside cluster mode
 
 	// Crash-safe journal state. jobEntry maps live queue job IDs to their
 	// journal entry IDs; earlyTerm stashes terminal outcomes that arrived
@@ -122,6 +132,7 @@ type Server struct {
 type jobResult struct {
 	key          string
 	cached       bool
+	peer         string // cluster peer that produced/served the solution, if any
 	solution     []byte // canonical solio document
 	metrics      core.Metrics
 	stages       core.StageTimes
@@ -167,7 +178,8 @@ func New(cfg Config) (*Server, error) {
 		log:       log,
 		agg:       &obs.Aggregate{},
 		flt:       cfg.Fault,
-		brk:       newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+		brk:       breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+		cl:        cfg.Cluster,
 		jobEntry:  make(map[string]string),
 		earlyTerm: make(map[string]string),
 	}
@@ -210,6 +222,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetrics)
+	if s.cl != nil {
+		s.mux.HandleFunc("GET /v1/peer/solution/{key}", s.handlePeerGet)
+		s.mux.HandleFunc("PUT /v1/peer/solution/{key}", s.handlePeerPut)
+	}
 	s.handler = s.withRequestLog(s.mux)
 	return s, nil
 }
@@ -356,6 +372,9 @@ type submitResponse struct {
 	JobID  string `json:"job_id"`
 	Status string `json:"status"`
 	Cached bool   `json:"cached"`
+	// Peer is the cluster node whose cache served this response, when the
+	// hit came from read-through peering rather than the local cache.
+	Peer string `json:"peer,omitempty"`
 	// Job is the polling URL for the created job.
 	Job string `json:"job"`
 }
@@ -413,9 +432,39 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cluster read-through: before synthesizing, ask the key's owner (and
+	// its ring successors) whether any peer already holds the solution. A
+	// peered document is the same canonical bytes a local synthesis would
+	// produce, so it is cached and served exactly like a local hit.
+	hops := 0
+	if s.cl != nil {
+		hops = cluster.Hops(r.Header)
+		if doc, peer, ok := s.cl.FetchSolution(r.Context(), req.key, RequestID(r.Context())); ok {
+			res, err := resultFromCache(req.key, doc)
+			if err != nil {
+				// A peer vouched for bytes that don't decode: don't cache
+				// them, just synthesize as if the peering missed.
+				s.log.Warn("peer solution invalid, synthesizing locally",
+					"peer", peer, "key", req.key, "err", err)
+			} else {
+				res.peer = peer
+				s.cache.Put(req.key, res.solution)
+				id, err := s.q.Complete(RequestID(r.Context()), res, "served from peer "+peer)
+				if err != nil {
+					writeErr(w, http.StatusServiceUnavailable, "%v", err)
+					return
+				}
+				writeJSON(w, http.StatusOK, submitResponse{
+					JobID: id, Status: string(jobq.Done), Cached: true, Peer: peer, Job: "/v1/jobs/" + id,
+				})
+				return
+			}
+		}
+	}
+
 	// Load shedding: while the breaker is open, don't even knock on the
 	// queue — answer immediately so the workers drain in peace.
-	if !s.brk.allow() {
+	if !s.brk.Allow() {
 		s.metrics.jobsShed.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.BreakerCooldown.Seconds())+1))
 		writeErr(w, http.StatusServiceUnavailable, "shedding load: queue has been full for %d consecutive submissions", s.cfg.BreakerThreshold)
@@ -430,16 +479,29 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if s.jnl != nil {
 		entry, err = s.jnl.Accepted(label, body)
 		if err != nil {
-			s.brk.success() // release a possible half-open probe slot
+			s.brk.Success() // release a possible half-open probe slot
 			writeErr(w, http.StatusInternalServerError, "journal: %v", err)
 			return
 		}
 	}
 
-	id, err := s.submitWithRetry(r.Context(), label, s.synthesisJob(req))
+	// Ownership routing: a request whose key belongs to another healthy
+	// node is forwarded there instead of synthesized here, so every key
+	// has one home cache. Forward jobs are detached from the worker pool
+	// (they spend their life blocked on the network; parking a worker on
+	// one invites cross-node pool deadlock). A request that already used
+	// its hop budget, or whose owner is down or breaker-open, degrades to
+	// local synthesis — the cluster never turns a computable request into
+	// an error.
+	var id string
+	if owner, isSelf := s.owner(req.key); !isSelf && hops < s.cl.MaxHops() && s.cl.Healthy(owner) {
+		id, err = s.q.SubmitDetached(label, s.forwardJob(req, owner, label, hops, append([]byte(nil), body...)))
+	} else {
+		id, err = s.submitWithRetry(r.Context(), label, s.synthesisJob(req))
+	}
 	switch {
 	case errors.Is(err, jobq.ErrQueueFull):
-		if s.brk.overflow() {
+		if s.brk.Overflow() {
 			s.log.Warn("circuit breaker opened",
 				"threshold", s.cfg.BreakerThreshold, "cooldown", s.cfg.BreakerCooldown)
 		}
@@ -451,21 +513,21 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, "queue full (%d waiting): retry later", s.cfg.QueueCap)
 		return
 	case errors.Is(err, jobq.ErrShutdown):
-		s.brk.success()
+		s.brk.Success()
 		if s.jnl != nil {
 			s.journalTerminal(entry, "rejected")
 		}
 		writeErr(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	case err != nil:
-		s.brk.success()
+		s.brk.Success()
 		if s.jnl != nil {
 			s.journalTerminal(entry, "rejected")
 		}
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.brk.success()
+	s.brk.Success()
 	s.registerJournal(id, entry)
 	s.metrics.jobsAccepted.Add(1)
 	writeJSON(w, http.StatusAccepted, submitResponse{
@@ -476,57 +538,124 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 // synthesisJob wraps a resolved request into the queue's work unit.
 func (s *Server) synthesisJob(req *request) jobq.Fn {
 	return func(ctx context.Context, progress func(string)) (any, error) {
+		return s.synthesizeLocal(ctx, req, progress)
+	}
+}
+
+// synthesizeLocal runs one synthesis on this node: the body of every
+// pool-worker job, and the degraded path of a forward job whose owner
+// turned out unreachable. It applies the job timeout itself so both
+// callers get the same deadline semantics.
+func (s *Server) synthesizeLocal(ctx context.Context, req *request, progress func(string)) (*jobResult, error) {
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	// Fold this job's algorithm telemetry into the service-wide
+	// aggregate served at /metrics. The tracer hooks are outside the
+	// pipeline's RNG and floating-point paths, so the traced synthesis
+	// is byte-identical to an untraced one (the cache depends on it).
+	ctx = obs.Into(ctx, obs.New(s.agg))
+	// Thread the process-wide fault plan into the pipeline. With no
+	// plan (the default) this is a no-op and the synthesis is
+	// byte-identical to a fault-free build.
+	ctx = fault.Into(ctx, s.flt)
+	algo := "dcsa"
+	synth := core.SynthesizeContext
+	if req.baseline {
+		algo = "baseline"
+		synth = core.SynthesizeBaselineContext
+	}
+	opts := req.opts
+	opts.Degrade = s.cfg.Degrade
+	progress(fmt.Sprintf("synthesizing %q (%s)", req.graph.Name(), algo))
+	sol, err := synth(ctx, req.graph, req.alloc, opts)
+	if err != nil {
+		return nil, err
+	}
+	met := sol.Metrics()
+	stages := sol.Stages
+	s.metrics.histSchedule.observe(stages.Schedule)
+	s.metrics.histPlace.observe(stages.Place)
+	s.metrics.histRoute.observe(stages.Route)
+	s.metrics.histTotal.observe(met.CPU)
+
+	// Canonicalize: CPU time is measurement, not solution content.
+	// Zeroing it makes the document a pure function of the request, so
+	// cache-served and freshly synthesized responses are byte-identical.
+	sol.CPU = 0
+	// Encode into a pooled buffer, then copy out an exact-size document:
+	// the cache and the job record retain the copy, never pool memory.
+	buf := getBuf()
+	if err := solio.Encode(buf, sol); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	doc := append([]byte(nil), buf.Bytes()...)
+	putBuf(buf)
+	s.cache.Put(req.key, doc)
+	progress("done")
+	return &jobResult{key: req.key, solution: doc, metrics: met,
+		stages: stages, degradations: sol.Degradations}, nil
+}
+
+// owner resolves the ring owner of key; a non-clustered server owns
+// everything.
+func (s *Server) owner(key string) (string, bool) {
+	if s.cl == nil {
+		return "", true
+	}
+	return s.cl.Owner(key)
+}
+
+// forwardJob builds the work unit for a request owned by another node:
+// forward it there and return the owner's solution. Any forward failure
+// degrades to local synthesis — and once the local result exists, it is
+// opportunistically written back to the owner (if reachable again) so
+// the ring heals instead of drifting. body is the client's request
+// verbatim (an unpooled copy), re-sent so the owner derives the same
+// cache key from the same bytes.
+func (s *Server) forwardJob(req *request, owner, requestID string, hops int, body []byte) jobq.Fn {
+	return func(ctx context.Context, progress func(string)) (any, error) {
+		fctx := ctx
 		if s.cfg.JobTimeout > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			fctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 			defer cancel()
 		}
-		// Fold this job's algorithm telemetry into the service-wide
-		// aggregate served at /metrics. The tracer hooks are outside the
-		// pipeline's RNG and floating-point paths, so the traced synthesis
-		// is byte-identical to an untraced one (the cache depends on it).
-		ctx = obs.Into(ctx, obs.New(s.agg))
-		// Thread the process-wide fault plan into the pipeline. With no
-		// plan (the default) this is a no-op and the synthesis is
-		// byte-identical to a fault-free build.
-		ctx = fault.Into(ctx, s.flt)
-		algo := "dcsa"
-		synth := core.SynthesizeContext
-		if req.baseline {
-			algo = "baseline"
-			synth = core.SynthesizeBaselineContext
+		progress("forwarding to owner " + owner)
+		doc, err := s.cl.SynthesizeRemote(fctx, owner, req.key, requestID, hops, body)
+		if err == nil {
+			res, derr := resultFromCache(req.key, doc)
+			if derr == nil {
+				res.cached = false
+				res.peer = owner
+				s.cache.Put(req.key, res.solution)
+				progress("done (synthesized by " + owner + ")")
+				return res, nil
+			}
+			err = fmt.Errorf("owner returned invalid solution: %w", derr)
 		}
-		opts := req.opts
-		opts.Degrade = s.cfg.Degrade
-		progress(fmt.Sprintf("synthesizing %q (%s)", req.graph.Name(), algo))
-		sol, err := synth(ctx, req.graph, req.alloc, opts)
-		if err != nil {
-			return nil, err
+		// Degrade: the owner is unreachable or misbehaving, so this node
+		// does the work itself rather than failing the accepted job.
+		s.log.Warn("forward failed, synthesizing locally",
+			"request_id", requestID, "owner", owner, "key", req.key, "err", err)
+		progress("owner unreachable, synthesizing locally")
+		res, lerr := s.synthesizeLocal(ctx, req, progress)
+		if lerr != nil {
+			return nil, lerr
 		}
-		met := sol.Metrics()
-		stages := sol.Stages
-		s.metrics.histSchedule.observe(stages.Schedule)
-		s.metrics.histPlace.observe(stages.Place)
-		s.metrics.histRoute.observe(stages.Route)
-		s.metrics.histTotal.observe(met.CPU)
-
-		// Canonicalize: CPU time is measurement, not solution content.
-		// Zeroing it makes the document a pure function of the request, so
-		// cache-served and freshly synthesized responses are byte-identical.
-		sol.CPU = 0
-		// Encode into a pooled buffer, then copy out an exact-size document:
-		// the cache and the job record retain the copy, never pool memory.
-		buf := getBuf()
-		if err := solio.Encode(buf, sol); err != nil {
-			putBuf(buf)
-			return nil, err
+		// Write-back rides its own short deadline, detached from the job's
+		// context: the job is already done, this is cluster hygiene.
+		if s.cl.Healthy(owner) {
+			wctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 3*time.Second)
+			if werr := s.cl.WriteBack(wctx, owner, req.key, requestID, res.solution); werr != nil {
+				s.log.Info("write-back to owner failed", "owner", owner, "key", req.key, "err", werr)
+			}
+			cancel()
 		}
-		doc := append([]byte(nil), buf.Bytes()...)
-		putBuf(buf)
-		s.cache.Put(req.key, doc)
-		progress("done")
-		return &jobResult{key: req.key, solution: doc, metrics: met,
-			stages: stages, degradations: sol.Degradations}, nil
+		return res, nil
 	}
 }
 
@@ -580,6 +709,7 @@ type jobResponse struct {
 	Status   string       `json:"status"`
 	Progress string       `json:"progress,omitempty"`
 	Cached   bool         `json:"cached,omitempty"`
+	Peer     string       `json:"peer,omitempty"`
 	Error    string       `json:"error,omitempty"`
 	Created  time.Time    `json:"created"`
 	Started  *time.Time   `json:"started,omitempty"`
@@ -612,6 +742,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if res, ok := j.Result.(*jobResult); ok {
 		resp.Cached = res.cached
+		resp.Peer = res.peer
 		resp.Key = res.key
 		resp.Metrics = toMetricsJSON(res.metrics)
 		resp.Solution = "/v1/jobs/" + j.ID + "/solution"

@@ -82,6 +82,24 @@ func Key(parts ...[]byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ValidKey reports whether s has the shape Key produces: exactly 64
+// lowercase hex digits. The cluster's peer endpoints accept keys from
+// the network and must reject anything else before touching the cache
+// (a key is also a URL path segment there, so shape-checking doubles as
+// input sanitization).
+func ValidKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // SetFault arms the cache's injection points (solcache.get.miss,
 // solcache.put.drop) on the given plan; nil disables injection.
 func (c *Cache) SetFault(p *fault.Plan) {
