@@ -37,10 +37,13 @@ type clusterRound struct {
 	WallMs        float64 `json:"wall_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 	MaxMs         float64 `json:"max_ms"`
 	CacheHits     int     `json:"cache_hits"`
 	PeerServed    int     `json:"peer_served"`
+	// SLO is the round's attainment per objective, keyed "p99<=500ms".
+	SLO map[string]float64 `json:"slo_attainment,omitempty"`
 }
 
 // clusterRung is one node-count rung of the ladder.
@@ -60,6 +63,7 @@ type clusterReport struct {
 	Note      string        `json:"note"`
 	Ladder    []clusterRung `json:"ladder"`
 	GoVersion string        `json:"go_version"`
+	SLOSpec   string        `json:"slo_spec,omitempty"`
 	// Regress makes the file gatable by mfbench -regress (restricted to
 	// Synthetic1): the reference entry is measured through the 1-node rung.
 	Regress *regress.Baseline `json:"regress"`
@@ -71,7 +75,7 @@ const clusterBenchNote = "Each node runs with one synthesis worker and GOMAXPROC
 	"so peer_served > 0 proves cluster-wide cache visibility."
 
 // runClusterBench runs the ladder and writes the report.
-func runClusterBench(maxNodes, requests int, outPath string) error {
+func runClusterBench(maxNodes, requests int, sloSpec, outPath string) error {
 	if maxNodes < 1 || maxNodes > 16 {
 		return fmt.Errorf("-cluster-selfbench wants 1..16 nodes, got %d", maxNodes)
 	}
@@ -94,11 +98,12 @@ func runClusterBench(maxNodes, requests int, outPath string) error {
 		HostCPUs:  runtime.NumCPU(),
 		Note:      clusterBenchNote,
 		GoVersion: runtime.Version(),
+		SLOSpec:   sloSpec,
 	}
 
 	for n := 1; n <= maxNodes; n++ {
 		fmt.Fprintf(os.Stderr, "cluster-selfbench: rung %d/%d — starting %d node(s)…\n", n, maxNodes, n)
-		rung, entry, err := runClusterRung(exe, dir, n, requests)
+		rung, entry, err := runClusterRung(exe, dir, n, requests, sloSpec)
 		if err != nil {
 			return fmt.Errorf("rung %d: %w", n, err)
 		}
@@ -142,7 +147,7 @@ func runClusterBench(maxNodes, requests int, outPath string) error {
 // tears the processes down. On the 1-node rung it also measures the
 // regression reference entry (Synthetic1, imax 60, seed 1) before the
 // rounds, so the entry reflects a real single-node synthesis.
-func runClusterRung(exe, dir string, n, requests int) (clusterRung, regress.Entry, error) {
+func runClusterRung(exe, dir string, n, requests int, sloSpec string) (clusterRung, regress.Entry, error) {
 	rung := clusterRung{Nodes: n}
 	var entry regress.Entry
 
@@ -161,7 +166,7 @@ func runClusterRung(exe, dir string, n, requests int) (clusterRung, regress.Entr
 
 	// Seed bases are disjoint per rung so every cold round is truly cold.
 	base := uint64(n) * 10_000_000
-	cold, err := clusterBenchRound(nodes, requests, base, 0)
+	cold, err := clusterBenchRound(nodes, requests, base, 0, sloSpec)
 	if err != nil {
 		return rung, entry, err
 	}
@@ -169,7 +174,7 @@ func runClusterRung(exe, dir string, n, requests int) (clusterRung, regress.Entr
 		return rung, entry, fmt.Errorf("cold round had %d cache hits, want 0", cold.CacheHits)
 	}
 	// Warm: same bodies, each submitted one node further round-robin.
-	warm, err := clusterBenchRound(nodes, requests, base, 1)
+	warm, err := clusterBenchRound(nodes, requests, base, 1, sloSpec)
 	if err != nil {
 		return rung, entry, err
 	}
@@ -182,7 +187,7 @@ func runClusterRung(exe, dir string, n, requests int) (clusterRung, regress.Entr
 
 // clusterBenchRound fires `requests` concurrent Synthetic1 requests,
 // request i going to node (i+rot) mod n.
-func clusterBenchRound(nodes []string, requests int, seedBase uint64, rot int) (clusterRound, error) {
+func clusterBenchRound(nodes []string, requests int, seedBase uint64, rot int, sloSpec string) (clusterRound, error) {
 	lats := make([]time.Duration, requests)
 	hits := make([]bool, requests)
 	peers := make([]string, requests)
@@ -210,8 +215,10 @@ func clusterBenchRound(nodes []string, requests int, seedBase uint64, rot int) (
 		WallMs:        ms(wall),
 		ThroughputRPS: float64(requests) / wall.Seconds(),
 		P50Ms:         ms(percentile(lats, 0.50)),
+		P95Ms:         ms(percentile(lats, 0.95)),
 		P99Ms:         ms(percentile(lats, 0.99)),
 		MaxMs:         ms(lats[requests-1]),
+		SLO:           sloAttainment(sloSpec, lats),
 	}
 	for i := range hits {
 		if hits[i] {

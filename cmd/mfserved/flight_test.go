@@ -1,0 +1,102 @@
+// SIGQUIT postmortem smoke: the real binary must dump its flight
+// recorder to the journal directory on SIGQUIT and keep serving —
+// in-flight work survives the signal, and the dump is valid JSON with
+// the completed requests in it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestSIGQUITDumpsFlightRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mfserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building mfserved: %v", err)
+	}
+	jpath := filepath.Join(dir, "jobs.journal")
+
+	cmd, base := startServed(t, bin,
+		"-addr", "127.0.0.1:0", "-journal", jpath, "-workers", "1", "-queue", "16")
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+		}
+	}()
+
+	// Two fast jobs complete (they populate the flight ring), then a slow
+	// job is put in flight before the signal lands.
+	for i := 1; i <= 2; i++ {
+		id := submit(t, base, fmt.Sprintf(`{"bench":"PCR","options":{"imax":60,"seed":%d}}`, i))
+		waitJobDone(t, base, id, 60*time.Second)
+	}
+	slowID := submit(t, base, `{"bench":"CPA","options":{"imax":4000,"seed":1}}`)
+
+	if err := cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+
+	dumpPath := filepath.Join(dir, fmt.Sprintf("mfserved-flight-%d.json", cmd.Process.Pid))
+	deadline := time.Now().Add(10 * time.Second)
+	var data []byte
+	for {
+		var err error
+		if data, err = os.ReadFile(dumpPath); err == nil && len(data) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight dump %s never appeared", dumpPath)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var dump struct {
+		Total   int `json:"total"`
+		Records []struct {
+			ID      string  `json:"id"`
+			Outcome string  `json:"outcome"`
+			Route   string  `json:"route"`
+			DurMs   float64 `json:"dur_ms"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v\n%s", err, data)
+	}
+	if dump.Total < 2 || len(dump.Records) < 2 {
+		t.Fatalf("flight dump shows total=%d records=%d, want the 2 completed jobs", dump.Total, len(dump.Records))
+	}
+	for _, r := range dump.Records {
+		if r.Outcome == "" || r.Route == "" {
+			t.Fatalf("dump record lacks outcome/route attribution: %+v", r)
+		}
+	}
+
+	// SIGQUIT is a postmortem, not a shutdown: the server still answers
+	// and the job that was in flight when the signal landed completes.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("server died on SIGQUIT: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after SIGQUIT: %d", resp.StatusCode)
+	}
+	waitJobDone(t, base, slowID, 2*time.Minute)
+}

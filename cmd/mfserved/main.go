@@ -44,6 +44,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -55,6 +56,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -70,6 +72,8 @@ func main() {
 		benchOut  = flag.String("o", "", "selfbench: write the report to this file instead of stdout")
 		chaosSeed = flag.Uint64("chaos", 0, "selfbench: arm the default fault-injection chaos plan with this seed and report degraded vs failed outcomes (0 disables)")
 		jrnlPath  = flag.String("journal", "", "crash-safe job journal path; pending jobs from a previous process are resubmitted on start (empty disables)")
+		sloSpec   = flag.String("slo", "", `latency objectives like "p99=250ms,p95=100ms"; enables the SLO metric families (selfbench default: `+defaultSLOSpec+`)`)
+		flightN   = flag.Int("flight", 256, "flight-recorder ring size: recent completed requests kept for /debug/requests and the SIGQUIT dump")
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate mux; empty disables)")
 		version   = flag.Bool("version", false, "print version and exit")
@@ -83,6 +87,7 @@ func main() {
 
 		clusterBench = flag.Int("cluster-selfbench", 0, "spawn a local N-node cluster ladder (1..N single-worker processes), drive the selfbench workload through the ring, write the scaling report and exit")
 		clusterReqs  = flag.Int("cluster-requests", 12, "cluster-selfbench: concurrent requests per round")
+		clusterTrace = flag.Int("cluster-trace", 0, "spawn a local N-node cluster, drive one forwarded request, fetch and validate its merged trace, write it (-o, default cluster_trace.json) and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -106,6 +111,21 @@ func main() {
 		Logger:      logger,
 		JournalPath: *jrnlPath,
 	}
+	cfg.FlightRecords = *flightN
+	// The benchmarks grade themselves against objectives even when the
+	// operator configured none, so BENCH files always carry attainment.
+	benchSpec := *sloSpec
+	if benchSpec == "" {
+		benchSpec = defaultSLOSpec
+	}
+	if *sloSpec != "" {
+		slo, err := obs.ParseSLO(*sloSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mfserved: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.SLO = slo
+	}
 
 	if *selfbench > 0 {
 		cfg.Logger = nil     // a selfbench run reports JSON, not request logs
@@ -114,7 +134,7 @@ func main() {
 		if *chaosSeed != 0 {
 			err = runChaosBench(cfg, *selfbench, *chaosSeed, *benchOut)
 		} else {
-			err = runSelfbench(cfg, *selfbench, *benchOut)
+			err = runSelfbench(cfg, *selfbench, benchSpec, *benchOut)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mfserved:", err)
@@ -124,7 +144,15 @@ func main() {
 	}
 
 	if *clusterBench > 0 {
-		if err := runClusterBench(*clusterBench, *clusterReqs, *benchOut); err != nil {
+		if err := runClusterBench(*clusterBench, *clusterReqs, benchSpec, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mfserved:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterTrace > 0 {
+		if err := runClusterTraceSmoke(*clusterTrace, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "mfserved:", err)
 			os.Exit(1)
 		}
@@ -182,6 +210,21 @@ func main() {
 		}()
 	}
 
+	// SIGQUIT dumps the flight recorder — the recent-request postmortem —
+	// and keeps serving: in-flight jobs are untouched.
+	go func() {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		for range quit {
+			path := flightDumpPath(*jrnlPath)
+			if err := dumpFlightTo(s, path); err != nil {
+				logger.Error("flight dump failed", "path", path, "err", err)
+				continue
+			}
+			logger.Info("flight recorder dumped", "path", path)
+		}
+	}()
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -234,6 +277,35 @@ func effectiveWorkers(w int) int {
 	return w
 }
 
+// defaultSLOSpec grades the self-benchmarks when the operator sets no
+// -slo: generous targets a loaded loopback service still meets.
+const defaultSLOSpec = "p50=50ms,p95=250ms,p99=500ms"
+
+// flightDumpPath places the SIGQUIT dump next to the journal (the
+// operator's durable directory) or, without one, in the working dir.
+func flightDumpPath(journalPath string) string {
+	dir := "."
+	if journalPath != "" {
+		dir = filepath.Dir(journalPath)
+	}
+	return filepath.Join(dir, fmt.Sprintf("mfserved-flight-%d.json", os.Getpid()))
+}
+
+// dumpFlightTo writes the flight recorder snapshot to path atomically
+// enough for a postmortem: full rewrite, rename-free (the file is keyed
+// by PID, so successive dumps just supersede each other).
+func dumpFlightTo(s *server.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.DumpFlight(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // ---- selfbench ----------------------------------------------------------
 
 // roundReport summarizes one round of concurrent requests.
@@ -241,9 +313,34 @@ type roundReport struct {
 	WallMs        float64 `json:"wall_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 	MaxMs         float64 `json:"max_ms"`
 	CacheHits     int     `json:"cache_hits"`
+	// SLO is the round's attainment per objective, keyed "p99<=500ms".
+	SLO map[string]float64 `json:"slo_attainment,omitempty"`
+}
+
+// sloAttainment grades one round's latencies against the spec's
+// objectives: the fraction of requests within each target, keyed like
+// "p99<=500ms". A request list that met the objective reads >= quantile.
+func sloAttainment(spec string, lats []time.Duration) map[string]float64 {
+	slo, err := obs.ParseSLO(spec)
+	if err != nil || slo == nil || len(lats) == 0 {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, st := range slo.Stats() {
+		target := time.Duration(st.TargetMs * float64(time.Millisecond))
+		good := 0
+		for _, d := range lats {
+			if d <= target {
+				good++
+			}
+		}
+		out[fmt.Sprintf("%s<=%s", st.Name, target)] = float64(good) / float64(len(lats))
+	}
+	return out
 }
 
 // scalingPoint is one GOMAXPROCS rung of the selfbench scaling curve.
@@ -267,8 +364,11 @@ type benchReport struct {
 	// NumCPU (deduplicated): the service's multicore curve. Every cold
 	// round uses fresh seeds so it never touches earlier rounds' cache
 	// entries.
-	Scaling   []scalingPoint `json:"scaling"`
-	GoVersion string         `json:"go_version"`
+	Scaling []scalingPoint `json:"scaling"`
+	// SLOSpec is the objective spec the per-round slo_attainment blocks
+	// were graded against.
+	SLOSpec   string `json:"slo_spec,omitempty"`
+	GoVersion string `json:"go_version"`
 }
 
 // scalingProcs is the deduplicated GOMAXPROCS ladder {1, 2, NumCPU}.
@@ -288,7 +388,7 @@ func scalingProcs() []int {
 // over real HTTP: one cache-cold round of n concurrent Synthetic1
 // requests with distinct seeds, then the identical round again so every
 // request is answered from the content-addressed cache.
-func runSelfbench(cfg server.Config, n int, outPath string) error {
+func runSelfbench(cfg server.Config, n int, sloSpec, outPath string) error {
 	s, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -342,9 +442,11 @@ func runSelfbench(cfg server.Config, n int, outPath string) error {
 			WallMs:        ms(wall),
 			ThroughputRPS: float64(n) / wall.Seconds(),
 			P50Ms:         ms(percentile(lats, 0.50)),
+			P95Ms:         ms(percentile(lats, 0.95)),
 			P99Ms:         ms(percentile(lats, 0.99)),
 			MaxMs:         ms(lats[n-1]),
 			CacheHits:     nhits,
+			SLO:           sloAttainment(sloSpec, lats),
 		}, nil
 	}
 
@@ -401,6 +503,7 @@ func runSelfbench(cfg server.Config, n int, outPath string) error {
 		Warm:      warm,
 		SpeedupX:  cold.WallMs / warm.WallMs,
 		Scaling:   scaling,
+		SLOSpec:   sloSpec,
 		GoVersion: runtime.Version(),
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")

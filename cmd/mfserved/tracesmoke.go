@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runClusterTraceSmoke spins up an n-node cluster, submits Synthetic1
+// requests to node 0 until one is forwarded to its owning peer, then
+// fetches the merged trace from the submission node and verifies it:
+// the Chrome document must be valid JSON, every span must carry the
+// same trace ID, and the spans must attribute work to at least two
+// distinct nodes (proving cross-process merge). The Chrome trace
+// document is written to outPath (default cluster_trace.json) so CI
+// can archive it.
+func runClusterTraceSmoke(n int, outPath string) error {
+	if n < 2 || n > 16 {
+		return fmt.Errorf("-cluster-trace wants 2..16 nodes, got %d", n)
+	}
+	if outPath == "" {
+		outPath = "cluster_trace.json"
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "mfserved-trace-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	nodes, stop, err := spawnClusterNodes(exe, filepath.Join(dir, "nodes"), n, 64)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	// Ownership is consistent-hashed over the cache key, so some seed in
+	// a small range is owned by a node other than nodes[0].
+	for seed := 1; seed <= 32; seed++ {
+		body := fmt.Sprintf(`{"bench":"Synthetic1","options":{"imax":40,"seed":%d}}`, seed)
+		jobID, err := traceSmokeRequest(nodes[0], body)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		raw, err := fetchRawTrace(nodes[0], jobID)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		distinct := distinctNodes(raw.Spans)
+		if raw.Route != "forwarded" || distinct < 2 {
+			continue
+		}
+		if err := validateSpans(raw.TraceID, raw.Spans); err != nil {
+			return fmt.Errorf("seed %d job %s: %w", seed, jobID, err)
+		}
+		doc, err := fetchChromeTrace(nodes[0], jobID)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if err := validateChromeDoc(doc, distinct); err != nil {
+			return fmt.Errorf("seed %d job %s: %w", seed, jobID, err)
+		}
+		if err := os.WriteFile(outPath, doc, 0o644); err != nil {
+			return err
+		}
+		summary, _ := json.Marshal(map[string]any{
+			"nodes":    n,
+			"job_id":   jobID,
+			"trace_id": raw.TraceID,
+			"route":    raw.Route,
+			"spans":    len(raw.Spans),
+			"procs":    distinct,
+			"out":      outPath,
+		})
+		fmt.Printf("%s\n", summary)
+		return nil
+	}
+	return fmt.Errorf("no request out of 32 seeds was forwarded off node 0 — ownership routing looks broken")
+}
+
+type rawTrace struct {
+	TraceID string     `json:"trace_id"`
+	Route   string     `json:"route"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+// traceSmokeRequest submits one synthesis body and polls to a terminal
+// state, returning the job ID.
+func traceSmokeRequest(base, body string) (string, error) {
+	resp, err := http.Post(base+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("POST /v1/synthesize: %d: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		JobID  string `json:"job_id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		return "", err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sub.Status != "done" {
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("job %s did not finish within 30s", sub.JobID)
+		}
+		time.Sleep(5 * time.Millisecond)
+		jr, err := http.Get(base + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			return "", err
+		}
+		jdata, _ := io.ReadAll(jr.Body)
+		jr.Body.Close()
+		var job struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(jdata, &job); err != nil {
+			return "", err
+		}
+		switch job.Status {
+		case "done":
+			sub.Status = "done"
+		case "failed", "canceled":
+			return "", fmt.Errorf("job %s %s: %s", sub.JobID, job.Status, job.Error)
+		}
+	}
+	return sub.JobID, nil
+}
+
+func fetchRawTrace(base, jobID string) (rawTrace, error) {
+	var rt rawTrace
+	resp, err := http.Get(base + "/v1/jobs/" + jobID + "/trace?raw=1")
+	if err != nil {
+		return rt, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rt, fmt.Errorf("GET trace?raw=1: %d: %s", resp.StatusCode, data)
+	}
+	err = json.Unmarshal(data, &rt)
+	return rt, err
+}
+
+func fetchChromeTrace(base, jobID string) ([]byte, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + jobID + "/trace")
+	if err != nil {
+		return nil, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET trace: %d: %s", resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+func distinctNodes(spans []obs.Span) int {
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		seen[sp.Node] = true
+	}
+	return len(seen)
+}
+
+// validateSpans checks the merged span set is one coherent trace: a
+// shared trace ID, exactly one root, and every non-root parent present.
+func validateSpans(traceID string, spans []obs.Span) error {
+	if traceID == "" {
+		return fmt.Errorf("empty trace ID")
+	}
+	ids := map[string]bool{}
+	roots := 0
+	for _, sp := range spans {
+		if sp.TraceID != traceID {
+			return fmt.Errorf("span %s carries trace %q, want %q", sp.ID, sp.TraceID, traceID)
+		}
+		ids[sp.ID] = true
+		if sp.Parent == "" {
+			roots++
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("merged trace has %d roots, want 1", roots)
+	}
+	for _, sp := range spans {
+		if sp.Parent != "" && !ids[sp.Parent] {
+			return fmt.Errorf("span %s references missing parent %s", sp.ID, sp.Parent)
+		}
+	}
+	return nil
+}
+
+// validateChromeDoc parses the Chrome trace-event document and checks
+// it names at least wantProcs process tracks and carries X events.
+func validateChromeDoc(doc []byte, wantProcs int) error {
+	var parsed struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		return fmt.Errorf("chrome trace is not valid JSON: %w", err)
+	}
+	procs, events := 0, 0
+	for _, ev := range parsed.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procs++
+		case ev.Ph == "X":
+			events++
+		}
+	}
+	if procs < wantProcs {
+		return fmt.Errorf("chrome trace names %d process tracks, want >= %d", procs, wantProcs)
+	}
+	if events == 0 {
+		return fmt.Errorf("chrome trace has no span events")
+	}
+	return nil
+}

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // newTestCluster builds a Cluster whose prober runs fast enough for
@@ -212,7 +214,7 @@ func TestSynthesizeRemoteBreaker(t *testing.T) {
 	defer cancel()
 	body := []byte(`{"bench":"Synthetic1"}`)
 	for i := 0; i < 2; i++ {
-		if _, err := c.SynthesizeRemote(ctx, dead, "", "r1", 0, body); err == nil {
+		if _, _, err := c.SynthesizeRemote(ctx, dead, "", "r1", obs.TraceContext{}, 0, body); err == nil {
 			t.Fatal("forward to a dead peer succeeded")
 		}
 	}
@@ -220,7 +222,7 @@ func TestSynthesizeRemoteBreaker(t *testing.T) {
 		t.Fatal("breaker still closed after threshold failures")
 	}
 	start := time.Now()
-	if _, err := c.SynthesizeRemote(ctx, dead, "", "r1", 0, body); err == nil {
+	if _, _, err := c.SynthesizeRemote(ctx, dead, "", "r1", obs.TraceContext{}, 0, body); err == nil {
 		t.Fatal("open breaker admitted a forward")
 	}
 	if d := time.Since(start); d > 100*time.Millisecond {

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Forwarding headers. HeaderHops counts how many nodes have already
@@ -16,10 +18,15 @@ import (
 // (the key is derived from the request body alone, so two nodes
 // forwarding the same assay agree on ownership). HeaderRequestID carries
 // the originating node's request ID across hops, so one client request
-// produces one correlated slog line per node it touches.
+// produces one correlated slog line per node it touches. HeaderTraceID
+// and HeaderParentSpan carry the trace context the same way, so the
+// receiving node's spans land in the caller's trace under the caller's
+// forward span. None of these headers ever reach the cache key.
 const (
-	HeaderHops      = "X-Forwarded-Hops"
-	HeaderRequestID = "X-Request-ID"
+	HeaderHops       = "X-Forwarded-Hops"
+	HeaderRequestID  = "X-Request-ID"
+	HeaderTraceID    = "X-Trace-ID"
+	HeaderParentSpan = "X-Parent-Span"
 )
 
 // Hops parses the forwarded-hop count from a request header (0 when
@@ -42,10 +49,13 @@ type submitReply struct {
 }
 
 // jobReply mirrors the owner's GET /v1/jobs/{id} body (the subset
-// forwarding needs).
+// forwarding needs). Spans is the owner's node-attributed trace spans
+// for the job, riding back so the forwarding node can merge them into
+// the client-facing timeline.
 type jobReply struct {
-	Status string `json:"status"`
-	Error  string `json:"error"`
+	Status string     `json:"status"`
+	Error  string     `json:"error"`
+	Spans  []obs.Span `json:"trace_spans"`
 }
 
 // FetchSolution is the read-through cache-peering path: after a local
@@ -54,19 +64,24 @@ type jobReply struct {
 // served it. A miss or any error returns ok=false — peering is an
 // optimization, never a dependency, so the caller just synthesizes.
 func (c *Cluster) FetchSolution(ctx context.Context, key, requestID string) ([]byte, string, bool) {
+	rec := obs.SpansFrom(ctx)
 	for _, peer := range c.lookupOrder(key) {
 		if !c.Healthy(peer) {
 			continue
 		}
+		probeStart := time.Now()
 		doc, status, err := c.fetchFrom(ctx, peer, key, requestID)
 		switch {
 		case err != nil:
 			c.peerErrors.Add(peer, 1)
+			rec.Add("peer.fetch", "", probeStart, time.Since(probeStart), peer+" error")
 		case status == http.StatusOK:
 			c.peerHits.Add(peer, 1)
+			rec.Add("peer.fetch", "", probeStart, time.Since(probeStart), peer+" hit")
 			return doc, peer, true
 		default: // 404: the peer simply doesn't have it
 			c.peerMisses.Add(peer, 1)
+			rec.Add("peer.fetch", "", probeStart, time.Since(probeStart), peer+" miss")
 		}
 		if ctx.Err() != nil {
 			return nil, "", false
@@ -107,20 +122,22 @@ func (c *Cluster) fetchFrom(ctx context.Context, peer, key, requestID string) ([
 
 // SynthesizeRemote forwards a synthesis request to its ring owner and
 // blocks until the owner's job reaches a terminal state, returning the
-// solution document. body is the client's request verbatim — the owner
-// derives the same cache key from the same bytes. hops is the count
-// already accumulated; the forwarded request carries hops+1.
+// solution document and the owner's trace spans for it. body is the
+// client's request verbatim — the owner derives the same cache key from
+// the same bytes. hops is the count already accumulated; the forwarded
+// request carries hops+1. tc is the trace context the forwarded request
+// carries (zero value: no trace headers, no spans back).
 //
 // Transient failures (transport errors, 429 queue-full, 503 shedding,
 // 5xx) retry with doubling backoff; each exhausted forward feeds the
 // peer's circuit breaker so a struggling owner stops receiving forwards
 // entirely until its cooldown. The caller treats any error as "degrade
 // to local synthesis".
-func (c *Cluster) SynthesizeRemote(ctx context.Context, owner, key, requestID string, hops int, body []byte) ([]byte, error) {
+func (c *Cluster) SynthesizeRemote(ctx context.Context, owner, key, requestID string, tc obs.TraceContext, hops int, body []byte) ([]byte, []obs.Span, error) {
 	brk := c.breakerFor(owner)
 	if !brk.Allow() {
 		c.forwardFail.Add(owner, 1)
-		return nil, fmt.Errorf("cluster: breaker open for %s", owner)
+		return nil, nil, fmt.Errorf("cluster: breaker open for %s", owner)
 	}
 	var lastErr error
 	backoff := c.cfg.ForwardBackoff
@@ -137,11 +154,11 @@ func (c *Cluster) SynthesizeRemote(ctx context.Context, owner, key, requestID st
 				break
 			}
 		}
-		doc, retryable, err := c.forwardOnce(ctx, owner, key, requestID, hops, body)
+		doc, spans, retryable, err := c.forwardOnce(ctx, owner, key, requestID, tc, hops, body)
 		if err == nil {
 			brk.Success()
 			c.forwardOK.Add(owner, 1)
-			return doc, nil
+			return doc, spans, nil
 		}
 		lastErr = err
 		if !retryable {
@@ -152,83 +169,97 @@ func (c *Cluster) SynthesizeRemote(ctx context.Context, owner, key, requestID st
 		c.log.Warn("cluster: peer breaker opened", "peer", owner)
 	}
 	c.forwardFail.Add(owner, 1)
-	return nil, fmt.Errorf("cluster: forward to %s: %w", owner, lastErr)
+	return nil, nil, fmt.Errorf("cluster: forward to %s: %w", owner, lastErr)
 }
 
 // forwardOnce performs one complete forward exchange: submit, poll to
 // terminal, fetch solution. retryable reports whether the failure is
-// worth another attempt.
-func (c *Cluster) forwardOnce(ctx context.Context, owner, key, requestID string, hops int, body []byte) (doc []byte, retryable bool, err error) {
+// worth another attempt. The owner's spans for the job come back from
+// the poll; a 200 cache-hit submit still polls once (the job is already
+// terminal) so the hit's spans ride back too, best-effort.
+func (c *Cluster) forwardOnce(ctx context.Context, owner, key, requestID string, tc obs.TraceContext, hops int, body []byte) (doc []byte, spans []obs.Span, retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/synthesize", bytes.NewReader(body))
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HeaderRequestID, requestID)
 	req.Header.Set(HeaderHops, strconv.Itoa(hops+1))
+	if tc.TraceID != "" {
+		req.Header.Set(HeaderTraceID, tc.TraceID)
+		req.Header.Set(HeaderParentSpan, tc.Parent)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, true, err
+		return nil, nil, true, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusAccepted:
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return nil, true, fmt.Errorf("owner busy: %s", resp.Status)
+		return nil, nil, true, fmt.Errorf("owner busy: %s", resp.Status)
 	default:
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		// A 4xx won't improve on retry; a 5xx might.
-		return nil, resp.StatusCode >= 500, fmt.Errorf("owner rejected forward: %s", resp.Status)
+		return nil, nil, resp.StatusCode >= 500, fmt.Errorf("owner rejected forward: %s", resp.Status)
 	}
 	var sub submitReply
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sub); err != nil {
-		return nil, true, fmt.Errorf("decoding submit reply: %w", err)
+		return nil, nil, true, fmt.Errorf("decoding submit reply: %w", err)
 	}
 	if resp.StatusCode == http.StatusAccepted {
-		if err := c.pollJob(ctx, owner, sub.JobID, requestID); err != nil {
+		spans, err = c.pollJob(ctx, owner, sub.JobID, requestID)
+		if err != nil {
 			// A failed remote job would fail identically here (same request,
 			// same deterministic pipeline) — except when the failure is the
 			// owner's own timeout or cancellation, which local capacity may
 			// not share. Retrying the forward won't help either way.
-			return nil, false, err
+			return nil, nil, false, err
+		}
+	} else if tc.TraceID != "" {
+		// Cache hit on the owner: the job is already terminal, so one poll
+		// collects its spans. Purely additive — a poll error never fails a
+		// forward that already has its answer.
+		if s, perr := c.pollJob(ctx, owner, sub.JobID, requestID); perr == nil {
+			spans = s
 		}
 	}
 	doc, err = c.fetchJobSolution(ctx, owner, sub.JobID, key, requestID)
 	if err != nil {
-		return nil, true, err
+		return nil, nil, true, err
 	}
-	return doc, false, nil
+	return doc, spans, false, nil
 }
 
-// pollJob polls the owner's job until it is done, or fails with the
-// job's (or transport's) error.
-func (c *Cluster) pollJob(ctx context.Context, owner, jobID, requestID string) error {
+// pollJob polls the owner's job until it is done, returning the owner's
+// trace spans for it, or fails with the job's (or transport's) error.
+func (c *Cluster) pollJob(ctx context.Context, owner, jobID, requestID string) ([]obs.Span, error) {
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/jobs/"+jobID, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		req.Header.Set(HeaderRequestID, requestID)
 		resp, err := c.client.Do(req)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var jr jobReply
 		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr)
 		resp.Body.Close()
 		if decErr != nil {
-			return fmt.Errorf("decoding job status: %w", decErr)
+			return nil, fmt.Errorf("decoding job status: %w", decErr)
 		}
 		switch jr.Status {
 		case "done":
-			return nil
+			return jr.Spans, nil
 		case "failed", "canceled":
-			return fmt.Errorf("remote job %s %s: %s", jobID, jr.Status, jr.Error)
+			return nil, fmt.Errorf("remote job %s %s: %s", jobID, jr.Status, jr.Error)
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return nil, ctx.Err()
 		case <-time.After(c.cfg.PollInterval):
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/assay"
@@ -264,6 +265,15 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 	tr.Begin(obs.CatPipeline, "synthesize")
 	defer tr.End(obs.CatPipeline, "synthesize")
 
+	// Stage labels for CPU profiles: a profile taken under load
+	// attributes samples to schedule/place/route directly. Labels ride
+	// the goroutine, not the Solution, so determinism is untouched.
+	setStage := func(stage string) {
+		pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("stage", stage)))
+	}
+	defer pprof.SetGoroutineLabels(ctx)
+
+	setStage("schedule")
 	tr.Begin(obs.CatSchedule, "schedule")
 	var sched *schedule.Result
 	var err error
@@ -319,6 +329,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 	var attempt int
 	for ; ; attempt++ {
 		placeStart := time.Now()
+		setStage("place")
 		tr.Begin(obs.CatPlace, "place")
 		var pl *place.Placement
 		if baseline {
@@ -346,6 +357,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 			return nil, fmt.Errorf("core: placing %q: %w", g.Name(), err)
 		}
 		routeStart := time.Now()
+		setStage("route")
 		tr.Begin(obs.CatRoute, "route")
 		rctx, rcancel := stageCtx(ctx, opts.Degrade.RouteDeadline)
 		routing, used, err = route.SolveContext(rctx, sched, comps, pl, ropts, baseline)
@@ -430,6 +442,7 @@ func synthesize(ctx context.Context, g *assay.Graph, alloc chip.Allocation, opts
 	// runs audit too, even when no degradation fired, so an injected
 	// defect can never leak a silently-invalid solution.
 	if opts.Verify || len(degr) > 0 || fault.From(ctx).Enabled() {
+		setStage("verify")
 		if err := Audit(sol).Err(); err != nil {
 			return nil, fmt.Errorf("core: synthesized %q: %w", g.Name(), err)
 		}

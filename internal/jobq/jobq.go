@@ -60,6 +60,16 @@ type Job struct {
 	Stack string
 }
 
+// Wait is how long the job sat queued before a worker picked it up
+// (zero while still queued, or for jobs that never ran: completed-
+// in-place cache hits, rejected submissions).
+func (j Job) Wait() time.Duration {
+	if j.Started.IsZero() {
+		return 0
+	}
+	return j.Started.Sub(j.Created)
+}
+
 // Errors returned by Submit.
 var (
 	// ErrQueueFull signals backpressure: capacity jobs are already

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 )
@@ -12,23 +13,49 @@ import (
 // object format": {"traceEvents":[...]}), loadable in ui.perfetto.dev
 // or chrome://tracing. Events are written as they arrive; Close
 // finishes the JSON document. Safe for concurrent use.
+//
+// The sink supports multiple process tracks (pid lanes): single-process
+// synthesis traces render everything as pid 1, while the merged
+// cross-node request traces of ChromeTrace give each cluster node its
+// own pid so a 3-node request reads as three labeled processes on one
+// time axis.
 type ChromeSink struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
 	n      int
-	named  map[int64]bool
+	named  map[[2]int64]bool // {pid, tid} tracks already labeled
 	closed bool
 	err    error
 }
 
-// NewChromeSink starts a trace document on w. The caller must Close the
-// sink (before closing any underlying file) to produce valid JSON.
+// NewChromeSink starts a trace document on w with the default
+// single-process track metadata. The caller must Close the sink (before
+// closing any underlying file) to produce valid JSON.
 func NewChromeSink(w io.Writer) *ChromeSink {
-	s := &ChromeSink{w: bufio.NewWriter(w), named: map[int64]bool{}}
-	_, s.err = s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	s := newChromeSink(w)
 	s.writeRaw(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"mfsyn synthesis"}}`)
 	s.writeRaw(`{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"pipeline"}}`)
 	return s
+}
+
+// newChromeSink starts a bare trace document: no default track names,
+// for exporters (ChromeTrace) that label their own process lanes.
+func newChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriter(w), named: map[[2]int64]bool{}}
+	_, s.err = s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return s
+}
+
+// ProcessName labels a process track — one per cluster node in merged
+// request traces.
+func (s *ChromeSink) ProcessName(pid int, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return
+	}
+	s.writeRaw(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+		pid, strconv.Quote(name)))
 }
 
 // writeRaw appends one pre-rendered JSON event object. Caller holds no
@@ -45,30 +72,35 @@ func (s *ChromeSink) writeRaw(obj string) {
 	s.n++
 }
 
-// Event renders and appends one event.
+// Event renders and appends one event. An Event with PID 0 renders on
+// pid 1, the historical single-process lane.
 func (s *ChromeSink) Event(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.err != nil {
 		return
 	}
+	pid := e.PID
+	if pid == 0 {
+		pid = 1
+	}
 	us := float64(e.TS.Nanoseconds()) / 1e3
 	if e.Phase == PhaseMeta {
-		s.named[e.TID] = true
-		s.writeRaw(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":%s,"args":{"name":%s}}`,
-			e.TID, strconv.Quote(e.Name), strconv.Quote(e.Str)))
+		s.named[[2]int64{int64(pid), e.TID}] = true
+		s.writeRaw(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":%s,"args":{"name":%s}}`,
+			pid, e.TID, strconv.Quote(e.Name), strconv.Quote(e.Str)))
 		return
 	}
-	if e.TID != 0 && !s.named[e.TID] {
+	if e.TID != 0 && !s.named[[2]int64{int64(pid), e.TID}] {
 		// Unnamed non-zero track: give it a stable default so the viewer
 		// never shows a bare numeric lane.
-		s.named[e.TID] = true
-		s.writeRaw(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"track %d"}}`,
-			e.TID, e.TID))
+		s.named[[2]int64{int64(pid), e.TID}] = true
+		s.writeRaw(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"track %d"}}`,
+			pid, e.TID, e.TID))
 	}
 	var b []byte
-	b = append(b, fmt.Sprintf(`{"ph":"%c","pid":1,"tid":%d,"ts":%.3f,"cat":%s,"name":%s`,
-		e.Phase, e.TID, us, strconv.Quote(e.Cat), strconv.Quote(e.Name))...)
+	b = append(b, fmt.Sprintf(`{"ph":"%c","pid":%d,"tid":%d,"ts":%.3f,"cat":%s,"name":%s`,
+		e.Phase, pid, e.TID, us, strconv.Quote(e.Cat), strconv.Quote(e.Name))...)
 	if e.Phase == PhaseComplete {
 		b = append(b, fmt.Sprintf(`,"dur":%.3f`, float64(e.Dur.Nanoseconds())/1e3)...)
 	}
@@ -107,6 +139,57 @@ func (s *ChromeSink) Close() error {
 		s.err = err
 	}
 	return s.err
+}
+
+// ChromeTrace renders a merged cross-node span set as one Chrome
+// trace-event document: one process (pid) lane per node, named after
+// the node, with every span as a complete ("X") event carrying its
+// trace ID, span ID, parent and annotation as args. Span timestamps are
+// epoch microseconds; the document rebases them on the earliest span so
+// viewers open at t=0.
+func ChromeTrace(w io.Writer, spans []Span) error {
+	s := newChromeSink(w)
+	var nodes []string
+	seen := map[string]int{}
+	for _, sp := range spans {
+		if _, ok := seen[sp.Node]; !ok {
+			seen[sp.Node] = 0
+			nodes = append(nodes, sp.Node)
+		}
+	}
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		seen[n] = i + 1
+		s.ProcessName(i+1, n)
+	}
+	ordered := append([]Span(nil), spans...)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].StartUS < ordered[b].StartUS })
+	var base int64
+	if len(ordered) > 0 {
+		base = ordered[0].StartUS
+	}
+	s.mu.Lock()
+	for _, sp := range ordered {
+		var b []byte
+		b = append(b, fmt.Sprintf(`{"ph":"X","pid":%d,"tid":0,"ts":%d,"dur":%d,"cat":"request","name":%s`,
+			seen[sp.Node], sp.StartUS-base, sp.DurUS, strconv.Quote(sp.Name))...)
+		b = append(b, `,"args":{"trace_id":`...)
+		b = append(b, strconv.Quote(sp.TraceID)...)
+		b = append(b, `,"id":`...)
+		b = append(b, strconv.Quote(sp.ID)...)
+		if sp.Parent != "" {
+			b = append(b, `,"parent":`...)
+			b = append(b, strconv.Quote(sp.Parent)...)
+		}
+		if sp.Attr != "" {
+			b = append(b, `,"attr":`...)
+			b = append(b, strconv.Quote(sp.Attr)...)
+		}
+		b = append(b, `}}`...)
+		s.writeRaw(string(b))
+	}
+	s.mu.Unlock()
+	return s.Close()
 }
 
 // Collect is an in-memory sink for tests. Safe for concurrent use.

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// flight.go: the request flight recorder — a fixed-size ring of the
+// most recent completed request records, cheap enough to feed from
+// every terminal transition (one mutex-guarded value copy, no
+// allocation beyond what the record itself carries). The server exposes
+// it at /debug/requests and dumps it to the journal directory on
+// SIGQUIT, so a misbehaving deployment carries its own recent history
+// to the postmortem.
+
+// RequestRecord is one completed request as the flight recorder keeps
+// it: identity, outcome, the route the cluster took to answer it, and
+// the latency breakdown.
+type RequestRecord struct {
+	ID      string    `json:"request_id"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Time    time.Time `json:"finished"`
+	DurMs   float64   `json:"dur_ms"`
+	// Outcome is the terminal state: done, failed, canceled, rejected
+	// (429 backpressure) or shed (503 breaker).
+	Outcome string `json:"outcome"`
+	// Route is how the request was answered: cache-hit, peer-hit,
+	// local, forwarded or fallback ("" when it never got that far).
+	Route  string `json:"route,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	// Latency breakdown (zero where a stage didn't run).
+	QueueMs    float64 `json:"queue_ms,omitempty"`
+	ScheduleMs float64 `json:"schedule_ms,omitempty"`
+	PlaceMs    float64 `json:"place_ms,omitempty"`
+	RouteMs    float64 `json:"route_ms,omitempty"`
+	// Degradations lists the ladder rungs the synthesis took, as
+	// "stage/event" labels. Injected faults that degraded or failed the
+	// request surface here and in Error.
+	Degradations []string `json:"degradations,omitempty"`
+	Error        string   `json:"error,omitempty"`
+}
+
+// FlightRecorder is the fixed-size ring. The nil recorder drops
+// everything, so a server with the recorder disabled pays nothing.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []RequestRecord
+	next  int
+	n     int   // live records (== len(ring) once wrapped)
+	total int64 // monotonic records-ever count
+}
+
+// NewFlightRecorder sizes the ring (size <= 0 selects 256).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = 256
+	}
+	return &FlightRecorder{ring: make([]RequestRecord, size)}
+}
+
+// Record stores one completed request, evicting the oldest once the
+// ring is full.
+func (f *FlightRecorder) Record(r RequestRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = r
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Snapshot returns up to n records, newest first (n <= 0: everything
+// retained).
+func (f *FlightRecorder) Snapshot(n int) []RequestRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 || n > f.n {
+		n = f.n
+	}
+	out := make([]RequestRecord, n)
+	for i := 0; i < n; i++ {
+		out[i] = f.ring[((f.next-1-i)%len(f.ring)+len(f.ring))%len(f.ring)]
+	}
+	return out
+}
+
+// Slowest returns the n retained records with the largest durations,
+// slowest first.
+func (f *FlightRecorder) Slowest(n int) []RequestRecord {
+	all := f.Snapshot(0)
+	sort.SliceStable(all, func(a, b int) bool { return all[a].DurMs > all[b].DurMs })
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// Total returns how many records were ever recorded (monotonic; ring
+// eviction never lowers it).
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}

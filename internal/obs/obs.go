@@ -77,6 +77,9 @@ type Event struct {
 	// TID is the logical track: 0 for the pipeline driver, the anneal
 	// seed for SA tracks (so portfolio restarts get separate lanes).
 	TID int64
+	// PID is the process track for cross-node merged traces; 0 (the
+	// default, and every Tracer-emitted event) renders as process 1.
+	PID int
 	// Str carries the one string payload (track names for PhaseMeta).
 	Str  string
 	Args [MaxArgs]Arg

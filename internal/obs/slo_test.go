@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	s, err := ParseSLO("p99=250ms, p50=25ms,p99.9=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("got %d objectives, want 3", len(stats))
+	}
+	// Sorted by quantile.
+	if stats[0].Name != "p50" || stats[1].Name != "p99" || stats[2].Name != "p99.9" {
+		t.Fatalf("order wrong: %+v", stats)
+	}
+	if q := stats[2].Quantile; q < 0.999-1e-9 || q > 0.999+1e-9 || stats[2].TargetMs != 1000 {
+		t.Fatalf("p99.9 parsed wrong: %+v", stats[2])
+	}
+	if s, err := ParseSLO(""); s != nil || err != nil {
+		t.Fatalf("empty spec: %v %v", s, err)
+	}
+	for _, bad := range []string{"p99", "99=1s", "p0=1s", "p100=1s", "px=1s", "p99=-1s", "p99=zzz", "p99=1s,p99=2s"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSLOCounting(t *testing.T) {
+	s, err := ParseSLO("p90=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		s.Observe(10 * time.Millisecond)
+	}
+	s.Observe(500 * time.Millisecond) // over target
+	s.Fail()                          // shed request: bad everywhere
+	st := s.Stats()[0]
+	if st.Good != 9 || st.Bad != 2 {
+		t.Fatalf("good/bad = %d/%d, want 9/2", st.Good, st.Bad)
+	}
+	wantAtt := 9.0 / 11.0
+	if diff := st.Attainment - wantAtt; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("attainment = %v, want %v", st.Attainment, wantAtt)
+	}
+	// burn = (2/11) / 0.1
+	wantBurn := (2.0 / 11.0) / 0.1
+	if diff := st.BurnRate - wantBurn; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("burn rate = %v, want %v", st.BurnRate, wantBurn)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLOSet
+	s.Observe(time.Second)
+	s.Fail()
+	if s.Stats() != nil {
+		t.Fatal("nil set reported stats")
+	}
+}
+
+func TestSLONoTraffic(t *testing.T) {
+	s, err := ParseSLO("p99=250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()[0]
+	if st.Attainment != 1 || st.BurnRate != 0 {
+		t.Fatalf("idle objective should report attainment 1, burn 0: %+v", st)
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// trace.go: cross-process request tracing for the clustered service.
+//
+// The Tracer/Sink machinery above observes one synthesis inside one
+// process. A served request is bigger than that: it may wait in a
+// queue, probe the local cache, read through peer caches, be forwarded
+// to its ring owner and synthesized there, then ride back. SpanRecorder
+// captures that request-level timeline as node-attributed spans that
+// serialize over the forwarding protocol, so the node that accepted the
+// request can merge every participant's spans into one timeline.
+//
+// Spans use epoch-microsecond timestamps rather than a process-local
+// t0: two nodes' spans must land on one time axis. The merge therefore
+// inherits the cluster's wall-clock skew — fine for the millisecond
+// spans of a synthesis service, see DESIGN.md §14.
+//
+// Span recording sits strictly at the serving layer (handlers, queue,
+// forwarding); it never reaches into the synthesis pipeline, so the
+// determinism contract at the top of this package is untouched: a
+// recorded synthesis is byte-identical to an unrecorded one.
+
+// Span is one node-attributed interval of a request's life. The ID
+// scheme is hierarchical strings ("<node-entropy>-<req>.<n>"); IDs are
+// unique within a trace because every node derives its prefix from
+// process-local entropy.
+type Span struct {
+	TraceID string `json:"trace_id"`
+	ID      string `json:"id"`
+	Parent  string `json:"parent,omitempty"`
+	Node    string `json:"node"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"` // epoch microseconds
+	DurUS   int64  `json:"dur_us"`
+	// Attr is one optional free-form annotation (peer URL, hit/miss,
+	// route taken, degradation rung).
+	Attr string `json:"attr,omitempty"`
+}
+
+// TraceContext is the trace identity a request carries across nodes:
+// which trace it belongs to and which remote span is the parent of
+// whatever the receiving node records.
+type TraceContext struct {
+	TraceID string
+	Parent  string
+}
+
+// SpanRecorder accumulates one request's spans on one node. The zero ID
+// (prefix + ".0") is reserved for the request's root span, so children
+// can parent onto the root before it is closed. Safe for concurrent
+// use; the nil recorder drops everything, so call sites never branch.
+type SpanRecorder struct {
+	mu     sync.Mutex
+	trace  string
+	parent string // inbound parent span ID (the root span's parent)
+	node   string
+	prefix string
+	t0     time.Time
+	seq    int
+	closed bool
+	spans  []Span
+}
+
+// NewSpanRecorder starts a recorder for one request. traceID and
+// parentSpan come from the inbound trace headers (parentSpan empty for
+// a client-originated request); node names this node in every span;
+// prefix must be unique per request across the cluster (node entropy +
+// request sequence).
+func NewSpanRecorder(traceID, parentSpan, node, prefix string) *SpanRecorder {
+	return &SpanRecorder{
+		trace: traceID, parent: parentSpan, node: node, prefix: prefix,
+		t0: time.Now(),
+	}
+}
+
+// TraceID returns the trace this recorder belongs to ("" on nil).
+func (r *SpanRecorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.trace
+}
+
+// Root returns the pre-assigned ID of the request's root span, valid
+// before CloseRoot records it ("" on nil).
+func (r *SpanRecorder) Root() string {
+	if r == nil {
+		return ""
+	}
+	return r.prefix + ".0"
+}
+
+// NewID reserves a span ID without recording anything, for spans whose
+// ID must be known (and sent to a peer as a parent) before they end.
+func (r *SpanRecorder) NewID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	r.seq++
+	id := r.prefix + "." + itoa(r.seq)
+	r.mu.Unlock()
+	return id
+}
+
+// Add records one finished span and returns its ID. An empty parent
+// parents the span onto the request's root span.
+func (r *SpanRecorder) Add(name, parent string, start time.Time, d time.Duration, attr string) string {
+	if r == nil {
+		return ""
+	}
+	id := r.NewID()
+	r.AddID(id, name, parent, start, d, attr)
+	return id
+}
+
+// AddID records one finished span under a previously reserved ID.
+func (r *SpanRecorder) AddID(id, name, parent string, start time.Time, d time.Duration, attr string) {
+	if r == nil {
+		return
+	}
+	if parent == "" {
+		parent = r.Root()
+	}
+	r.mu.Lock()
+	if !r.closed {
+		r.spans = append(r.spans, Span{
+			TraceID: r.trace, ID: id, Parent: parent, Node: r.node, Name: name,
+			StartUS: start.UnixMicro(), DurUS: d.Microseconds(), Attr: attr,
+		})
+	}
+	r.mu.Unlock()
+}
+
+// CloseRoot records the request's root span — from the recorder's
+// creation to now, parented on the inbound remote span if any — and
+// seals the recorder: later Add/Import calls are dropped, so a snapshot
+// taken after CloseRoot is final.
+func (r *SpanRecorder) CloseRoot(attr string) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if !r.closed {
+		r.spans = append(r.spans, Span{
+			TraceID: r.trace, ID: r.Root(), Parent: r.parent, Node: r.node,
+			Name: "request", StartUS: r.t0.UnixMicro(),
+			DurUS: now.Sub(r.t0).Microseconds(), Attr: attr,
+		})
+		r.closed = true
+	}
+	r.mu.Unlock()
+}
+
+// Import merges spans recorded by another node (returned over the
+// forwarding protocol) into this request's timeline, verbatim.
+func (r *SpanRecorder) Import(spans []Span) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if !r.closed {
+		r.spans = append(r.spans, spans...)
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded so far.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Len returns how many spans are recorded.
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// itoa is a garbage-light strconv.Itoa for the small non-negative span
+// sequence numbers.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+type spanCtxKey struct{}
+
+// WithSpans returns a context carrying the recorder. A nil recorder
+// returns ctx unchanged.
+func WithSpans(ctx context.Context, r *SpanRecorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, r)
+}
+
+// SpansFrom extracts the recorder from ctx, or nil (the recorder that
+// drops everything) when absent.
+func SpansFrom(ctx context.Context) *SpanRecorder {
+	r, _ := ctx.Value(spanCtxKey{}).(*SpanRecorder)
+	return r
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanRecorderBasics(t *testing.T) {
+	r := NewSpanRecorder("t-1", "remote.7", "http://a", "aa-1")
+	if r.TraceID() != "t-1" {
+		t.Fatalf("TraceID = %q", r.TraceID())
+	}
+	if r.Root() != "aa-1.0" {
+		t.Fatalf("Root = %q", r.Root())
+	}
+	start := time.Now()
+	id1 := r.Add("cache.probe", "", start, time.Millisecond, "miss")
+	id2 := r.Add("synthesize", id1, start, 2*time.Millisecond, "")
+	if id1 == id2 || id1 == "" {
+		t.Fatalf("span IDs not unique: %q %q", id1, id2)
+	}
+	reserved := r.NewID()
+	r.AddID(reserved, "forward", "", start, time.Millisecond, "http://b")
+	r.Import([]Span{{TraceID: "t-1", ID: "bb-1.0", Parent: reserved, Node: "http://b", Name: "request"}})
+	r.CloseRoot("local")
+
+	spans := r.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	byID := map[string]Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	if got := byID[id1].Parent; got != r.Root() {
+		t.Fatalf("empty parent should bind to root, got %q", got)
+	}
+	if got := byID[id2].Parent; got != id1 {
+		t.Fatalf("explicit parent lost: %q", got)
+	}
+	root := byID[r.Root()]
+	if root.Name != "request" || root.Parent != "remote.7" || root.Attr != "local" {
+		t.Fatalf("root span wrong: %+v", root)
+	}
+	if byID["bb-1.0"].Parent != reserved {
+		t.Fatalf("imported span mangled: %+v", byID["bb-1.0"])
+	}
+
+	// Sealed: nothing lands after CloseRoot.
+	r.Add("late", "", start, time.Millisecond, "")
+	r.Import([]Span{{ID: "x"}})
+	r.CloseRoot("again")
+	if got := r.Len(); got != 5 {
+		t.Fatalf("sealed recorder grew to %d spans", got)
+	}
+}
+
+func TestSpanRecorderNilSafe(t *testing.T) {
+	var r *SpanRecorder
+	if r.Add("x", "", time.Now(), 0, "") != "" || r.NewID() != "" {
+		t.Fatal("nil recorder returned a span ID")
+	}
+	r.AddID("id", "x", "", time.Now(), 0, "")
+	r.Import([]Span{{ID: "x"}})
+	r.CloseRoot("")
+	if r.Spans() != nil || r.Len() != 0 || r.TraceID() != "" || r.Root() != "" {
+		t.Fatal("nil recorder retained state")
+	}
+	ctx := WithSpans(context.Background(), nil)
+	if SpansFrom(ctx) != nil {
+		t.Fatal("nil recorder attached to context")
+	}
+	r2 := NewSpanRecorder("t", "", "n", "p")
+	if SpansFrom(WithSpans(context.Background(), r2)) != r2 {
+		t.Fatal("recorder lost through context")
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	r := NewSpanRecorder("t-1", "", "node", "p-1")
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				r.Add("s", "", time.Now(), time.Microsecond, "")
+				_ = r.Spans()
+				_ = r.Len()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	ids := map[string]bool{}
+	for _, sp := range r.Spans() {
+		if ids[sp.ID] {
+			t.Fatalf("duplicate span ID %q", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+}
+
+func TestChromeTraceMergedDocument(t *testing.T) {
+	base := time.Now().UnixMicro()
+	spans := []Span{
+		{TraceID: "t", ID: "a.0", Node: "http://a", Name: "request", StartUS: base, DurUS: 5000, Attr: "forwarded"},
+		{TraceID: "t", ID: "a.1", Parent: "a.0", Node: "http://a", Name: "forward", StartUS: base + 100, DurUS: 4000},
+		{TraceID: "t", ID: "b.0", Parent: "a.1", Node: "http://b", Name: "request", StartUS: base + 500, DurUS: 3000},
+	}
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			Name string         `json:"name"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	procs := map[int]string{}
+	var xEvents int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				procs[e.PID] = e.Args["name"].(string)
+			}
+		case "X":
+			xEvents++
+			if e.Ts < 0 {
+				t.Fatalf("negative rebased timestamp: %+v", e)
+			}
+			if e.Args["trace_id"] != "t" {
+				t.Fatalf("span lost trace id: %+v", e)
+			}
+		}
+	}
+	if len(procs) != 2 {
+		t.Fatalf("want 2 process tracks, got %v", procs)
+	}
+	if xEvents != 3 {
+		t.Fatalf("want 3 complete events, got %d", xEvents)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+}

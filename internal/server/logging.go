@@ -41,11 +41,39 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// sanitizeID bounds and cleans a client-supplied correlation ID
+// (X-Request-ID, X-Trace-ID, X-Parent-Span) before it is echoed into
+// response headers, logs and traces: at most 128 bytes, control and
+// non-ASCII bytes stripped. The fast path (already clean) allocates
+// nothing.
+func sanitizeID(id string) string {
+	if len(id) > 128 {
+		id = id[:128]
+	}
+	clean := true
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= 0x20 || c >= 0x7f {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return id
+	}
+	b := make([]byte, 0, len(id))
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c > 0x20 && c < 0x7f {
+			b = append(b, c)
+		}
+	}
+	return string(b)
+}
+
 // withRequestLog wraps the API mux with ID assignment and one structured
 // access-log line per request.
 func (s *Server) withRequestLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get("X-Request-ID")
+		id := sanitizeID(r.Header.Get("X-Request-ID"))
 		if id == "" {
 			id = fmt.Sprintf("r%08d", s.reqSeq.Add(1))
 		}

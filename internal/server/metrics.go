@@ -102,6 +102,7 @@ type metrics struct {
 	jobsShed     *expvar.Int // 503s from the open circuit breaker
 	peerServed   *expvar.Int // peer-cache GETs served with a solution
 	peerStored   *expvar.Int // write-back PUTs accepted into the cache
+	routeCounts  *expvar.Map // answered requests by route (route* consts)
 
 	histSchedule *histogram
 	histPlace    *histogram
@@ -121,6 +122,7 @@ func newMetrics(s *Server) *metrics {
 		jobsShed:     new(expvar.Int),
 		peerServed:   new(expvar.Int),
 		peerStored:   new(expvar.Int),
+		routeCounts:  new(expvar.Map).Init(),
 		histSchedule: newHistogram(),
 		histPlace:    newHistogram(),
 		histRoute:    newHistogram(),
@@ -153,6 +155,12 @@ func newMetrics(s *Server) *metrics {
 		m.vars.Set("cluster_peer_served", m.peerServed)
 		m.vars.Set("cluster_peer_stored", m.peerStored)
 		m.vars.Set("cluster_peers", expvar.Func(func() any { return s.cl.PeerStats() }))
+		m.vars.Set("trace_spans_total", expvar.Func(func() any { return s.spansTotal.Load() }))
+		m.vars.Set("flight_records_total", expvar.Func(func() any { return s.flight.Total() }))
+		m.vars.Set("requests_routed", m.routeCounts)
+	}
+	if s.slo != nil {
+		m.vars.Set("slo", expvar.Func(func() any { return s.slo.Stats() }))
 	}
 	m.vars.Set("latency_schedule_ms", m.histSchedule)
 	m.vars.Set("latency_place_ms", m.histPlace)
@@ -160,4 +168,15 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("latency_synthesis_ms", m.histTotal)
 	m.vars.Set("latency_request_ms", m.histRequest)
 	return m
+}
+
+// routed counts one answered request by the route it took.
+func (m *metrics) routed(route string) { m.routeCounts.Add(route, 1) }
+
+// routeCount reads one route's counter (0 before its first request).
+func (m *metrics) routeCount(route string) float64 {
+	if v, ok := m.routeCounts.Get(route).(*expvar.Int); ok {
+		return float64(v.Value())
+	}
+	return 0
 }

@@ -177,6 +177,39 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, ps := range stats {
 			p.sample("mfserved_cluster_writebacks_total", peerLabel(ps), float64(ps.WriteBacks))
 		}
+
+		// Request-tracing families ride the cluster gate: they exist for
+		// the cross-node timeline, and gating keeps a single-node scrape
+		// byte-stable with earlier releases.
+		p.counter("mfserved_trace_spans_total", "Trace spans recorded across all requests.", float64(s.spansTotal.Load()))
+		p.counter("mfserved_flight_records_total", "Requests recorded by the flight recorder (monotonic; the ring retains the most recent).", float64(s.flight.Total()))
+		p.head("mfserved_requests_routed_total", "Answered requests by the route that produced the response.", "counter")
+		for _, route := range []string{routeCacheHit, routePeerHit, routeLocal, routeForwarded, routeFallback} {
+			p.sample("mfserved_requests_routed_total", `route="`+route+`"`, s.metrics.routeCount(route))
+		}
+	}
+
+	// SLO families, only when objectives are configured (-slo), so the
+	// default scrape stays byte-stable.
+	if s.slo != nil {
+		stats := s.slo.Stats()
+		p.head("mfserved_slo_requests_total", "Terminal requests graded against each latency objective.", "counter")
+		for _, st := range stats {
+			p.sample("mfserved_slo_requests_total", `objective="`+st.Name+`",result="good"`, float64(st.Good))
+			p.sample("mfserved_slo_requests_total", `objective="`+st.Name+`",result="bad"`, float64(st.Bad))
+		}
+		p.head("mfserved_slo_target_seconds", "Each objective's latency target.", "gauge")
+		for _, st := range stats {
+			p.sample("mfserved_slo_target_seconds", `objective="`+st.Name+`"`, st.TargetMs/1000)
+		}
+		p.head("mfserved_slo_attainment_ratio", "Fraction of graded requests within each objective's target (1.0 with no traffic).", "gauge")
+		for _, st := range stats {
+			p.sample("mfserved_slo_attainment_ratio", `objective="`+st.Name+`"`, st.Attainment)
+		}
+		p.head("mfserved_slo_burn_rate", "Error-budget burn rate per objective: bad fraction over (1 - quantile); sustained >1 violates the SLO.", "gauge")
+		for _, st := range stats {
+			p.sample("mfserved_slo_burn_rate", `objective="`+st.Name+`"`, st.BurnRate)
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

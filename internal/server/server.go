@@ -29,6 +29,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +100,14 @@ type Config struct {
 	// endpoints (/v1/peer/solution/{key}) are registered. Nil (the
 	// default) runs a plain single-node server with zero overhead.
 	Cluster *cluster.Cluster
+	// SLO is the set of latency objectives the service grades itself
+	// against (see obs.ParseSLO). Nil disables the SLO layer and its
+	// metric families entirely.
+	SLO *obs.SLOSet
+	// FlightRecords sizes the request flight recorder's ring (default
+	// 256). The recorder is always on — it is one mutex-guarded copy per
+	// terminal request — and serves /debug/requests.
+	FlightRecords int
 }
 
 // Server is the service state: worker pool, cache and metrics.
@@ -116,6 +125,16 @@ type Server struct {
 	flt     *fault.Plan    // nil when fault injection is off
 	brk     *breaker.Breaker
 	cl      *cluster.Cluster // nil outside cluster mode
+
+	// Request tracing and postmortem state. entropy makes span-ID
+	// prefixes unique across nodes; node is this node's name in spans
+	// (the cluster self URL, or "local").
+	slo        *obs.SLOSet
+	flight     *obs.FlightRecorder
+	entropy    string
+	node       string
+	traceSeq   atomic.Uint64
+	spansTotal atomic.Int64 // spans recorded across all requests
 
 	// Crash-safe journal state. jobEntry maps live queue job IDs to their
 	// journal entry IDs; earlyTerm stashes terminal outcomes that arrived
@@ -137,7 +156,21 @@ type jobResult struct {
 	metrics      core.Metrics
 	stages       core.StageTimes
 	degradations []core.Degradation
+	trace        string     // trace ID, "" when the request wasn't traced
+	route        string     // how the request was answered (route* consts)
+	spans        []obs.Span // the request's merged trace timeline
 }
+
+// Route values: how a request was answered. They name the flight
+// recorder's Route field, the root span's attribute and the
+// mfserved_requests_routed_total label.
+const (
+	routeCacheHit  = "cache-hit"
+	routePeerHit   = "peer-hit"
+	routeLocal     = "local"
+	routeForwarded = "forwarded"
+	routeFallback  = "fallback"
+)
 
 // New builds a server and starts its worker pool. Call Shutdown to drain.
 // The only error source is the job journal: an unreadable or unwritable
@@ -180,8 +213,15 @@ func New(cfg Config) (*Server, error) {
 		flt:       cfg.Fault,
 		brk:       breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
 		cl:        cfg.Cluster,
+		slo:       cfg.SLO,
+		flight:    obs.NewFlightRecorder(cfg.FlightRecords),
+		entropy:   nodeEntropy(),
+		node:      "local",
 		jobEntry:  make(map[string]string),
 		earlyTerm: make(map[string]string),
+	}
+	if s.cl != nil {
+		s.node = s.cl.Self()
 	}
 	s.q.SetFault(s.flt)
 	s.cache.SetFault(s.flt)
@@ -202,6 +242,7 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		s.log.Log(context.Background(), lvl, "job finished", attrs...)
+		s.recordTerminal(j)
 		s.journalOutcome(j)
 	})
 	if cfg.JournalPath != "" {
@@ -217,6 +258,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -314,7 +357,7 @@ func (s *Server) replay(pending []journal.Record) {
 			s.journalTerminal(rec.ID, "unreplayable")
 			continue
 		}
-		id, err := s.q.SubmitLabeled(rec.Label, s.synthesisJob(req))
+		id, err := s.q.SubmitLabeled(rec.Label, s.synthesisJob(req, rec.Label, s.newRecorder("", ""), time.Now()))
 		if err != nil {
 			s.log.Warn("journal replay: resubmit failed", "entry", rec.ID, "err", err)
 			s.journalTerminal(rec.ID, "rejected")
@@ -414,13 +457,24 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.flt.Sleep(r.Context(), fault.ServerResponseSlow)
 
-	if data, ok := s.cache.Get(req.key); ok {
+	// Trace capture starts once the request parses. The recorder sits
+	// entirely at the serving layer — sealing it never touches the
+	// pipeline — and its trace ID is echoed so the client can fetch the
+	// merged timeline from /v1/jobs/{id}/trace later.
+	rec := s.requestRecorder(r)
+	w.Header().Set(cluster.HeaderTraceID, rec.TraceID())
+
+	probeStart := time.Now()
+	data, hit := s.cache.Get(req.key)
+	if hit {
+		rec.Add("cache.probe", "", probeStart, time.Since(probeStart), "hit")
 		res, err := resultFromCache(req.key, data)
 		if err != nil {
 			// A corrupt cache entry is a server bug; fail loudly.
 			writeErr(w, http.StatusInternalServerError, "cached solution invalid: %v", err)
 			return
 		}
+		s.seal(rec, res, routeCacheHit)
 		id, err := s.q.Complete(RequestID(r.Context()), res, "served from cache")
 		if err != nil {
 			writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -429,8 +483,10 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, submitResponse{
 			JobID: id, Status: string(jobq.Done), Cached: true, Job: "/v1/jobs/" + id,
 		})
+		s.recordServed(RequestID(r.Context()), rec, routeCacheHit, start)
 		return
 	}
+	rec.Add("cache.probe", "", probeStart, time.Since(probeStart), "miss")
 
 	// Cluster read-through: before synthesizing, ask the key's owner (and
 	// its ring successors) whether any peer already holds the solution. A
@@ -439,7 +495,8 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	hops := 0
 	if s.cl != nil {
 		hops = cluster.Hops(r.Header)
-		if doc, peer, ok := s.cl.FetchSolution(r.Context(), req.key, RequestID(r.Context())); ok {
+		pctx := obs.WithSpans(r.Context(), rec) // peer probes record peer.fetch spans
+		if doc, peer, ok := s.cl.FetchSolution(pctx, req.key, RequestID(r.Context())); ok {
 			res, err := resultFromCache(req.key, doc)
 			if err != nil {
 				// A peer vouched for bytes that don't decode: don't cache
@@ -449,6 +506,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			} else {
 				res.peer = peer
 				s.cache.Put(req.key, res.solution)
+				s.seal(rec, res, routePeerHit)
 				id, err := s.q.Complete(RequestID(r.Context()), res, "served from peer "+peer)
 				if err != nil {
 					writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -457,6 +515,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusOK, submitResponse{
 					JobID: id, Status: string(jobq.Done), Cached: true, Peer: peer, Job: "/v1/jobs/" + id,
 				})
+				s.recordServed(RequestID(r.Context()), rec, routePeerHit, start)
 				return
 			}
 		}
@@ -468,6 +527,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		s.metrics.jobsShed.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.BreakerCooldown.Seconds())+1))
 		writeErr(w, http.StatusServiceUnavailable, "shedding load: queue has been full for %d consecutive submissions", s.cfg.BreakerThreshold)
+		s.recordDropped(RequestID(r.Context()), rec, "shed", start)
 		return
 	}
 
@@ -494,10 +554,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	// local synthesis — the cluster never turns a computable request into
 	// an error.
 	var id string
+	submitAt := time.Now()
 	if owner, isSelf := s.owner(req.key); !isSelf && hops < s.cl.MaxHops() && s.cl.Healthy(owner) {
-		id, err = s.q.SubmitDetached(label, s.forwardJob(req, owner, label, hops, append([]byte(nil), body...)))
+		id, err = s.q.SubmitDetached(label, s.forwardJob(req, owner, label, hops, append([]byte(nil), body...), rec, submitAt))
 	} else {
-		id, err = s.submitWithRetry(r.Context(), label, s.synthesisJob(req))
+		id, err = s.submitWithRetry(r.Context(), label, s.synthesisJob(req, label, rec, submitAt))
 	}
 	switch {
 	case errors.Is(err, jobq.ErrQueueFull):
@@ -511,6 +572,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, "queue full (%d waiting): retry later", s.cfg.QueueCap)
+		s.recordDropped(label, rec, "rejected", start)
 		return
 	case errors.Is(err, jobq.ErrShutdown):
 		s.brk.Success()
@@ -535,10 +597,25 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// synthesisJob wraps a resolved request into the queue's work unit.
-func (s *Server) synthesisJob(req *request) jobq.Fn {
+// synthesisJob wraps a resolved request into the queue's work unit:
+// record the queue wait, run the synthesis under a request_id profiler
+// label, seal the trace. submitAt is when the handler pushed the job, so
+// the queue.wait span covers exactly the time spent behind other work.
+func (s *Server) synthesisJob(req *request, label string, rec *obs.SpanRecorder, submitAt time.Time) jobq.Fn {
 	return func(ctx context.Context, progress func(string)) (any, error) {
-		return s.synthesizeLocal(ctx, req, progress)
+		if wait := time.Since(submitAt); wait > 0 {
+			rec.Add("queue.wait", "", submitAt, wait, "")
+		}
+		var res *jobResult
+		var err error
+		pprof.Do(ctx, pprof.Labels("request_id", label), func(ctx context.Context) {
+			res, err = s.synthesizeLocal(ctx, req, progress, rec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.seal(rec, res, routeLocal)
+		return res, nil
 	}
 }
 
@@ -546,7 +623,7 @@ func (s *Server) synthesisJob(req *request) jobq.Fn {
 // pool-worker job, and the degraded path of a forward job whose owner
 // turned out unreachable. It applies the job timeout itself so both
 // callers get the same deadline semantics.
-func (s *Server) synthesizeLocal(ctx context.Context, req *request, progress func(string)) (*jobResult, error) {
+func (s *Server) synthesizeLocal(ctx context.Context, req *request, progress func(string), rec *obs.SpanRecorder) (*jobResult, error) {
 	if s.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
@@ -570,12 +647,28 @@ func (s *Server) synthesizeLocal(ctx context.Context, req *request, progress fun
 	opts := req.opts
 	opts.Degrade = s.cfg.Degrade
 	progress(fmt.Sprintf("synthesizing %q (%s)", req.graph.Name(), algo))
+	synthStart := time.Now()
 	sol, err := synth(ctx, req.graph, req.alloc, opts)
 	if err != nil {
 		return nil, err
 	}
 	met := sol.Metrics()
 	stages := sol.Stages
+	// Per-stage spans, reconstructed sequentially from the pipeline's own
+	// StageTimes — the recorder never reaches inside the pipeline, so the
+	// synthesis stays byte-identical to an unrecorded one.
+	sid := rec.Add("synthesize", "", synthStart, time.Since(synthStart), algo)
+	if sid != "" {
+		at := synthStart
+		rec.Add("stage.schedule", sid, at, stages.Schedule, "")
+		at = at.Add(stages.Schedule)
+		rec.Add("stage.place", sid, at, stages.Place, "")
+		at = at.Add(stages.Place)
+		rec.Add("stage.route", sid, at, stages.Route, "")
+		for _, dg := range sol.Degradations {
+			rec.Add("degrade."+dg.Stage, sid, synthStart, 0, dg.Event)
+		}
+	}
 	s.metrics.histSchedule.observe(stages.Schedule)
 	s.metrics.histPlace.observe(stages.Place)
 	s.metrics.histRoute.observe(stages.Route)
@@ -616,7 +709,7 @@ func (s *Server) owner(key string) (string, bool) {
 // the ring heals instead of drifting. body is the client's request
 // verbatim (an unpooled copy), re-sent so the owner derives the same
 // cache key from the same bytes.
-func (s *Server) forwardJob(req *request, owner, requestID string, hops int, body []byte) jobq.Fn {
+func (s *Server) forwardJob(req *request, owner, requestID string, hops int, body []byte, rec *obs.SpanRecorder, submitAt time.Time) jobq.Fn {
 	return func(ctx context.Context, progress func(string)) (any, error) {
 		fctx := ctx
 		if s.cfg.JobTimeout > 0 {
@@ -624,37 +717,52 @@ func (s *Server) forwardJob(req *request, owner, requestID string, hops int, bod
 			fctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 			defer cancel()
 		}
+		if wait := time.Since(submitAt); wait > 0 {
+			rec.Add("queue.wait", "", submitAt, wait, "")
+		}
 		progress("forwarding to owner " + owner)
-		doc, err := s.cl.SynthesizeRemote(fctx, owner, req.key, requestID, hops, body)
+		// The forward span's ID is reserved up front and sent as the
+		// remote parent, so the owner's whole timeline nests under it.
+		fid := rec.NewID()
+		fstart := time.Now()
+		doc, spans, err := s.cl.SynthesizeRemote(fctx, owner, req.key, requestID,
+			obs.TraceContext{TraceID: rec.TraceID(), Parent: fid}, hops, body)
 		if err == nil {
 			res, derr := resultFromCache(req.key, doc)
 			if derr == nil {
+				rec.AddID(fid, "forward", "", fstart, time.Since(fstart), owner)
+				rec.Import(spans)
 				res.cached = false
 				res.peer = owner
 				s.cache.Put(req.key, res.solution)
 				progress("done (synthesized by " + owner + ")")
+				s.seal(rec, res, routeForwarded)
 				return res, nil
 			}
 			err = fmt.Errorf("owner returned invalid solution: %w", derr)
 		}
+		rec.AddID(fid, "forward", "", fstart, time.Since(fstart), owner+" failed")
 		// Degrade: the owner is unreachable or misbehaving, so this node
 		// does the work itself rather than failing the accepted job.
 		s.log.Warn("forward failed, synthesizing locally",
 			"request_id", requestID, "owner", owner, "key", req.key, "err", err)
 		progress("owner unreachable, synthesizing locally")
-		res, lerr := s.synthesizeLocal(ctx, req, progress)
+		res, lerr := s.synthesizeLocal(ctx, req, progress, rec)
 		if lerr != nil {
 			return nil, lerr
 		}
 		// Write-back rides its own short deadline, detached from the job's
 		// context: the job is already done, this is cluster hygiene.
 		if s.cl.Healthy(owner) {
+			wbStart := time.Now()
 			wctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 3*time.Second)
 			if werr := s.cl.WriteBack(wctx, owner, req.key, requestID, res.solution); werr != nil {
 				s.log.Info("write-back to owner failed", "owner", owner, "key", req.key, "err", werr)
 			}
 			cancel()
+			rec.Add("writeback", "", wbStart, time.Since(wbStart), owner)
 		}
+		s.seal(rec, res, routeFallback)
 		return res, nil
 	}
 }
@@ -721,6 +829,13 @@ type jobResponse struct {
 	// Degradations lists the degradation-ladder rungs the synthesis took
 	// (empty for a clean run; see core.Degradation).
 	Degradations []core.Degradation `json:"degradations,omitempty"`
+	// Trace identity and spans. Spans carries the job's node-attributed
+	// timeline; a forwarding node polls it back over this same endpoint
+	// (cluster.jobReply) to merge into the client-facing trace. Trace is
+	// the merged-timeline URL.
+	TraceID string     `json:"trace_id,omitempty"`
+	Spans   []obs.Span `json:"trace_spans,omitempty"`
+	Trace   string     `json:"trace,omitempty"`
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -747,6 +862,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		resp.Metrics = toMetricsJSON(res.metrics)
 		resp.Solution = "/v1/jobs/" + j.ID + "/solution"
 		resp.Degradations = res.degradations
+		if len(res.spans) > 0 {
+			resp.TraceID = res.trace
+			resp.Spans = res.spans
+			resp.Trace = "/v1/jobs/" + j.ID + "/trace"
+		}
 		if !res.cached {
 			resp.Stages = &stagesJSON{
 				ScheduleMs: float64(res.stages.Schedule.Microseconds()) / 1000,

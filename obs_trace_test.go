@@ -33,6 +33,13 @@ func TestFingerprintsUnchangedByTracing(t *testing.T) {
 			t.Run(key, func(t *testing.T) {
 				var c obs.Collect
 				ctx := obs.Into(context.Background(), obs.New(&c))
+				// A request-level span recorder rides the same context in
+				// production (the serving layer attaches it before calling
+				// into core). The pipeline must never write to it: span
+				// recording is strictly a serving-layer concern, so its
+				// presence cannot perturb the synthesis either.
+				rec := obs.NewSpanRecorder("t-test", "", "test", "fp")
+				ctx = obs.WithSpans(ctx, rec)
 				var sol *core.Solution
 				var err error
 				if algo == "ours" {
@@ -53,6 +60,9 @@ func TestFingerprintsUnchangedByTracing(t *testing.T) {
 				}
 				if algo == "ours" && c.Count(obs.CatPlace, "sa.step") == 0 {
 					t.Error("no sa.step events traced")
+				}
+				if n := rec.Len(); n != 0 {
+					t.Errorf("core pipeline wrote %d spans to the request recorder; span recording must stay at the serving layer", n)
 				}
 			})
 		}
