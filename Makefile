@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot check bench bench-smoke bench-multicore cluster-bench verify regress table1 clean
+.PHONY: all build vet test race race-hot check bench bench-smoke bench-load bench-multicore cluster-bench load-bench verify regress table1 clean
 
 all: check
 
@@ -27,9 +27,9 @@ race-hot:
 	$(GO) test -race -count=2 ./internal/obs/ ./internal/server/ ./internal/jobq/
 
 # The full pre-merge gate: compile, vet, race-enabled tests, the hot
-# concurrency packages twice, and a smoke run of the performance-critical
-# benchmarks.
-check: build vet race race-hot bench-smoke
+# concurrency packages twice, and smoke runs of the performance-critical
+# and workload-engine benchmarks.
+check: build vet race race-hot bench-smoke bench-load
 
 # Full benchmark suite with allocation counts (slow).
 bench:
@@ -49,6 +49,19 @@ bench-smoke:
 	if [ $$status -ne 0 ]; then exit $$status; fi; \
 	for b in $(BENCH_SMOKE_NAMES); do \
 		echo "$$out" | grep -q "$$b" || { echo "bench-smoke: benchmark $$b missing from output" >&2; exit 1; }; \
+	done
+
+# Workload-engine benchmarks, same loud-fail guard: the warm batch-submit
+# path and schedule materialization must both still exist by name.
+BENCH_LOAD_NAMES := BenchmarkBatchSubmit BenchmarkScheduleBuild
+BENCH_LOAD_REGEX := BenchmarkBatchSubmit|BenchmarkScheduleBuild
+
+bench-load:
+	@out=$$($(GO) test -run xxx -bench '$(BENCH_LOAD_REGEX)' -benchtime 1x ./internal/server/ ./internal/loadgen/ 2>&1); \
+	status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	for b in $(BENCH_LOAD_NAMES); do \
+		echo "$$out" | grep -q "$$b" || { echo "bench-load: benchmark $$b missing from output" >&2; exit 1; }; \
 	done
 
 # Multicore-path benchmarks: parallel-tempering placement and concurrent
@@ -75,6 +88,14 @@ bench-multicore:
 cluster-bench:
 	$(GO) run ./cmd/mfserved -cluster-selfbench 3 -cluster-requests 12 -o BENCH_cluster.json
 	$(GO) run ./cmd/mfbench -regress BENCH_cluster.json -bench Synthetic1
+
+# Workload engine against an in-process server: replay the steady
+# profile for 5 s, write BENCH_load.json, then gate its Synthetic1
+# reference entry with the regression checker — the same seal the other
+# BENCH documents carry.
+load-bench:
+	$(GO) run ./cmd/mfload -spawn -profile steady -duration 5s -o BENCH_load.json
+	$(GO) run ./cmd/mfbench -regress BENCH_load.json -bench Synthetic1
 
 # Independent audit of every benchmark's synthesized solution (and the
 # baseline-BA variant) against the from-scratch constraint model.

@@ -1,0 +1,117 @@
+// Package loadgen is the workload engine behind cmd/mfload: named,
+// seeded traffic profiles over the full Table I benchmark set plus
+// seeded random-assay corpora, executed against a running mfserved and
+// folded into an SLO-style report (BENCH_load.json).
+//
+// The package splits load generation into two halves with very
+// different determinism requirements:
+//
+//   - Schedule construction (Build) is a pure function of (profile,
+//     Options): every arrival offset, request body and source tag is
+//     derived from internal/rng, so the same inputs produce a
+//     byte-identical schedule on every run and platform. That is what
+//     makes a load regression a regression — two runs of the same
+//     profile submit exactly the same byte sequences in the same order.
+//   - Execution (Run) is real I/O against a real server and is NOT
+//     deterministic: latencies, cache hits and shed counts depend on
+//     the server under test. The report records them as measurements.
+//
+// Profiles model the three traffic shapes the ROADMAP's service items
+// are judged against:
+//
+//   - steady: open-loop constant-rate arrivals, uniform benchmark mix.
+//     The baseline "is the service keeping up" profile.
+//   - bursty: open-loop square-wave arrivals — burst-rate traffic for
+//     half the period, silence for the rest, same uniform mix. This is
+//     the profile that exercises the queue bound, the circuit breaker
+//     and the 429/503 degradation ladder.
+//   - heavytail: closed-loop workers replaying a Zipf-skewed mix over
+//     the benchmarks plus a random-assay corpus. A few hot keys
+//     dominate — the cache-locality shape the distributed channel
+//     storage work (cf. arXiv:1705.04988) cares about — while the
+//     corpus tail keeps cold misses arriving.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile names a traffic shape and carries its defaults. Rate and
+// Concurrency are starting points a caller may override via Options;
+// the shape (open vs closed loop, mix, burst structure) is fixed.
+type Profile struct {
+	Name        string
+	Description string
+	// OpenLoop: arrivals fire at schedule offsets regardless of how the
+	// server is doing (rate is the independent variable). Closed loop:
+	// Concurrency workers submit back-to-back, so offered load adapts
+	// to service latency.
+	OpenLoop bool
+	// Rate is the target arrival rate in requests/second (open loop).
+	Rate float64
+	// BurstPeriod/BurstDuty shape open-loop square-wave arrivals: all
+	// of a period's arrivals are compressed into the first
+	// BurstDuty fraction. Zero period means constant rate.
+	BurstPeriod time.Duration
+	BurstDuty   float64
+	// Concurrency is the closed-loop worker count (also the in-flight
+	// cap in open loop, so a stalled server cannot pile up goroutines).
+	Concurrency int
+	// Zipf skews the mix: item k of the universe is weighted
+	// 1/(k+1)^Zipf. Zero keeps the mix uniform.
+	Zipf float64
+	// CorpusSize appends that many seeded random assays to the request
+	// universe (heavytail's cold tail).
+	CorpusSize int
+	// SeedVariants widens the universe: each source is replayed with
+	// this many distinct synthesis seeds, so the cache sees repeats
+	// without every request being the same key. Minimum 1.
+	SeedVariants int
+}
+
+// Profiles returns the built-in profiles in a fixed order.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name:         "steady",
+			Description:  "open-loop constant rate, uniform Table I mix",
+			OpenLoop:     true,
+			Rate:         8,
+			Concurrency:  64,
+			SeedVariants: 2,
+		},
+		{
+			Name:         "bursty",
+			Description:  "open-loop square wave (half-period bursts at 2x rate), uniform Table I mix",
+			OpenLoop:     true,
+			Rate:         8,
+			BurstPeriod:  2 * time.Second,
+			BurstDuty:    0.5,
+			Concurrency:  64,
+			SeedVariants: 2,
+		},
+		{
+			Name:         "heavytail",
+			Description:  "closed-loop Zipf mix over Table I + random-assay corpus (hot keys + cold tail)",
+			OpenLoop:     false,
+			Rate:         8,
+			Concurrency:  8,
+			Zipf:         1.1,
+			CorpusSize:   6,
+			SeedVariants: 1,
+		},
+	}
+}
+
+// ByName resolves a profile, listing the valid names on failure.
+func ByName(name string) (Profile, error) {
+	var names []string
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+		names = append(names, p.Name)
+	}
+	return Profile{}, fmt.Errorf("unknown profile %q (have %v)", name, names)
+}

@@ -1,0 +1,351 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Outcome is the measured result of one scheduled request (or one batch
+// member). Exactly one of the terminal classifications applies:
+// completed/failed jobs ran, rejected (429) and shed (503) never
+// entered the queue, error covers transport failures and unexpected
+// statuses.
+type Outcome struct {
+	Index     int     `json:"index"`
+	Source    string  `json:"source"`
+	Status    string  `json:"status"` // done|failed|rejected|shed|error
+	Cached    bool    `json:"cached,omitempty"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	LatencyMs float64 `json:"latency_ms"`
+	Err       string  `json:"error,omitempty"`
+}
+
+// Runner executes a schedule against one mfserved base URL.
+type Runner struct {
+	BaseURL string
+	Client  *http.Client
+	// ReqLog, when set, receives one JSON line per outcome as it
+	// resolves (the request log CI archives).
+	ReqLog io.Writer
+	// PollInterval is the job-status poll cadence (default 10ms).
+	PollInterval time.Duration
+	// Timeout bounds one request's submit+poll lifetime (default 60s).
+	Timeout time.Duration
+
+	mu      sync.Mutex
+	results []Outcome
+}
+
+func (r *Runner) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+func (r *Runner) record(o Outcome) {
+	r.mu.Lock()
+	r.results = append(r.results, o)
+	if r.ReqLog != nil {
+		if line, err := json.Marshal(o); err == nil {
+			r.ReqLog.Write(append(line, '\n'))
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Run executes the schedule: open-loop items fire at their offsets
+// (bounded by the schedule's concurrency cap so a stalled server sheds
+// into the cap instead of unbounded goroutines), closed-loop items are
+// consumed in order by Concurrency workers. With s.Batch > 0,
+// consecutive items group into POST /v1/synthesize/batch calls and the
+// members resolve individually. Returns the outcomes in schedule order.
+func (r *Runner) Run(ctx context.Context, s *Schedule) ([]Outcome, error) {
+	if r.PollInterval <= 0 {
+		r.PollInterval = 10 * time.Millisecond
+	}
+	if r.Timeout <= 0 {
+		r.Timeout = 60 * time.Second
+	}
+	r.results = r.results[:0]
+
+	// Group items: singles are batches of one.
+	bsize := s.Batch
+	if bsize <= 0 {
+		bsize = 1
+	}
+	type group struct {
+		at    time.Duration
+		items []Item
+	}
+	var groups []group
+	for i := 0; i < len(s.Items); i += bsize {
+		end := i + bsize
+		if end > len(s.Items) {
+			end = len(s.Items)
+		}
+		groups = append(groups, group{at: s.Items[i].At, items: s.Items[i:end]})
+	}
+
+	sem := make(chan struct{}, max(1, s.Concurrency))
+	var wg sync.WaitGroup
+	start := time.Now()
+	launch := func(g group) {
+		defer wg.Done()
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			for _, it := range g.items {
+				r.record(Outcome{Index: it.Index, Source: it.Source, Status: "error", Err: "canceled before submit"})
+			}
+			return
+		}
+		defer func() { <-sem }()
+		if len(g.items) == 1 && s.Batch <= 0 {
+			r.runSingle(ctx, s.Profile, g.items[0])
+		} else {
+			r.runBatch(ctx, s.Profile, g.items)
+		}
+	}
+
+	if s.OpenLoop {
+		timer := time.NewTimer(0)
+		defer timer.Stop()
+		for _, g := range groups {
+			wait := g.at - time.Since(start)
+			if wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+				}
+			}
+			if ctx.Err() != nil {
+				for _, it := range g.items {
+					r.record(Outcome{Index: it.Index, Source: it.Source, Status: "error", Err: "canceled before submit"})
+				}
+				continue
+			}
+			wg.Add(1)
+			go launch(g)
+		}
+	} else {
+		// Closed loop: the semaphore IS the loop — launch everything and
+		// let Concurrency slots drain it in order.
+		for _, g := range groups {
+			if ctx.Err() != nil {
+				for _, it := range g.items {
+					r.record(Outcome{Index: it.Index, Source: it.Source, Status: "error", Err: "canceled before submit"})
+				}
+				continue
+			}
+			wg.Add(1)
+			go launch(g)
+		}
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	out := make([]Outcome, len(r.results))
+	copy(out, r.results)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out, ctx.Err()
+}
+
+// submitResp is the subset of the single- and batch-submit responses
+// the runner needs.
+type submitResp struct {
+	JobID  string `json:"job_id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+}
+
+type batchResp struct {
+	Members []struct {
+		Index  int    `json:"index"`
+		JobID  string `json:"job_id"`
+		Status string `json:"status"`
+		Cached bool   `json:"cached"`
+		Error  string `json:"error"`
+	} `json:"members"`
+}
+
+func (r *Runner) post(ctx context.Context, path, profile string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(workloadProfileHeader, profile)
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// workloadProfileHeader mirrors server.WorkloadProfileHeader; kept as a
+// local constant so loadgen does not import the server (the server's
+// tests assert the two stay equal).
+const workloadProfileHeader = "X-Workload-Profile"
+
+// classifySubmit maps a submit status code onto an outcome status, or
+// returns "" for accepted submissions that still need polling.
+func classifySubmit(code int) string {
+	switch {
+	case code == http.StatusTooManyRequests:
+		return "rejected"
+	case code == http.StatusServiceUnavailable:
+		return "shed"
+	case code == http.StatusOK || code == http.StatusAccepted:
+		return ""
+	default:
+		return "error"
+	}
+}
+
+func (r *Runner) runSingle(ctx context.Context, profile string, it Item) {
+	start := time.Now()
+	cctx, cancel := context.WithTimeout(ctx, r.Timeout)
+	defer cancel()
+	code, data, err := r.post(cctx, "/v1/synthesize", profile, it.Body)
+	if err != nil {
+		r.record(Outcome{Index: it.Index, Source: it.Source, Status: "error", Err: err.Error(),
+			LatencyMs: msSince(start)})
+		return
+	}
+	if st := classifySubmit(code); st != "" {
+		r.record(Outcome{Index: it.Index, Source: it.Source, Status: st,
+			Err: strings.TrimSpace(string(data)), LatencyMs: msSince(start)})
+		return
+	}
+	var sub submitResp
+	if err := json.Unmarshal(data, &sub); err != nil {
+		r.record(Outcome{Index: it.Index, Source: it.Source, Status: "error", Err: err.Error(),
+			LatencyMs: msSince(start)})
+		return
+	}
+	r.record(r.await(cctx, it, sub.JobID, sub.Cached, start))
+}
+
+func (r *Runner) runBatch(ctx context.Context, profile string, items []Item) {
+	start := time.Now()
+	cctx, cancel := context.WithTimeout(ctx, r.Timeout)
+	defer cancel()
+	var body bytes.Buffer
+	body.WriteString(`{"requests":[`)
+	for i, it := range items {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		body.Write(it.Body)
+	}
+	body.WriteString(`]}`)
+	code, data, err := r.post(cctx, "/v1/synthesize/batch", profile, body.Bytes())
+	if err != nil || classifySubmit(code) == "error" {
+		msg := strings.TrimSpace(string(data))
+		if err != nil {
+			msg = err.Error()
+		}
+		for _, it := range items {
+			r.record(Outcome{Index: it.Index, Source: it.Source, Status: "error", Err: msg,
+				LatencyMs: msSince(start)})
+		}
+		return
+	}
+	if code == http.StatusServiceUnavailable {
+		for _, it := range items {
+			r.record(Outcome{Index: it.Index, Source: it.Source, Status: "shed",
+				LatencyMs: msSince(start)})
+		}
+		return
+	}
+	var br batchResp
+	if err := json.Unmarshal(data, &br); err != nil || len(br.Members) != len(items) {
+		msg := fmt.Sprintf("batch response: %v (members %d, want %d)", err, len(br.Members), len(items))
+		for _, it := range items {
+			r.record(Outcome{Index: it.Index, Source: it.Source, Status: "error", Err: msg,
+				LatencyMs: msSince(start)})
+		}
+		return
+	}
+	// Members resolve concurrently; duplicates share a job and poll it
+	// independently (cheap — status reads).
+	var wg sync.WaitGroup
+	for i, m := range br.Members {
+		it := items[i]
+		switch m.Status {
+		case "rejected":
+			r.record(Outcome{Index: it.Index, Source: it.Source, Status: "rejected",
+				Err: m.Error, LatencyMs: msSince(start)})
+			continue
+		}
+		wg.Add(1)
+		go func(it Item, jobID string, cached bool) {
+			defer wg.Done()
+			r.record(r.await(cctx, it, jobID, cached, start))
+		}(it, m.JobID, m.Cached)
+	}
+	wg.Wait()
+}
+
+// await polls a job to a terminal state and classifies it.
+func (r *Runner) await(ctx context.Context, it Item, jobID string, cached bool, start time.Time) Outcome {
+	o := Outcome{Index: it.Index, Source: it.Source, Cached: cached}
+	tick := time.NewTicker(r.PollInterval)
+	defer tick.Stop()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.BaseURL+"/v1/jobs/"+jobID, nil)
+		if err != nil {
+			o.Status, o.Err, o.LatencyMs = "error", err.Error(), msSince(start)
+			return o
+		}
+		resp, err := r.client().Do(req)
+		if err != nil {
+			o.Status, o.Err, o.LatencyMs = "error", err.Error(), msSince(start)
+			return o
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var job struct {
+			Status       string            `json:"status"`
+			Cached       bool              `json:"cached"`
+			Error        string            `json:"error"`
+			Degradations []json.RawMessage `json:"degradations"`
+		}
+		if err := json.Unmarshal(data, &job); err != nil {
+			o.Status, o.Err, o.LatencyMs = "error", err.Error(), msSince(start)
+			return o
+		}
+		switch job.Status {
+		case "done":
+			o.Status = "done"
+			o.Cached = o.Cached || job.Cached
+			o.Degraded = len(job.Degradations) > 0
+			o.LatencyMs = msSince(start)
+			return o
+		case "failed", "canceled":
+			o.Status, o.Err, o.LatencyMs = "failed", job.Error, msSince(start)
+			return o
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			o.Status, o.Err, o.LatencyMs = "error", "timeout awaiting job "+jobID, msSince(start)
+			return o
+		}
+	}
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }

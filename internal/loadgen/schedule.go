@@ -1,0 +1,242 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/rng"
+)
+
+// Options parameterizes Build. The zero value takes every default from
+// the profile; Seed 0 is a valid (and the default) seed.
+type Options struct {
+	// Seed drives every stochastic choice in the schedule: mix draws,
+	// corpus assay structure and the synthesis seeds embedded in request
+	// bodies. Same (profile, Options) → byte-identical schedule.
+	Seed uint64
+	// Duration is the schedule horizon. Open-loop item count is
+	// Rate x Duration; closed-loop schedules carry the same count and
+	// workers consume them as fast as the server allows.
+	Duration time.Duration
+	// Rate overrides the profile arrival rate (requests/second).
+	Rate float64
+	// Concurrency overrides the profile worker count / in-flight cap.
+	Concurrency int
+	// Imax is the annealing effort embedded in every request body;
+	// defaults to 60, the reference-entry effort of the service
+	// baselines (small enough for load tests, large enough to exercise
+	// the full pipeline).
+	Imax int
+	// Batch groups consecutive items into POST /v1/synthesize/batch
+	// bodies of this size at execution time; 0 submits singles. Batch
+	// grouping does not change the schedule bytes, only how Run ships
+	// them.
+	Batch int
+}
+
+// Item is one scheduled request. At is the arrival offset from the run
+// start (0 in closed loop, where order alone matters). Body is the
+// complete JSON request body; Source tags where it came from for the
+// request log.
+type Item struct {
+	Index  int             `json:"index"`
+	At     time.Duration   `json:"at_ns"`
+	Source string          `json:"source"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// Schedule is a fully materialized run plan. Marshaling it yields the
+// byte sequence the determinism tests pin.
+type Schedule struct {
+	Profile     string        `json:"profile"`
+	Seed        uint64        `json:"seed"`
+	OpenLoop    bool          `json:"open_loop"`
+	Rate        float64       `json:"rate_per_s"`
+	Concurrency int           `json:"concurrency"`
+	Duration    time.Duration `json:"duration_ns"`
+	Batch       int           `json:"batch,omitempty"`
+	Items       []Item        `json:"items"`
+}
+
+// source is one entry of the request universe: a body template minus
+// the synthesis seed, which seedVariants multiplies out.
+type source struct {
+	tag  string
+	body func(imax int, seed uint64) ([]byte, error)
+}
+
+// corpusOpsMin/Max bound the operation count of generated corpus
+// assays: big enough to need scheduling decisions, small enough that a
+// cold synthesis stays well under a second at imax 60.
+const (
+	corpusOpsMin = 8
+	corpusOpsMax = 18
+)
+
+// benchBody renders the canonical benchmark request body. The field
+// order is fixed by the literal, not by json.Marshal of a map, so the
+// bytes are stable.
+func benchBody(name string, imax int, seed uint64) ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"bench":%q,"options":{"imax":%d,"seed":%d}}`, name, imax, seed)), nil
+}
+
+// universe builds the profile's request universe in rank order (rank 0
+// is the hottest key under a Zipf mix): the seven Table I benchmarks
+// first, then CorpusSize random assays generated from forks of src.
+func universe(p Profile, src *rng.Source) []source {
+	var u []source
+	for _, bm := range benchdata.All() {
+		name := bm.Name
+		u = append(u, source{
+			tag: "bench:" + name,
+			body: func(imax int, seed uint64) ([]byte, error) {
+				return benchBody(name, imax, seed)
+			},
+		})
+	}
+	for i := 0; i < p.CorpusSize; i++ {
+		// Each corpus assay gets its own fork keyed off the schedule
+		// RNG, so corpus structure depends only on (profile, seed, i).
+		gseed := src.Uint64()
+		ops := corpusOpsMin + src.Intn(corpusOpsMax-corpusOpsMin+1)
+		tag := fmt.Sprintf("corpus:%d", i)
+		// Reuse a synthetic benchmark's published allocation: corpus
+		// assays draw from the same operation-type mix, so the
+		// allocation is guaranteed to cover the generated graph.
+		alloc := benchdata.Synthetic(1).Alloc
+		name := fmt.Sprintf("corpus-%d-%d", i, gseed)
+		u = append(u, source{
+			tag: tag,
+			body: func(imax int, seed uint64) ([]byte, error) {
+				g := benchdata.GenerateSynthetic(name, ops, alloc, gseed)
+				var buf bytes.Buffer
+				if err := assay.Encode(&buf, g); err != nil {
+					return nil, err
+				}
+				return []byte(fmt.Sprintf(`{"assay":%s,"options":{"imax":%d,"seed":%d}}`,
+					buf.String(), imax, seed)), nil
+			},
+		})
+	}
+	return u
+}
+
+// pick draws one universe index. Uniform when zipf is 0, else weighted
+// 1/(rank+1)^zipf via the precomputed cumulative weights.
+func pick(src *rng.Source, cum []float64) int {
+	x := src.Float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// zipfCum precomputes cumulative Zipf weights for n ranks. math.Pow is
+// pure Go with pinned semantics, so the weights — and through them the
+// schedule bytes — are platform-stable.
+func zipfCum(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if s > 0 {
+			w = 1 / math.Pow(float64(i+1), s)
+		}
+		total += w
+		cum[i] = total
+	}
+	return cum
+}
+
+// Build materializes a deterministic schedule for profile p.
+func Build(p Profile, opts Options) (*Schedule, error) {
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("duration must be positive, got %v", opts.Duration)
+	}
+	rate := p.Rate
+	if opts.Rate > 0 {
+		rate = opts.Rate
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("rate must be positive, got %v", rate)
+	}
+	conc := p.Concurrency
+	if opts.Concurrency > 0 {
+		conc = opts.Concurrency
+	}
+	imax := opts.Imax
+	if imax <= 0 {
+		imax = 60
+	}
+	variants := p.SeedVariants
+	if variants < 1 {
+		variants = 1
+	}
+
+	src := rng.New(opts.Seed ^ 0x6d666c6f61640a01) // domain-separate from synthesis seeds
+	u := universe(p, src)
+	cum := zipfCum(len(u), p.Zipf)
+
+	n := int(rate * opts.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	s := &Schedule{
+		Profile:     p.Name,
+		Seed:        opts.Seed,
+		OpenLoop:    p.OpenLoop,
+		Rate:        rate,
+		Concurrency: conc,
+		Duration:    opts.Duration,
+		Batch:       opts.Batch,
+		Items:       make([]Item, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		var at time.Duration
+		if p.OpenLoop {
+			// Nominal arrival under constant rate...
+			at = time.Duration(float64(i) / rate * float64(time.Second))
+			if p.BurstPeriod > 0 && p.BurstDuty > 0 && p.BurstDuty < 1 {
+				// ...compressed into the duty window of its period: the
+				// same per-period request count arrives in BurstDuty of
+				// the time, at 1/BurstDuty times the rate, followed by
+				// silence. Offered load per period is unchanged.
+				period := p.BurstPeriod
+				k := at / period
+				at = k*period + time.Duration(float64(at%period)*p.BurstDuty)
+			}
+		}
+		idx := pick(src, cum)
+		synthSeed := uint64(1 + src.Intn(variants))
+		body, err := u[idx].body(imax, synthSeed)
+		if err != nil {
+			return nil, fmt.Errorf("item %d (%s): %v", i, u[idx].tag, err)
+		}
+		s.Items = append(s.Items, Item{
+			Index:  i,
+			At:     at,
+			Source: fmt.Sprintf("%s#s%d", u[idx].tag, synthSeed),
+			Body:   body,
+		})
+	}
+	return s, nil
+}
+
+// Bytes renders the schedule in a canonical form — this is the byte
+// sequence "deterministic schedule" promises are made about.
+func (s *Schedule) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

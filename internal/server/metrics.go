@@ -3,6 +3,7 @@ package server
 import (
 	"expvar"
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -104,6 +105,11 @@ type metrics struct {
 	peerStored   *expvar.Int // write-back PUTs accepted into the cache
 	routeCounts  *expvar.Map // answered requests by route (route* consts)
 
+	batchRequests *expvar.Int // POST /v1/synthesize/batch calls
+	batchMembers  *expvar.Int // members across all batches
+	batchDeduped  *expvar.Int // members collapsed onto an earlier member's job
+	workload      *expvar.Map // requests by X-Workload-Profile label
+
 	histSchedule *histogram
 	histPlace    *histogram
 	histRoute    *histogram
@@ -116,18 +122,22 @@ type metrics struct {
 // goes stale.
 func newMetrics(s *Server) *metrics {
 	m := &metrics{
-		vars:         new(expvar.Map).Init(),
-		jobsAccepted: new(expvar.Int),
-		jobsRejected: new(expvar.Int),
-		jobsShed:     new(expvar.Int),
-		peerServed:   new(expvar.Int),
-		peerStored:   new(expvar.Int),
-		routeCounts:  new(expvar.Map).Init(),
-		histSchedule: newHistogram(),
-		histPlace:    newHistogram(),
-		histRoute:    newHistogram(),
-		histTotal:    newHistogram(),
-		histRequest:  newHistogram(),
+		vars:          new(expvar.Map).Init(),
+		jobsAccepted:  new(expvar.Int),
+		jobsRejected:  new(expvar.Int),
+		jobsShed:      new(expvar.Int),
+		peerServed:    new(expvar.Int),
+		peerStored:    new(expvar.Int),
+		routeCounts:   new(expvar.Map).Init(),
+		batchRequests: new(expvar.Int),
+		batchMembers:  new(expvar.Int),
+		batchDeduped:  new(expvar.Int),
+		workload:      new(expvar.Map).Init(),
+		histSchedule:  newHistogram(),
+		histPlace:     newHistogram(),
+		histRoute:     newHistogram(),
+		histTotal:     newHistogram(),
+		histRequest:   newHistogram(),
 	}
 	m.vars.Set("uptime_s", expvar.Func(func() any {
 		return time.Since(s.start).Seconds()
@@ -142,6 +152,10 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("jobs_accepted", m.jobsAccepted)
 	m.vars.Set("jobs_rejected", m.jobsRejected)
 	m.vars.Set("jobs_shed", m.jobsShed)
+	m.vars.Set("batch_requests", m.batchRequests)
+	m.vars.Set("batch_members", m.batchMembers)
+	m.vars.Set("batch_deduped", m.batchDeduped)
+	m.vars.Set("workload_requests", m.workload)
 	m.vars.Set("breaker_state", expvar.Func(func() any { return s.brk.State() }))
 	m.vars.Set("journal_replayed", expvar.Func(func() any { return s.replayed.Load() }))
 	m.vars.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
@@ -172,6 +186,53 @@ func newMetrics(s *Server) *metrics {
 
 // routed counts one answered request by the route it took.
 func (m *metrics) routed(route string) { m.routeCounts.Add(route, 1) }
+
+// WorkloadProfileHeader is the request header a load generator (see
+// internal/loadgen) uses to tag traffic with its workload profile. The
+// value becomes a counter label, nothing more: it is deliberately
+// outside the cache key, so tagged and untagged requests share
+// solutions.
+const WorkloadProfileHeader = "X-Workload-Profile"
+
+// countWorkload attributes n requests to the inbound workload-profile
+// label, if the client sent one. Labels are restricted to a safe
+// charset so the Prometheus exposition can quote them verbatim.
+func (s *Server) countWorkload(r *http.Request, n int) {
+	p := workloadLabel(r.Header.Get(WorkloadProfileHeader))
+	if p == "" {
+		return
+	}
+	s.metrics.workload.Add(p, int64(n))
+}
+
+// workloadLabel cleans a client-supplied profile name: at most 64
+// bytes, [A-Za-z0-9_.-] only, anything else dropped.
+func workloadLabel(v string) string {
+	if len(v) > 64 {
+		v = v[:64]
+	}
+	ok := func(c byte) bool {
+		return c == '_' || c == '.' || c == '-' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+	}
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if !ok(v[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	b := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		if ok(v[i]) {
+			b = append(b, v[i])
+		}
+	}
+	return string(b)
+}
 
 // routeCount reads one route's counter (0 before its first request).
 func (m *metrics) routeCount(route string) float64 {

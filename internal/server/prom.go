@@ -1,6 +1,7 @@
 package server
 
 import (
+	"expvar"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -99,6 +100,33 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("mfserved_jobs_shed_total", "Synthesis submissions shed with 503 by the open circuit breaker.", float64(s.metrics.jobsShed.Value()))
 	p.gauge("mfserved_breaker_open", "1 while the load-shedding circuit breaker is open or half-open, 0 otherwise.", breakerOpenGauge(s.brk.State()))
 	p.counter("mfserved_journal_replayed_total", "Jobs resubmitted from the crash-safe journal at startup.", float64(s.replayed.Load()))
+
+	p.counter("mfserved_batch_requests_total", "POST /v1/synthesize/batch calls.", float64(s.metrics.batchRequests.Value()))
+	p.counter("mfserved_batch_members_total", "Batch members received across all batch calls.", float64(s.metrics.batchMembers.Value()))
+	p.counter("mfserved_batch_members_deduped_total", "Batch members collapsed onto an earlier member's job by cache-key dedupe.", float64(s.metrics.batchDeduped.Value()))
+
+	// Per-profile workload attribution, only once a client has tagged
+	// traffic with X-Workload-Profile, so an untagged scrape stays
+	// byte-stable with earlier releases. expvar.Map iterates its keys in
+	// sorted order, keeping the exposition deterministic.
+	{
+		type kv struct {
+			k string
+			v int64
+		}
+		var rows []kv
+		s.metrics.workload.Do(func(e expvar.KeyValue) {
+			if c, ok := e.Value.(*expvar.Int); ok {
+				rows = append(rows, kv{e.Key, c.Value()})
+			}
+		})
+		if len(rows) > 0 {
+			p.head("mfserved_workload_requests_total", "Synthesis requests by client-declared workload profile.", "counter")
+			for _, row := range rows {
+				p.sample("mfserved_workload_requests_total", `profile="`+row.k+`"`, float64(row.v))
+			}
+		}
+	}
 
 	p.counter("mfserved_cache_hits_total", "Solution-cache hits.", float64(cs.Hits))
 	p.counter("mfserved_cache_misses_total", "Solution-cache misses.", float64(cs.Misses))

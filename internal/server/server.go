@@ -257,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 		s.replay(pending)
 	}
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("POST /v1/synthesize/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
@@ -456,6 +457,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.flt.Sleep(r.Context(), fault.ServerResponseSlow)
+	s.countWorkload(r, 1)
 
 	// Trace capture starts once the request parses. The recorder sits
 	// entirely at the serving layer — sealing it never touches the

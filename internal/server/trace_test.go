@@ -350,6 +350,7 @@ func TestPromSingleNodeFamiliesStable(t *testing.T) {
 		"mfserved_requests_routed_total", "mfserved_slo_requests_total",
 		"mfserved_slo_target_seconds", "mfserved_slo_attainment_ratio",
 		"mfserved_slo_burn_rate", "mfserved_cluster_members",
+		"mfserved_workload_requests_total",
 	} {
 		if fams[gated] {
 			t.Errorf("family %s leaked into the default single-node exposition", gated)
@@ -362,6 +363,9 @@ func TestPromSingleNodeFamiliesStable(t *testing.T) {
 	want := []string{
 		"mfserved_astar_expanded_total",
 		"mfserved_astar_heap_peak",
+		"mfserved_batch_members_deduped_total",
+		"mfserved_batch_members_total",
+		"mfserved_batch_requests_total",
 		"mfserved_breaker_open",
 		"mfserved_cache_bytes",
 		"mfserved_cache_entries",
