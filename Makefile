@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot check bench bench-smoke bench-load bench-multicore cluster-bench load-bench verify regress table1 clean
+.PHONY: all build vet test race race-hot check bench bench-smoke bench-load bench-multicore cluster-bench load-bench session-bench overload-bench verify regress table1 clean
 
 all: check
 
@@ -96,6 +96,23 @@ cluster-bench:
 load-bench:
 	$(GO) run ./cmd/mfload -spawn -profile steady -duration 5s -o BENCH_load.json
 	$(GO) run ./cmd/mfbench -regress BENCH_load.json -bench Synthetic1
+
+# Online-repair workload: replay the session profile (closed-loop chip
+# sessions with seeded mid-assay fault reports) against an in-process
+# server, gate the report's Synthetic1 reference entry, then print the
+# incremental-repair-vs-full-resynthesis comparison table.
+session-bench:
+	$(GO) run ./cmd/mfload -spawn -profile session -duration 5s -o BENCH_session.json
+	$(GO) run ./cmd/mfbench -regress BENCH_session.json -bench Synthetic1
+	$(GO) run ./cmd/mfbench -repair
+
+# Overload envelope: drive the breaker/shed path on a deliberately tiny
+# spawned server (1 worker, 8-deep queue). mfload itself enforces the
+# profile's bounded-nonzero shed-rate envelope and the >=1-completed
+# rule, so a server that never sheds — or dies — fails the target.
+overload-bench:
+	$(GO) run ./cmd/mfload -spawn -spawn-workers 1 -spawn-queue 8 -profile overload -duration 3s -o BENCH_overload.json
+	$(GO) run ./cmd/mfbench -regress BENCH_overload.json -bench Synthetic1
 
 # Independent audit of every benchmark's synthesized solution (and the
 # baseline-BA variant) against the from-scratch constraint model.

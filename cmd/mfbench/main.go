@@ -24,6 +24,15 @@
 //	                     # 4-worker pool; output is byte-identical to the
 //	                     # sequential router for every value
 //
+// Repair benchmark:
+//
+//	mfbench -repair
+//
+// synthesizes the tracked benchmarks, kills one routing-plane cell
+// mid-assay, and times internal/session's incremental repair against a
+// full from-scratch resynthesis of the same benchmark (the EXPERIMENTS
+// repair-vs-resynthesis table).
+//
 // Multicore scaling sweep:
 //
 //	mfbench -sweep BENCH_multicore.json
@@ -76,6 +85,7 @@ func main() {
 		temper  = flag.Int("tempering", 0, "parallel-tempering replica count (0 = off; overrides -portfolio when >= 2)")
 		routeW  = flag.Int("route-workers", 0, "concurrent wave-routing pool size (0/1 = sequential; result is identical)")
 		sweep   = flag.String("sweep", "", "measure the GOMAXPROCS scaling curve and write it to this JSON file")
+		repair  = flag.Bool("repair", false, "measure incremental session repair vs full resynthesis on single-cell faults (markdown table)")
 		regr    = flag.String("regress", "", "run the benchmark-regression gate against these baseline JSONs (comma-separated)")
 		regrOut = flag.String("regress-out", "", "with -regress: write the comparison report JSON to this file")
 		version = flag.Bool("version", false, "print version and exit")
@@ -110,6 +120,10 @@ func main() {
 	}
 	if *regr != "" {
 		runRegression(*regr, *regrOut, *bench, opts, *jobs)
+		return
+	}
+	if *repair {
+		runRepairBench(*bench, opts)
 		return
 	}
 

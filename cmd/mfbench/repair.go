@@ -1,0 +1,91 @@
+// -repair: the incremental-repair-vs-full-resynthesis comparison that
+// backs the EXPERIMENTS.md table. For each tracked benchmark it
+// synthesizes a solution, kills one routing-plane cell mid-assay (an
+// interior cell of a transport whose consumer has not executed at
+// makespan/2 — the paper's single-cell defect case), repairs the pinned
+// solution through internal/session's escalation ladder, and times that
+// against the alternative the session layer exists to avoid: throwing
+// the solution away and synthesizing from scratch.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/schedule"
+	"repro/internal/session"
+	"repro/internal/unit"
+)
+
+// repairSuffixCell picks the injected dead cell: mid-path on the first
+// transport still ahead of the mid-assay cut.
+func repairSuffixCell(sol *core.Solution) (route.Cell, unit.Time, bool) {
+	at := sol.Schedule.Makespan / 2
+	executed := schedule.Executed(sol.Schedule, at)
+	consumer := make(map[int]assay.OpID)
+	for _, tr := range sol.Schedule.Transports {
+		consumer[tr.ID] = tr.Consumer
+	}
+	for _, rt := range sol.Routing.Routes {
+		if !executed[consumer[rt.Task.ID]] && len(rt.Path) >= 3 {
+			return rt.Path[len(rt.Path)/2], at, true
+		}
+	}
+	return route.Cell{}, 0, false
+}
+
+// runRepairBench prints the comparison as a markdown table. Both sides
+// are measured on this host in this process: the resynthesis column is
+// a fresh core.Synthesize of the same benchmark at the same options,
+// the repair column is one session.Repair of a single-cell fault
+// report against the pinned solution.
+func runRepairBench(benchName string, opts core.Options) {
+	names := []string{"Synthetic3", "Synthetic4"}
+	if benchName != "" {
+		names = []string{benchName}
+	}
+	fmt.Printf("Single-cell fault at makespan/2, imax %d, seed %d:\n\n", opts.Place.Imax, opts.Place.Seed)
+	fmt.Println("| benchmark | dead cell | at | full resynthesis | incremental repair | rung | outcome | speedup |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, name := range names {
+		bm, err := benchdata.ByName(name)
+		if err != nil {
+			fail(err)
+		}
+		sol, err := core.Synthesize(bm.Graph, bm.Alloc, opts)
+		if err != nil {
+			fail(fmt.Errorf("%s: %v", name, err))
+		}
+		cell, at, ok := repairSuffixCell(sol)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mfbench: %s: no suffix transport to fault, skipped\n", name)
+			continue
+		}
+
+		t0 := time.Now()
+		if _, err := core.Synthesize(bm.Graph, bm.Alloc, opts); err != nil {
+			fail(fmt.Errorf("%s: resynthesis: %v", name, err))
+		}
+		fullMs := float64(time.Since(t0)) / float64(time.Millisecond)
+
+		sess, err := session.New(name, sol, bm.Alloc)
+		if err != nil {
+			fail(fmt.Errorf("%s: %v", name, err))
+		}
+		t1 := time.Now()
+		rec, err := sess.Repair(context.Background(),
+			session.FaultReport{At: at, Cells: []route.Cell{cell}})
+		repairMs := float64(time.Since(t1)) / float64(time.Millisecond)
+		if err != nil {
+			fail(fmt.Errorf("%s: repair: %v", name, err))
+		}
+		fmt.Printf("| %s | (%d,%d) | %s | %.1f ms | %.1f ms | %s | %s | %.1fx |\n",
+			name, cell.X, cell.Y, at, fullMs, repairMs, rec.Rung, rec.Outcome, fullMs/repairMs)
+	}
+}

@@ -190,11 +190,24 @@ func main() {
 		rep.Profile, rep.Completed, rep.Scheduled, rep.ThroughputPerS,
 		rep.LatencyMs.P50, rep.LatencyMs.P95, rep.LatencyMs.P99,
 		rep.CacheHitRate*100, rep.ShedRate*100, rep.ErrorRate*100)
+	if rep.Sessions > 0 {
+		fmt.Fprintf(os.Stderr,
+			"mfload: %s — %d sessions, %d repairs (%d repaired, %d degraded), %d abandoned\n",
+			rep.Profile, rep.Sessions, rep.Repairs, rep.Repaired, rep.DegradedRepairs, rep.Abandoned)
+	}
 
 	// An all-errors run means the server was absent or broken; exit
 	// non-zero so CI cannot archive a vacuous report as success.
 	if rep.Completed == 0 {
 		fail(1, "no request completed (errors %d, shed %d, rejected %d)", rep.Errors, rep.Shed, rep.Rejected)
+	}
+	// Profiles that declare a shed envelope (overload) must land inside
+	// it: a zero shed rate means the server was never saturated and the
+	// run proved nothing about the breaker/shed path; a rate at the
+	// ceiling means nothing got through.
+	if p.ShedCeil > 0 && (rep.ShedRate < p.ShedFloor || rep.ShedRate > p.ShedCeil) {
+		fail(1, "%s: shed rate %.3f outside the declared envelope [%.2f, %.2f]",
+			rep.Profile, rep.ShedRate, p.ShedFloor, p.ShedCeil)
 	}
 }
 

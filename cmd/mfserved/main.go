@@ -537,6 +537,15 @@ type chaosReport struct {
 	Failed   int `json:"failed"`
 	Rejected int `json:"rejected"`
 	Shed     int `json:"shed"`
+	// Chip-session lifecycles interleaved with the one-shot requests:
+	// Sessions counts sessions that opened, and each open session takes
+	// one fault report whose outcome lands in exactly one of the
+	// repaired/degraded/abandoned/failed buckets below.
+	Sessions         int `json:"sessions"`
+	SessionRepaired  int `json:"session_repaired"`
+	SessionDegraded  int `json:"session_degraded"`
+	SessionAbandoned int `json:"session_abandoned"`
+	SessionFailed    int `json:"session_failed"`
 	// Fires counts injected faults by point name.
 	Fires     map[string]int64 `json:"fault_fires"`
 	WallMs    float64          `json:"wall_ms"`
@@ -579,7 +588,14 @@ func runChaosBench(cfg server.Config, n int, seed uint64, outPath string) error 
 		go func(i int) {
 			defer wg.Done()
 			body := fmt.Sprintf(`{"bench":"Synthetic1","options":{"seed":%d}}`, i+1)
-			outcomes[i] = chaosRequest(ts.URL, body)
+			// Every fourth slot drives a chip-session lifecycle instead of
+			// a one-shot synthesis, so the session repair path — and its
+			// session.repair.fail injection point — sees chaos too.
+			if i%4 == 3 {
+				outcomes[i] = chaosSessionRequest(ts.URL, body)
+			} else {
+				outcomes[i] = chaosRequest(ts.URL, body)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -596,6 +612,18 @@ func runChaosBench(cfg server.Config, n int, seed uint64, outPath string) error 
 			rep.Rejected++
 		case "shed":
 			rep.Shed++
+		case "session-repaired":
+			rep.Sessions++
+			rep.SessionRepaired++
+		case "session-degraded":
+			rep.Sessions++
+			rep.SessionDegraded++
+		case "session-abandoned":
+			rep.Sessions++
+			rep.SessionAbandoned++
+		case "session-failed":
+			rep.Sessions++
+			rep.SessionFailed++
 		default:
 			return fmt.Errorf("chaos request %d never reached a terminal outcome: %s", i, o)
 		}
@@ -671,6 +699,72 @@ func chaosRequest(base, body string) string {
 		time.Sleep(2 * time.Millisecond)
 	}
 	return "poll timeout"
+}
+
+// chaosSessionRequest drives one chip-session lifecycle — open, one
+// fault report, close — and classifies its terminal outcome. Create
+// failures classify like one-shot requests (rejected/shed/failed); once
+// a session opens, the repair outcome lands in a session-* bucket.
+func chaosSessionRequest(base, body string) string {
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "transport error: " + err.Error()
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return "rejected"
+	case http.StatusServiceUnavailable:
+		return "shed"
+	case http.StatusInternalServerError:
+		return "failed" // injected synthesis fault during create
+	case http.StatusCreated:
+	default:
+		return fmt.Sprintf("unexpected create status %d: %s", resp.StatusCode, data)
+	}
+	var sr struct {
+		Session string `json:"session"`
+		Faults  string `json:"faults"`
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return "bad create body: " + err.Error()
+	}
+	fr := `{"at":0,"cells":[{"x":0,"y":0}]}`
+	resp, err = http.Post(base+sr.Faults, "application/json", strings.NewReader(fr))
+	if err != nil {
+		return "transport error: " + err.Error()
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	outcome := ""
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rr struct {
+			Record struct {
+				Outcome string `json:"outcome"`
+			} `json:"record"`
+		}
+		if err := json.Unmarshal(data, &rr); err != nil {
+			return "bad repair body: " + err.Error()
+		}
+		outcome = "session-" + rr.Record.Outcome
+	case http.StatusInternalServerError, http.StatusServiceUnavailable:
+		// session.repair.fail (or a timeout) aborted the repair before
+		// the ladder ran; the session itself stays live until closed.
+		outcome = "session-failed"
+	default:
+		return fmt.Sprintf("unexpected repair status %d: %s", resp.StatusCode, data)
+	}
+	if outcome != "session-abandoned" {
+		cr, err := http.Post(base+sr.Session+"/close", "application/json", nil)
+		if err != nil {
+			return "transport error: " + err.Error()
+		}
+		io.Copy(io.Discard, cr.Body)
+		cr.Body.Close()
+	}
+	return outcome
 }
 
 // oneRequest submits one synthesis request and waits for its job to

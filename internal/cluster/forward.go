@@ -27,6 +27,11 @@ const (
 	HeaderRequestID  = "X-Request-ID"
 	HeaderTraceID    = "X-Trace-ID"
 	HeaderParentSpan = "X-Parent-Span"
+	// HeaderSessionID pins a chip session's identity across proxy hops:
+	// sessions are stateful (unlike content-addressed solutions), so every
+	// node routes session traffic to the session ID's ring owner and the
+	// ID must survive the hop verbatim.
+	HeaderSessionID = "X-Session-ID"
 )
 
 // Hops parses the forwarded-hop count from a request header (0 when
@@ -289,6 +294,34 @@ func (c *Cluster) fetchJobSolution(ctx context.Context, owner, jobID, key, reque
 		return nil, fmt.Errorf("owner %s derived key %s, this node derived %s", owner, got, key)
 	}
 	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+}
+
+// Proxy relays one session request to the session's ring owner and
+// returns the owner's verbatim response. Unlike SynthesizeRemote there is
+// no submit/poll split — session operations answer synchronously — and
+// unlike FetchSolution a failure is surfaced to the caller, which decides
+// whether local handling is a safe degradation.
+func (c *Cluster) Proxy(ctx context.Context, peer, method, path, requestID, sessionID string, hops int, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, peer+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(HeaderRequestID, requestID)
+	req.Header.Set(HeaderSessionID, sessionID)
+	req.Header.Set(HeaderHops, strconv.Itoa(hops+1))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
 }
 
 // WriteBack opportunistically delivers a locally synthesized solution to

@@ -131,7 +131,13 @@ func TestChaosEveryPointFires(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				fireOne(t, ts.URL, i)
+				// Mix one-shot synthesis with chip-session traffic so the
+				// session repair path's injection point sees evaluations.
+				if i%2 == 1 {
+					fireSession(t, ts.URL, i)
+				} else {
+					fireOne(t, ts.URL, i)
+				}
 			}(seed + i)
 		}
 		wg.Wait()
@@ -151,6 +157,48 @@ func TestChaosEveryPointFires(t *testing.T) {
 		if st.Evals < st.Fires {
 			t.Errorf("point %s: fires %d > evals %d", pt, st.Fires, st.Evals)
 		}
+	}
+}
+
+// fireSession opens a chip session and injects one fault report into
+// it, accepting every explicit outcome the chaos plan can force: the
+// create may fail on an injected synthesis fault, the repair may be
+// aborted by session.repair.fail, and a clean pass repairs or degrades.
+func fireSession(t *testing.T, base string, i int) {
+	t.Helper()
+	body := fmt.Sprintf(`{"bench":"PCR","options":{"imax":60,"seed":%d}}`, i+1)
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("session %d: %v", i, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusCreated:
+	case http.StatusInternalServerError, http.StatusServiceUnavailable:
+		return // injected synthesis fault: explicit, typed, done
+	default:
+		t.Fatalf("session %d: create status %d: %s", i, resp.StatusCode, data)
+	}
+	var sr struct {
+		Faults string `json:"faults"`
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("session %d: decoding create: %v", i, err)
+	}
+	fr := `{"at":0,"cells":[{"x":0,"y":0}]}`
+	resp, err = http.Post(base+sr.Faults, "application/json", strings.NewReader(fr))
+	if err != nil {
+		t.Fatalf("session %d: fault report: %v", i, err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK: // repaired, degraded or abandoned — all explicit
+	case http.StatusInternalServerError, http.StatusServiceUnavailable:
+		// session.repair.fail aborted the repair before the ladder ran.
+	default:
+		t.Fatalf("session %d: fault status %d: %s", i, resp.StatusCode, data)
 	}
 }
 

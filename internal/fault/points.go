@@ -33,6 +33,9 @@ const (
 	// Chakrabarty's fault model): each free cell off the component port
 	// rings is evaluated once, in row-major order.
 	RouteCellBlocked Point = "route.cell.blocked"
+
+	// session: the long-lived chip-session repair path.
+	SessionRepairFail Point = "session.repair.fail" // fault-report repair aborts before the ladder runs
 )
 
 // PointInfo describes one registered injection point.
@@ -54,6 +57,7 @@ var registry = []PointInfo{
 	{PlaceStepFail, "annealing aborts at a temperature-step boundary"},
 	{RouteStepFail, "routing aborts at a task boundary"},
 	{RouteCellBlocked, "a free routing cell is defective (blocked)"},
+	{SessionRepairFail, "session repair aborts before the escalation ladder runs"},
 }
 
 // Points returns the full registered catalogue, in stable order.
@@ -94,5 +98,6 @@ func DefaultChaos(seed uint64) *Plan {
 	p.Arm(PlaceStepFail, Policy{Prob: 0.002, Limit: 4})
 	p.Arm(RouteStepFail, Policy{Prob: 0.008, Limit: 4})
 	p.Arm(RouteCellBlocked, Policy{Prob: 0.01})
+	p.Arm(SessionRepairFail, Policy{Prob: 0.05, Limit: 4})
 	return p
 }

@@ -68,6 +68,22 @@ type Profile struct {
 	// this many distinct synthesis seeds, so the cache sees repeats
 	// without every request being the same key. Minimum 1.
 	SeedVariants int
+	// SessionFaults turns items into chip-session lifecycles: each item
+	// opens a session (POST /v1/sessions) and injects this many seeded
+	// fault reports before closing, classifying every repair as
+	// repaired, degraded or abandoned. Zero keeps items as one-shot
+	// synthesis requests.
+	SessionFaults int
+	// ShedFloor/ShedCeil, when ShedCeil > 0, declare the profile's
+	// expected shed-rate envelope: the run must shed (429+503) at least
+	// ShedFloor and at most ShedCeil of its requests, or cmd/mfload
+	// exits non-zero. This is how the overload profile asserts that the
+	// breaker/shed path actually engaged — a zero shed rate means the
+	// server was never saturated and the run proved nothing — while the
+	// ceiling plus the existing ≥1-completed rule prove the service
+	// stayed alive under the abuse.
+	ShedFloor float64
+	ShedCeil  float64
 }
 
 // Profiles returns the built-in profiles in a fixed order.
@@ -100,6 +116,39 @@ func Profiles() []Profile {
 			Zipf:         1.1,
 			CorpusSize:   6,
 			SeedVariants: 1,
+		},
+		{
+			// Offered load far beyond any small server's capacity, with
+			// enough distinct synthesis seeds that the cache cannot absorb
+			// the excess: the queue fills, the 429/503 ladder engages, and
+			// the envelope asserts it did — while the server keeps
+			// completing the requests it admits. Run it against a
+			// deliberately small server (CI uses one worker and a
+			// single-digit queue); a large idle server absorbs the rate
+			// and fails the floor, which is the envelope doing its job.
+			Name:         "overload",
+			Description:  "open-loop overload (cold-key flood past capacity); asserts a bounded-nonzero shed rate",
+			OpenLoop:     true,
+			Rate:         300,
+			Concurrency:  512,
+			SeedVariants: 50,
+			ShedFloor:    0.02,
+			ShedCeil:     0.98,
+		},
+		{
+			// Closed-loop chip sessions over the Table I mix: every item
+			// opens a session, injects seeded mid-assay fault reports
+			// (dead cells drawn inside the smallest Table I routing plane)
+			// and closes, so the run measures the online-repair path —
+			// create latency, repair outcomes, abandonment — instead of
+			// the one-shot synthesis path.
+			Name:          "session",
+			Description:   "closed-loop chip sessions: open, inject seeded fault reports, classify repairs",
+			OpenLoop:      false,
+			Rate:          8,
+			Concurrency:   4,
+			SeedVariants:  2,
+			SessionFaults: 2,
 		},
 	}
 }

@@ -208,6 +208,114 @@ func TestRunReportStable(t *testing.T) {
 	}
 }
 
+// TestSessionScheduleShape pins the session-profile extras: every item
+// carries exactly SessionFaults seeded reports with monotone instants
+// and in-plane cells, non-session profiles carry none (so their
+// schedule bytes are untouched), and session schedules refuse batching.
+func TestSessionScheduleShape(t *testing.T) {
+	t.Parallel()
+	for _, p := range Profiles() {
+		s, err := Build(p, Options{Seed: 11, Duration: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for i, it := range s.Items {
+			if len(it.Faults) != p.SessionFaults {
+				t.Fatalf("%s: item %d has %d fault reports, want %d", p.Name, i, len(it.Faults), p.SessionFaults)
+			}
+			lastAt := -1
+			for j, fr := range it.Faults {
+				var rep struct {
+					At    int `json:"at"`
+					Cells []struct {
+						X int `json:"x"`
+						Y int `json:"y"`
+					} `json:"cells"`
+				}
+				dec := json.NewDecoder(bytes.NewReader(fr))
+				dec.DisallowUnknownFields()
+				if err := dec.Decode(&rep); err != nil {
+					t.Fatalf("%s: item %d fault %d: %v", p.Name, i, j, err)
+				}
+				if rep.At < lastAt {
+					t.Fatalf("%s: item %d fault %d at %d precedes %d", p.Name, i, j, rep.At, lastAt)
+				}
+				lastAt = rep.At
+				for _, c := range rep.Cells {
+					if c.X < 0 || c.Y < 0 || c.X >= faultPlaneBound || c.Y >= faultPlaneBound {
+						t.Fatalf("%s: item %d fault %d cell (%d,%d) outside [0,%d)", p.Name, i, j, c.X, c.Y, faultPlaneBound)
+					}
+				}
+			}
+		}
+		if p.SessionFaults > 0 {
+			if _, err := Build(p, Options{Seed: 11, Duration: 2 * time.Second, Batch: 4}); err == nil {
+				t.Fatalf("%s: batched session schedule built without error", p.Name)
+			}
+		}
+	}
+}
+
+// TestRunSessionProfile drives the session profile against a real
+// in-process server: every session must open, take its repairs, and the
+// report must classify each one.
+func TestRunSessionProfile(t *testing.T) {
+	t.Parallel()
+	srv, err := server.New(server.Config{Workers: 2, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	p, err := ByName("session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Build(p, Options{Seed: 3, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{BaseURL: ts.URL, Timeout: 120 * time.Second}
+	start := time.Now()
+	outcomes, err := runner.Run(context.Background(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outcomes {
+		if o.Status != "done" || !o.Session {
+			t.Fatalf("outcome %d: %+v", i, o)
+		}
+		if o.Repairs < 1 || o.Repaired+o.DegradedRepairs+btoi(o.Abandoned) != o.Repairs {
+			t.Fatalf("outcome %d repair accounting: %+v", i, o)
+		}
+		if !o.Abandoned && o.Repairs != p.SessionFaults {
+			t.Fatalf("outcome %d: surviving session took %d reports, want %d", i, o.Repairs, p.SessionFaults)
+		}
+	}
+	rep := Summarize(sched, outcomes, time.Since(start))
+	if rep.Sessions != rep.Scheduled || rep.Errors != 0 || rep.Failed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Repaired+rep.DegradedRepairs+rep.Abandoned != rep.Repairs {
+		t.Fatalf("report repair accounting: %+v", rep)
+	}
+	if rep.Repairs == 0 {
+		t.Fatal("session run accepted zero repairs")
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // TestRunBatchMode ships the same schedule through the batch endpoint
 // and expects identical member-level outcomes.
 func TestRunBatchMode(t *testing.T) {

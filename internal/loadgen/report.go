@@ -45,6 +45,16 @@ type Report struct {
 	CacheHits int `json:"cache_hits"`
 	Degraded  int `json:"degraded"`
 
+	// Session-profile aggregates (omitted for profiles that never open
+	// a session): sessions that opened, fault reports the service
+	// accepted, and the repaired/degraded/abandoned classification of
+	// every repair.
+	Sessions        int `json:"sessions,omitempty"`
+	Repairs         int `json:"repairs,omitempty"`
+	Repaired        int `json:"repaired,omitempty"`
+	DegradedRepairs int `json:"degraded_repairs,omitempty"`
+	Abandoned       int `json:"abandoned,omitempty"`
+
 	ErrorRate    float64 `json:"error_rate"`
 	ShedRate     float64 `json:"shed_rate"`
 	DegradedRate float64 `json:"degraded_rate"`
@@ -88,6 +98,15 @@ func Summarize(s *Schedule, outcomes []Outcome, wall time.Duration) Report {
 	var lats []float64
 	var sum float64
 	for _, o := range outcomes {
+		if o.Session {
+			rep.Sessions++
+			rep.Repairs += o.Repairs
+			rep.Repaired += o.Repaired
+			rep.DegradedRepairs += o.DegradedRepairs
+			if o.Abandoned {
+				rep.Abandoned++
+			}
+		}
 		switch o.Status {
 		case "done":
 			rep.Completed++

@@ -26,6 +26,17 @@ type Outcome struct {
 	Degraded  bool    `json:"degraded,omitempty"`
 	LatencyMs float64 `json:"latency_ms"`
 	Err       string  `json:"error,omitempty"`
+
+	// Session-profile extras (items that carry fault reports). Session
+	// reports whether a session actually opened; the counters classify
+	// its accepted repairs. An abandoned session is still Status "done"
+	// — abandonment is the service's explicit verdict that the assay is
+	// unrepairable, not a workload failure — with Abandoned set.
+	Session         bool `json:"session,omitempty"`
+	Repairs         int  `json:"repairs,omitempty"`
+	Repaired        int  `json:"repaired,omitempty"`
+	DegradedRepairs int  `json:"degraded_repairs,omitempty"`
+	Abandoned       bool `json:"abandoned,omitempty"`
 }
 
 // Runner executes a schedule against one mfserved base URL.
@@ -109,9 +120,12 @@ func (r *Runner) Run(ctx context.Context, s *Schedule) ([]Outcome, error) {
 			return
 		}
 		defer func() { <-sem }()
-		if len(g.items) == 1 && s.Batch <= 0 {
+		switch {
+		case len(g.items) == 1 && len(g.items[0].Faults) > 0:
+			r.runSession(ctx, s.Profile, g.items[0])
+		case len(g.items) == 1 && s.Batch <= 0:
 			r.runSingle(ctx, s.Profile, g.items[0])
-		} else {
+		default:
 			r.runBatch(ctx, s.Profile, g.items)
 		}
 	}
@@ -237,6 +251,109 @@ func (r *Runner) runSingle(ctx context.Context, profile string, it Item) {
 		return
 	}
 	r.record(r.await(cctx, it, sub.JobID, sub.Cached, start))
+}
+
+// runSession drives one chip-session lifecycle: open the session with
+// the item body, inject each fault report in order, close. The session
+// create is synchronous (no job to poll), so the outcome latency spans
+// the whole lifecycle including every repair.
+func (r *Runner) runSession(ctx context.Context, profile string, it Item) {
+	start := time.Now()
+	cctx, cancel := context.WithTimeout(ctx, r.Timeout)
+	defer cancel()
+	o := Outcome{Index: it.Index, Source: it.Source}
+	fail := func(err string) {
+		o.Status, o.Err, o.LatencyMs = "failed", err, msSince(start)
+		r.record(o)
+	}
+	code, data, err := r.post(cctx, "/v1/sessions", profile, it.Body)
+	if err != nil {
+		o.Status, o.Err, o.LatencyMs = "error", err.Error(), msSince(start)
+		r.record(o)
+		return
+	}
+	switch code {
+	case http.StatusCreated:
+	case http.StatusTooManyRequests:
+		o.Status, o.LatencyMs = "rejected", msSince(start)
+		r.record(o)
+		return
+	case http.StatusServiceUnavailable:
+		o.Status, o.LatencyMs = "shed", msSince(start)
+		r.record(o)
+		return
+	case http.StatusInternalServerError:
+		fail(strings.TrimSpace(string(data)))
+		return
+	default:
+		o.Status, o.LatencyMs = "error", msSince(start)
+		o.Err = fmt.Sprintf("create: HTTP %d: %s", code, strings.TrimSpace(string(data)))
+		r.record(o)
+		return
+	}
+	var sess struct {
+		ID      string `json:"id"`
+		Cached  bool   `json:"cached"`
+		Session string `json:"session"`
+		Faults  string `json:"faults"`
+	}
+	if err := json.Unmarshal(data, &sess); err != nil {
+		o.Status, o.Err, o.LatencyMs = "error", err.Error(), msSince(start)
+		r.record(o)
+		return
+	}
+	o.Session, o.Cached = true, sess.Cached
+
+	for i, fr := range it.Faults {
+		code, data, err := r.post(cctx, sess.Faults, profile, fr)
+		if err != nil {
+			o.Status, o.Err, o.LatencyMs = "error", err.Error(), msSince(start)
+			r.record(o)
+			return
+		}
+		if code != http.StatusOK {
+			fail(fmt.Sprintf("fault %d: HTTP %d: %s", i, code, strings.TrimSpace(string(data))))
+			return
+		}
+		var rr struct {
+			Record struct {
+				Outcome string `json:"outcome"`
+			} `json:"record"`
+		}
+		if err := json.Unmarshal(data, &rr); err != nil {
+			o.Status, o.Err, o.LatencyMs = "error", err.Error(), msSince(start)
+			r.record(o)
+			return
+		}
+		o.Repairs++
+		switch rr.Record.Outcome {
+		case "repaired":
+			o.Repaired++
+		case "degraded":
+			o.DegradedRepairs++
+			o.Degraded = true
+		case "abandoned":
+			// The service's explicit verdict: the assay is lost. No more
+			// reports can land and there is nothing to close.
+			o.Abandoned = true
+			o.Status, o.LatencyMs = "done", msSince(start)
+			r.record(o)
+			return
+		default:
+			fail(fmt.Sprintf("fault %d: unknown repair outcome %q", i, rr.Record.Outcome))
+			return
+		}
+	}
+	if code, data, err := r.post(cctx, sess.Session+"/close", profile, nil); err != nil {
+		o.Status, o.Err, o.LatencyMs = "error", err.Error(), msSince(start)
+		r.record(o)
+		return
+	} else if code != http.StatusOK {
+		fail(fmt.Sprintf("close: HTTP %d: %s", code, strings.TrimSpace(string(data))))
+		return
+	}
+	o.Status, o.LatencyMs = "done", msSince(start)
+	r.record(o)
 }
 
 func (r *Runner) runBatch(ctx context.Context, profile string, items []Item) {

@@ -48,6 +48,11 @@ type Item struct {
 	At     time.Duration   `json:"at_ns"`
 	Source string          `json:"source"`
 	Body   json.RawMessage `json:"body"`
+	// Faults, when non-empty, makes the item a chip-session lifecycle:
+	// Body opens the session and each entry is one fault-report body
+	// injected in order before the session is closed. omitempty keeps
+	// the schedule bytes of the non-session profiles unchanged.
+	Faults []json.RawMessage `json:"faults,omitempty"`
 }
 
 // Schedule is a fully materialized run plan. Marshaling it yields the
@@ -126,6 +131,33 @@ func universe(p Profile, src *rng.Source) []source {
 	return u
 }
 
+// faultPlaneBound and faultAtSpanMs bound the seeded fault reports so
+// they are valid against every Table I benchmark at the default load
+// effort: the smallest routing plane is PCR's 26x26 and the shortest
+// makespan 24.2s, so dead cells drawn in [0,26)² at instants within the
+// first 12s (two reports x 6s span) are in-plane and mid-assay on every
+// pinned solution the session profile can open.
+const (
+	faultPlaneBound = 26
+	faultAtSpanMs   = 6000
+)
+
+// faultReports renders n seeded fault-report bodies with monotone
+// observation instants — the session API rejects time travel — each
+// killing one routing-plane cell. Like benchBody, the bytes come from a
+// literal, so the schedule stays byte-stable.
+func faultReports(src *rng.Source, n int) []json.RawMessage {
+	out := make([]json.RawMessage, 0, n)
+	at := 0
+	for i := 0; i < n; i++ {
+		at += src.Intn(faultAtSpanMs + 1)
+		x, y := src.Intn(faultPlaneBound), src.Intn(faultPlaneBound)
+		out = append(out, json.RawMessage(
+			fmt.Sprintf(`{"at":%d,"cells":[{"x":%d,"y":%d}]}`, at, x, y)))
+	}
+	return out
+}
+
 // pick draws one universe index. Uniform when zipf is 0, else weighted
 // 1/(rank+1)^zipf via the precomputed cumulative weights.
 func pick(src *rng.Source, cum []float64) int {
@@ -179,6 +211,9 @@ func Build(p Profile, opts Options) (*Schedule, error) {
 	if variants < 1 {
 		variants = 1
 	}
+	if p.SessionFaults > 0 && opts.Batch > 0 {
+		return nil, fmt.Errorf("profile %s opens sessions; the batch endpoint cannot carry them", p.Name)
+	}
 
 	src := rng.New(opts.Seed ^ 0x6d666c6f61640a01) // domain-separate from synthesis seeds
 	u := universe(p, src)
@@ -219,12 +254,16 @@ func Build(p Profile, opts Options) (*Schedule, error) {
 		if err != nil {
 			return nil, fmt.Errorf("item %d (%s): %v", i, u[idx].tag, err)
 		}
-		s.Items = append(s.Items, Item{
+		it := Item{
 			Index:  i,
 			At:     at,
 			Source: fmt.Sprintf("%s#s%d", u[idx].tag, synthSeed),
 			Body:   body,
-		})
+		}
+		if p.SessionFaults > 0 {
+			it.Faults = faultReports(src, p.SessionFaults)
+		}
+		s.Items = append(s.Items, it)
 	}
 	return s, nil
 }

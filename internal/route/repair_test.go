@@ -1,0 +1,166 @@
+package route
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestRepairNoFaultReproducesRouting(t *testing.T) {
+	sr, comps, pl := pipeline(t, "Synthetic3", false)
+	pr := DefaultParams()
+	res, err := Route(sr, comps, pl, pr)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	prev := make(map[int][]Cell, len(res.Routes))
+	for _, rt := range res.Routes {
+		prev[rt.Task.ID] = rt.Path
+	}
+	rep, err := Repair(context.Background(), sr, comps, pl, pr, RepairSpec{PrevPaths: prev})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	// With no defects and full path reuse, the repaired routing is the
+	// original routing.
+	if !reflect.DeepEqual(rep.Routes, res.Routes) {
+		t.Error("no-fault repair drifted from the original routing")
+	}
+	if err := Validate(rep, sr, comps, pl, pr); err != nil {
+		t.Fatalf("repaired routing invalid: %v", err)
+	}
+}
+
+func TestRepairAvoidsDefectsAndFreezesHistory(t *testing.T) {
+	sr, comps, pl := pipeline(t, "Synthetic3", false)
+	pr := DefaultParams()
+	pr.RipUpRounds = 3
+	res, err := Route(sr, comps, pl, pr)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	prev := make(map[int][]Cell, len(res.Routes))
+	for _, rt := range res.Routes {
+		prev[rt.Task.ID] = rt.Path
+	}
+
+	// Cut mid-assay: transports already departed are frozen.
+	at := sr.Makespan / 2
+	frozen := map[int]bool{}
+	for _, tr := range sr.Transports {
+		if tr.Depart < at {
+			frozen[tr.ID] = true
+		}
+	}
+	// Kill a cell on the path of some non-frozen transport, so the repair
+	// has real work.
+	var defect Cell
+	found := false
+	for _, rt := range res.Routes {
+		if frozen[rt.Task.ID] || len(rt.Path) < 3 {
+			continue
+		}
+		defect = rt.Path[len(rt.Path)/2]
+		found = true
+		break
+	}
+	if !found {
+		t.Skip("no suffix transport with an interior cell")
+	}
+
+	spec := RepairSpec{Defects: []Cell{defect}, Frozen: frozen, PrevPaths: prev}
+	rep, err := Repair(context.Background(), sr, comps, pl, pr, spec)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if err := Validate(rep, sr, comps, pl, pr); err != nil {
+		t.Fatalf("repaired routing invalid: %v", err)
+	}
+	if rep.DefectCells != 1 {
+		t.Errorf("DefectCells = %d, want 1", rep.DefectCells)
+	}
+	for _, rt := range rep.Routes {
+		if frozen[rt.Task.ID] {
+			if !reflect.DeepEqual(rt.Path, prev[rt.Task.ID]) {
+				t.Errorf("frozen task %d path drifted", rt.Task.ID)
+			}
+			continue
+		}
+		for _, c := range rt.Path {
+			if c == defect {
+				t.Errorf("re-planned task %d crosses the dead cell %v", rt.Task.ID, c)
+			}
+		}
+	}
+
+	// Determinism: same spec, same routing, byte for byte.
+	again, err := Repair(context.Background(), sr, comps, pl, pr, spec)
+	if err != nil {
+		t.Fatalf("second Repair: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Routes, again.Routes) {
+		t.Error("repair is not deterministic")
+	}
+}
+
+func TestRepairFrozenTaskNeedsPath(t *testing.T) {
+	sr, comps, pl := pipeline(t, "PCR", false)
+	pr := DefaultParams()
+	if len(sr.Transports) == 0 {
+		t.Skip("PCR scheduled without transports")
+	}
+	spec := RepairSpec{Frozen: map[int]bool{sr.Transports[0].ID: true}}
+	if _, err := Repair(context.Background(), sr, comps, pl, pr, spec); err == nil {
+		t.Fatal("Repair accepted a frozen task without a previous path")
+	}
+}
+
+// TestRepairSuffixRescheduleRoundTrip drives the two layers together: cut
+// the schedule, reschedule the suffix, and re-route with the frozen edges
+// carried over by (producer, consumer) edge identity.
+func TestRepairSuffixRescheduleRoundTrip(t *testing.T) {
+	sr, comps, pl := pipeline(t, "Synthetic4", false)
+	pr := DefaultParams()
+	pr.RipUpRounds = 3
+	res, err := Route(sr, comps, pl, pr)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	at := sr.Makespan / 3
+	re, err := schedule.RescheduleSuffix(sr, at, nil)
+	if err != nil {
+		t.Fatalf("RescheduleSuffix: %v", err)
+	}
+
+	// Carry previous paths across the reschedule keyed by edge: transport
+	// IDs are renumbered, edges are stable.
+	type edge struct{ p, c int }
+	prevByEdge := make(map[edge][]Cell)
+	taskOf := make(map[int]schedule.Transport)
+	for _, tr := range sr.Transports {
+		taskOf[tr.ID] = tr
+	}
+	for _, rt := range res.Routes {
+		tr := taskOf[rt.Task.ID]
+		prevByEdge[edge{int(tr.Producer), int(tr.Consumer)}] = rt.Path
+	}
+	spec := RepairSpec{Frozen: map[int]bool{}, PrevPaths: map[int][]Cell{}}
+	executed := schedule.Executed(re, at)
+	for _, tr := range re.Transports {
+		if p, ok := prevByEdge[edge{int(tr.Producer), int(tr.Consumer)}]; ok {
+			spec.PrevPaths[tr.ID] = p
+		}
+		if executed[tr.Consumer] {
+			spec.Frozen[tr.ID] = true
+		}
+	}
+	rep, err := Repair(context.Background(), re, comps, pl, pr, spec)
+	if err != nil {
+		t.Fatalf("Repair after reschedule: %v", err)
+	}
+	if err := Validate(rep, re, comps, pl, pr); err != nil {
+		t.Fatalf("repaired routing invalid against rescheduled suffix: %v", err)
+	}
+}

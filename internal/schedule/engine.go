@@ -32,6 +32,13 @@ type token struct {
 	cacheIdx  int       // index into Result.Caches, -1 when never cached
 	maxDepart unit.Time // latest departure committed so far
 	trIdxs    []int     // indices of committed transports of this fluid
+	// floor is the earliest instant the fluid may be evicted into channel
+	// storage. It is zero — and therefore inert — for every fresh
+	// scheduling run; only suffix rescheduling (see suffix.go) sets it, to
+	// pin resumed tokens to the execution cut: a fluid that physically sat
+	// inside its component when the fault was reported cannot be evicted
+	// retroactively before the report instant.
+	floor unit.Time
 }
 
 // compState is the evolving timeline of one allocated component.
@@ -57,12 +64,24 @@ type engine struct {
 	comps  []compState
 	tokens []*token // indexed by producer OpID; nil until produced
 	res    *Result
+	// Suffix-rescheduling state (see suffix.go). banned marks components
+	// that may no longer be bound (reported failed mid-assay); notBefore
+	// clamps every newly derived start time to the execution cut. Both are
+	// zero-valued — and therefore inert — on every fresh scheduling run.
+	banned    []bool
+	notBefore unit.Time
 	// Telemetry (integer accumulators only — the obs hooks read schedule
 	// state but never influence it; see the obs determinism contract).
 	tr          *obs.Tracer
 	caseI       int       // in-place consumptions (Algorithm 1 Case I)
 	caseII      int       // earliest-start bindings (Case II)
 	washAvoided unit.Time // component wash time eliminated by Case I
+}
+
+// usable reports whether component c may take new bindings. Fresh runs
+// have no banned set and every component is usable.
+func (e *engine) usable(c chip.CompID) bool {
+	return e.banned == nil || !e.banned[c]
 }
 
 // run schedules g on comps using the given binding strategy. It polls
@@ -119,6 +138,23 @@ func run(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Optio
 		}
 	}
 
+	scheduled, err := e.drain(ctx, b, q, pending)
+	if err != nil {
+		return nil, err
+	}
+	if scheduled != g.NumOps() {
+		return nil, fmt.Errorf("schedule: only %d of %d operations scheduled", scheduled, g.NumOps())
+	}
+	e.finish(scheduled)
+	return e.res, nil
+}
+
+// drain runs the priority loop until the ready queue empties, returning
+// the number of operations committed. It is shared between fresh runs and
+// suffix rescheduling, which seeds the queue with only not-yet-executed
+// operations.
+func (e *engine) drain(ctx context.Context, b binder, q *opQueue, pending []int) (int, error) {
+	g := e.g
 	// Assays are small (hundreds of ops) and commits are cheap, so a
 	// sparse poll keeps the cancellation overhead unmeasurable. The fault
 	// check shares the poll boundary: like the ctx poll it reads no
@@ -130,20 +166,24 @@ func run(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Optio
 	for q.Len() > 0 {
 		if scheduled%pollEvery == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("schedule: %q aborted: %w", g.Name(), err)
+				return scheduled, fmt.Errorf("schedule: %q aborted: %w", g.Name(), err)
 			}
 			if err := flt.Err(fault.ScheduleStepFail); err != nil {
-				return nil, fmt.Errorf("schedule: %q aborted: %w", g.Name(), err)
+				return scheduled, fmt.Errorf("schedule: %q aborted: %w", g.Name(), err)
 			}
 		}
 		op := g.Op(heap.Pop(q).(assay.OpID))
 		c := b.choose(e, op)
 		if c == chip.NoComp || int(c) >= len(e.comps) {
-			return nil, fmt.Errorf("schedule: binder returned invalid component for %q", op.Name)
+			return scheduled, fmt.Errorf("schedule: binder returned invalid component for %q", op.Name)
 		}
 		if e.comps[c].comp.Kind.Type != op.Type {
-			return nil, fmt.Errorf("schedule: binder bound %v operation %q to %s",
+			return scheduled, fmt.Errorf("schedule: binder bound %v operation %q to %s",
 				op.Type, op.Name, e.comps[c].comp.Name())
+		}
+		if !e.usable(c) {
+			return scheduled, fmt.Errorf("schedule: binder bound %q to failed component %s",
+				op.Name, e.comps[c].comp.Name())
 		}
 		e.commit(op, c)
 		scheduled++
@@ -154,10 +194,12 @@ func run(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Optio
 			}
 		}
 	}
-	if scheduled != g.NumOps() {
-		return nil, fmt.Errorf("schedule: only %d of %d operations scheduled", scheduled, g.NumOps())
-	}
+	return scheduled, nil
+}
 
+// finish computes the makespan over all committed rows and emits the
+// scheduling telemetry.
+func (e *engine) finish(scheduled int) {
 	for _, bo := range e.res.Ops {
 		if bo.End > e.res.Makespan {
 			e.res.Makespan = bo.End
@@ -172,7 +214,6 @@ func run(ctx context.Context, g *assay.Graph, comps []chip.Component, opts Optio
 		Caches:        len(e.res.Caches),
 		MakespanMs:    int64(e.res.Makespan),
 	})
-	return e.res, nil
 }
 
 // readyTime returns the earliest instant a new operation op could start on
@@ -186,6 +227,10 @@ func (e *engine) readyTime(c chip.CompID, op assay.Operation) (unit.Time, assay.
 		return unit.MaxTime(cs.lastEnd, cs.washReady), assay.NoOp
 	}
 	tk := cs.resident
+	// The eviction instant of the resident fluid is bounded below both by
+	// the component's last operation and by the token's eviction floor
+	// (zero except for tokens resumed at an execution cut; see suffix.go).
+	evictBase := unit.MaxTime(cs.lastEnd, tk.floor)
 	if e.isParent(tk.producer, op.ID) {
 		if tk.remaining == 1 {
 			// Case-I consumption: the operation runs where its input
@@ -198,10 +243,10 @@ func (e *engine) readyTime(c chip.CompID, op assay.Operation) (unit.Time, assay.
 		// from the channel. Both the wash and the channel hop must fit
 		// between eviction and start.
 		d := unit.MaxTime(tk.washDur, e.opts.TC)
-		return cs.lastEnd + d, assay.NoOp
+		return evictBase + d, assay.NoOp
 	}
 	// Unrelated resident fluid: evict to channel storage, then wash.
-	return cs.lastEnd + tk.washDur, assay.NoOp
+	return evictBase + tk.washDur, assay.NoOp
 }
 
 // isParent reports whether p is a father operation of o.
@@ -235,6 +280,9 @@ func (e *engine) startTime(c chip.CompID, op assay.Operation) (unit.Time, assay.
 			panic(fmt.Sprintf("schedule: output of %d consumed twice", p))
 		}
 	}
+	// Suffix rescheduling may not place new work before the execution cut;
+	// notBefore is zero for fresh runs, so this never moves a start there.
+	start = unit.MaxTime(start, e.notBefore)
 	return start, inPlaceParent
 }
 
@@ -324,6 +372,9 @@ func (e *engine) commit(op assay.Operation, c chip.CompID) {
 // evict moves the resident fluid of cs into channel storage at instant at,
 // starts the component wash, and opens a channel-cache episode.
 func (e *engine) evict(cs *compState, tk *token, at unit.Time) {
+	if at < tk.floor {
+		at = tk.floor
+	}
 	if at < cs.lastEnd {
 		at = cs.lastEnd
 	}

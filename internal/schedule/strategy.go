@@ -38,6 +38,9 @@ func (dcsaBinder) choose(e *engine, op assay.Operation) chip.CompID {
 		if tk == nil || tk.state != tokenInComp || tk.remaining != 1 {
 			continue
 		}
+		if !e.usable(tk.comp) {
+			continue
+		}
 		if best == chip.NoComp || pop.Output.D < bestD ||
 			(pop.Output.D == bestD && p < bestParent) {
 			best = tk.comp
@@ -64,7 +67,7 @@ func earliestStart(e *engine, op assay.Operation) chip.CompID {
 	var bestWash unit.Time // wash of the resident we would evict; 0 if none
 	for i := range e.comps {
 		cs := &e.comps[i]
-		if cs.comp.Kind.Type != op.Type {
+		if cs.comp.Kind.Type != op.Type || !e.usable(cs.comp.ID) {
 			continue
 		}
 		t, _ := e.startTime(cs.comp.ID, op)
@@ -98,7 +101,7 @@ func earliestReady(e *engine, op assay.Operation) chip.CompID {
 	var bestT unit.Time
 	for i := range e.comps {
 		cs := &e.comps[i]
-		if cs.comp.Kind.Type != op.Type {
+		if cs.comp.Kind.Type != op.Type || !e.usable(cs.comp.ID) {
 			continue
 		}
 		t, _ := e.readyTime(cs.comp.ID, op)

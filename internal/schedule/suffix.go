@@ -1,0 +1,357 @@
+package schedule
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/assay"
+	"repro/internal/chip"
+	"repro/internal/obs"
+	"repro/internal/unit"
+)
+
+// Suffix rescheduling re-enters the list scheduler at an execution cut:
+// given a complete schedule, a report instant, and a set of failed
+// components, it keeps every operation that has already started (the
+// executed prefix) byte-for-byte intact and re-derives only the rest on
+// the surviving components. The prefix is never replayed through the
+// binder — its rows, transports, caches and washes are transplanted from
+// the previous result — so the frozen history cannot drift, no matter how
+// the suffix is rebound.
+//
+// The cut is taken on operation start times: an operation with
+// Start < at has been issued on the physical chip and is immutable (even
+// if it finishes after the cut); everything else, including channel-cache
+// evictions that only served not-yet-started consumers, is re-plannable.
+// Physically this models a controller that, upon receiving a fault
+// report, lets running operations complete and holds every fluid whose
+// next consumer has not started inside its producing component until the
+// repaired plan takes over.
+
+// Typed infeasibility causes. A session maps these to the "abandoned"
+// outcome: no amount of rescheduling can recover from them.
+var (
+	// ErrMidExecution: an operation was running on a component at the
+	// instant that component was reported failed.
+	ErrMidExecution = errors.New("operation mid-execution on failed component")
+	// ErrFluidLost: a fluid was resident inside a failed component while
+	// later operations still need aliquots of it.
+	ErrFluidLost = errors.New("fluid resident in failed component")
+	// ErrNoComponent: an unexecuted operation's type has no surviving
+	// component left to run on.
+	ErrNoComponent = errors.New("no surviving component for operation type")
+)
+
+// Executed reports, per operation, whether it belongs to the executed
+// prefix of r at cut instant at (operation start strictly before the
+// cut). This is the single definition of the prefix shared by the
+// rescheduler, the route repairer and the repair auditor.
+func Executed(r *Result, at unit.Time) []bool {
+	ex := make([]bool, len(r.Ops))
+	for i, bo := range r.Ops {
+		ex[i] = bo.Start < at
+	}
+	return ex
+}
+
+// RescheduleSuffix rebuilds the not-yet-executed suffix of prev on the
+// surviving components. banned is indexed by component ID (nil means no
+// component failed); at is the execution cut. The executed prefix of the
+// returned result — operation rows, the transports serving them, and the
+// cache/wash episodes they caused — is identical to prev's; every newly
+// derived start time is at or after the cut. The suffix is bound with the
+// paper's DCSA-aware strategy (Algorithm 1), restricted to usable
+// components.
+func RescheduleSuffix(prev *Result, at unit.Time, banned []bool) (*Result, error) {
+	return RescheduleSuffixContext(context.Background(), prev, at, banned)
+}
+
+// RescheduleSuffixContext is RescheduleSuffix with cancellation and
+// fault-plan polling (same contract as ScheduleContext).
+func RescheduleSuffixContext(ctx context.Context, prev *Result, at unit.Time, banned []bool) (*Result, error) {
+	if prev == nil || prev.Assay == nil {
+		return nil, fmt.Errorf("schedule: reschedule of nil result")
+	}
+	g := prev.Assay
+	if banned != nil && len(banned) != len(prev.Comps) {
+		return nil, fmt.Errorf("schedule: banned set covers %d of %d components", len(banned), len(prev.Comps))
+	}
+	if len(prev.Ops) != g.NumOps() {
+		return nil, fmt.Errorf("schedule: previous result covers %d of %d operations", len(prev.Ops), g.NumOps())
+	}
+
+	executed := Executed(prev, at)
+	// The cut is ancestor-closed by construction (a parent ends at or
+	// before its child starts, and durations are positive); verify anyway
+	// so a corrupted input fails loudly instead of producing a schedule
+	// that silently violates precedence.
+	for id := 0; id < g.NumOps(); id++ {
+		if !executed[id] {
+			continue
+		}
+		for _, p := range g.Parents(assay.OpID(id)) {
+			if !executed[p] {
+				return nil, fmt.Errorf("schedule: execution cut at %v is not ancestor-closed (op %d executed, parent %d not)", at, id, p)
+			}
+		}
+	}
+
+	isBanned := func(c chip.CompID) bool { return banned != nil && banned[c] }
+
+	// Infeasibility screens. Mid-execution first: a banned component that
+	// was busy across the cut has destroyed the operation it was running.
+	for id, bo := range prev.Ops {
+		if executed[id] && isBanned(bo.Comp) && bo.End > at {
+			return nil, fmt.Errorf("schedule: op %d runs on failed component %d across the cut: %w", id, bo.Comp, ErrMidExecution)
+		}
+	}
+	// Type coverage for the suffix on surviving components.
+	have := make([]int, assay.NumOpTypes)
+	for _, c := range prev.Comps {
+		if !isBanned(c.ID) {
+			have[c.Kind.Type]++
+		}
+	}
+	for id := 0; id < g.NumOps(); id++ {
+		if executed[id] {
+			continue
+		}
+		if t := g.Op(assay.OpID(id)).Type; have[t] == 0 {
+			return nil, fmt.Errorf("schedule: %v operations have no surviving component: %w", t, ErrNoComponent)
+		}
+	}
+
+	e := &engine{
+		g:      g,
+		opts:   prev.Opts,
+		tr:     obs.From(ctx),
+		comps:  make([]compState, len(prev.Comps)),
+		tokens: make([]*token, g.NumOps()),
+		res: &Result{
+			Assay: g,
+			Comps: append([]chip.Component(nil), prev.Comps...),
+			Opts:  prev.Opts,
+			Ops:   make([]BoundOp, g.NumOps()),
+		},
+		banned:    banned,
+		notBefore: at,
+	}
+	for i, c := range prev.Comps {
+		if c.ID != chip.CompID(i) {
+			return nil, fmt.Errorf("schedule: component %d has non-dense ID %d", i, c.ID)
+		}
+		e.comps[i] = compState{comp: c}
+	}
+
+	// Transplant the executed rows and per-component timelines.
+	for id, bo := range prev.Ops {
+		if !executed[id] {
+			continue
+		}
+		e.res.Ops[id] = bo
+		if cs := &e.comps[bo.Comp]; bo.End > cs.lastEnd {
+			cs.lastEnd = bo.End
+		}
+	}
+
+	// Frozen transports: those serving executed consumers. They are
+	// copied in prev order with IDs renumbered to stay equal to their
+	// index; new suffix transports will append after them.
+	frozenDepart := make(map[assay.OpID]unit.Time) // producer -> latest frozen departure
+	frozenFromChannel := make(map[assay.OpID]bool) // producer drew a frozen aliquot from channel
+	for _, tr := range prev.Transports {
+		if !executed[tr.Consumer] {
+			continue
+		}
+		tr.ID = len(e.res.Transports)
+		e.res.Transports = append(e.res.Transports, tr)
+		if tr.Depart > frozenDepart[tr.Producer] {
+			frozenDepart[tr.Producer] = tr.Depart
+		}
+		if tr.FromChannel {
+			frozenFromChannel[tr.Producer] = true
+		}
+	}
+
+	// A cache episode is frozen — the eviction physically happened before
+	// the cut — iff an executed consumer drew from it, or an executed
+	// operation reused the source component at or after the eviction (the
+	// eviction was forced by that operation's commit). Otherwise the
+	// eviction only served re-plannable work: the repaired plan holds the
+	// fluid in its component instead, and the episode is dropped.
+	cacheOf := make(map[assay.OpID]int) // producer -> index into prev.Caches
+	for i, q := range prev.Caches {
+		if _, dup := cacheOf[q.Producer]; !dup {
+			cacheOf[q.Producer] = i
+		}
+	}
+	cacheFrozen := func(q ChannelCache) bool {
+		if frozenFromChannel[q.Producer] {
+			return true
+		}
+		for id, bo := range prev.Ops {
+			if executed[id] && assay.OpID(id) != q.Producer && bo.Comp == q.From && bo.Start >= q.Start {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Token reconstruction for every executed producer, in ID order.
+	for id := 0; id < g.NumOps(); id++ {
+		if !executed[id] {
+			continue
+		}
+		p := assay.OpID(id)
+		op := g.Op(p)
+		bo := prev.Ops[id]
+		children := g.Children(p)
+		consumed := 0
+		inPlaceConsumed := false
+		inPlaceStart := unit.Time(0)
+		for _, ch := range children {
+			if executed[ch] {
+				consumed++
+				if prev.Ops[ch].InPlace && prev.Ops[ch].InPlaceParent == p {
+					inPlaceConsumed = true
+					inPlaceStart = prev.Ops[ch].Start
+				}
+			}
+		}
+		remaining := len(children) - consumed
+		washDur := e.opts.Wash.WashTime(op.Output.D)
+		tk := &token{
+			producer:  p,
+			comp:      bo.Comp,
+			washDur:   washDur,
+			cacheIdx:  -1,
+			remaining: remaining,
+			maxDepart: frozenDepart[p],
+		}
+		e.tokens[id] = tk
+
+		ci, hasCache := cacheOf[p]
+		frozen := hasCache && cacheFrozen(prev.Caches[ci])
+		switch {
+		case len(children) == 0:
+			// Final product, collected at the output port; its wash is
+			// part of the frozen history.
+			tk.state = tokenGone
+			e.addWash(bo.Comp, p, bo.End, bo.End+washDur)
+		case remaining == 0 && frozen:
+			// Fully consumed, last aliquots drawn from channel storage;
+			// the evict wash below covers the component.
+			tk.state = tokenGone
+		case remaining == 0:
+			tk.state = tokenGone
+			if !inPlaceConsumed {
+				// Last aliquot departed from the component: the wash
+				// after the latest departure is frozen history. (An
+				// in-place consumption merges into the child and never
+				// washes.)
+				e.addWash(bo.Comp, p, tk.maxDepart, tk.maxDepart+washDur)
+			}
+		case frozen:
+			// Evicted before the cut: the fluid sits in channel storage.
+			tk.state = tokenInChannel
+			tk.evict = prev.Caches[ci].Start
+		case inPlaceConsumed:
+			// An executed child consumed the residue in place, which is
+			// only possible once every other aliquot had left the
+			// component. The pending aliquots are therefore parked in
+			// distributed channel storage: open a synthetic cache episode
+			// at the instant they were displaced (the earlier of the
+			// in-place consumer's start and the earliest planned
+			// departure). In-place consumption merges the residue into
+			// the child, so no wash accompanies this episode.
+			evict := inPlaceStart
+			for _, tr := range prev.Transports {
+				if tr.Producer == p && !executed[tr.Consumer] && tr.Depart < evict {
+					evict = tr.Depart
+				}
+			}
+			if evict < bo.End {
+				evict = bo.End
+			}
+			tk.state = tokenInChannel
+			tk.evict = evict
+			tk.cacheIdx = len(e.res.Caches)
+			e.res.Caches = append(e.res.Caches, ChannelCache{
+				Producer: p,
+				From:     bo.Comp,
+				Start:    evict,
+				End:      evict, // extended as suffix consumers depart
+				Fluid:    op.Output,
+			})
+		default:
+			// The fluid is (back) inside its producing component; it may
+			// not be evicted before the cut.
+			tk.state = tokenInComp
+			tk.floor = at
+			cs := &e.comps[bo.Comp]
+			if cs.resident != nil {
+				return nil, fmt.Errorf("schedule: components %d holds two resumed fluids (%d, %d)",
+					bo.Comp, cs.resident.producer, p)
+			}
+			cs.resident = tk
+			if isBanned(bo.Comp) {
+				return nil, fmt.Errorf("schedule: output of op %d is inside failed component %d with %d consumers pending: %w",
+					p, bo.Comp, remaining, ErrFluidLost)
+			}
+		}
+		if frozen {
+			q := prev.Caches[ci]
+			// Clamp the episode end to the latest frozen departure; suffix
+			// consumers drawing from the channel will re-extend it.
+			end := q.Start
+			if d := frozenDepart[p]; d > end {
+				end = d
+			}
+			q.End = end
+			tk.cacheIdx = len(e.res.Caches)
+			e.res.Caches = append(e.res.Caches, q)
+			// The evict wash is frozen history.
+			e.addWash(q.From, p, q.Start, q.Start+washDur)
+		}
+	}
+
+	// Component wash horizons from the transplanted washes.
+	for _, w := range e.res.Washes {
+		if cs := &e.comps[w.Comp]; w.End > cs.washReady {
+			cs.washReady = w.End
+		}
+	}
+
+	// Priority queue over the suffix only; executed parents count as
+	// already satisfied.
+	pr := g.Priorities(e.opts.TC)
+	q := &opQueue{pr: pr}
+	pending := make([]int, g.NumOps())
+	suffix := 0
+	for id := 0; id < g.NumOps(); id++ {
+		if executed[id] {
+			continue
+		}
+		suffix++
+		for _, p := range g.Parents(assay.OpID(id)) {
+			if !executed[p] {
+				pending[id]++
+			}
+		}
+		if pending[id] == 0 {
+			heap.Push(q, assay.OpID(id))
+		}
+	}
+
+	scheduled, err := e.drain(ctx, dcsaBinder{}, q, pending)
+	if err != nil {
+		return nil, err
+	}
+	if scheduled != suffix {
+		return nil, fmt.Errorf("schedule: only %d of %d suffix operations scheduled", scheduled, suffix)
+	}
+	e.finish(scheduled)
+	return e.res, nil
+}

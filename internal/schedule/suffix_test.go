@@ -1,0 +1,204 @@
+package schedule
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/assay"
+	"repro/internal/benchdata"
+	"repro/internal/chip"
+	"repro/internal/fluid"
+	"repro/internal/unit"
+)
+
+// edgeKey identifies a transport by the dependency edge it serves; IDs are
+// renumbered across rescheduling, so frozen-transport comparisons key on
+// the edge.
+type edgeKey struct {
+	p, c assay.OpID
+}
+
+func frozenEdges(r *Result, at unit.Time) map[edgeKey]Transport {
+	m := make(map[edgeKey]Transport)
+	for _, tr := range r.Transports {
+		if r.Ops[tr.Consumer].Start < at {
+			k := edgeKey{tr.Producer, tr.Consumer}
+			tr.ID = 0 // renumbered; not part of the frozen identity
+			m[k] = tr
+		}
+	}
+	return m
+}
+
+// TestRescheduleSuffixFullEquivalence: a cut at zero with no failed
+// components is a full reschedule and must reproduce the fresh DCSA run
+// byte for byte on every benchmark.
+func TestRescheduleSuffixFullEquivalence(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		prev := mustSchedule(t, bm.Graph, bm.Alloc)
+		got, err := RescheduleSuffix(prev, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: RescheduleSuffix(0): %v", bm.Name, err)
+		}
+		if !reflect.DeepEqual(got.Ops, prev.Ops) {
+			t.Errorf("%s: ops differ from fresh schedule", bm.Name)
+		}
+		if !reflect.DeepEqual(got.Transports, prev.Transports) {
+			t.Errorf("%s: transports differ from fresh schedule", bm.Name)
+		}
+		if !reflect.DeepEqual(got.Caches, prev.Caches) {
+			t.Errorf("%s: caches differ from fresh schedule", bm.Name)
+		}
+		if !reflect.DeepEqual(got.Washes, prev.Washes) {
+			t.Errorf("%s: washes differ from fresh schedule", bm.Name)
+		}
+		if got.Makespan != prev.Makespan {
+			t.Errorf("%s: makespan %v != %v", bm.Name, got.Makespan, prev.Makespan)
+		}
+	}
+}
+
+// TestRescheduleSuffixPrefixFrozen: cutting every benchmark mid-flight
+// must keep the executed rows and their transports identical, keep every
+// new start at or after the cut, and still validate.
+func TestRescheduleSuffixPrefixFrozen(t *testing.T) {
+	for _, bm := range benchdata.All() {
+		prev := mustSchedule(t, bm.Graph, bm.Alloc)
+		for _, frac := range []int64{1, 2, 3} {
+			at := unit.Time(int64(prev.Makespan) * frac / 4)
+			got, err := RescheduleSuffix(prev, at, nil)
+			if err != nil {
+				t.Fatalf("%s@%v: RescheduleSuffix: %v", bm.Name, at, err)
+			}
+			if err := Validate(got); err != nil {
+				t.Fatalf("%s@%v: invalid repaired schedule: %v", bm.Name, at, err)
+			}
+			executed := Executed(prev, at)
+			for id, ex := range executed {
+				if ex && got.Ops[id] != prev.Ops[id] {
+					t.Errorf("%s@%v: executed op %d drifted: %+v != %+v",
+						bm.Name, at, id, got.Ops[id], prev.Ops[id])
+				}
+				if !ex && got.Ops[id].Start < at {
+					t.Errorf("%s@%v: suffix op %d starts %v before the cut",
+						bm.Name, at, id, got.Ops[id].Start)
+				}
+			}
+			if want, have := frozenEdges(prev, at), frozenEdges(got, at); !reflect.DeepEqual(want, have) {
+				t.Errorf("%s@%v: frozen transports drifted", bm.Name, at)
+			}
+			// Determinism: the repair is a pure function of its inputs.
+			again, err := RescheduleSuffix(prev, at, nil)
+			if err != nil {
+				t.Fatalf("%s@%v: second RescheduleSuffix: %v", bm.Name, at, err)
+			}
+			if !reflect.DeepEqual(got, again) {
+				t.Errorf("%s@%v: rescheduling is not deterministic", bm.Name, at)
+			}
+		}
+	}
+}
+
+// TestRescheduleSuffixBannedComp: failing one of several mixers mid-assay
+// must move all remaining work off it while freezing the prefix.
+func TestRescheduleSuffixBannedComp(t *testing.T) {
+	bm := benchdata.Synthetic(3)
+	prev := mustSchedule(t, bm.Graph, bm.Alloc)
+	at := prev.Makespan / 2
+
+	// Ban a component that still has suffix work, so the repair actually
+	// rebinds something.
+	banned := make([]bool, len(prev.Comps))
+	victim := chip.NoComp
+	for id, bo := range prev.Ops {
+		if bo.Start >= at && bo.End > at {
+			// Only ban a component that is idle across the cut: no
+			// executed op may straddle it.
+			busy := false
+			for _, other := range prev.Ops {
+				if other.Comp == bo.Comp && other.Start < at && other.End > at {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				victim = bo.Comp
+				_ = id
+				break
+			}
+		}
+	}
+	if victim == chip.NoComp {
+		t.Skip("no idle component with suffix work at this cut")
+	}
+	banned[victim] = true
+
+	got, err := RescheduleSuffix(prev, at, banned)
+	if err != nil {
+		if errors.Is(err, ErrFluidLost) {
+			t.Skipf("victim %d holds a live fluid at the cut: %v", victim, err)
+		}
+		t.Fatalf("RescheduleSuffix: %v", err)
+	}
+	if err := Validate(got); err != nil {
+		t.Fatalf("invalid repaired schedule: %v", err)
+	}
+	for id, bo := range got.Ops {
+		if bo.Comp == victim && bo.End > at {
+			t.Errorf("op %d still uses failed component %d past the cut", id, victim)
+		}
+	}
+	executed := Executed(prev, at)
+	for id, ex := range executed {
+		if ex && got.Ops[id] != prev.Ops[id] {
+			t.Errorf("executed op %d drifted after component ban", id)
+		}
+	}
+}
+
+// forkGraph: one mixer output feeding two heater consumers — the fluid
+// stays resident in the mixer until both aliquots depart.
+func forkGraph() *assay.Graph {
+	b := assay.NewBuilder("fork")
+	o1 := b.AddOp("o1", assay.Mix, unit.Seconds(2), fluid.Fluid{D: 1e-6})
+	o2 := b.AddOp("o2", assay.Heat, unit.Seconds(2), fluid.Fluid{D: 1e-6})
+	o3 := b.AddOp("o3", assay.Heat, unit.Seconds(2), fluid.Fluid{D: 1e-6})
+	b.AddDep(o1, o2)
+	b.AddDep(o1, o3)
+	return b.MustBuild()
+}
+
+func TestRescheduleSuffixTypedErrors(t *testing.T) {
+	alloc := chip.Allocation{}
+	alloc[assay.Mix] = 1
+	alloc[assay.Heat] = 1
+	g := forkGraph()
+	prev := mustSchedule(t, g, alloc)
+	mixer := prev.Ops[0].Comp
+	banned := make([]bool, len(prev.Comps))
+	banned[mixer] = true
+
+	// Cut inside o1's run: the mixer fails while o1 executes on it.
+	mid := prev.Ops[0].Start + unit.Seconds(1)
+	if _, err := RescheduleSuffix(prev, mid, banned); !errors.Is(err, ErrMidExecution) {
+		t.Errorf("mid-execution cut: err = %v, want ErrMidExecution", err)
+	}
+
+	// Cut just after o1 completes: its output is resident in the failed
+	// mixer with both consumers pending.
+	after := prev.Ops[0].End + unit.Millisecond
+	if _, err := RescheduleSuffix(prev, after, banned); !errors.Is(err, ErrFluidLost) {
+		t.Errorf("resident-fluid cut: err = %v, want ErrFluidLost", err)
+	}
+
+	// A chain on the only mixer: banning it leaves Mix uncovered.
+	cg := chainGraph(4)
+	cprev := mustSchedule(t, cg, chip.Allocation{1, 0, 0, 0})
+	cbanned := make([]bool, len(cprev.Comps))
+	cbanned[cprev.Ops[0].Comp] = true
+	cut := cprev.Ops[0].End // op 0 executed, op 1 not yet started
+	if _, err := RescheduleSuffix(cprev, cut, cbanned); !errors.Is(err, ErrNoComponent) {
+		t.Errorf("uncovered-type cut: err = %v, want ErrNoComponent", err)
+	}
+}

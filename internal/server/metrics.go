@@ -110,11 +110,17 @@ type metrics struct {
 	batchDeduped  *expvar.Int // members collapsed onto an earlier member's job
 	workload      *expvar.Map // requests by X-Workload-Profile label
 
+	sessionsOpened *expvar.Int // chip sessions opened (counter)
+	sessionsLive   *expvar.Int // sessions currently active (gauge)
+	sessionCells   *expvar.Int // dead cells accumulated across all sessions (gauge)
+	sessionRepairs *expvar.Map // fault-report repairs by outcome
+
 	histSchedule *histogram
 	histPlace    *histogram
 	histRoute    *histogram
 	histTotal    *histogram // synthesis wall-clock, cache misses only
 	histRequest  *histogram // POST /v1/synthesize handler latency
+	histRepair   *histogram // session fault-report repair latency
 }
 
 // newMetrics wires the counters and gauge closures. The gauge funcs pull
@@ -122,22 +128,27 @@ type metrics struct {
 // goes stale.
 func newMetrics(s *Server) *metrics {
 	m := &metrics{
-		vars:          new(expvar.Map).Init(),
-		jobsAccepted:  new(expvar.Int),
-		jobsRejected:  new(expvar.Int),
-		jobsShed:      new(expvar.Int),
-		peerServed:    new(expvar.Int),
-		peerStored:    new(expvar.Int),
-		routeCounts:   new(expvar.Map).Init(),
-		batchRequests: new(expvar.Int),
-		batchMembers:  new(expvar.Int),
-		batchDeduped:  new(expvar.Int),
-		workload:      new(expvar.Map).Init(),
-		histSchedule:  newHistogram(),
-		histPlace:     newHistogram(),
-		histRoute:     newHistogram(),
-		histTotal:     newHistogram(),
-		histRequest:   newHistogram(),
+		vars:           new(expvar.Map).Init(),
+		jobsAccepted:   new(expvar.Int),
+		jobsRejected:   new(expvar.Int),
+		jobsShed:       new(expvar.Int),
+		peerServed:     new(expvar.Int),
+		peerStored:     new(expvar.Int),
+		routeCounts:    new(expvar.Map).Init(),
+		batchRequests:  new(expvar.Int),
+		batchMembers:   new(expvar.Int),
+		batchDeduped:   new(expvar.Int),
+		workload:       new(expvar.Map).Init(),
+		sessionsOpened: new(expvar.Int),
+		sessionsLive:   new(expvar.Int),
+		sessionCells:   new(expvar.Int),
+		sessionRepairs: new(expvar.Map).Init(),
+		histSchedule:   newHistogram(),
+		histPlace:      newHistogram(),
+		histRoute:      newHistogram(),
+		histTotal:      newHistogram(),
+		histRequest:    newHistogram(),
+		histRepair:     newHistogram(),
 	}
 	m.vars.Set("uptime_s", expvar.Func(func() any {
 		return time.Since(s.start).Seconds()
@@ -156,6 +167,10 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("batch_members", m.batchMembers)
 	m.vars.Set("batch_deduped", m.batchDeduped)
 	m.vars.Set("workload_requests", m.workload)
+	m.vars.Set("sessions_opened", m.sessionsOpened)
+	m.vars.Set("sessions_open", m.sessionsLive)
+	m.vars.Set("session_cells_lost", m.sessionCells)
+	m.vars.Set("session_repairs", m.sessionRepairs)
 	m.vars.Set("breaker_state", expvar.Func(func() any { return s.brk.State() }))
 	m.vars.Set("journal_replayed", expvar.Func(func() any { return s.replayed.Load() }))
 	m.vars.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
@@ -181,6 +196,7 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("latency_route_ms", m.histRoute)
 	m.vars.Set("latency_synthesis_ms", m.histTotal)
 	m.vars.Set("latency_request_ms", m.histRequest)
+	m.vars.Set("latency_repair_ms", m.histRepair)
 	return m
 }
 
@@ -237,6 +253,15 @@ func workloadLabel(v string) string {
 // routeCount reads one route's counter (0 before its first request).
 func (m *metrics) routeCount(route string) float64 {
 	if v, ok := m.routeCounts.Get(route).(*expvar.Int); ok {
+		return float64(v.Value())
+	}
+	return 0
+}
+
+// repairCount reads one repair outcome's counter (0 before its first
+// repair).
+func (m *metrics) repairCount(outcome string) float64 {
+	if v, ok := m.sessionRepairs.Get(outcome).(*expvar.Int); ok {
 		return float64(v.Value())
 	}
 	return 0

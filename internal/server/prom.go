@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/session"
 )
 
 // prom.go renders the service state in the Prometheus text exposition
@@ -211,10 +212,31 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 		// byte-stable with earlier releases.
 		p.counter("mfserved_trace_spans_total", "Trace spans recorded across all requests.", float64(s.spansTotal.Load()))
 		p.counter("mfserved_flight_records_total", "Requests recorded by the flight recorder (monotonic; the ring retains the most recent).", float64(s.flight.Total()))
+		routes := []string{routeCacheHit, routePeerHit, routeLocal, routeForwarded, routeFallback}
+		if s.metrics.sessionsOpened.Value() > 0 {
+			// Session routes appear only once session traffic exists, so a
+			// sessionless cluster scrape stays byte-stable with earlier
+			// releases.
+			routes = append(routes, routeSession, routeSessionRepair)
+		}
 		p.head("mfserved_requests_routed_total", "Answered requests by the route that produced the response.", "counter")
-		for _, route := range []string{routeCacheHit, routePeerHit, routeLocal, routeForwarded, routeFallback} {
+		for _, route := range routes {
 			p.sample("mfserved_requests_routed_total", `route="`+route+`"`, s.metrics.routeCount(route))
 		}
+	}
+
+	// Chip-session families, only once a session has been opened, so the
+	// default single-node scrape stays byte-stable with earlier releases.
+	if s.metrics.sessionsOpened.Value() > 0 {
+		p.counter("mfserved_sessions_opened_total", "Chip sessions opened (including journal-replayed ones).", float64(s.metrics.sessionsOpened.Value()))
+		p.gauge("mfserved_sessions_open", "Chip sessions currently active.", float64(s.metrics.sessionsLive.Value()))
+		p.head("mfserved_session_repairs_total", "Session fault-report repairs, by outcome.", "counter")
+		for _, oc := range []string{session.OutcomeRepaired, session.OutcomeDegraded, session.OutcomeAbandoned} {
+			p.sample("mfserved_session_repairs_total", `outcome="`+oc+`"`, s.metrics.repairCount(oc))
+		}
+		p.head("mfserved_session_repair_latency_seconds", "Fault-report repair latency (ladder plus audit).", "histogram")
+		p.histogram("mfserved_session_repair_latency_seconds", "", s.metrics.histRepair.snapshot())
+		p.gauge("mfserved_session_cells_lost", "Dead routing-plane cells accumulated across all sessions.", float64(s.metrics.sessionCells.Value()))
 	}
 
 	// SLO families, only when objectives are configured (-slo), so the

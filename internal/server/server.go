@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,6 +146,14 @@ type Server struct {
 	jobEntry  map[string]string
 	earlyTerm map[string]string
 	replayed  atomic.Int64
+
+	// Chip-session state (see internal/session): long-lived pinned
+	// solutions repaired in place against fault reports. sessions maps
+	// session ID to its entry; sessSeq numbers server-assigned IDs.
+	smu      sync.Mutex
+	sessions map[string]*sessionEntry
+	sessSeq  atomic.Uint64
+	sessSem  chan struct{} // bounds inline session-create syntheses to the pool size
 }
 
 // jobResult is what a synthesis job stores in the queue on success.
@@ -170,6 +179,12 @@ const (
 	routeLocal     = "local"
 	routeForwarded = "forwarded"
 	routeFallback  = "fallback"
+	// Session routes: opening a chip session and repairing one against a
+	// fault report. Distinct labels keep /debug/requests attribution and
+	// the routed-requests counter honest about which traffic is long-lived
+	// session work rather than one-shot synthesis.
+	routeSession       = "session"
+	routeSessionRepair = "session-repair"
 )
 
 // New builds a server and starts its worker pool. Call Shutdown to drain.
@@ -219,6 +234,8 @@ func New(cfg Config) (*Server, error) {
 		node:      "local",
 		jobEntry:  make(map[string]string),
 		earlyTerm: make(map[string]string),
+		sessions:  make(map[string]*sessionEntry),
+		sessSem:   make(chan struct{}, cfg.Workers),
 	}
 	if s.cl != nil {
 		s.node = s.cl.Self()
@@ -258,6 +275,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("POST /v1/synthesize/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/faults", s.handleSessionFault)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/close", s.handleSessionClose)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
@@ -344,6 +365,14 @@ func (s *Server) journalTerminal(entry, status string) {
 // "rejected". Either way every accepted job reaches a terminal record.
 func (s *Server) replay(pending []journal.Record) {
 	for _, rec := range pending {
+		if strings.HasPrefix(rec.Label, sessionLabelPrefix) {
+			// Session records replay synchronously, in file order: a
+			// session's create record precedes its fault reports, and
+			// repairs are deterministic, so replay reconverges on the
+			// exact pre-crash session state.
+			s.replaySessionRecord(rec)
+			continue
+		}
 		var sreq SynthesizeRequest
 		req, err := func() (*request, error) {
 			dec := json.NewDecoder(bytes.NewReader(rec.Request))

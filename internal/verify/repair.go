@@ -1,0 +1,178 @@
+package verify
+
+import (
+	"reflect"
+
+	"repro/internal/assay"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/schedule"
+	"repro/internal/unit"
+)
+
+// Repair is the violation class for incremental-repair contract breaches:
+// an executed-prefix row drifted, new work landed before the cut or on a
+// failed component, a frozen route changed, or a re-planned path crosses
+// a reported dead cell.
+const Repair Class = "repair"
+
+// RepairSpec is the contract a mid-assay repair must honour, expressed
+// against the pre-repair solution. All fields describe the fault report
+// and the previous solution — never the repairer's internals — so the
+// audit re-derives the prefix-freeze invariant from scratch.
+type RepairSpec struct {
+	// At is the execution cut: the instant the fault report took effect.
+	At unit.Time
+	// Banned is indexed by component ID; true marks components reported
+	// failed. Nil means no component failed.
+	Banned []bool
+	// Defects are the plane cells reported dead. Frozen paths may cross
+	// them (the fluid passed before the fault); re-planned paths may not.
+	Defects []route.Cell
+	// PrevSchedule and PrevRouting are the solution being repaired.
+	PrevSchedule *schedule.Result
+	PrevRouting  *route.Result
+	// PlacementFrozen asserts the repair was not allowed to move
+	// component footprints (any repair with frozen transports).
+	PlacementFrozen bool
+	// PrevPlacement is compared against the repaired placement when
+	// PlacementFrozen is set.
+	PrevPlacement *place.Placement
+}
+
+// AuditRepair runs the full solution audit on the repaired solution and
+// then checks the incremental-repair contract: the executed prefix —
+// operation rows, the transports serving them, and their routed paths —
+// is byte-identical to the previous solution; nothing new starts before
+// the cut; no surviving work touches a failed component past the cut; and
+// no re-planned path uses a reported dead cell.
+//
+// The executed set is re-derived here from (PrevSchedule, At), not taken
+// from the repairer, so a repair that mislabels history cannot audit
+// clean.
+func AuditRepair(in Input, spec RepairSpec) *Report {
+	rep := Audit(in)
+	if spec.PrevSchedule == nil {
+		rep.add(Repair, "input", "repair audit needs the previous schedule")
+		return rep
+	}
+	if in.Schedule == nil || len(in.Schedule.Ops) != len(spec.PrevSchedule.Ops) {
+		rep.add(Repair, "input", "repaired schedule does not cover the previous assay")
+		return rep
+	}
+
+	executed := schedule.Executed(spec.PrevSchedule, spec.At)
+
+	// 1. Executed rows are frozen; everything else starts at/after the cut.
+	for id, ex := range executed {
+		got, want := in.Schedule.Ops[id], spec.PrevSchedule.Ops[id]
+		if ex {
+			if got != want {
+				rep.add(Repair, "prefix-frozen",
+					"executed op %d drifted: %+v != %+v", id, got, want)
+			}
+			continue
+		}
+		if got.Start < spec.At {
+			rep.add(Repair, "cut",
+				"op %d re-planned to start %v before the cut %v", id, got.Start, spec.At)
+		}
+	}
+
+	// 2. Nothing runs on a failed component past the cut.
+	if spec.Banned != nil {
+		for id, bo := range in.Schedule.Ops {
+			if int(bo.Comp) < len(spec.Banned) && spec.Banned[bo.Comp] && bo.End > spec.At {
+				rep.add(Repair, "banned-comp",
+					"op %d occupies failed component %d until %v (cut %v)", id, bo.Comp, bo.End, spec.At)
+			}
+		}
+	}
+
+	// 3. Frozen transports are preserved field-for-field, keyed by the
+	// dependency edge they serve (IDs are renumbered across repairs).
+	type edge struct{ p, c assay.OpID }
+	prevFrozen := make(map[edge]schedule.Transport)
+	for _, tr := range spec.PrevSchedule.Transports {
+		if executed[tr.Consumer] {
+			tr.ID = 0
+			prevFrozen[edge{tr.Producer, tr.Consumer}] = tr
+		}
+	}
+	newByEdge := make(map[edge]schedule.Transport)
+	newID := make(map[edge]int)
+	for _, tr := range in.Schedule.Transports {
+		k := edge{tr.Producer, tr.Consumer}
+		newID[k] = tr.ID
+		tr.ID = 0
+		newByEdge[k] = tr
+	}
+	for k, want := range prevFrozen {
+		got, ok := newByEdge[k]
+		if !ok {
+			rep.add(Repair, "frozen-transport",
+				"frozen transport %d->%d missing from repaired schedule", k.p, k.c)
+			continue
+		}
+		if got != want {
+			rep.add(Repair, "frozen-transport",
+				"frozen transport %d->%d drifted: %+v != %+v", k.p, k.c, got, want)
+		}
+	}
+
+	// 4. Frozen routed paths are byte-identical; re-planned paths avoid
+	// the dead cells.
+	dead := make(map[route.Cell]bool, len(spec.Defects))
+	for _, c := range spec.Defects {
+		dead[c] = true
+	}
+	if in.Routing != nil {
+		prevPath := make(map[edge][]route.Cell)
+		if spec.PrevRouting != nil {
+			prevTr := make(map[int]edge, len(spec.PrevSchedule.Transports))
+			for _, tr := range spec.PrevSchedule.Transports {
+				prevTr[tr.ID] = edge{tr.Producer, tr.Consumer}
+			}
+			for _, rt := range spec.PrevRouting.Routes {
+				if k, ok := prevTr[rt.Task.ID]; ok {
+					prevPath[k] = rt.Path
+				}
+			}
+		}
+		newTr := make(map[int]edge, len(in.Schedule.Transports))
+		for k, id := range newID {
+			newTr[id] = k
+		}
+		for _, rt := range in.Routing.Routes {
+			k, ok := newTr[rt.Task.ID]
+			if !ok {
+				continue // routing/schedule mismatch is Audit's to report
+			}
+			if _, frozen := prevFrozen[k]; frozen {
+				if !reflect.DeepEqual(rt.Path, prevPath[k]) {
+					rep.add(Repair, "frozen-route",
+						"frozen route %d->%d drifted from its executed path", k.p, k.c)
+				}
+				continue
+			}
+			for _, c := range rt.Path {
+				if dead[c] {
+					rep.add(Repair, "defect-cell",
+						"re-planned route %d->%d crosses dead cell %v", k.p, k.c, c)
+					break
+				}
+			}
+		}
+	}
+
+	// 5. Placement immobility once transports have executed.
+	if spec.PlacementFrozen && spec.PrevPlacement != nil && in.Placement != nil {
+		if spec.PrevPlacement.W != in.Placement.W ||
+			spec.PrevPlacement.H != in.Placement.H ||
+			!reflect.DeepEqual(spec.PrevPlacement.Rects, in.Placement.Rects) {
+			rep.add(Repair, "placement-frozen",
+				"placement moved although executed transports pin the geometry")
+		}
+	}
+	return rep
+}

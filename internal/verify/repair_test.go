@@ -1,0 +1,255 @@
+package verify
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/schedule"
+)
+
+// repairCase is a fully repaired Synthetic3 solution cut mid-assay, plus
+// the spec the repair must honour — the shared fixture for the auditor
+// tests below.
+type repairCase struct {
+	in   Input
+	spec RepairSpec
+	// frozenID / suffixID are transport IDs in the repaired schedule.
+	frozenID, suffixID int
+}
+
+func cloneSched(r *schedule.Result) *schedule.Result {
+	c := *r
+	c.Ops = append([]schedule.BoundOp(nil), r.Ops...)
+	c.Transports = append([]schedule.Transport(nil), r.Transports...)
+	c.Caches = append([]schedule.ChannelCache(nil), r.Caches...)
+	c.Washes = append([]schedule.ComponentWash(nil), r.Washes...)
+	return &c
+}
+
+func cloneRouting(r *route.Result) *route.Result {
+	c := *r
+	c.Routes = make([]route.RoutedTask, len(r.Routes))
+	for i, rt := range r.Routes {
+		rt.Path = append([]route.Cell(nil), rt.Path...)
+		c.Routes[i] = rt
+	}
+	return &c
+}
+
+func repairFixture(t *testing.T) repairCase {
+	t.Helper()
+	bm := benchdata.Synthetic(3)
+	comps := bm.Alloc.Instantiate()
+	prev, err := schedule.Schedule(bm.Graph, comps, schedule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := place.BuildNets(prev, 0.6, 0.4)
+	pp := place.DefaultParams()
+	pp.Imax = 60
+	pl, err := place.Anneal(comps, nets, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := route.DefaultParams()
+	pr.RipUpRounds = 3
+	prevRt, err := route.Route(prev, comps, pl, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	at := prev.Makespan / 2
+	re, err := schedule.RescheduleSuffix(prev, at, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Carry previous paths across the reschedule by dependency edge —
+	// transport IDs are renumbered, edges are stable.
+	type edge struct{ p, c int }
+	prevByEdge := make(map[edge][]route.Cell)
+	taskOf := make(map[int]schedule.Transport)
+	for _, tr := range prev.Transports {
+		taskOf[tr.ID] = tr
+	}
+	for _, rt := range prevRt.Routes {
+		tr := taskOf[rt.Task.ID]
+		prevByEdge[edge{int(tr.Producer), int(tr.Consumer)}] = rt.Path
+	}
+	spec := route.RepairSpec{Frozen: map[int]bool{}, PrevPaths: map[int][]route.Cell{}}
+	executed := schedule.Executed(re, at)
+	frozenID, suffixID := -1, -1
+	for _, tr := range re.Transports {
+		if p, ok := prevByEdge[edge{int(tr.Producer), int(tr.Consumer)}]; ok {
+			spec.PrevPaths[tr.ID] = p
+		}
+		if executed[tr.Consumer] {
+			spec.Frozen[tr.ID] = true
+			frozenID = tr.ID
+		} else {
+			suffixID = tr.ID
+		}
+	}
+	if frozenID < 0 || suffixID < 0 {
+		t.Skip("cut left no frozen or no suffix transport")
+	}
+	rep, err := route.Repair(context.Background(), re, comps, pl, pr, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repairCase{
+		in: Input{Assay: bm.Graph, Comps: comps, Schedule: re, Placement: pl, Routing: rep},
+		spec: RepairSpec{
+			At:              at,
+			PrevSchedule:    prev,
+			PrevRouting:     prevRt,
+			PlacementFrozen: true,
+			PrevPlacement:   pl.Clone(),
+		},
+		frozenID: frozenID,
+		suffixID: suffixID,
+	}
+}
+
+// TestAuditRepairClean: a genuine incremental repair — suffix rescheduled
+// at the cut, frozen routes carried verbatim — audits clean end to end.
+func TestAuditRepairClean(t *testing.T) {
+	c := repairFixture(t)
+	if rep := AuditRepair(c.in, c.spec); !rep.OK() {
+		t.Fatalf("honest repair rejected:\n%s", rep)
+	}
+}
+
+// TestAuditRepairKillsMutants: each single-site breach of the repair
+// contract must raise the matching "repair"-class violation. A repairer
+// that rewrites history, schedules before the cut, keeps work on a failed
+// component, bends a frozen route, routes through a dead cell, or moves
+// the placement cannot audit clean.
+func TestAuditRepairKillsMutants(t *testing.T) {
+	t.Run("prefix-frozen", func(t *testing.T) {
+		c := repairFixture(t)
+		executed := schedule.Executed(c.spec.PrevSchedule, c.spec.At)
+		sc := cloneSched(c.in.Schedule)
+		mutated := false
+		for id, ex := range executed {
+			if ex {
+				sc.Ops[id].Start--
+				sc.Ops[id].End--
+				mutated = true
+				break
+			}
+		}
+		if !mutated {
+			t.Skip("no executed op at this cut")
+		}
+		c.in.Schedule = sc
+		if rep := AuditRepair(c.in, c.spec); !hasRule(rep, Repair, "prefix-frozen") {
+			t.Errorf("rewritten history not reported:\n%s", rep)
+		}
+	})
+
+	t.Run("cut", func(t *testing.T) {
+		c := repairFixture(t)
+		executed := schedule.Executed(c.spec.PrevSchedule, c.spec.At)
+		sc := cloneSched(c.in.Schedule)
+		mutated := false
+		for id, ex := range executed {
+			if !ex && sc.Ops[id].Start >= c.spec.At {
+				sc.Ops[id].Start = c.spec.At - 1
+				mutated = true
+				break
+			}
+		}
+		if !mutated {
+			t.Skip("no suffix op at this cut")
+		}
+		c.in.Schedule = sc
+		if rep := AuditRepair(c.in, c.spec); !hasRule(rep, Repair, "cut") {
+			t.Errorf("pre-cut start not reported:\n%s", rep)
+		}
+	})
+
+	t.Run("banned-comp", func(t *testing.T) {
+		// The schedule is untouched; the spec says a component the suffix
+		// still uses has failed. The repairer should have moved that work.
+		c := repairFixture(t)
+		banned := make([]bool, len(c.in.Comps))
+		victim := -1
+		for _, bo := range c.in.Schedule.Ops {
+			if bo.End > c.spec.At {
+				victim = int(bo.Comp)
+				break
+			}
+		}
+		if victim < 0 {
+			t.Skip("no op past the cut")
+		}
+		banned[victim] = true
+		c.spec.Banned = banned
+		if rep := AuditRepair(c.in, c.spec); !hasRule(rep, Repair, "banned-comp") {
+			t.Errorf("work left on failed component not reported:\n%s", rep)
+		}
+	})
+
+	t.Run("frozen-transport", func(t *testing.T) {
+		c := repairFixture(t)
+		sc := cloneSched(c.in.Schedule)
+		for i := range sc.Transports {
+			if sc.Transports[i].ID == c.frozenID {
+				sc.Transports[i].Depart--
+			}
+		}
+		c.in.Schedule = sc
+		if rep := AuditRepair(c.in, c.spec); !hasRule(rep, Repair, "frozen-transport") {
+			t.Errorf("drifted frozen transport not reported:\n%s", rep)
+		}
+	})
+
+	t.Run("frozen-route", func(t *testing.T) {
+		c := repairFixture(t)
+		rt := cloneRouting(c.in.Routing)
+		for i := range rt.Routes {
+			if rt.Routes[i].Task.ID == c.frozenID {
+				rt.Routes[i].Path = rt.Routes[i].Path[:len(rt.Routes[i].Path)-1]
+			}
+		}
+		c.in.Routing = rt
+		if rep := AuditRepair(c.in, c.spec); !hasRule(rep, Repair, "frozen-route") {
+			t.Errorf("bent frozen route not reported:\n%s", rep)
+		}
+	})
+
+	t.Run("defect-cell", func(t *testing.T) {
+		// The routing is untouched; the spec reports a cell on a
+		// re-planned path as dead. The repairer should have avoided it.
+		c := repairFixture(t)
+		var cell route.Cell
+		found := false
+		for _, rt := range c.in.Routing.Routes {
+			if rt.Task.ID == c.suffixID && len(rt.Path) > 0 {
+				cell = rt.Path[len(rt.Path)/2]
+				found = true
+			}
+		}
+		if !found {
+			t.Skip("suffix transport has no routed path")
+		}
+		c.spec.Defects = []route.Cell{cell}
+		if rep := AuditRepair(c.in, c.spec); !hasRule(rep, Repair, "defect-cell") {
+			t.Errorf("route through dead cell not reported:\n%s", rep)
+		}
+	})
+
+	t.Run("placement-frozen", func(t *testing.T) {
+		c := repairFixture(t)
+		moved := c.in.Placement.Clone()
+		moved.Rects[0].X++
+		c.spec.PrevPlacement = moved
+		if rep := AuditRepair(c.in, c.spec); !hasRule(rep, Repair, "placement-frozen") {
+			t.Errorf("moved placement not reported:\n%s", rep)
+		}
+	})
+}
